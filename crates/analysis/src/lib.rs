@@ -1,0 +1,24 @@
+//! Evaluation tooling: recomputes every statistic of the paper's §6 from a
+//! compiled IRDL corpus and renders the paper's tables and figures.
+//!
+//! The paper argues that a structured, self-contained IR definition format
+//! enables meta-tooling over IR designs; this crate is that tooling for the
+//! Rust reproduction. [`stats::CorpusStats`] gathers registry-level
+//! statistics and [`figures`] renders Table 1 and Figures 3-12.
+//!
+//! # Example
+//!
+//! ```
+//! let mut ctx = irdl_ir::Context::new();
+//! let names = irdl_dialects::register_corpus(&mut ctx)?;
+//! let stats = irdl_analysis::CorpusStats::collect(&ctx, &names);
+//! let fig4 = irdl_analysis::figures::fig4(&stats);
+//! assert!(fig4.contains("spv"));
+//! # Ok::<(), irdl_ir::Diagnostic>(())
+//! ```
+
+pub mod figures;
+pub mod render;
+pub mod stats;
+
+pub use stats::CorpusStats;

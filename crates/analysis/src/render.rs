@@ -1,0 +1,94 @@
+//! ASCII rendering of tables, bars, and stacked percentage charts.
+
+/// Renders a horizontal bar of width proportional to `value / max`.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let filled = ((value / max) * width as f64).round().clamp(0.0, width as f64) as usize;
+    "█".repeat(filled)
+}
+
+/// Renders a stacked 100%-bar from bucket counts, using one glyph per
+/// bucket (e.g. `░▒▓█`).
+pub fn stacked_bar(buckets: &[usize], glyphs: &[char], width: usize) -> String {
+    let total: usize = buckets.iter().sum();
+    if total == 0 {
+        return " ".repeat(width);
+    }
+    let mut out = String::with_capacity(width);
+    let mut used = 0usize;
+    for (i, &count) in buckets.iter().enumerate() {
+        let glyph = glyphs.get(i).copied().unwrap_or('#');
+        let cells = if i + 1 == buckets.len() {
+            width - used
+        } else {
+            ((count as f64 / total as f64) * width as f64).round() as usize
+        };
+        let cells = cells.min(width - used);
+        for _ in 0..cells {
+            out.push(glyph);
+        }
+        used += cells;
+    }
+    while out.chars().count() < width {
+        out.push(' ');
+    }
+    out
+}
+
+/// Formats `part` of `whole` as a percentage with no decimals.
+pub fn pct(part: usize, whole: usize) -> String {
+    if whole == 0 {
+        return "0%".to_string();
+    }
+    format!("{:.0}%", 100.0 * part as f64 / whole as f64)
+}
+
+/// Renders a two-column table with aligned columns.
+pub fn two_column_table(rows: &[(String, String)]) -> String {
+    let width = rows.iter().map(|(a, _)| a.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (left, right) in rows {
+        out.push_str(&format!("{left:<width$}  {right}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales_and_clamps() {
+        assert_eq!(bar(5.0, 10.0, 10).chars().count(), 5);
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+        assert_eq!(bar(0.0, 10.0, 10), "");
+        assert_eq!(bar(1.0, 0.0, 10), "");
+    }
+
+    #[test]
+    fn stacked_bar_fills_width() {
+        let glyphs = ['░', '▒', '▓', '█'];
+        let bar = stacked_bar(&[1, 1, 2], &glyphs, 20);
+        assert_eq!(bar.chars().count(), 20);
+        assert!(bar.contains('░') && bar.contains('▒') && bar.contains('▓'));
+        assert_eq!(stacked_bar(&[0, 0], &glyphs, 8), "        ");
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(1, 4), "25%");
+        assert_eq!(pct(0, 0), "0%");
+    }
+
+    #[test]
+    fn table_aligns() {
+        let rows = vec![
+            ("a".to_string(), "one".to_string()),
+            ("long".to_string(), "two".to_string()),
+        ];
+        let text = two_column_table(&rows);
+        assert_eq!(text, "a     one\nlong  two\n");
+    }
+}

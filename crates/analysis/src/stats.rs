@@ -1,0 +1,201 @@
+//! Statistics over a compiled corpus.
+//!
+//! Every number here is recomputed from the *registry* of a
+//! [`irdl_ir::Context`] — the compiled form of the IRDL corpus —
+//! not from the metadata table, so the full pipeline (lexing, parsing,
+//! resolution, constraint compilation) stands between the corpus sources
+//! and the reported figures.
+
+use irdl::introspect::{DialectReport, OpReport, TypeAttrReport};
+use irdl_ir::Context;
+
+/// Per-dialect slices of the corpus, in a fixed (alphabetical) order.
+#[derive(Debug, Clone)]
+pub struct CorpusStats {
+    /// One report per corpus dialect.
+    pub dialects: Vec<DialectReport>,
+}
+
+impl CorpusStats {
+    /// Collects statistics for the dialects named in `names` from the
+    /// compiled registry of `ctx`.
+    pub fn collect(ctx: &Context, names: &[String]) -> CorpusStats {
+        let dialects = irdl::introspect::report(ctx)
+            .into_iter()
+            .filter(|d| names.contains(&d.name))
+            .collect();
+        CorpusStats { dialects }
+    }
+
+    /// All operations of the corpus.
+    pub fn all_ops(&self) -> impl Iterator<Item = &OpReport> {
+        self.dialects.iter().flat_map(|d| d.ops.iter())
+    }
+
+    /// All type definitions of the corpus.
+    pub fn all_types(&self) -> impl Iterator<Item = &TypeAttrReport> {
+        self.dialects.iter().flat_map(|d| d.types.iter())
+    }
+
+    /// All attribute definitions of the corpus.
+    pub fn all_attrs(&self) -> impl Iterator<Item = &TypeAttrReport> {
+        self.dialects.iter().flat_map(|d| d.attrs.iter())
+    }
+
+    /// Total operation count.
+    pub fn num_ops(&self) -> usize {
+        self.all_ops().count()
+    }
+
+    /// Histogram of operand definitions per op: `[0, 1, 2, 3+]`.
+    pub fn operand_hist(ops: &[&OpReport]) -> [usize; 4] {
+        let mut hist = [0usize; 4];
+        for op in ops {
+            hist[(op.decl.operand_defs as usize).min(3)] += 1;
+        }
+        hist
+    }
+
+    /// Histogram of result definitions per op: `[0, 1, 2+]`.
+    pub fn result_hist(ops: &[&OpReport]) -> [usize; 3] {
+        let mut hist = [0usize; 3];
+        for op in ops {
+            hist[(op.decl.result_defs as usize).min(2)] += 1;
+        }
+        hist
+    }
+
+    /// Histogram of attribute definitions per op: `[0, 1, 2+]`.
+    pub fn attr_hist(ops: &[&OpReport]) -> [usize; 3] {
+        let mut hist = [0usize; 3];
+        for op in ops {
+            hist[(op.decl.attr_defs as usize).min(2)] += 1;
+        }
+        hist
+    }
+
+    /// Histogram of region definitions per op: `[0, 1, 2+]`.
+    pub fn region_hist(ops: &[&OpReport]) -> [usize; 3] {
+        let mut hist = [0usize; 3];
+        for op in ops {
+            hist[(op.decl.region_defs as usize).min(2)] += 1;
+        }
+        hist
+    }
+
+    /// Ops with at least one variadic operand / result: `(operands, results)`.
+    pub fn variadic_counts(ops: &[&OpReport]) -> (usize, usize) {
+        let operands = ops.iter().filter(|o| o.decl.variadic_operands > 0).count();
+        let results = ops.iter().filter(|o| o.decl.variadic_results > 0).count();
+        (operands, results)
+    }
+
+    /// Ops whose local constraints are all expressible in IRDL vs those
+    /// needing a native (IRDL-C++) constraint: `(pure, native)`.
+    pub fn local_constraint_counts(ops: &[&OpReport]) -> (usize, usize) {
+        let native =
+            ops.iter().filter(|o| !o.decl.native_local_constraints.is_empty()).count();
+        (ops.len() - native, native)
+    }
+
+    /// Ops with a native global verifier vs without: `(pure, native)`.
+    pub fn verifier_counts(ops: &[&OpReport]) -> (usize, usize) {
+        let native = ops.iter().filter(|o| o.decl.has_native_verifier).count();
+        (ops.len() - native, native)
+    }
+
+    /// Census of native local-constraint names across all ops.
+    pub fn native_constraint_census(&self) -> Vec<(String, usize)> {
+        let mut census: Vec<(String, usize)> = Vec::new();
+        for op in self.all_ops() {
+            for name in &op.decl.native_local_constraints {
+                match census.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, count)) => *count += 1,
+                    None => census.push((name.clone(), 1)),
+                }
+            }
+        }
+        census.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        census
+    }
+
+    /// Census of parameter kinds across type (or attribute) definitions:
+    /// `(kind label, count, is_native)`.
+    pub fn param_kind_census(defs: &[&TypeAttrReport]) -> Vec<(String, usize, bool)> {
+        let mut census: Vec<(String, usize, bool)> = Vec::new();
+        for def in defs {
+            for kind in &def.param_kinds {
+                let (label, native) = match kind {
+                    irdl_ir::ParamKind::Type => ("attr/type".to_string(), false),
+                    irdl_ir::ParamKind::Attr => ("attr/type".to_string(), false),
+                    irdl_ir::ParamKind::Integer => ("integer".to_string(), false),
+                    irdl_ir::ParamKind::Float => ("float".to_string(), false),
+                    irdl_ir::ParamKind::String => ("string".to_string(), false),
+                    irdl_ir::ParamKind::Enum => ("enum".to_string(), false),
+                    irdl_ir::ParamKind::Location => ("location".to_string(), false),
+                    irdl_ir::ParamKind::TypeId => ("type id".to_string(), false),
+                    irdl_ir::ParamKind::Array => ("array".to_string(), false),
+                    irdl_ir::ParamKind::Native(name) => (name.clone(), true),
+                };
+                match census.iter_mut().find(|(l, _, _)| *l == label) {
+                    Some((_, count, _)) => *count += 1,
+                    None => census.push((label, 1, native)),
+                }
+            }
+        }
+        census.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        census
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> (Context, Vec<String>) {
+        let mut ctx = Context::new();
+        let names = irdl_dialects::register_corpus(&mut ctx).unwrap();
+        (ctx, names)
+    }
+
+    #[test]
+    fn corpus_stats_cover_all_dialects() {
+        let (ctx, names) = corpus();
+        let stats = CorpusStats::collect(&ctx, &names);
+        assert_eq!(stats.dialects.len(), 28);
+        assert_eq!(stats.num_ops(), 942);
+        assert_eq!(stats.all_types().count(), 62);
+        assert_eq!(stats.all_attrs().count(), 30);
+    }
+
+    #[test]
+    fn overall_histograms_match_paper_text() {
+        let (ctx, names) = corpus();
+        let stats = CorpusStats::collect(&ctx, &names);
+        let ops: Vec<_> = stats.all_ops().collect();
+        let n = ops.len() as f64;
+        let hist = CorpusStats::operand_hist(&ops);
+        // Paper: 12% zero / 41% one / 32% two / 16% three+.
+        assert!((hist[0] as f64 / n * 100.0 - 12.0).abs() < 3.0, "{hist:?}");
+        assert!((hist[1] as f64 / n * 100.0 - 41.0).abs() < 3.0, "{hist:?}");
+        let results = CorpusStats::result_hist(&ops);
+        assert!((results[1] as f64 / n * 100.0 - 84.0).abs() < 4.0, "{results:?}");
+        let attrs = CorpusStats::attr_hist(&ops);
+        assert!((attrs[0] as f64 / n * 100.0 - 73.0).abs() < 3.0, "{attrs:?}");
+        let regions = CorpusStats::region_hist(&ops);
+        assert!((regions[0] as f64 / n * 100.0 - 96.0).abs() < 2.0, "{regions:?}");
+        let (_, native) = CorpusStats::verifier_counts(&ops);
+        assert!((native as f64 / n * 100.0 - 30.0).abs() < 3.0, "{native}");
+        let (pure, native_local) = CorpusStats::local_constraint_counts(&ops);
+        assert!((pure as f64 / n * 100.0 - 97.0).abs() < 2.0, "{native_local}");
+    }
+
+    #[test]
+    fn census_finds_three_categories() {
+        let (ctx, names) = corpus();
+        let stats = CorpusStats::collect(&ctx, &names);
+        let census = stats.native_constraint_census();
+        assert_eq!(census.len(), 3, "{census:?}");
+        assert_eq!(census[0].0, "integer_inequality");
+    }
+}

@@ -1,0 +1,143 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - constraint variables vs exact type constraints (the cost of the
+//!   binding environment),
+//! - `AnyOf` alternative ordering (the cost of backtracking),
+//! - custom declarative formats vs the generic print/parse path,
+//! - structural uniquing (interning hit path vs fresh construction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use irdl_bench::mul_chain_module;
+use irdl_ir::print::{op_to_string, op_to_string_generic};
+use irdl_ir::verify::verify_op;
+use irdl_ir::Context;
+
+/// cmath.mul spec'd with a constraint variable (the paper's Listing 3).
+const VAR_SPEC: &str = r#"
+Dialect cmath {
+  Type complex { Parameters (elementType: !AnyOf<!f32, !f64>) }
+  Operation mul {
+    ConstraintVar (!T: !complex<!AnyOf<!f32, !f64>>)
+    Operands (lhs: !T, rhs: !T)
+    Results (res: !T)
+  }
+}
+"#;
+
+/// The same op pinned to exact types: no variables, no equality checks.
+const EXACT_SPEC: &str = r#"
+Dialect cmath {
+  Type complex { Parameters (elementType: !AnyOf<!f32, !f64>) }
+  Operation mul {
+    Operands (lhs: !complex<!f32>, rhs: !complex<!f32>)
+    Results (res: !complex<!f32>)
+  }
+}
+"#;
+
+fn context_with(spec: &str) -> Context {
+    let mut ctx = Context::new();
+    irdl::register_dialects(&mut ctx, spec).expect("spec compiles");
+    ctx
+}
+
+fn bench_constraint_vars(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_constraint_vars");
+    let n = 1000;
+    let mut var_ctx = context_with(VAR_SPEC);
+    let var_module = mul_chain_module(&mut var_ctx, n);
+    group.bench_function("with_constraint_var", |b| {
+        b.iter(|| black_box(verify_op(&var_ctx, var_module).is_ok()))
+    });
+    let mut exact_ctx = context_with(EXACT_SPEC);
+    let exact_module = mul_chain_module(&mut exact_ctx, n);
+    group.bench_function("with_exact_types", |b| {
+        b.iter(|| black_box(verify_op(&exact_ctx, exact_module).is_ok()))
+    });
+    group.finish();
+}
+
+fn bench_anyof_ordering(c: &mut Criterion) {
+    // The operand type is f64: with `AnyOf<!f32, !f64>` the first
+    // alternative fails (one rollback); with `AnyOf<!f64, !f32>` the first
+    // alternative hits.
+    let miss_first = r#"
+Dialect t { Operation use_val { Operands (x: AnyOf<!f32, !f64>) } }
+"#;
+    let hit_first = r#"
+Dialect t { Operation use_val { Operands (x: AnyOf<!f64, !f32>) } }
+"#;
+    let mut group = c.benchmark_group("ablation_anyof_order");
+    for (label, spec) in [("miss_first", miss_first), ("hit_first", hit_first)] {
+        let mut ctx = context_with(spec);
+        let f64 = ctx.f64_type();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let src = ctx.op_name("test", "src");
+        let def = ctx.create_op(irdl_ir::OperationState::new(src).add_result_types([f64]));
+        ctx.append_op(block, def);
+        let v = def.result(&ctx, 0);
+        let use_name = ctx.op_name("t", "use_val");
+        for _ in 0..1000 {
+            let op = ctx.create_op(irdl_ir::OperationState::new(use_name).add_operands([v]));
+            ctx.append_op(block, op);
+        }
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(verify_op(&ctx, module).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_format_vs_generic(c: &mut Criterion) {
+    let mut ctx = irdl_bench::showcase_context();
+    let module = mul_chain_module(&mut ctx, 500);
+    let mut group = c.benchmark_group("ablation_print_path");
+    group.bench_function("custom_format", |b| {
+        b.iter(|| black_box(op_to_string(&ctx, module).len()))
+    });
+    group.bench_function("generic_form", |b| {
+        b.iter(|| black_box(op_to_string_generic(&ctx, module).len()))
+    });
+    group.finish();
+}
+
+fn bench_interning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_interning");
+    group.bench_function("intern_hit_path", |b| {
+        let mut ctx = Context::new();
+        // Prime the table.
+        for w in 1..=64 {
+            ctx.int_type(w);
+        }
+        b.iter(|| {
+            let mut acc = 0usize;
+            for w in 1..=64 {
+                acc += ctx.int_type(w).index();
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("intern_fresh_context", |b| {
+        b.iter(|| {
+            let mut ctx = Context::new();
+            let mut acc = 0usize;
+            for w in 1..=64 {
+                acc += ctx.int_type(w).index();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_constraint_vars,
+    bench_anyof_ordering,
+    bench_format_vs_generic,
+    bench_interning
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! One benchmark per paper table/figure: each target regenerates the
+//! corresponding artifact from the compiled corpus, so `cargo bench --bench
+//! figures` is the "reproduce the evaluation" harness. Timings measure the
+//! cost of the introspection/analysis pipeline itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use irdl_analysis::{figures, CorpusStats};
+use irdl_bench::corpus_context;
+
+fn bench_figures(c: &mut Criterion) {
+    let (ctx, names) = corpus_context();
+    let stats = CorpusStats::collect(&ctx, &names);
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(20);
+
+    group.bench_function("table1", |b| b.iter(|| black_box(figures::table1())));
+    group.bench_function("fig3_timeline", |b| b.iter(|| black_box(figures::fig3())));
+    group.bench_function("fig4_ops_per_dialect", |b| {
+        b.iter(|| black_box(figures::fig4(&stats)))
+    });
+    group.bench_function("fig5a_operands", |b| b.iter(|| black_box(figures::fig5a(&stats))));
+    group.bench_function("fig5b_variadic_operands", |b| {
+        b.iter(|| black_box(figures::fig5b(&stats)))
+    });
+    group.bench_function("fig6a_results", |b| b.iter(|| black_box(figures::fig6a(&stats))));
+    group.bench_function("fig6b_variadic_results", |b| {
+        b.iter(|| black_box(figures::fig6b(&stats)))
+    });
+    group.bench_function("fig7a_attributes", |b| b.iter(|| black_box(figures::fig7a(&stats))));
+    group.bench_function("fig7b_regions", |b| b.iter(|| black_box(figures::fig7b(&stats))));
+    group.bench_function("fig8_param_kinds", |b| b.iter(|| black_box(figures::fig8(&stats))));
+    group.bench_function("fig9_type_expressiveness", |b| {
+        b.iter(|| black_box(figures::fig9(&stats)))
+    });
+    group.bench_function("fig10_attr_expressiveness", |b| {
+        b.iter(|| black_box(figures::fig10(&stats)))
+    });
+    group.bench_function("fig11_op_constraints", |b| {
+        b.iter(|| black_box(figures::fig11(&stats)))
+    });
+    group.bench_function("fig12_native_census", |b| {
+        b.iter(|| black_box(figures::fig12(&stats)))
+    });
+    group.finish();
+
+    // The pipeline feeding every figure: compiling the 28-dialect corpus
+    // (942 ops) from IRDL text into a live registry, then collecting stats.
+    let mut group = c.benchmark_group("corpus");
+    group.sample_size(10);
+    group.bench_function("compile_28_dialects", |b| {
+        b.iter(|| {
+            let (ctx, names) = corpus_context();
+            black_box((ctx.num_types(), names.len()))
+        })
+    });
+    group.bench_function("collect_stats", |b| {
+        b.iter(|| black_box(CorpusStats::collect(&ctx, &names).num_ops()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! Performance benches on the core pipeline: IRDL parsing and compilation,
+//! verifier throughput (IRDL-synthesized vs hand-written native baseline —
+//! the C++-verifier world the paper's flow replaces), textual round-trips,
+//! and the greedy rewrite driver.
+
+use std::rc::Rc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use irdl_bench::{mul_chain_module, mul_chain_source, showcase_context};
+use irdl_dialects::showcase::{build_conorm_workload, CONORM_PATTERN, SHOWCASE_SPEC};
+use irdl_ir::print::op_to_string;
+use irdl_ir::verify::verify_op;
+use irdl_ir::{Context, OpRef};
+
+fn bench_frontend(c: &mut Criterion) {
+    let mut group = c.benchmark_group("irdl_frontend");
+    let spv = irdl_dialects::corpus_sources()
+        .into_iter()
+        .find(|(name, _)| name == "spv")
+        .expect("spv in corpus")
+        .1;
+
+    group.bench_function("parse_cmath_spec", |b| {
+        b.iter(|| black_box(irdl::parse_irdl(SHOWCASE_SPEC).unwrap()))
+    });
+    group.bench_function("parse_spv_spec_227_ops", |b| {
+        b.iter(|| black_box(irdl::parse_irdl(&spv).unwrap()))
+    });
+    group.bench_function("compile_cmath_spec", |b| {
+        b.iter(|| {
+            let mut ctx = Context::new();
+            irdl::register_dialects(&mut ctx, SHOWCASE_SPEC).unwrap();
+            black_box(ctx.num_types())
+        })
+    });
+    group.bench_function("compile_spv_spec_227_ops", |b| {
+        let natives = irdl_dialects::corpus_natives();
+        b.iter(|| {
+            let mut ctx = Context::new();
+            irdl::register_dialects_with(&mut ctx, &spv, &natives).unwrap();
+            black_box(ctx.num_types())
+        })
+    });
+    group.finish();
+}
+
+/// Registers a `cmath`-shaped dialect whose verifier is a hand-written
+/// native closure (the Listing 2 baseline) instead of IRDL constraints.
+fn native_baseline_context() -> Context {
+    let mut ctx = Context::new();
+    irdl_dialects::showcase::register_showcase(&mut ctx).expect("showcase");
+    // Replace the IRDL-synthesized verifier of cmath.mul with a native one
+    // equivalent to Listing 2's MulOp::verify().
+    let cmath = ctx.symbol("cmath");
+    let mul = ctx.symbol("mul");
+    let complex = ctx.symbol("complex");
+    let dialect = ctx.registry_mut().dialect_mut(cmath).expect("cmath registered");
+    let mut info = dialect.op(mul).expect("mul registered").clone();
+    info.verifier = Some(Rc::new(move |ctx: &Context, op: OpRef| {
+        if op.num_operands(ctx) != 2 || op.num_results(ctx) != 1 || op.num_regions(ctx) != 0 {
+            return Err(irdl_ir::Diagnostic::new("mul expects 2 operands, 1 result"));
+        }
+        let lhs = op.operand(ctx, 0).ty(ctx);
+        let rhs = op.operand(ctx, 1).ty(ctx);
+        let res = op.result_types(ctx)[0];
+        if lhs.parametric_name(ctx).map(|(_, n)| n) != Some(complex) {
+            return Err(irdl_ir::Diagnostic::new("operand is not a complex type"));
+        }
+        if lhs != rhs || rhs != res {
+            return Err(irdl_ir::Diagnostic::new("mismatched types"));
+        }
+        Ok(())
+    }));
+    dialect.add_op(info);
+    ctx
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    for n in [100usize, 1000] {
+        // IRDL-synthesized verifier.
+        let mut ctx = showcase_context();
+        let module = mul_chain_module(&mut ctx, n);
+        group.bench_with_input(BenchmarkId::new("irdl_synthesized", n), &n, |b, _| {
+            b.iter(|| black_box(verify_op(&ctx, module).is_ok()))
+        });
+        // Hand-written native verifier (the C++-style baseline).
+        let mut native_ctx = native_baseline_context();
+        let native_module = mul_chain_module(&mut native_ctx, n);
+        group.bench_with_input(BenchmarkId::new("native_baseline", n), &n, |b, _| {
+            b.iter(|| black_box(verify_op(&native_ctx, native_module).is_ok()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("text");
+    for n in [100usize, 1000] {
+        let source = mul_chain_source(n);
+        group.bench_with_input(BenchmarkId::new("parse_custom_syntax", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = showcase_context();
+                black_box(irdl_ir::parse::parse_module(&mut ctx, &source).unwrap())
+            })
+        });
+        let mut ctx = showcase_context();
+        let module = mul_chain_module(&mut ctx, n);
+        group.bench_with_input(BenchmarkId::new("print_custom_syntax", n), &n, |b, _| {
+            b.iter(|| black_box(op_to_string(&ctx, module).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rewriting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewrite");
+    group.sample_size(20);
+    for n in [10usize, 100] {
+        group.bench_with_input(BenchmarkId::new("conorm_greedy", n), &n, |b, _| {
+            b.iter(|| {
+                let mut ctx = showcase_context();
+                let module = build_conorm_workload(&mut ctx, n).unwrap();
+                let patterns = irdl_rewrite::parse_patterns(&mut ctx, CONORM_PATTERN).unwrap();
+                let stats = irdl_rewrite::rewrite_greedily(&mut ctx, module, &patterns);
+                assert_eq!(stats.rewrites, n);
+                black_box(stats.rewrites)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frontend, bench_verification, bench_roundtrip, bench_rewriting);
+criterion_main!(benches);

@@ -1,0 +1,341 @@
+//! The abstract syntax tree of the IRDL language.
+//!
+//! An IRDL source file contains one or more [`DialectDef`]s; each dialect
+//! groups type, attribute, alias, enum, constraint, native-parameter, and
+//! operation definitions (paper §4.1). The AST is deliberately close to the
+//! concrete syntax: resolution and constraint compilation happen in
+//! [`crate::resolve`] and [`crate::compile`].
+
+/// Byte offset into the source, attached to definitions for diagnostics.
+pub type Span = usize;
+
+/// A parsed IRDL source file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceFile {
+    /// The dialects defined in the file, in order.
+    pub dialects: Vec<DialectDef>,
+}
+
+/// A `Dialect name { ... }` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DialectDef {
+    /// Dialect namespace (e.g. `cmath`).
+    pub name: String,
+    /// Optional `Summary` documentation string.
+    pub summary: Option<String>,
+    /// Body items in declaration order.
+    pub items: Vec<Item>,
+    /// Source offset of the definition.
+    pub span: Span,
+}
+
+/// One item in a dialect body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `Type name { Parameters (...) ... }`
+    Type(TypeAttrDef),
+    /// `Attribute name { Parameters (...) ... }`
+    Attribute(TypeAttrDef),
+    /// `Alias !Name = <constraint>` or `Alias !Name<T> = ...`
+    Alias(AliasDef),
+    /// `Enum name { A, B, C }`
+    Enum(EnumDef),
+    /// `Constraint name : <base> { ... }` (IRDL-Rust escape hatch)
+    Constraint(ConstraintDef),
+    /// `TypeOrAttrParam name { NativeType "kind" ... }` (IRDL-Rust)
+    TypeOrAttrParam(ParamDef),
+    /// `Operation name { ... }`
+    Operation(OpDef),
+}
+
+impl Item {
+    /// The declared name of the item.
+    pub fn name(&self) -> &str {
+        match self {
+            Item::Type(d) | Item::Attribute(d) => &d.name,
+            Item::Alias(d) => &d.name,
+            Item::Enum(d) => &d.name,
+            Item::Constraint(d) => &d.name,
+            Item::TypeOrAttrParam(d) => &d.name,
+            Item::Operation(d) => &d.name,
+        }
+    }
+}
+
+/// A type or attribute definition ("Besides the keyword, type and attribute
+/// definitions are identical in IRDL", paper §4.4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeAttrDef {
+    /// Definition name within the dialect.
+    pub name: String,
+    /// Named, constrained parameters.
+    pub parameters: Vec<NamedConstraint>,
+    /// Optional documentation summary.
+    pub summary: Option<String>,
+    /// Optional named native verifier (IRDL-C++ `CppConstraint` analog).
+    pub native_verifier: Option<String>,
+    /// Optional declarative parameter format (paper §4.7 allows custom
+    /// formats on types as well as operations).
+    pub format: Option<String>,
+    /// Source offset.
+    pub span: Span,
+}
+
+/// A `name: constraint` pair (parameters, operands, results, attributes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedConstraint {
+    /// The declared name.
+    pub name: String,
+    /// The constraint expression.
+    pub constraint: ConstraintExpr,
+    /// Source offset.
+    pub span: Span,
+}
+
+/// An `Alias` definition, possibly parametric (paper §4.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasDef {
+    /// Alias name (without sigil).
+    pub name: String,
+    /// Formal parameters for parametric aliases (`Alias !ComplexOr<T> = ...`).
+    pub params: Vec<String>,
+    /// The aliased constraint expression.
+    pub body: ConstraintExpr,
+    /// Source offset.
+    pub span: Span,
+}
+
+/// An `Enum` definition (paper §4.8).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnumDef {
+    /// Enum name.
+    pub name: String,
+    /// Constructor names in declaration order.
+    pub variants: Vec<String>,
+    /// Source offset.
+    pub span: Span,
+}
+
+/// A named constraint with a native escape hatch (paper §5.1).
+///
+/// The paper writes inline C++ (`CppConstraint "$_self <= 32"`); the Rust
+/// reproduction references a *named* native predicate registered in a
+/// [`crate::native::NativeRegistry`] (`NativeConstraint "bounded_u32"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintDef {
+    /// Constraint name.
+    pub name: String,
+    /// The declarative base constraint that must also hold.
+    pub base: ConstraintExpr,
+    /// Optional documentation summary.
+    pub summary: Option<String>,
+    /// Name of the native predicate (absent = purely declarative alias).
+    pub native: Option<String>,
+    /// Source offset.
+    pub span: Span,
+}
+
+/// A native parameter kind (paper §5.2, `TypeOrAttrParam`).
+///
+/// `CppClassName`/`CppParser`/`CppPrinter` become a single `NativeType`
+/// name, resolved to Rust validation/printing hooks at compile time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDef {
+    /// Parameter-kind name.
+    pub name: String,
+    /// Optional documentation summary.
+    pub summary: Option<String>,
+    /// Registered native kind implementing parse/print/validate.
+    pub native_kind: String,
+    /// Source offset.
+    pub span: Span,
+}
+
+/// Variadicity of an operand, result, or region-argument definition
+/// (paper §4.6: `Variadic` / `Optional` top-level constraints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variadicity {
+    /// Exactly one.
+    Single,
+    /// Zero or more.
+    Variadic,
+    /// Zero or one.
+    Optional,
+}
+
+/// An operand/result/region-argument definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArgDef {
+    /// Declared name.
+    pub name: String,
+    /// The element constraint (inside any `Variadic`/`Optional` wrapper).
+    pub constraint: ConstraintExpr,
+    /// Single, variadic, or optional.
+    pub variadicity: Variadicity,
+    /// Source offset.
+    pub span: Span,
+}
+
+/// A `Region` definition attached to an operation (paper §4.6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegionDef {
+    /// Region name.
+    pub name: String,
+    /// Entry-block argument constraints; `None` leaves the arguments
+    /// unconstrained, `Some(vec![])` requires exactly zero arguments.
+    pub arguments: Option<Vec<ArgDef>>,
+    /// Terminator operation name; presence also requires a single block.
+    pub terminator: Option<String>,
+    /// Source offset.
+    pub span: Span,
+}
+
+/// An `Operation` definition (paper §4.6).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OpDef {
+    /// Operation name within the dialect.
+    pub name: String,
+    /// Optional documentation summary.
+    pub summary: Option<String>,
+    /// Constraint variables shared across operand/result/attribute
+    /// constraints (paper: `ConstraintVars`).
+    pub constraint_vars: Vec<NamedConstraint>,
+    /// Operand definitions.
+    pub operands: Vec<ArgDef>,
+    /// Result definitions.
+    pub results: Vec<ArgDef>,
+    /// Attribute definitions.
+    pub attributes: Vec<NamedConstraint>,
+    /// Region definitions.
+    pub regions: Vec<RegionDef>,
+    /// Successor names; `Some(vec![])` still marks the op a terminator.
+    pub successors: Option<Vec<String>>,
+    /// Declarative assembly format (paper §4.7).
+    pub format: Option<String>,
+    /// Named native (global) verifier — the op-level `CppConstraint`.
+    pub native_verifier: Option<String>,
+    /// Source offset.
+    pub span: Span,
+}
+
+/// The sigil a reference was written with, used during resolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sigil {
+    /// `!name` — type namespace.
+    Type,
+    /// `#name` — attribute namespace.
+    Attr,
+    /// Bare `name` — parameter/enum/alias namespace.
+    None,
+}
+
+/// A constraint expression, mirroring Figure 2 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConstraintExpr {
+    /// `!AnyType`.
+    AnyType,
+    /// `#AnyAttr`.
+    AnyAttr,
+    /// `AnyParam`.
+    AnyParam,
+    /// A (possibly dialect-qualified, possibly parameterized) reference:
+    /// `!f32`, `!complex<!T>`, `signedness.Signed`, `ComplexOr<!f32>`, ...
+    Ref {
+        /// The sigil it was written with.
+        sigil: Sigil,
+        /// Dot-separated path (1 or 2 segments).
+        path: Vec<String>,
+        /// Angle-bracket arguments, if any.
+        args: Vec<ConstraintExpr>,
+        /// Source offset.
+        span: Span,
+    },
+    /// `int8_t`, `uint32_t`, ... — any integer of that width/signedness.
+    IntKind(IntKind),
+    /// `3 : int32_t` — exactly this integer value.
+    IntLiteral {
+        /// The literal value.
+        value: i128,
+        /// The required encoding.
+        kind: IntKind,
+    },
+    /// `string` — any string parameter.
+    StringAny,
+    /// `"foo"` — exactly this string.
+    StringLiteral(String),
+    /// `array` — any array parameter.
+    ArrayAny,
+    /// `array<pc>` — an array whose elements all satisfy `pc`.
+    ArrayOf(Box<ConstraintExpr>),
+    /// `[pc1, ..., pcN]` — an array of exactly N constrained elements.
+    ArrayExact(Vec<ConstraintExpr>),
+    /// `AnyOf<c1, ..., cN>`.
+    AnyOf(Vec<ConstraintExpr>),
+    /// `And<c1, ..., cN>`.
+    And(Vec<ConstraintExpr>),
+    /// `Not<c>`.
+    Not(Box<ConstraintExpr>),
+}
+
+/// Builtin integer parameter kinds (paper Figure 2b).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IntKind {
+    /// Bit width: 8, 16, 32, or 64.
+    pub width: u32,
+    /// Whether the `u`-prefixed keyword was used.
+    pub unsigned: bool,
+}
+
+impl IntKind {
+    /// Parses `int8_t`/`uint64_t`-style keywords.
+    pub fn from_keyword(kw: &str) -> Option<IntKind> {
+        let (unsigned, rest) = match kw.strip_prefix("uint") {
+            Some(rest) => (true, rest),
+            None => (false, kw.strip_prefix("int")?),
+        };
+        let width: u32 = rest.strip_suffix("_t")?.parse().ok()?;
+        matches!(width, 8 | 16 | 32 | 64).then_some(IntKind { width, unsigned })
+    }
+
+    /// The `int32_t`-style keyword for this kind.
+    pub fn keyword(self) -> String {
+        format!("{}int{}_t", if self.unsigned { "u" } else { "" }, self.width)
+    }
+
+    /// Returns `true` when `value` fits the kind's range.
+    pub fn fits(self, value: i128) -> bool {
+        if self.unsigned {
+            value >= 0 && value < (1i128 << self.width)
+        } else {
+            let bound = 1i128 << (self.width - 1);
+            value >= -bound && value < bound
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_kind_keywords() {
+        assert_eq!(IntKind::from_keyword("int32_t"), Some(IntKind { width: 32, unsigned: false }));
+        assert_eq!(IntKind::from_keyword("uint8_t"), Some(IntKind { width: 8, unsigned: true }));
+        assert_eq!(IntKind::from_keyword("int7_t"), None);
+        assert_eq!(IntKind::from_keyword("int32"), None);
+        assert_eq!(IntKind::from_keyword("float"), None);
+        assert_eq!(IntKind { width: 16, unsigned: true }.keyword(), "uint16_t");
+    }
+
+    #[test]
+    fn int_kind_ranges() {
+        let i8 = IntKind { width: 8, unsigned: false };
+        assert!(i8.fits(127));
+        assert!(i8.fits(-128));
+        assert!(!i8.fits(128));
+        let u8 = IntKind { width: 8, unsigned: true };
+        assert!(u8.fits(255));
+        assert!(!u8.fits(-1));
+        assert!(!u8.fits(256));
+    }
+}

@@ -1,0 +1,493 @@
+//! A programmatic builder for IRDL dialects.
+//!
+//! Most users write IRDL text, but tooling that *generates* dialects (like
+//! the corpus generator, or a frontend emitting domain-specific IRs on the
+//! fly — the paper's "clang could generate IRs on the fly" scenario, §3)
+//! benefits from building the AST directly. The builder produces the same
+//! [`DialectDef`] the parser produces, so everything downstream —
+//! resolution, verifier synthesis, formats — is shared.
+//!
+//! ```
+//! use irdl::builder::{expr, DialectBuilder};
+//! use irdl_ir::Context;
+//!
+//! let dialect = DialectBuilder::new("cmath")
+//!     .summary("Complex arithmetic")
+//!     .type_def("complex", |t| {
+//!         t.param("elementType", expr::any_of([expr::ty("f32"), expr::ty("f64")]))
+//!             .summary("A complex number")
+//!     })
+//!     .operation("norm", |op| {
+//!         op.constraint_var("T", expr::any_of([expr::ty("f32"), expr::ty("f64")]))
+//!             .operand("c", expr::ty_args("complex", [expr::ty("T")]))
+//!             .result("res", expr::ty("T"))
+//!     })
+//!     .build();
+//!
+//! let mut ctx = Context::new();
+//! irdl::compile::compile_dialect(&mut ctx, &dialect, &irdl::NativeRegistry::new())?;
+//! # Ok::<(), irdl_ir::Diagnostic>(())
+//! ```
+
+use crate::ast::*;
+
+/// Builds a [`DialectDef`] programmatically.
+#[derive(Debug, Clone)]
+pub struct DialectBuilder {
+    def: DialectDef,
+}
+
+impl DialectBuilder {
+    /// Starts a dialect named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        DialectBuilder {
+            def: DialectDef { name: name.into(), summary: None, items: Vec::new(), span: 0 },
+        }
+    }
+
+    /// Sets the documentation summary.
+    pub fn summary(mut self, summary: impl Into<String>) -> Self {
+        self.def.summary = Some(summary.into());
+        self
+    }
+
+    /// Adds a type definition.
+    pub fn type_def(
+        mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(TypeAttrBuilder) -> TypeAttrBuilder,
+    ) -> Self {
+        let builder = f(TypeAttrBuilder::new(name));
+        self.def.items.push(Item::Type(builder.def));
+        self
+    }
+
+    /// Adds an attribute definition.
+    pub fn attr_def(
+        mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(TypeAttrBuilder) -> TypeAttrBuilder,
+    ) -> Self {
+        let builder = f(TypeAttrBuilder::new(name));
+        self.def.items.push(Item::Attribute(builder.def));
+        self
+    }
+
+    /// Adds an alias.
+    pub fn alias(mut self, name: impl Into<String>, body: ConstraintExpr) -> Self {
+        self.def.items.push(Item::Alias(AliasDef {
+            name: name.into(),
+            params: Vec::new(),
+            body,
+            span: 0,
+        }));
+        self
+    }
+
+    /// Adds a parametric alias.
+    pub fn parametric_alias(
+        mut self,
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = String>,
+        body: ConstraintExpr,
+    ) -> Self {
+        self.def.items.push(Item::Alias(AliasDef {
+            name: name.into(),
+            params: params.into_iter().collect(),
+            body,
+            span: 0,
+        }));
+        self
+    }
+
+    /// Adds an enum definition.
+    pub fn enum_def<S: Into<String>>(
+        mut self,
+        name: impl Into<String>,
+        variants: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.def.items.push(Item::Enum(EnumDef {
+            name: name.into(),
+            variants: variants.into_iter().map(Into::into).collect(),
+            span: 0,
+        }));
+        self
+    }
+
+    /// Adds a named (optionally native) constraint definition.
+    pub fn constraint_def(
+        mut self,
+        name: impl Into<String>,
+        base: ConstraintExpr,
+        native: Option<&str>,
+    ) -> Self {
+        self.def.items.push(Item::Constraint(ConstraintDef {
+            name: name.into(),
+            base,
+            summary: None,
+            native: native.map(str::to_string),
+            span: 0,
+        }));
+        self
+    }
+
+    /// Adds a native parameter kind (paper §5.2).
+    pub fn native_param(
+        mut self,
+        name: impl Into<String>,
+        native_kind: impl Into<String>,
+    ) -> Self {
+        self.def.items.push(Item::TypeOrAttrParam(ParamDef {
+            name: name.into(),
+            summary: None,
+            native_kind: native_kind.into(),
+            span: 0,
+        }));
+        self
+    }
+
+    /// Adds an operation definition.
+    pub fn operation(
+        mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(OpBuilder) -> OpBuilder,
+    ) -> Self {
+        let builder = f(OpBuilder::new(name));
+        self.def.items.push(Item::Operation(builder.def));
+        self
+    }
+
+    /// Finishes the dialect.
+    pub fn build(self) -> DialectDef {
+        self.def
+    }
+}
+
+/// Builds a type or attribute definition.
+#[derive(Debug, Clone)]
+pub struct TypeAttrBuilder {
+    def: TypeAttrDef,
+}
+
+impl TypeAttrBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        TypeAttrBuilder {
+            def: TypeAttrDef {
+                name: name.into(),
+                parameters: Vec::new(),
+                summary: None,
+                native_verifier: None,
+                format: None,
+                span: 0,
+            },
+        }
+    }
+
+    /// Adds a constrained parameter.
+    pub fn param(mut self, name: impl Into<String>, constraint: ConstraintExpr) -> Self {
+        self.def.parameters.push(NamedConstraint {
+            name: name.into(),
+            constraint,
+            span: 0,
+        });
+        self
+    }
+
+    /// Sets the documentation summary.
+    pub fn summary(mut self, summary: impl Into<String>) -> Self {
+        self.def.summary = Some(summary.into());
+        self
+    }
+
+    /// References a named native parameter-list verifier.
+    pub fn native_verifier(mut self, name: impl Into<String>) -> Self {
+        self.def.native_verifier = Some(name.into());
+        self
+    }
+
+    /// Sets the declarative parameter format (paper §4.7).
+    pub fn format(mut self, format: impl Into<String>) -> Self {
+        self.def.format = Some(format.into());
+        self
+    }
+}
+
+/// Builds an operation definition.
+#[derive(Debug, Clone)]
+pub struct OpBuilder {
+    def: OpDef,
+}
+
+impl OpBuilder {
+    fn new(name: impl Into<String>) -> Self {
+        OpBuilder { def: OpDef { name: name.into(), ..Default::default() } }
+    }
+
+    /// Declares a constraint variable (paper §4.6).
+    pub fn constraint_var(mut self, name: impl Into<String>, constraint: ConstraintExpr) -> Self {
+        self.def.constraint_vars.push(NamedConstraint {
+            name: name.into(),
+            constraint,
+            span: 0,
+        });
+        self
+    }
+
+    /// Adds a single operand.
+    pub fn operand(self, name: impl Into<String>, constraint: ConstraintExpr) -> Self {
+        self.operand_with(name, constraint, Variadicity::Single)
+    }
+
+    /// Adds an operand with explicit variadicity.
+    pub fn operand_with(
+        mut self,
+        name: impl Into<String>,
+        constraint: ConstraintExpr,
+        variadicity: Variadicity,
+    ) -> Self {
+        self.def.operands.push(ArgDef { name: name.into(), constraint, variadicity, span: 0 });
+        self
+    }
+
+    /// Adds a single result.
+    pub fn result(self, name: impl Into<String>, constraint: ConstraintExpr) -> Self {
+        self.result_with(name, constraint, Variadicity::Single)
+    }
+
+    /// Adds a result with explicit variadicity.
+    pub fn result_with(
+        mut self,
+        name: impl Into<String>,
+        constraint: ConstraintExpr,
+        variadicity: Variadicity,
+    ) -> Self {
+        self.def.results.push(ArgDef { name: name.into(), constraint, variadicity, span: 0 });
+        self
+    }
+
+    /// Adds a required attribute.
+    pub fn attribute(mut self, name: impl Into<String>, constraint: ConstraintExpr) -> Self {
+        self.def.attributes.push(NamedConstraint { name: name.into(), constraint, span: 0 });
+        self
+    }
+
+    /// Adds a region with optional argument constraints and terminator.
+    pub fn region(
+        mut self,
+        name: impl Into<String>,
+        arguments: Option<Vec<ArgDef>>,
+        terminator: Option<&str>,
+    ) -> Self {
+        self.def.regions.push(RegionDef {
+            name: name.into(),
+            arguments,
+            terminator: terminator.map(str::to_string),
+            span: 0,
+        });
+        self
+    }
+
+    /// Declares successors, marking the operation a terminator.
+    pub fn successors<S: Into<String>>(
+        mut self,
+        names: impl IntoIterator<Item = S>,
+    ) -> Self {
+        self.def.successors = Some(names.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Sets the declarative assembly format (paper §4.7).
+    pub fn format(mut self, format: impl Into<String>) -> Self {
+        self.def.format = Some(format.into());
+        self
+    }
+
+    /// Sets the documentation summary.
+    pub fn summary(mut self, summary: impl Into<String>) -> Self {
+        self.def.summary = Some(summary.into());
+        self
+    }
+
+    /// References a named native (global) verifier.
+    pub fn native_verifier(mut self, name: impl Into<String>) -> Self {
+        self.def.native_verifier = Some(name.into());
+        self
+    }
+}
+
+/// Shorthand constructors for constraint expressions.
+pub mod expr {
+    use crate::ast::{ConstraintExpr, IntKind, Sigil};
+
+    /// `!AnyType`.
+    pub fn any_type() -> ConstraintExpr {
+        ConstraintExpr::AnyType
+    }
+
+    /// `#AnyAttr`.
+    pub fn any_attr() -> ConstraintExpr {
+        ConstraintExpr::AnyAttr
+    }
+
+    /// `AnyParam`.
+    pub fn any_param() -> ConstraintExpr {
+        ConstraintExpr::AnyParam
+    }
+
+    /// A type-namespace reference (`!name`).
+    pub fn ty(name: &str) -> ConstraintExpr {
+        ConstraintExpr::Ref {
+            sigil: Sigil::Type,
+            path: name.split('.').map(str::to_string).collect(),
+            args: Vec::new(),
+            span: 0,
+        }
+    }
+
+    /// A parameterized type reference (`!name<args>`).
+    pub fn ty_args(
+        name: &str,
+        args: impl IntoIterator<Item = ConstraintExpr>,
+    ) -> ConstraintExpr {
+        ConstraintExpr::Ref {
+            sigil: Sigil::Type,
+            path: name.split('.').map(str::to_string).collect(),
+            args: args.into_iter().collect(),
+            span: 0,
+        }
+    }
+
+    /// An attribute-namespace reference (`#name`).
+    pub fn attr(name: &str) -> ConstraintExpr {
+        ConstraintExpr::Ref {
+            sigil: Sigil::Attr,
+            path: name.split('.').map(str::to_string).collect(),
+            args: Vec::new(),
+            span: 0,
+        }
+    }
+
+    /// A bare reference (enums, aliases, parameter kinds).
+    pub fn bare(name: &str) -> ConstraintExpr {
+        ConstraintExpr::Ref {
+            sigil: Sigil::None,
+            path: name.split('.').map(str::to_string).collect(),
+            args: Vec::new(),
+            span: 0,
+        }
+    }
+
+    /// `intN_t` / `uintN_t`.
+    pub fn int_kind(width: u32, unsigned: bool) -> ConstraintExpr {
+        ConstraintExpr::IntKind(IntKind { width, unsigned })
+    }
+
+    /// An exact integer literal constraint.
+    pub fn int_literal(value: i128, width: u32, unsigned: bool) -> ConstraintExpr {
+        ConstraintExpr::IntLiteral { value, kind: IntKind { width, unsigned } }
+    }
+
+    /// `string`.
+    pub fn string() -> ConstraintExpr {
+        ConstraintExpr::StringAny
+    }
+
+    /// An exact string literal.
+    pub fn string_literal(value: &str) -> ConstraintExpr {
+        ConstraintExpr::StringLiteral(value.to_string())
+    }
+
+    /// `array<inner>`.
+    pub fn array_of(inner: ConstraintExpr) -> ConstraintExpr {
+        ConstraintExpr::ArrayOf(Box::new(inner))
+    }
+
+    /// `AnyOf<...>`.
+    pub fn any_of(items: impl IntoIterator<Item = ConstraintExpr>) -> ConstraintExpr {
+        ConstraintExpr::AnyOf(items.into_iter().collect())
+    }
+
+    /// `And<...>`.
+    pub fn all_of(items: impl IntoIterator<Item = ConstraintExpr>) -> ConstraintExpr {
+        ConstraintExpr::And(items.into_iter().collect())
+    }
+
+    /// `Not<inner>`.
+    pub fn not(inner: ConstraintExpr) -> ConstraintExpr {
+        ConstraintExpr::Not(Box::new(inner))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irdl_ir::Context;
+
+    #[test]
+    fn builder_matches_parsed_equivalent() {
+        let built = DialectBuilder::new("cmath")
+            .summary("Complex arithmetic")
+            .type_def("complex", |t| {
+                t.param("elementType", expr::any_of([expr::ty("f32"), expr::ty("f64")]))
+                    .summary("A complex number")
+            })
+            .operation("mul", |op| {
+                op.constraint_var(
+                    "T",
+                    expr::ty_args(
+                        "complex",
+                        [expr::any_of([expr::ty("f32"), expr::ty("f64")])],
+                    ),
+                )
+                .operand("lhs", expr::bare("T"))
+                .operand("rhs", expr::bare("T"))
+                .result("res", expr::bare("T"))
+                .format("$lhs, $rhs : $T.elementType")
+                .summary("Multiply two complex numbers")
+            })
+            .build();
+
+        // The built dialect compiles and behaves like the parsed one.
+        let mut ctx = Context::new();
+        crate::compile::compile_dialect(&mut ctx, &built, &crate::NativeRegistry::new())
+            .unwrap();
+        let f32 = ctx.f32_type();
+        let good = ctx.type_attr(f32);
+        assert!(ctx.parametric_type("cmath", "complex", [good]).is_ok());
+        let i32 = ctx.i32_type();
+        let bad = ctx.type_attr(i32);
+        assert!(ctx.parametric_type("cmath", "complex", [bad]).is_err());
+    }
+
+    #[test]
+    fn builder_output_pretty_prints_and_reparses() {
+        let built = DialectBuilder::new("toy")
+            .enum_def("mode", ["A", "B"])
+            .constraint_def(
+                "Nonzero",
+                expr::all_of([
+                    expr::int_kind(32, false),
+                    expr::not(expr::int_literal(0, 32, false)),
+                ]),
+                None,
+            )
+            .operation("terminate", |op| op.successors(["next"]))
+            .operation("pick", |op| {
+                op.operand_with("items", expr::any_type(), Variadicity::Variadic)
+                    .result("out", expr::any_type())
+                    .attribute("which", expr::bare("Nonzero"))
+            })
+            .build();
+        let printed = crate::printer::print_dialect(&built);
+        let reparsed = crate::parser::parse_irdl(&printed).unwrap();
+        assert_eq!(reparsed.dialects[0].name, "toy");
+        assert_eq!(reparsed.dialects[0].items.len(), 4);
+        let mut ctx = Context::new();
+        crate::compile::compile_dialect(
+            &mut ctx,
+            &reparsed.dialects[0],
+            &crate::NativeRegistry::new(),
+        )
+        .unwrap();
+    }
+}

@@ -1,0 +1,453 @@
+//! Compiling IRDL definitions into registered dialects.
+//!
+//! [`register_dialects`] is the main entry point: parse → collect scope →
+//! register enums and native parameter kinds → register type/attribute
+//! definitions (with synthesized parameter verifiers) → register operations
+//! (with synthesized operation verifiers and declarative formats). After it
+//! returns, the dialect is live on the [`Context`]: IR using it parses,
+//! prints, and verifies with no host-language code generation — the paper's
+//! "register a new dialect by providing an IRDL specification file instead
+//! of writing, compiling, and linking several complex C++ files" (§3).
+
+use std::rc::Rc;
+
+use irdl_ir::diag::{Diagnostic, Result};
+use irdl_ir::dialect::{DialectInfo, EnumInfo, OpDeclStats, OpInfo, ParamKind, TypeDefInfo};
+use irdl_ir::{Context, OpName, Symbol};
+
+use crate::ast::*;
+use crate::constraint::Constraint;
+use crate::format::FormatSpec;
+use crate::native::NativeRegistry;
+use crate::parser::parse_irdl;
+use crate::resolve::{DialectScope, Resolver};
+use crate::verifier::{
+    CompiledArg, CompiledOp, CompiledOpVerifier, CompiledParams, CompiledParamsVerifier,
+    CompiledRegion,
+};
+
+/// Parses `source` and registers every dialect it defines, using the stock
+/// native registry ([`NativeRegistry::with_std`]).
+///
+/// Returns the names of the registered dialects.
+///
+/// # Errors
+///
+/// Returns the first parse or compile diagnostic.
+pub fn register_dialects(ctx: &mut Context, source: &str) -> Result<Vec<String>> {
+    let natives = NativeRegistry::with_std();
+    register_dialects_with(ctx, source, &natives)
+}
+
+/// Like [`register_dialects`], with caller-provided native hooks.
+///
+/// # Errors
+///
+/// Returns the first parse or compile diagnostic.
+pub fn register_dialects_with(
+    ctx: &mut Context,
+    source: &str,
+    natives: &NativeRegistry,
+) -> Result<Vec<String>> {
+    let file = parse_irdl(source)?;
+    let mut names = Vec::with_capacity(file.dialects.len());
+    for dialect in &file.dialects {
+        compile_dialect(ctx, dialect, natives)?;
+        names.push(dialect.name.clone());
+    }
+    Ok(names)
+}
+
+/// Compiles one dialect definition into the context registry.
+///
+/// If a dialect with the same name already exists (e.g. `builtin`), the new
+/// definitions are merged into it.
+///
+/// # Errors
+///
+/// Returns the first resolution or compilation diagnostic.
+pub fn compile_dialect(
+    ctx: &mut Context,
+    dialect: &DialectDef,
+    natives: &NativeRegistry,
+) -> Result<()> {
+    compile_dialect_collecting(ctx, dialect, natives).map(|_| ())
+}
+
+/// Like [`compile_dialect`], additionally returning the compiled form of
+/// every operation — the structured artifact consumed by IR generation
+/// ([`crate::genir`]) and other tooling.
+///
+/// # Errors
+///
+/// Returns the first resolution or compilation diagnostic.
+pub fn compile_dialect_collecting(
+    ctx: &mut Context,
+    dialect: &DialectDef,
+    natives: &NativeRegistry,
+) -> Result<Vec<Rc<CompiledOp>>> {
+    let scope = DialectScope::from_ast(dialect)?;
+    let dialect_sym = ctx.symbol(&dialect.name);
+
+    if ctx.registry().dialect(dialect_sym).is_none() {
+        ctx.register_dialect(DialectInfo::new(dialect_sym));
+    }
+    if let Some(summary) = &dialect.summary {
+        if let Some(info) = ctx.registry_mut().dialect_mut(dialect_sym) {
+            info.summary = summary.clone();
+        }
+    }
+
+    // Pass 1: enums, native parameter kinds, and type/attribute stubs, so
+    // every in-dialect reference resolves regardless of declaration order.
+    for item in &dialect.items {
+        match item {
+            Item::Enum(def) => {
+                let name = ctx.symbol(&def.name);
+                let variants = def.variants.iter().map(|v| ctx.symbol(v)).collect();
+                let info = EnumInfo { name, variants };
+                ctx.registry_mut()
+                    .dialect_mut(dialect_sym)
+                    .expect("registered above")
+                    .add_enum(info);
+            }
+            Item::TypeOrAttrParam(def) => {
+                let handler = natives.param_kind(&def.native_kind).ok_or_else(|| {
+                    Diagnostic::at(
+                        def.span,
+                        format!(
+                            "native parameter kind `{}` is not registered \
+                             (required by TypeOrAttrParam `{}`)",
+                            def.native_kind, def.name
+                        ),
+                    )
+                })?;
+                let kind = ctx.symbol(&def.native_kind);
+                ctx.registry_mut().register_native_param(kind, handler);
+            }
+            Item::Type(def) | Item::Attribute(def) => {
+                let name = ctx.symbol(&def.name);
+                let param_names = def.parameters.iter().map(|p| ctx.symbol(&p.name)).collect();
+                let stub = TypeDefInfo {
+                    name,
+                    summary: def.summary.clone().unwrap_or_default(),
+                    param_names,
+                    param_kinds: Vec::new(),
+                    verifier: None,
+                    syntax: None,
+                    has_native_verifier: false,
+                };
+                let info = ctx.registry_mut().dialect_mut(dialect_sym).expect("registered");
+                if matches!(item, Item::Type(_)) {
+                    info.add_type(stub);
+                } else {
+                    info.add_attr(stub);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Pass 2: compile type/attribute parameter constraints and verifiers.
+    for item in &dialect.items {
+        let (def, is_type) = match item {
+            Item::Type(def) => (def, true),
+            Item::Attribute(def) => (def, false),
+            _ => continue,
+        };
+        let mut resolver = Resolver::new(ctx, natives, &scope, &[]);
+        let mut constraints = Vec::with_capacity(def.parameters.len());
+        for param in &def.parameters {
+            constraints.push(resolver.resolve(&param.constraint).map_err(|d| {
+                d.with_note(format!("in parameter `{}` of `{}`", param.name, def.name))
+            })?);
+        }
+        let native_verifier = match &def.native_verifier {
+            Some(name) => Some(natives.params_verifier(name).ok_or_else(|| {
+                Diagnostic::at(
+                    def.span,
+                    format!("native verifier `{name}` is not registered (required by `{}`)", def.name),
+                )
+            })?),
+            None => None,
+        };
+        let uses_native_constraint = constraints.iter().any(contains_native);
+        let param_kinds: Vec<ParamKind> = constraints.iter().map(classify_param).collect();
+        let has_native_verifier = native_verifier.is_some() || uses_native_constraint;
+        let compiled = Rc::new(CompiledParams {
+            names: def.parameters.iter().map(|p| p.name.clone()).collect(),
+            constraints,
+            native_verifier,
+        });
+        let name = ctx.symbol(&def.name);
+        let param_names = def.parameters.iter().map(|p| ctx.symbol(&p.name)).collect();
+        let syntax = match &def.format {
+            Some(format) => Some(Rc::new(crate::format::ParamsFormatSpec::compile(
+                format,
+                &def.parameters.iter().map(|p| p.name.clone()).collect::<Vec<_>>(),
+            )
+            .map_err(|d| d.or_offset(def.span))?)
+                as Rc<dyn irdl_ir::dialect::ParamsSyntax>),
+            None => None,
+        };
+        let info = TypeDefInfo {
+            name,
+            summary: def.summary.clone().unwrap_or_default(),
+            param_names,
+            param_kinds,
+            verifier: Some(Rc::new(CompiledParamsVerifier(compiled))),
+            syntax,
+            has_native_verifier,
+        };
+        let dinfo = ctx.registry_mut().dialect_mut(dialect_sym).expect("registered");
+        if is_type {
+            dinfo.add_type(info);
+        } else {
+            dinfo.add_attr(info);
+        }
+    }
+
+    // Pass 3: compile operations.
+    let mut compiled_ops = Vec::new();
+    for item in &dialect.items {
+        let Item::Operation(def) = item else { continue };
+        let compiled = compile_op(ctx, dialect_sym, &scope, def, natives)
+            .map_err(|d| d.with_note(format!("in operation `{}.{}`", dialect.name, def.name)))?;
+        compiled_ops.push(compiled);
+    }
+    Ok(compiled_ops)
+}
+
+fn compile_op(
+    ctx: &mut Context,
+    dialect_sym: Symbol,
+    scope: &DialectScope,
+    def: &OpDef,
+    natives: &NativeRegistry,
+) -> Result<Rc<CompiledOp>> {
+    let var_names: Vec<String> = def.constraint_vars.iter().map(|v| v.name.clone()).collect();
+
+    let mut resolver = Resolver::new(ctx, natives, scope, &var_names);
+    let mut var_decls = Vec::with_capacity(def.constraint_vars.len());
+    for var in &def.constraint_vars {
+        var_decls.push(resolver.resolve(&var.constraint).map_err(|d| {
+            d.with_note(format!("in constraint variable `{}`", var.name))
+        })?);
+    }
+    let resolve_args = |resolver: &mut Resolver<'_, >, args: &[ArgDef]| -> Result<Vec<CompiledArg>> {
+        args.iter()
+            .map(|arg| {
+                Ok(CompiledArg {
+                    name: arg.name.clone(),
+                    constraint: resolver.resolve(&arg.constraint).map_err(|d| {
+                        d.with_note(format!("in definition `{}`", arg.name))
+                    })?,
+                    variadicity: arg.variadicity,
+                })
+            })
+            .collect()
+    };
+    let operands = resolve_args(&mut resolver, &def.operands)?;
+    let results = resolve_args(&mut resolver, &def.results)?;
+
+    let mut attributes = Vec::with_capacity(def.attributes.len());
+    let mut attr_constraints = Vec::new();
+    for attr in &def.attributes {
+        let constraint = resolver.resolve(&attr.constraint).map_err(|d| {
+            d.with_note(format!("in attribute `{}`", attr.name))
+        })?;
+        attr_constraints.push(constraint.clone());
+        let key = resolver.ctx.symbol(&attr.name);
+        attributes.push((key, constraint));
+    }
+
+    let mut regions = Vec::with_capacity(def.regions.len());
+    for region in &def.regions {
+        let args = match &region.arguments {
+            Some(arguments) => {
+                // Region arguments have no segment-sizes attribute to
+                // disambiguate several variadic groups (unlike operands and
+                // results, paper §4.6).
+                let variadic = arguments
+                    .iter()
+                    .filter(|a| !matches!(a.variadicity, Variadicity::Single))
+                    .count();
+                if variadic > 1 {
+                    return Err(Diagnostic::at(
+                        region.span,
+                        format!(
+                            "region `{}` declares {variadic} variadic arguments; at \
+                             most one is supported",
+                            region.name
+                        ),
+                    ));
+                }
+                Some(resolve_args(&mut resolver, arguments)?)
+            }
+            None => None,
+        };
+        let terminator = match &region.terminator {
+            Some(name) => Some(resolve_op_name(resolver.ctx, dialect_sym, name)),
+            None => None,
+        };
+        regions.push(CompiledRegion { name: region.name.clone(), args, terminator });
+    }
+
+    let native_verifier = match &def.native_verifier {
+        Some(name) => Some(natives.op_verifier(name).ok_or_else(|| {
+            Diagnostic::at(
+                def.span,
+                format!("native op verifier `{name}` is not registered"),
+            )
+        })?),
+        None => None,
+    };
+
+    // Figure 11/12 statistics.
+    let mut native_local = Vec::new();
+    for c in operands
+        .iter()
+        .map(|a| &a.constraint)
+        .chain(results.iter().map(|a| &a.constraint))
+        .chain(attr_constraints.iter())
+        .chain(regions.iter().flat_map(|r| r.args.iter().flatten().map(|a| &a.constraint)))
+        .chain(var_decls.iter())
+    {
+        collect_native_names(c, &mut native_local);
+    }
+    native_local.sort();
+    native_local.dedup();
+
+    let decl = OpDeclStats {
+        operand_defs: def.operands.len() as u32,
+        variadic_operands: def
+            .operands
+            .iter()
+            .filter(|a| !matches!(a.variadicity, Variadicity::Single))
+            .count() as u32,
+        result_defs: def.results.len() as u32,
+        variadic_results: def
+            .results
+            .iter()
+            .filter(|a| !matches!(a.variadicity, Variadicity::Single))
+            .count() as u32,
+        attr_defs: def.attributes.len() as u32,
+        region_defs: def.regions.len() as u32,
+        successor_defs: def.successors.as_ref().map_or(0, |s| s.len()) as u32,
+        native_local_constraints: native_local,
+        has_native_verifier: def.native_verifier.is_some(),
+    };
+
+    let name_sym = ctx.symbol(&def.name);
+    let compiled = Rc::new(CompiledOp {
+        name: OpName { dialect: dialect_sym, name: name_sym },
+        var_names,
+        var_decls,
+        operands,
+        results,
+        attributes,
+        regions,
+        successors: def.successors.as_ref().map(Vec::len),
+        native_verifier,
+    });
+
+    let syntax = match &def.format {
+        Some(format) => Some(Rc::new(FormatSpec::compile(ctx, format, compiled.clone())
+            .map_err(|d| d.or_offset(def.span))?)
+            as Rc<dyn irdl_ir::OpSyntax>),
+        None => None,
+    };
+
+    let info = OpInfo {
+        name: name_sym,
+        summary: def.summary.clone().unwrap_or_default(),
+        is_terminator: def.successors.is_some(),
+        verifier: Some(Rc::new(CompiledOpVerifier(compiled.clone()))),
+        syntax,
+        decl,
+    };
+    ctx.registry_mut()
+        .dialect_mut(dialect_sym)
+        .expect("registered")
+        .add_op(info);
+    Ok(compiled)
+}
+
+/// Resolves a terminator reference: `name` in the same dialect, or a
+/// qualified `other.name`.
+fn resolve_op_name(ctx: &mut Context, dialect: Symbol, name: &str) -> OpName {
+    match name.split_once('.') {
+        Some((d, n)) => {
+            let dialect = ctx.symbol(d);
+            let name = ctx.symbol(n);
+            OpName { dialect, name }
+        }
+        None => {
+            let name = ctx.symbol(name);
+            OpName { dialect, name }
+        }
+    }
+}
+
+/// Classifies a parameter constraint for the Figure 8 analysis.
+pub fn classify_param(constraint: &Constraint) -> ParamKind {
+    match constraint {
+        Constraint::AnyType
+        | Constraint::ExactType(_)
+        | Constraint::BaseType { .. }
+        | Constraint::ParametricType { .. }
+        | Constraint::Class(_) => ParamKind::Type,
+        Constraint::Int(_) | Constraint::IntLiteral { .. } => ParamKind::Integer,
+        Constraint::FloatAttr(_) => ParamKind::Float,
+        Constraint::StringAny | Constraint::StringLiteral(_) => ParamKind::String,
+        Constraint::EnumAny { .. } | Constraint::EnumVariant { .. } => ParamKind::Enum,
+        Constraint::LocationAttr => ParamKind::Location,
+        Constraint::TypeIdAttr => ParamKind::TypeId,
+        Constraint::ArrayAny | Constraint::ArrayOf(_) | Constraint::ArrayExact(_) => {
+            ParamKind::Array
+        }
+        Constraint::NativeParam { .. } => ParamKind::Native("native-param".to_string()),
+        Constraint::And(parts) => parts
+            .iter()
+            .find(|p| !matches!(p, Constraint::Native { .. }))
+            .map(classify_param)
+            .unwrap_or(ParamKind::Attr),
+        Constraint::AnyOf(parts) => {
+            let kinds: Vec<ParamKind> = parts.iter().map(classify_param).collect();
+            match kinds.first() {
+                Some(first) if kinds.iter().all(|k| k == first) => first.clone(),
+                _ => ParamKind::Attr,
+            }
+        }
+        Constraint::Not(inner) => classify_param(inner),
+        _ => ParamKind::Attr,
+    }
+}
+
+/// Collects the names of native predicates used inside `constraint`
+/// (Figure 12's census of C++-requiring local constraints).
+pub fn collect_native_names(constraint: &Constraint, out: &mut Vec<String>) {
+    match constraint {
+        Constraint::Native { name, .. } => out.push(name.clone()),
+        Constraint::AnyOf(parts) | Constraint::And(parts) | Constraint::ArrayExact(parts) => {
+            for p in parts {
+                collect_native_names(p, out);
+            }
+        }
+        Constraint::Not(inner) | Constraint::ArrayOf(inner) => {
+            collect_native_names(inner, out)
+        }
+        Constraint::ParametricType { params, .. } | Constraint::ParametricAttr { params, .. } => {
+            for p in params {
+                collect_native_names(p, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn contains_native(constraint: &Constraint) -> bool {
+    let mut names = Vec::new();
+    collect_native_names(constraint, &mut names);
+    !names.is_empty()
+}

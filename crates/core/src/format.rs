@@ -1,0 +1,609 @@
+//! Declarative assembly formats (paper §4.7).
+//!
+//! An operation may declare `Format "$lhs, $rhs : $T.elementType"`; this
+//! module compiles such strings into a parser/printer pair. Directives
+//! reference operands, declared attributes, or constraint variables —
+//! optionally navigating into a parameter of the variable's value. Parsing
+//! reconstructs operand and result types by solving the operation's
+//! constraints under the bindings gathered from the format, which is how
+//! `%r = cmath.mul %p, %q : f32` round-trips without spelling out
+//! `!cmath.complex<f32>` anywhere.
+
+use std::rc::Rc;
+
+use irdl_ir::diag::{Diagnostic, Result};
+use irdl_ir::lexer::{lex, Token};
+use irdl_ir::parse::OpParser;
+use irdl_ir::print::Printer;
+use irdl_ir::{Context, OperationState, OpRef, Symbol};
+
+use crate::ast::Variadicity;
+use crate::constraint::{concretize, eval, BindingEnv, CVal};
+use crate::verifier::CompiledOp;
+
+/// One element of a compiled format.
+#[derive(Debug, Clone)]
+enum FormatElem {
+    /// Literal text plus its pre-lexed tokens (matched when parsing).
+    Literal(String, Vec<Token>),
+    /// `$name` where `name` is the i-th operand definition.
+    Operand(usize),
+    /// `$name` where `name` is the i-th declared attribute.
+    Attr(usize),
+    /// `$T` / `$T.param` where `T` is a constraint variable.
+    VarPath {
+        var: u32,
+        path: Vec<String>,
+    },
+}
+
+/// A compiled declarative format; implements [`irdl_ir::OpSyntax`].
+pub struct FormatSpec {
+    elems: Vec<FormatElem>,
+    op: Rc<CompiledOp>,
+}
+
+impl std::fmt::Debug for FormatSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FormatSpec").field("elems", &self.elems).finish()
+    }
+}
+
+impl FormatSpec {
+    /// Compiles a format string against a compiled operation.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown directive names, directives for variadic
+    /// definitions, and formats that do not cover every operand.
+    pub fn compile(ctx: &Context, format: &str, op: Rc<CompiledOp>) -> Result<FormatSpec> {
+        // Regions and successors have no format directives; an op declaring
+        // them cannot round-trip through a declarative format.
+        if !op.regions.is_empty() {
+            return Err(Diagnostic::new(
+                "operations with regions cannot use a declarative format",
+            ));
+        }
+        if op.successors.is_some() {
+            return Err(Diagnostic::new(
+                "terminator operations cannot use a declarative format",
+            ));
+        }
+        for def in &op.results {
+            if !matches!(def.variadicity, Variadicity::Single) {
+                return Err(Diagnostic::new(format!(
+                    "result `{}` is variadic; declarative formats support only \
+                     single results",
+                    def.name
+                )));
+            }
+        }
+        let mut elems = Vec::new();
+        let mut literal = String::new();
+        let mut chars = format.char_indices().peekable();
+        let mut covered_operands = vec![false; op.operands.len()];
+        while let Some((pos, ch)) = chars.next() {
+            if ch != '$' {
+                literal.push(ch);
+                continue;
+            }
+            if !literal.is_empty() {
+                elems.push(lex_literal(std::mem::take(&mut literal))?);
+            }
+            // Read `ident(.ident)*`.
+            let mut name = String::new();
+            while let Some((_, c)) = chars.peek() {
+                if c.is_ascii_alphanumeric() || *c == '_' {
+                    name.push(*c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            if name.is_empty() {
+                return Err(Diagnostic::new(format!(
+                    "format has a bare `$` at offset {pos}"
+                )));
+            }
+            let mut path = Vec::new();
+            while matches!(chars.peek(), Some((_, '.'))) {
+                chars.next();
+                let mut seg = String::new();
+                while let Some((_, c)) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || *c == '_' {
+                        seg.push(*c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if seg.is_empty() {
+                    return Err(Diagnostic::new("format has a trailing `.` in a directive"));
+                }
+                path.push(seg);
+            }
+            // Resolve the directive name.
+            if let Some(i) = op.operands.iter().position(|a| a.name == name) {
+                if !path.is_empty() {
+                    return Err(Diagnostic::new(format!(
+                        "operand directive `${name}` cannot have a parameter path"
+                    )));
+                }
+                if !matches!(op.operands[i].variadicity, Variadicity::Single) {
+                    return Err(Diagnostic::new(format!(
+                        "operand `${name}` is variadic; declarative formats support only \
+                         single operands"
+                    )));
+                }
+                covered_operands[i] = true;
+                elems.push(FormatElem::Operand(i));
+            } else if let Some(i) =
+                op.attributes.iter().position(|(k, _)| ctx.symbol_str(*k) == name)
+            {
+                if !path.is_empty() {
+                    return Err(Diagnostic::new(format!(
+                        "attribute directive `${name}` cannot have a parameter path"
+                    )));
+                }
+                elems.push(FormatElem::Attr(i));
+            } else if let Some(v) = op.var_names.iter().position(|n| *n == name) {
+                elems.push(FormatElem::VarPath { var: v as u32, path });
+            } else {
+                return Err(Diagnostic::new(format!(
+                    "format directive `${name}` names no operand, attribute, or \
+                     constraint variable"
+                )));
+            }
+        }
+        if !literal.is_empty() {
+            elems.push(lex_literal(literal)?);
+        }
+        if let Some(i) = covered_operands.iter().position(|c| !c) {
+            return Err(Diagnostic::new(format!(
+                "format does not cover operand `{}`; its value could not be parsed back",
+                op.operands[i].name
+            )));
+        }
+        Ok(FormatSpec { elems, op })
+    }
+
+    /// Builds the binding environment implied by an existing operation, by
+    /// evaluating all declarative constraints against its actual types.
+    fn env_for(&self, ctx: &Context, op: OpRef) -> BindingEnv {
+        let mut env = BindingEnv::new(self.op.var_decls.len());
+        for (def, value) in self.op.operands.iter().zip(op.operands(ctx)) {
+            let ty = value.ty(ctx);
+            let _ = eval(ctx, &def.constraint, CVal::Type(ty), &mut env, &self.op.var_decls);
+        }
+        for (def, ty) in self.op.results.iter().zip(op.result_types(ctx)) {
+            let _ = eval(ctx, &def.constraint, CVal::Type(*ty), &mut env, &self.op.var_decls);
+        }
+        for (key, constraint) in &self.op.attributes {
+            if let Some(value) = op.attr_sym(ctx, *key) {
+                let _ = eval(
+                    ctx,
+                    constraint,
+                    CVal::from_attr(ctx, value),
+                    &mut env,
+                    &self.op.var_decls,
+                );
+            }
+        }
+        env
+    }
+
+    fn navigate(
+        &self,
+        ctx: &Context,
+        mut val: CVal,
+        path: &[String],
+    ) -> Result<CVal> {
+        for segment in path {
+            let (params, index) = match val {
+                CVal::Type(ty) => {
+                    let (dialect, name) = ty.parametric_name(ctx).ok_or_else(|| {
+                        Diagnostic::new(format!(
+                            "cannot navigate `.{segment}`: {} has no parameters",
+                            val.display(ctx)
+                        ))
+                    })?;
+                    (ty.params(ctx).to_vec(), param_index(ctx, dialect, name, true, segment))
+                }
+                CVal::Attr(attr) => {
+                    let (dialect, name) = attr.parametric_name(ctx).ok_or_else(|| {
+                        Diagnostic::new(format!(
+                            "cannot navigate `.{segment}`: {} has no parameters",
+                            val.display(ctx)
+                        ))
+                    })?;
+                    let params = match ctx.attr_data(attr) {
+                        irdl_ir::AttrData::Parametric { params, .. } => params.clone(),
+                        _ => Vec::new(),
+                    };
+                    (params, param_index(ctx, dialect, name, false, segment))
+                }
+            };
+            let index = index.ok_or_else(|| {
+                Diagnostic::new(format!(
+                    "{} has no parameter named `{segment}`",
+                    val.display(ctx)
+                ))
+            })?;
+            val = CVal::from_attr(ctx, params[index]);
+        }
+        Ok(val)
+    }
+}
+
+fn param_index(
+    ctx: &Context,
+    dialect: Symbol,
+    name: Symbol,
+    is_type: bool,
+    param: &str,
+) -> Option<usize> {
+    let names = if is_type {
+        &ctx.registry().type_def(dialect, name)?.param_names
+    } else {
+        &ctx.registry().attr_def(dialect, name)?.param_names
+    };
+    names.iter().position(|n| ctx.symbol_str(*n) == param)
+}
+
+impl irdl_ir::OpSyntax for FormatSpec {
+    fn print(&self, ctx: &Context, op: OpRef, printer: &mut Printer) {
+        let env = self.env_for(ctx, op);
+        printer.token(" ");
+        for elem in &self.elems {
+            match elem {
+                FormatElem::Literal(text, _) => printer.token(text),
+                FormatElem::Operand(i) => {
+                    let value = op.operand(ctx, *i);
+                    printer.print_value(ctx, value);
+                }
+                FormatElem::Attr(i) => {
+                    let (key, _) = self.op.attributes[*i];
+                    if let Some(value) = op.attr_sym(ctx, key) {
+                        printer.print_attribute(ctx, value);
+                    }
+                }
+                FormatElem::VarPath { var, path } => {
+                    let Some(bound) = env.binding(*var) else {
+                        printer.token("<unbound>");
+                        continue;
+                    };
+                    match self.navigate(ctx, bound, path) {
+                        Ok(CVal::Type(ty)) => printer.print_type(ctx, ty),
+                        Ok(CVal::Attr(attr)) => printer.print_attribute(ctx, attr),
+                        Err(_) => printer.token("<unnavigable>"),
+                    }
+                }
+            }
+        }
+        // Attributes not covered by the format are printed as a trailing
+        // dictionary.
+        let covered: Vec<Symbol> = self
+            .elems
+            .iter()
+            .filter_map(|e| match e {
+                FormatElem::Attr(i) => Some(self.op.attributes[*i].0),
+                _ => None,
+            })
+            .collect();
+        let extra: Vec<(Symbol, irdl_ir::Attribute)> = op
+            .attributes(ctx)
+            .iter()
+            .filter(|(k, _)| !covered.contains(k))
+            .copied()
+            .collect();
+        if !extra.is_empty() {
+            printer.token(" {");
+            for (i, (key, value)) in extra.iter().enumerate() {
+                if i > 0 {
+                    printer.token(", ");
+                }
+                printer.token(&format!("{} = ", ctx.symbol_str(*key)));
+                printer.print_attribute(ctx, *value);
+            }
+            printer.token("}");
+        }
+    }
+
+    fn parse(&self, parser: &mut OpParser<'_, '_>) -> Result<OperationState> {
+        let name = parser.op_name();
+        let mut operands: Vec<Option<irdl_ir::Value>> = vec![None; self.op.operands.len()];
+        let mut attrs: Vec<(Symbol, irdl_ir::Attribute)> = Vec::new();
+        let mut direct: Vec<(u32, CVal)> = Vec::new();
+        let mut paths: Vec<(u32, Vec<String>, CVal)> = Vec::new();
+
+        for elem in &self.elems {
+            match elem {
+                FormatElem::Literal(_, tokens) => {
+                    for token in tokens {
+                        parser.expect(token)?;
+                    }
+                }
+                FormatElem::Operand(i) => {
+                    operands[*i] = Some(parser.parse_operand()?);
+                }
+                FormatElem::Attr(i) => {
+                    let value = parser.parse_attribute()?;
+                    attrs.push((self.op.attributes[*i].0, value));
+                }
+                FormatElem::VarPath { var, path } => {
+                    let attr = parser.parse_attribute()?;
+                    let val = CVal::from_attr(parser.ctx_ref(), attr);
+                    if path.is_empty() {
+                        direct.push((*var, val));
+                    } else {
+                        paths.push((*var, path.clone(), val));
+                    }
+                }
+            }
+        }
+
+        // Optional trailing attribute dictionary.
+        let mut state = OperationState::new(name);
+        parser.parse_optional_attr_dict(&mut state)?;
+
+        // --- solve for constraint variables -------------------------------
+        let mut env = BindingEnv::new(self.op.var_decls.len());
+        for (var, val) in &direct {
+            if let Some(existing) = env.binding(*var) {
+                if existing != *val {
+                    return Err(parser.error(format!(
+                        "conflicting values for constraint variable `{}`",
+                        self.op.var_names[*var as usize]
+                    )));
+                }
+            }
+            env.bind(*var, *val);
+        }
+        // Bind through the operand constraints (operand types are known).
+        let operands: Vec<irdl_ir::Value> = operands
+            .into_iter()
+            .map(|v| v.expect("format compile guarantees operand coverage"))
+            .collect();
+        for (def, value) in self.op.operands.iter().zip(&operands) {
+            let ty = value.ty(parser.ctx_ref());
+            eval(
+                parser.ctx_ref(),
+                &def.constraint,
+                CVal::Type(ty),
+                &mut env,
+                &self.op.var_decls,
+            )
+            .map_err(|e| parser.error(format!("operand `{}`: {e}", def.name)))?;
+        }
+        // Solve parameter-path assignments.
+        for (var, path, val) in &paths {
+            self.solve_path(parser.ctx(), *var, path, *val, &mut env)
+                .map_err(|d| d.or_offset(parser.offset()))?;
+        }
+
+        // --- infer result types ----------------------------------------------
+        let mut result_types = Vec::with_capacity(self.op.results.len());
+        for def in &self.op.results {
+            match concretize(parser.ctx(), &def.constraint, &env) {
+                Some(CVal::Type(ty)) => result_types.push(ty),
+                _ => {
+                    return Err(parser.error(format!(
+                        "cannot infer the type of result `{}` from the format",
+                        def.name
+                    )))
+                }
+            }
+        }
+
+        state.operands = operands;
+        state.result_types = result_types;
+        for (key, value) in attrs {
+            state.attributes.push((key, value));
+        }
+        Ok(state)
+    }
+}
+
+/// Pre-lexes a literal chunk so parsing never re-tokenizes format text.
+fn lex_literal_tokens(text: &str) -> Result<Vec<Token>> {
+    Ok(lex(text)
+        .map_err(|e| Diagnostic::new(format!("invalid format literal `{text}`: {e}")))?
+        .into_iter()
+        .map(|s| s.token)
+        .filter(|t| *t != Token::Eof)
+        .collect())
+}
+
+fn lex_literal(text: String) -> Result<FormatElem> {
+    let tokens = lex_literal_tokens(&text)?;
+    Ok(FormatElem::Literal(text, tokens))
+}
+
+/// A declarative format for type/attribute parameter lists (paper §4.7:
+/// "operations and types can define a custom declarative format").
+///
+/// Directives reference parameters by name; everything else is literal
+/// text matched token-by-token. The `!dialect.name<` ... `>` shell is
+/// handled by the framework, so a format like `"$width x $signed"` prints
+/// `!ints.integer<32 : i32 x #ints.signedness<Signed>>`.
+pub struct ParamsFormatSpec {
+    elems: Vec<ParamsFormatElem>,
+    num_params: usize,
+}
+
+#[derive(Debug, Clone)]
+enum ParamsFormatElem {
+    Literal(String, Vec<Token>),
+    Param(usize),
+}
+
+impl std::fmt::Debug for ParamsFormatSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParamsFormatSpec").field("elems", &self.elems).finish()
+    }
+}
+
+impl ParamsFormatSpec {
+    /// Compiles a parameter-format string against the declared parameter
+    /// names.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown directives and formats that do not cover every
+    /// parameter (an uncovered parameter could not be parsed back).
+    pub fn compile(format: &str, param_names: &[String]) -> Result<ParamsFormatSpec> {
+        let mut elems = Vec::new();
+        let mut literal = String::new();
+        let mut covered = vec![false; param_names.len()];
+        let mut chars = format.chars().peekable();
+        while let Some(ch) = chars.next() {
+            if ch != '$' {
+                literal.push(ch);
+                continue;
+            }
+            if !literal.is_empty() {
+                let text = std::mem::take(&mut literal);
+                let tokens = lex_literal_tokens(&text)?;
+                elems.push(ParamsFormatElem::Literal(text, tokens));
+            }
+            let mut name = String::new();
+            while let Some(c) = chars.peek() {
+                if c.is_ascii_alphanumeric() || *c == '_' {
+                    name.push(*c);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            let index = param_names.iter().position(|p| *p == name).ok_or_else(|| {
+                Diagnostic::new(format!("format directive `${name}` names no parameter"))
+            })?;
+            covered[index] = true;
+            elems.push(ParamsFormatElem::Param(index));
+        }
+        if !literal.is_empty() {
+            let tokens = lex_literal_tokens(&literal)?;
+            elems.push(ParamsFormatElem::Literal(literal, tokens));
+        }
+        if let Some(i) = covered.iter().position(|c| !c) {
+            return Err(Diagnostic::new(format!(
+                "format does not cover parameter `{}`",
+                param_names[i]
+            )));
+        }
+        Ok(ParamsFormatSpec { elems, num_params: param_names.len() })
+    }
+}
+
+impl irdl_ir::dialect::ParamsSyntax for ParamsFormatSpec {
+    fn print(&self, ctx: &Context, params: &[irdl_ir::Attribute], printer: &mut Printer) {
+        for elem in &self.elems {
+            match elem {
+                ParamsFormatElem::Literal(text, _) => printer.token(text),
+                ParamsFormatElem::Param(i) => {
+                    if let Some(param) = params.get(*i) {
+                        printer.print_attribute(ctx, *param);
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse(
+        &self,
+        parser: &mut irdl_ir::parse::ParamParser<'_, '_>,
+    ) -> Result<Vec<irdl_ir::Attribute>> {
+        let mut params: Vec<Option<irdl_ir::Attribute>> = vec![None; self.num_params];
+        for elem in &self.elems {
+            match elem {
+                ParamsFormatElem::Literal(_, tokens) => {
+                    for token in tokens {
+                        parser.expect(token)?;
+                    }
+                }
+                ParamsFormatElem::Param(i) => {
+                    params[*i] = Some(parser.parse_attribute()?);
+                }
+            }
+        }
+        Ok(params
+            .into_iter()
+            .map(|p| p.expect("compile guarantees parameter coverage"))
+            .collect())
+    }
+}
+
+impl FormatSpec {
+    /// Solves `$T.param = value`: either checks it against an existing
+    /// binding of `T`, or reconstructs `T` from its declared parametric
+    /// constraint with the parameter pinned to `value`.
+    fn solve_path(
+        &self,
+        ctx: &mut Context,
+        var: u32,
+        path: &[String],
+        val: CVal,
+        env: &mut BindingEnv,
+    ) -> Result<()> {
+        if let Some(bound) = env.binding(var) {
+            // Already known (e.g. from an operand): check consistency.
+            let navigated = self.navigate(ctx, bound, path)?;
+            if navigated != val {
+                return Err(Diagnostic::new(format!(
+                    "`${}.{}` is {} but the bound value implies {}",
+                    self.op.var_names[var as usize],
+                    path.join("."),
+                    val.display(ctx),
+                    navigated.display(ctx)
+                )));
+            }
+            return Ok(());
+        }
+        if path.len() != 1 {
+            return Err(Diagnostic::new(
+                "only single-level parameter paths can drive type inference",
+            ));
+        }
+        let decl = &self.op.var_decls[var as usize];
+        let crate::constraint::Constraint::ParametricType { dialect, name, params } = decl
+        else {
+            return Err(Diagnostic::new(format!(
+                "constraint variable `{}` is not declared with a parametric type; \
+                 `$var.param` cannot reconstruct it",
+                self.op.var_names[var as usize]
+            )));
+        };
+        let (dialect, name, params) = (*dialect, *name, params.clone());
+        let target =
+            param_index(ctx, dialect, name, true, &path[0]).ok_or_else(|| {
+                Diagnostic::new(format!(
+                    "type {}.{} has no parameter named `{}`",
+                    ctx.symbol_str(dialect),
+                    ctx.symbol_str(name),
+                    path[0]
+                ))
+            })?;
+        let mut args = Vec::with_capacity(params.len());
+        for (i, pc) in params.iter().enumerate() {
+            let v = if i == target {
+                val
+            } else {
+                concretize(ctx, pc, env).ok_or_else(|| {
+                    Diagnostic::new(format!(
+                        "cannot infer parameter #{i} of `${}`",
+                        self.op.var_names[var as usize]
+                    ))
+                })?
+            };
+            args.push(v.into_attr(ctx));
+        }
+        let ty = ctx
+            .parametric_type_syms(dialect, name, args)
+            .map_err(|d| d.with_note("while reconstructing a format type"))?;
+        // The reconstructed value must satisfy the variable's declaration.
+        eval(ctx, decl, CVal::Type(ty), env, &self.op.var_decls)
+            .map_err(Diagnostic::new)?;
+        env.bind(var, CVal::Type(ty));
+        Ok(())
+    }
+}

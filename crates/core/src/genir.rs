@@ -1,0 +1,439 @@
+//! Generating IR *from* constraints.
+//!
+//! The paper argues that self-contained definitions make it "easy to
+//! introspect and generate IRs" (§3). This module is the generation half: a
+//! sampler that, given a compiled constraint, produces a value satisfying
+//! it — and, given a compiled operation, a fully formed operation instance
+//! that the synthesized verifier accepts. Used for corpus-wide smoke
+//! testing (every generated instance must verify) and test-input
+//! generation.
+
+use irdl_ir::{Attribute, BlockRef, Context, OperationState, OpRef, Type};
+
+use crate::ast::Variadicity;
+use crate::constraint::{BindingEnv, CVal, Constraint, TypeClass};
+use crate::verifier::CompiledOp;
+
+/// Samples a value satisfying `constraint` under `env`, binding variables
+/// along the way (`var_decls` gives each variable's declared constraint).
+///
+/// Returns `None` for constraints with no computable witness (negations of
+/// broad constraints, native predicates whose language is unknown, ...).
+pub fn sample(
+    ctx: &mut Context,
+    constraint: &Constraint,
+    env: &mut BindingEnv,
+    var_decls: &[Constraint],
+) -> Option<CVal> {
+    match constraint {
+        Constraint::Any | Constraint::AnyType => Some(CVal::Type(ctx.i32_type())),
+        Constraint::AnyAttr => Some(CVal::Attr(ctx.unit_attr())),
+        Constraint::ExactType(ty) => Some(CVal::Type(*ty)),
+        Constraint::ExactAttr(attr) => Some(CVal::Attr(*attr)),
+        Constraint::Class(class) => {
+            let ty = match class {
+                TypeClass::AnyInteger => ctx.i32_type(),
+                TypeClass::AnyFloat => ctx.f32_type(),
+                TypeClass::Index => ctx.index_type(),
+                TypeClass::AnyVector => {
+                    let f32 = ctx.f32_type();
+                    ctx.vector_type([4], f32)
+                }
+                TypeClass::AnyTensor => {
+                    let f32 = ctx.f32_type();
+                    ctx.tensor_type([2, 2], f32)
+                }
+                TypeClass::AnyMemRef => {
+                    let f32 = ctx.f32_type();
+                    ctx.memref_type([2], f32)
+                }
+                TypeClass::AnyFunction => ctx.function_type([], []),
+            };
+            Some(CVal::Type(ty))
+        }
+        Constraint::ParametricType { dialect, name, params } => {
+            let (dialect, name, params) = (*dialect, *name, params.clone());
+            let mut args = Vec::with_capacity(params.len());
+            for pc in &params {
+                let v = sample(ctx, pc, env, var_decls)?;
+                args.push(v.into_attr(ctx));
+            }
+            ctx.parametric_type_syms(dialect, name, args).ok().map(CVal::Type)
+        }
+        Constraint::BaseType { dialect, name } => {
+            // A bare base reference: fall back to the definition's declared
+            // arity with maximally generic parameters.
+            let (dialect, name) = (*dialect, *name);
+            let count = ctx
+                .registry()
+                .type_def(dialect, name)
+                .map(|info| info.param_names.len())
+                .unwrap_or(0);
+            let mut args = Vec::with_capacity(count);
+            for _ in 0..count {
+                let f32 = ctx.f32_type();
+                args.push(ctx.type_attr(f32));
+            }
+            ctx.parametric_type_syms(dialect, name, args).ok().map(CVal::Type)
+        }
+        Constraint::ParametricAttr { dialect, name, params } => {
+            let (dialect, name, params) = (*dialect, *name, params.clone());
+            let mut args = Vec::with_capacity(params.len());
+            for pc in &params {
+                let v = sample(ctx, pc, env, var_decls)?;
+                args.push(v.into_attr(ctx));
+            }
+            ctx.parametric_attr_syms(dialect, name, args).ok().map(CVal::Attr)
+        }
+        Constraint::BaseAttr { dialect, name } => {
+            let (dialect, name) = (*dialect, *name);
+            ctx.parametric_attr_syms(dialect, name, Vec::new()).ok().map(CVal::Attr)
+        }
+        Constraint::Int(kind) => {
+            let ty = ctx.int_type_with_signedness(
+                kind.width,
+                if kind.unsigned {
+                    irdl_ir::Signedness::Unsigned
+                } else {
+                    irdl_ir::Signedness::Signless
+                },
+            );
+            Some(CVal::Attr(ctx.int_attr(1, ty)))
+        }
+        Constraint::IntLiteral { value, kind } => {
+            let ty = ctx.int_type_with_signedness(
+                kind.width,
+                if kind.unsigned {
+                    irdl_ir::Signedness::Unsigned
+                } else {
+                    irdl_ir::Signedness::Signless
+                },
+            );
+            Some(CVal::Attr(ctx.int_attr(*value, ty)))
+        }
+        Constraint::FloatAttr(kind) => {
+            let kind = kind.unwrap_or(irdl_ir::FloatKind::F32);
+            Some(CVal::Attr(ctx.float_attr(1.0, kind)))
+        }
+        Constraint::StringAny => Some(CVal::Attr(ctx.string_attr("sample"))),
+        Constraint::StringLiteral(s) => Some(CVal::Attr(ctx.string_attr(s.clone()))),
+        Constraint::BoolAttr => Some(CVal::Attr(ctx.bool_attr(true))),
+        Constraint::UnitAttr => Some(CVal::Attr(ctx.unit_attr())),
+        Constraint::SymbolRefAttr => Some(CVal::Attr(ctx.symbol_ref_attr("sampled"))),
+        Constraint::LocationAttr => Some(CVal::Attr(ctx.location_attr("gen.ir", 1, 1))),
+        Constraint::TypeIdAttr => Some(CVal::Attr(ctx.type_id_attr("SampledType"))),
+        Constraint::ArrayAny => Some(CVal::Attr(ctx.array_attr([]))),
+        Constraint::ArrayOf(inner) => {
+            let item = sample(ctx, inner, env, var_decls)?;
+            let item = item.into_attr(ctx);
+            Some(CVal::Attr(ctx.array_attr([item])))
+        }
+        Constraint::ArrayExact(items) => {
+            let mut out = Vec::with_capacity(items.len());
+            for pc in items {
+                let v = sample(ctx, pc, env, var_decls)?;
+                out.push(v.into_attr(ctx));
+            }
+            Some(CVal::Attr(ctx.array_attr(out)))
+        }
+        Constraint::EnumAny { dialect, name } | Constraint::EnumVariant { dialect, name, .. } => {
+            let (dialect, name) = (*dialect, *name);
+            let variant = match constraint {
+                Constraint::EnumVariant { variant, .. } => Some(*variant),
+                _ => ctx
+                    .registry()
+                    .enum_def(dialect, name)
+                    .and_then(|e| e.variants.first().copied()),
+            }?;
+            Some(CVal::Attr(ctx.intern_attr(irdl_ir::AttrData::EnumValue {
+                dialect,
+                enum_name: name,
+                variant,
+            })))
+        }
+        Constraint::NativeParam { kind } => {
+            let kind_name = ctx.symbol_str(*kind).to_string();
+            let text = match kind_name.as_str() {
+                "affine_map" => "(d0) -> (d0)",
+                _ => "sampled",
+            };
+            ctx.native_attr(&kind_name, text).ok().map(CVal::Attr)
+        }
+        Constraint::AnyOf(choices) => {
+            for choice in choices {
+                let mut attempt = env.clone();
+                if let Some(v) = sample(ctx, choice, &mut attempt, var_decls) {
+                    // The sampled witness must actually satisfy the choice
+                    // (sampling a var may have raced a binding).
+                    if crate::constraint::eval(ctx, choice, v, &mut attempt, var_decls).is_ok() {
+                        *env = attempt;
+                        return Some(v);
+                    }
+                }
+            }
+            None
+        }
+        Constraint::And(parts) => {
+            // Sample the most constrained part first (exact constraints),
+            // then check the rest.
+            let witness_source = parts
+                .iter()
+                .max_by_key(|p| constraint_specificity(p))?;
+            let v = sample(ctx, witness_source, env, var_decls)?;
+            let mut attempt = env.clone();
+            for part in parts {
+                crate::constraint::eval(ctx, part, v, &mut attempt, var_decls).ok()?;
+            }
+            *env = attempt;
+            Some(v)
+        }
+        Constraint::Not(inner) => {
+            // Try a few canonical witnesses and keep one the inner
+            // constraint rejects.
+            let f64 = ctx.f64_type();
+            let i64 = ctx.i64_type();
+            let one = ctx.i64_attr(1);
+            let s = ctx.string_attr("not");
+            let candidates =
+                [CVal::Type(f64), CVal::Type(i64), CVal::Attr(one), CVal::Attr(s)];
+            candidates.into_iter().find(|v| {
+                let mut scratch = env.clone();
+                crate::constraint::eval(ctx, inner, *v, &mut scratch, var_decls).is_err()
+            })
+        }
+        Constraint::Var(i) => {
+            if let Some(bound) = env.binding(*i) {
+                return Some(bound);
+            }
+            let decl = var_decls.get(*i as usize).cloned().unwrap_or(Constraint::Any);
+            let v = sample(ctx, &decl, env, var_decls)?;
+            env.bind(*i, v);
+            Some(v)
+        }
+        Constraint::Native { .. } => {
+            // The predicate's language is unknown; try the stock witnesses
+            // used by the corpus categories.
+            let i64 = ctx.i64_type();
+            let one = ctx.int_attr(1, i64);
+            let arr = ctx.array_attr([one]);
+            let s = ctx.string_attr("body");
+            let mut scratch = env.clone();
+            [CVal::Attr(one), CVal::Attr(arr), CVal::Attr(s)]
+                .into_iter()
+                .find(|v| {
+                    crate::constraint::eval(ctx, constraint, *v, &mut scratch, var_decls)
+                        .is_ok()
+                })
+        }
+    }
+}
+
+fn constraint_specificity(c: &Constraint) -> u32 {
+    match c {
+        Constraint::ExactType(_)
+        | Constraint::ExactAttr(_)
+        | Constraint::IntLiteral { .. }
+        | Constraint::StringLiteral(_)
+        | Constraint::EnumVariant { .. } => 4,
+        Constraint::ParametricType { .. } | Constraint::ParametricAttr { .. } => 3,
+        Constraint::Int(_)
+        | Constraint::FloatAttr(_)
+        | Constraint::Class(_)
+        | Constraint::BaseType { .. }
+        | Constraint::BaseAttr { .. }
+        | Constraint::ArrayOf(_)
+        | Constraint::ArrayExact(_) => 2,
+        Constraint::Native { .. } | Constraint::Not(_) => 0,
+        _ => 1,
+    }
+}
+
+/// The outcome of instantiating one operation definition.
+#[derive(Debug)]
+pub enum Instantiation {
+    /// A complete, inserted operation.
+    Built(OpRef),
+    /// The definition could not be instantiated (with the reason).
+    Skipped(String),
+}
+
+/// Builds a best-effort instance of `op` at the end of `block`, creating
+/// source operations for every operand. Segment-size attributes are added
+/// when more than one variadic definition is present.
+///
+/// Required region terminators are created *bare* (no operands or
+/// attributes of their own); run the enclosing module through
+/// [`irdl_ir::verify::verify_op_structural`] rather than the hook-running
+/// verifier when terminators have required operands.
+pub fn instantiate_op(
+    ctx: &mut Context,
+    compiled: &CompiledOp,
+    block: BlockRef,
+) -> Instantiation {
+    let mut env = BindingEnv::new(compiled.var_decls.len());
+
+    // --- operand types ----------------------------------------------------
+    let mut operand_types: Vec<Type> = Vec::new();
+    let mut operand_sizes: Vec<i64> = Vec::new();
+    for def in &compiled.operands {
+        // One value per definition, variadic or not; the segment-sizes
+        // attribute below records the all-ones layout when needed.
+        let count = 1;
+        operand_sizes.push(count);
+        for _ in 0..count {
+            match sample(ctx, &def.constraint, &mut env, &compiled.var_decls) {
+                Some(CVal::Type(ty)) => operand_types.push(ty),
+                _ => {
+                    return Instantiation::Skipped(format!(
+                        "cannot sample operand `{}`",
+                        def.name
+                    ))
+                }
+            }
+        }
+    }
+
+    // --- result types -------------------------------------------------------
+    let mut result_types: Vec<Type> = Vec::new();
+    let mut result_sizes: Vec<i64> = Vec::new();
+    for def in &compiled.results {
+        result_sizes.push(1);
+        match sample(ctx, &def.constraint, &mut env, &compiled.var_decls) {
+            Some(CVal::Type(ty)) => result_types.push(ty),
+            _ => {
+                return Instantiation::Skipped(format!("cannot sample result `{}`", def.name))
+            }
+        }
+    }
+
+    // --- attributes ------------------------------------------------------------
+    let mut attributes: Vec<(irdl_ir::Symbol, Attribute)> = Vec::new();
+    for (key, constraint) in &compiled.attributes {
+        match sample(ctx, constraint, &mut env, &compiled.var_decls) {
+            Some(v) => {
+                let attr = v.into_attr(ctx);
+                attributes.push((*key, attr));
+            }
+            None => {
+                let key = ctx.symbol_str(*key).to_string();
+                return Instantiation::Skipped(format!("cannot sample attribute `{key}`"));
+            }
+        }
+    }
+    let multi_variadic = |defs: &[crate::verifier::CompiledArg]| {
+        defs.iter().filter(|d| !matches!(d.variadicity, Variadicity::Single)).count() > 1
+    };
+    if multi_variadic(&compiled.operands) {
+        let key = ctx.symbol(crate::variadic::OPERAND_SEGMENT_ATTR);
+        let items: Vec<Attribute> =
+            operand_sizes.iter().map(|s| ctx.i64_attr(*s)).collect();
+        let sizes = ctx.array_attr(items);
+        attributes.push((key, sizes));
+    }
+    if multi_variadic(&compiled.results) {
+        let key = ctx.symbol(crate::variadic::RESULT_SEGMENT_ATTR);
+        let items: Vec<Attribute> = result_sizes.iter().map(|s| ctx.i64_attr(*s)).collect();
+        let sizes = ctx.array_attr(items);
+        attributes.push((key, sizes));
+    }
+
+    // --- regions -----------------------------------------------------------------
+    let mut regions = Vec::new();
+    for def in &compiled.regions {
+        let mut arg_types = Vec::new();
+        if let Some(args) = &def.args {
+            for arg in args {
+                if !matches!(arg.variadicity, Variadicity::Single) {
+                    continue;
+                }
+                match sample(ctx, &arg.constraint, &mut env, &compiled.var_decls) {
+                    Some(CVal::Type(ty)) => arg_types.push(ty),
+                    _ => {
+                        return Instantiation::Skipped(format!(
+                            "cannot sample region argument `{}`",
+                            arg.name
+                        ))
+                    }
+                }
+            }
+        }
+        let (region, entry) = ctx.create_region_with_entry(arg_types);
+        if let Some(term) = def.terminator {
+            let term_op = ctx.create_op(OperationState::new(term));
+            ctx.append_op(entry, term_op);
+        }
+        regions.push(region);
+    }
+
+    // --- successors -----------------------------------------------------------------
+    if compiled.successors.unwrap_or(0) > 0 {
+        // Terminators with successors need surrounding CFG structure;
+        // out of scope for block-local instantiation.
+        return Instantiation::Skipped("terminator with successors".to_string());
+    }
+
+    // --- materialize -----------------------------------------------------------------
+    let src = ctx.op_name("genir", "source");
+    let mut operands = Vec::with_capacity(operand_types.len());
+    for ty in operand_types {
+        let def = ctx.create_op(OperationState::new(src).add_result_types([ty]));
+        ctx.append_op(block, def);
+        operands.push(def.result(ctx, 0));
+    }
+    let state = OperationState {
+        name: compiled.name,
+        operands,
+        result_types,
+        attributes,
+        successors: Vec::new(),
+        regions,
+    };
+    let op = ctx.create_op(state);
+    ctx.append_op(block, op);
+    Instantiation::Built(op)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_satisfies_what_it_samples() {
+        let mut ctx = Context::new();
+        let f32 = ctx.f32_type();
+        let f64 = ctx.f64_type();
+        let kind = crate::ast::IntKind { width: 32, unsigned: false };
+        let constraints = vec![
+            Constraint::AnyType,
+            Constraint::ExactType(f32),
+            Constraint::AnyOf(vec![Constraint::ExactType(f64), Constraint::ExactType(f32)]),
+            Constraint::Int(kind),
+            Constraint::And(vec![
+                Constraint::Int(kind),
+                Constraint::Not(Box::new(Constraint::IntLiteral { value: 0, kind })),
+            ]),
+            Constraint::ArrayOf(Box::new(Constraint::Int(kind))),
+            Constraint::StringLiteral("exact".to_string()),
+            Constraint::Class(TypeClass::AnyVector),
+        ];
+        for c in &constraints {
+            let mut env = BindingEnv::new(0);
+            let v = sample(&mut ctx, c, &mut env, &[])
+                .unwrap_or_else(|| panic!("no sample for {c:?}"));
+            let mut env = BindingEnv::new(0);
+            crate::constraint::eval(&ctx, c, v, &mut env, &[])
+                .unwrap_or_else(|e| panic!("sample violates {c:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn sampled_vars_are_consistent() {
+        let mut ctx = Context::new();
+        let f32 = ctx.f32_type();
+        let decls = vec![Constraint::ExactType(f32)];
+        let mut env = BindingEnv::new(1);
+        let a = sample(&mut ctx, &Constraint::Var(0), &mut env, &decls).unwrap();
+        let b = sample(&mut ctx, &Constraint::Var(0), &mut env, &decls).unwrap();
+        assert_eq!(a, b, "a variable samples to one value");
+    }
+}

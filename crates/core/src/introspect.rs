@@ -1,0 +1,141 @@
+//! Introspection over registered dialects.
+//!
+//! IRDL's self-contained, structured definitions "make it easy to
+//! introspect and generate IRs" (paper §3); this module is that interface:
+//! it renders the registry into plain-data reports the analysis tooling
+//! (and any future IDE/LSP integration) can consume without touching hook
+//! objects.
+
+use irdl_ir::dialect::{OpDeclStats, ParamKind};
+use irdl_ir::Context;
+
+/// A plain-data snapshot of one operation definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpReport {
+    /// Operation name (unqualified).
+    pub name: String,
+    /// Documentation summary.
+    pub summary: String,
+    /// Whether the operation is a terminator.
+    pub is_terminator: bool,
+    /// Whether a custom declarative/native syntax is registered.
+    pub has_custom_syntax: bool,
+    /// Declarative statistics (operand/result/attribute/region counts,
+    /// variadic usage, native-constraint usage).
+    pub decl: OpDeclStats,
+}
+
+/// A plain-data snapshot of one type or attribute definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeAttrReport {
+    /// Definition name (unqualified).
+    pub name: String,
+    /// Documentation summary.
+    pub summary: String,
+    /// Classified parameter kinds (paper Figure 8).
+    pub param_kinds: Vec<ParamKind>,
+    /// Whether a native verifier or native constraint participates.
+    pub has_native_verifier: bool,
+}
+
+impl TypeAttrReport {
+    /// Returns `true` when every parameter is expressible in pure IRDL.
+    pub fn params_in_irdl(&self) -> bool {
+        self.param_kinds.iter().all(ParamKind::is_builtin)
+    }
+}
+
+/// A plain-data snapshot of one dialect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DialectReport {
+    /// Dialect namespace.
+    pub name: String,
+    /// Documentation summary.
+    pub summary: String,
+    /// Operation snapshots, sorted by name.
+    pub ops: Vec<OpReport>,
+    /// Type snapshots, sorted by name.
+    pub types: Vec<TypeAttrReport>,
+    /// Attribute snapshots, sorted by name.
+    pub attrs: Vec<TypeAttrReport>,
+    /// Number of enum definitions.
+    pub num_enums: usize,
+}
+
+/// Snapshots every dialect registered in `ctx`, sorted by dialect name.
+pub fn report(ctx: &Context) -> Vec<DialectReport> {
+    let mut dialects: Vec<DialectReport> = ctx
+        .registry()
+        .dialects()
+        .map(|d| {
+            let name = d.name.map(|s| ctx.symbol_str(s).to_string()).unwrap_or_default();
+            let mut ops: Vec<OpReport> = d
+                .ops()
+                .map(|op| OpReport {
+                    name: ctx.symbol_str(op.name).to_string(),
+                    summary: op.summary.clone(),
+                    is_terminator: op.is_terminator,
+                    has_custom_syntax: op.syntax.is_some(),
+                    decl: op.decl.clone(),
+                })
+                .collect();
+            ops.sort_by(|a, b| a.name.cmp(&b.name));
+            let mut types: Vec<TypeAttrReport> = d.types().map(|t| snapshot(ctx, t)).collect();
+            types.sort_by(|a, b| a.name.cmp(&b.name));
+            let mut attrs: Vec<TypeAttrReport> = d.attrs().map(|t| snapshot(ctx, t)).collect();
+            attrs.sort_by(|a, b| a.name.cmp(&b.name));
+            DialectReport {
+                name,
+                summary: d.summary.clone(),
+                ops,
+                types,
+                attrs,
+                num_enums: d.enums().count(),
+            }
+        })
+        .collect();
+    dialects.sort_by(|a, b| a.name.cmp(&b.name));
+    dialects
+}
+
+fn snapshot(ctx: &Context, info: &irdl_ir::TypeDefInfo) -> TypeAttrReport {
+    TypeAttrReport {
+        name: ctx.symbol_str(info.name).to_string(),
+        summary: info.summary.clone(),
+        param_kinds: info.param_kinds.clone(),
+        has_native_verifier: info.has_native_verifier,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_registered_dialects() {
+        let mut ctx = Context::new();
+        crate::compile::register_dialects(
+            &mut ctx,
+            r#"Dialect cmath {
+                Summary "Complex arithmetic"
+                Type complex { Parameters (elementType: !AnyOf<!f32, !f64>) }
+                Operation norm {
+                    ConstraintVar (!T: !AnyOf<!f32, !f64>)
+                    Operands (c: !complex<!T>)
+                    Results (res: !T)
+                }
+            }"#,
+        )
+        .unwrap();
+        let reports = report(&ctx);
+        let cmath = reports.iter().find(|d| d.name == "cmath").unwrap();
+        assert_eq!(cmath.summary, "Complex arithmetic");
+        assert_eq!(cmath.ops.len(), 1);
+        assert_eq!(cmath.ops[0].decl.operand_defs, 1);
+        assert_eq!(cmath.types.len(), 1);
+        assert_eq!(cmath.types[0].param_kinds, vec![ParamKind::Type]);
+        assert!(cmath.types[0].params_in_irdl());
+        // builtin is registered by default.
+        assert!(reports.iter().any(|d| d.name == "builtin"));
+    }
+}

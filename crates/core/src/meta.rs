@@ -1,0 +1,919 @@
+//! The `irdl` meta-dialect: IRDL definitions represented *as IR*.
+//!
+//! The upstream MLIR implementation of IRDL (the one this paper's ideas
+//! were merged into) represents dialect definitions as operations of an
+//! `irdl` dialect — `irdl.dialect`, `irdl.operation`, `irdl.is`,
+//! `irdl.any_of`, ... — so definitions travel through the same textual
+//! format, verifier, and tooling as any other IR. This module reproduces
+//! that design:
+//!
+//! - [`META_DIALECT`]: the `irdl` dialect, itself defined in IRDL
+//!   (meta-circularly);
+//! - [`to_meta_ir`]: lowers a parsed [`DialectDef`] into `irdl.*`
+//!   operations;
+//! - [`from_meta_ir`]: recovers a [`DialectDef`] from meta-IR, after which
+//!   [`crate::compile`] registers it as usual.
+//!
+//! Constraint structure maps to SSA: each constraint is an operation
+//! producing a `!irdl.constraint` value, combinators take their operands as
+//! SSA uses, and a value used in more than one operand/result/attribute
+//! position becomes a *constraint variable* — SSA sharing is exactly the
+//! "same value at each use" semantics of `ConstraintVars` (§4.6).
+//!
+//! Raising is semantics-preserving rather than textually lossless: a
+//! declared variable used at most once is inlined (its equality obligation
+//! is vacuous), and leaf constraints travel as canonical expression text in
+//! `irdl.is`.
+
+use std::collections::HashMap;
+
+use irdl_ir::diag::{Diagnostic, Result};
+use irdl_ir::{Attribute, BlockRef, Context, OperationState, OpRef, Value};
+
+use crate::ast::*;
+use crate::printer::print_expr;
+
+/// The `irdl` meta-dialect, defined in IRDL itself.
+pub const META_DIALECT: &str = r#"
+Dialect irdl {
+  Summary "IRDL definitions represented as IR"
+
+  Type constraint {
+    Parameters ()
+    Summary "The value produced by a constraint operation"
+  }
+
+  Operation dialect {
+    Attributes (sym_name: string_attr)
+    Region body { }
+    Summary "Defines a dialect"
+  }
+  Operation type_def {
+    Attributes (sym_name: string_attr)
+    Region body { }
+    Summary "Defines a type"
+  }
+  Operation attr_def {
+    Attributes (sym_name: string_attr)
+    Region body { }
+    Summary "Defines an attribute"
+  }
+  Operation operation {
+    Attributes (sym_name: string_attr)
+    Region body { }
+    Summary "Defines an operation"
+  }
+
+  Operation is {
+    Attributes (expr: string_attr)
+    Results (out: !constraint)
+    Summary "A leaf constraint, in canonical IRDL expression syntax"
+  }
+  Operation any {
+    Results (out: !constraint)
+    Summary "Matches any type or attribute (AnyParam)"
+  }
+  Operation any_type {
+    Results (out: !constraint)
+    Summary "Matches any type"
+  }
+  Operation any_attr {
+    Results (out: !constraint)
+    Summary "Matches any attribute"
+  }
+  Operation any_of {
+    Operands (constraints: Variadic<!constraint>)
+    Results (out: !constraint)
+    Summary "Matches when at least one operand constraint matches"
+  }
+  Operation all_of {
+    Operands (constraints: Variadic<!constraint>)
+    Results (out: !constraint)
+    Summary "Matches when every operand constraint matches"
+  }
+  Operation not_op {
+    Operands (constraint_in: !constraint)
+    Results (out: !constraint)
+    Summary "Matches when the operand constraint does not"
+  }
+  Operation parametric {
+    Operands (params: Variadic<!constraint>)
+    Attributes (base: string_attr, sigil: string_attr)
+    Results (out: !constraint)
+    Summary "Matches a parameterized reference with constrained parameters"
+  }
+  Operation array_of {
+    Operands (element: !constraint)
+    Results (out: !constraint)
+    Summary "Matches arrays whose elements satisfy the operand"
+  }
+  Operation array_exact {
+    Operands (elements: Variadic<!constraint>)
+    Results (out: !constraint)
+    Summary "Matches arrays with exactly these constrained elements"
+  }
+
+  Operation parameters {
+    Operands (params: Variadic<!constraint>)
+    Attributes (names: array_attr)
+    Summary "Declares the parameters of a type or attribute"
+  }
+  Operation operands_def {
+    Operands (constraints: Variadic<!constraint>)
+    Attributes (names: array_attr, variadicity: array_attr)
+    Summary "Declares the operands of an operation"
+  }
+  Operation results_def {
+    Operands (constraints: Variadic<!constraint>)
+    Attributes (names: array_attr, variadicity: array_attr)
+    Summary "Declares the results of an operation"
+  }
+  Operation attributes_def {
+    Operands (constraints: Variadic<!constraint>)
+    Attributes (names: array_attr)
+    Summary "Declares the attributes of an operation"
+  }
+  Operation verbatim {
+    Attributes (text: string_attr)
+    Summary "Carries aliases, enums, and native declarations as canonical source text"
+  }
+}
+"#;
+
+/// Registers the `irdl` meta-dialect into `ctx`.
+///
+/// # Errors
+///
+/// Propagates compile diagnostics (none are expected).
+pub fn register_meta_dialect(ctx: &mut Context) -> Result<()> {
+    crate::compile::register_dialects(ctx, META_DIALECT).map(|_| ())
+}
+
+/// Lowers a dialect definition into an `irdl.dialect` operation appended to
+/// `block`.
+///
+/// Every feature survives the trip (formats, summaries, regions,
+/// successors, native references): features without a structural meta-op
+/// encoding are carried as attributes in canonical IRDL syntax.
+///
+/// # Errors
+///
+/// Propagates IR-building diagnostics (none are expected for ASTs produced
+/// by the parser).
+pub fn to_meta_ir(ctx: &mut Context, dialect: &DialectDef, block: BlockRef) -> Result<OpRef> {
+    let (body, body_block) = ctx.create_region_with_entry([]);
+
+    for item in &dialect.items {
+        match item {
+            Item::Type(def) | Item::Attribute(def) => {
+                let is_type = matches!(item, Item::Type(_));
+                let (region, entry) = ctx.create_region_with_entry([]);
+                let mut lowerer = ConstraintLowerer::new(entry);
+                let params: Vec<Value> = def
+                    .parameters
+                    .iter()
+                    .map(|p| lowerer.lower(ctx, &p.constraint))
+                    .collect::<Result<_>>()?;
+                let names: Vec<Attribute> = def
+                    .parameters
+                    .iter()
+                    .map(|p| ctx.string_attr(p.name.clone()))
+                    .collect();
+                let names_key = ctx.symbol("names");
+                let names_attr = ctx.array_attr(names);
+                let params_name = ctx.op_name("irdl", "parameters");
+                let params_op = ctx.create_op(
+                    OperationState::new(params_name)
+                        .add_operands(params)
+                        .add_attribute(names_key, names_attr),
+                );
+                ctx.append_op(entry, params_op);
+                let op_name =
+                    ctx.op_name("irdl", if is_type { "type_def" } else { "attr_def" });
+                let mut state = OperationState::new(op_name).add_regions([region]);
+                state = with_string_attr(ctx, state, "sym_name", &def.name);
+                state = with_opt_string_attr(ctx, state, "summary", &def.summary);
+                state = with_opt_string_attr(ctx, state, "native_verifier", &def.native_verifier);
+                state = with_opt_string_attr(ctx, state, "format", &def.format);
+                let op = ctx.create_op(state);
+                ctx.append_op(body_block, op);
+            }
+            Item::Operation(def) => {
+                let op = lower_operation(ctx, def)?;
+                ctx.append_op(body_block, op);
+            }
+            // Aliases, enums, constraints, and native params have no
+            // structural encoding; carry them as canonical source text so
+            // nothing is lost.
+            other => {
+                let inner = crate::printer::print_item(other);
+                let name = ctx.op_name("irdl", "verbatim");
+                let mut state = OperationState::new(name);
+                state = with_string_attr(ctx, state, "text", &inner);
+                let op = ctx.create_op(state);
+                ctx.append_op(body_block, op);
+            }
+        }
+    }
+
+    let name = ctx.op_name("irdl", "dialect");
+    let mut state = OperationState::new(name).add_regions([body]);
+    state = with_string_attr(ctx, state, "sym_name", &dialect.name);
+    state = with_opt_string_attr(ctx, state, "summary", &dialect.summary);
+    let op = ctx.create_op(state);
+    ctx.append_op(block, op);
+    Ok(op)
+}
+
+fn lower_operation(ctx: &mut Context, def: &OpDef) -> Result<OpRef> {
+    let (region, entry) = ctx.create_region_with_entry([]);
+    let mut lowerer = ConstraintLowerer::new(entry);
+    // Constraint variables first: one shared SSA value per variable. The
+    // defining op is tagged with a `var` attribute so raising recovers the
+    // declaration even when the value ends up with zero or one use.
+    for var in &def.constraint_vars {
+        let value = lowerer.lower(ctx, &var.constraint)?;
+        if let Some(def_op) = value.defining_op(ctx) {
+            // A variable declared as an alias of an earlier variable shares
+            // its defining op; keep the first marker in that case.
+            if def_op.attr(ctx, "var").is_none() {
+                let key = ctx.symbol("var");
+                let name_attr = ctx.string_attr(var.name.clone());
+                ctx.set_attr(def_op, key, name_attr);
+            }
+        }
+        lowerer.vars.insert(var.name.clone(), value);
+    }
+    for (op_kind, args) in
+        [("operands_def", &def.operands), ("results_def", &def.results)]
+    {
+        if args.is_empty() {
+            continue;
+        }
+        let values: Vec<Value> = args
+            .iter()
+            .map(|a| lowerer.lower(ctx, &a.constraint))
+            .collect::<Result<_>>()?;
+        let names: Vec<Attribute> =
+            args.iter().map(|a| ctx.string_attr(a.name.clone())).collect();
+        let variadicity: Vec<Attribute> = args
+            .iter()
+            .map(|a| {
+                let text = match a.variadicity {
+                    Variadicity::Single => "single",
+                    Variadicity::Variadic => "variadic",
+                    Variadicity::Optional => "optional",
+                };
+                ctx.string_attr(text)
+            })
+            .collect();
+        let names_key = ctx.symbol("names");
+        let variadicity_key = ctx.symbol("variadicity");
+        let names_attr = ctx.array_attr(names);
+        let variadicity_attr = ctx.array_attr(variadicity);
+        let name = ctx.op_name("irdl", op_kind);
+        let op = ctx.create_op(
+            OperationState::new(name)
+                .add_operands(values)
+                .add_attribute(names_key, names_attr)
+                .add_attribute(variadicity_key, variadicity_attr),
+        );
+        ctx.append_op(entry, op);
+    }
+    if !def.attributes.is_empty() {
+        let values: Vec<Value> = def
+            .attributes
+            .iter()
+            .map(|a| lowerer.lower(ctx, &a.constraint))
+            .collect::<Result<_>>()?;
+        let names: Vec<Attribute> =
+            def.attributes.iter().map(|a| ctx.string_attr(a.name.clone())).collect();
+        let names_key = ctx.symbol("names");
+        let names_attr = ctx.array_attr(names);
+        let name = ctx.op_name("irdl", "attributes_def");
+        let op = ctx.create_op(
+            OperationState::new(name)
+                .add_operands(values)
+                .add_attribute(names_key, names_attr),
+        );
+        ctx.append_op(entry, op);
+    }
+
+    let name = ctx.op_name("irdl", "operation");
+    let mut state = OperationState::new(name).add_regions([region]);
+    state = with_string_attr(ctx, state, "sym_name", &def.name);
+    state = with_opt_string_attr(ctx, state, "summary", &def.summary);
+    state = with_opt_string_attr(ctx, state, "format", &def.format);
+    state = with_opt_string_attr(ctx, state, "native_verifier", &def.native_verifier);
+    // Constraint-variable names, in lowering order, so round-trips keep
+    // the declared names.
+    if !def.constraint_vars.is_empty() {
+        let names: Vec<Attribute> = def
+            .constraint_vars
+            .iter()
+            .map(|v| ctx.string_attr(v.name.clone()))
+            .collect();
+        let key = ctx.symbol("var_names");
+        let attr = ctx.array_attr(names);
+        state = state.add_attribute(key, attr);
+    }
+    if let Some(successors) = &def.successors {
+        let names: Vec<Attribute> =
+            successors.iter().map(|s| ctx.string_attr(s.clone())).collect();
+        let key = ctx.symbol("successors");
+        let attr = ctx.array_attr(names);
+        state = state.add_attribute(key, attr);
+    }
+    if !def.regions.is_empty() {
+        // Regions carry no constraints in the meta encoding beyond their
+        // canonical text (they reference op names, not constraint values).
+        let texts: Vec<Attribute> = def
+            .regions
+            .iter()
+            .map(|r| {
+                let line = crate::printer::print_region_def(r);
+                ctx.string_attr(line)
+            })
+            .collect();
+        let key = ctx.symbol("region_defs");
+        let attr = ctx.array_attr(texts);
+        state = state.add_attribute(key, attr);
+    }
+    Ok(ctx.create_op(state))
+}
+
+/// Lowers constraint expressions to SSA values in one entry block.
+struct ConstraintLowerer {
+    block: BlockRef,
+    vars: HashMap<String, Value>,
+}
+
+impl ConstraintLowerer {
+    fn new(block: BlockRef) -> Self {
+        ConstraintLowerer { block, vars: HashMap::new() }
+    }
+
+    fn emit(
+        &mut self,
+        ctx: &mut Context,
+        op: &str,
+        operands: Vec<Value>,
+        attrs: Vec<(&str, String)>,
+    ) -> Result<Value> {
+        let constraint_ty = ctx.parametric_type("irdl", "constraint", [])?;
+        let name = ctx.op_name("irdl", op);
+        let mut state =
+            OperationState::new(name).add_operands(operands).add_result_types([constraint_ty]);
+        for (key, value) in attrs {
+            let key = ctx.symbol(key);
+            let value = ctx.string_attr(value);
+            state = state.add_attribute(key, value);
+        }
+        let op = ctx.create_op(state);
+        ctx.append_op(self.block, op);
+        Ok(op.result(ctx, 0))
+    }
+
+    fn lower(&mut self, ctx: &mut Context, expr: &ConstraintExpr) -> Result<Value> {
+        match expr {
+            ConstraintExpr::AnyParam => self.emit(ctx, "any", vec![], vec![]),
+            ConstraintExpr::AnyType => self.emit(ctx, "any_type", vec![], vec![]),
+            ConstraintExpr::AnyAttr => self.emit(ctx, "any_attr", vec![], vec![]),
+            ConstraintExpr::AnyOf(items) => {
+                let operands = items
+                    .iter()
+                    .map(|e| self.lower(ctx, e))
+                    .collect::<Result<Vec<_>>>()?;
+                self.emit(ctx, "any_of", operands, vec![])
+            }
+            ConstraintExpr::And(items) => {
+                let operands = items
+                    .iter()
+                    .map(|e| self.lower(ctx, e))
+                    .collect::<Result<Vec<_>>>()?;
+                self.emit(ctx, "all_of", operands, vec![])
+            }
+            ConstraintExpr::Not(inner) => {
+                let operand = self.lower(ctx, inner)?;
+                self.emit(ctx, "not_op", vec![operand], vec![])
+            }
+            ConstraintExpr::ArrayOf(inner) => {
+                let operand = self.lower(ctx, inner)?;
+                self.emit(ctx, "array_of", vec![operand], vec![])
+            }
+            ConstraintExpr::ArrayExact(items) => {
+                let operands = items
+                    .iter()
+                    .map(|e| self.lower(ctx, e))
+                    .collect::<Result<Vec<_>>>()?;
+                self.emit(ctx, "array_exact", operands, vec![])
+            }
+            ConstraintExpr::Ref { sigil, path, args, .. } => {
+                // A bare single-segment reference may be a constraint
+                // variable of the enclosing operation.
+                if args.is_empty() && path.len() == 1 {
+                    if let Some(value) = self.vars.get(&path[0]) {
+                        return Ok(*value);
+                    }
+                }
+                if args.is_empty() {
+                    self.emit(ctx, "is", vec![], vec![("expr", print_expr(expr))])
+                } else {
+                    let operands = args
+                        .iter()
+                        .map(|e| self.lower(ctx, e))
+                        .collect::<Result<Vec<_>>>()?;
+                    let sigil_text = match sigil {
+                        Sigil::Attr => "#",
+                        Sigil::Type => "!",
+                        Sigil::None => "",
+                    };
+                    self.emit(
+                        ctx,
+                        "parametric",
+                        operands,
+                        vec![("base", path.join(".")), ("sigil", sigil_text.to_string())],
+                    )
+                }
+            }
+            // All remaining leaves (int kinds, literals, strings, arrays)
+            // encode via their canonical expression syntax.
+            other => self.emit(ctx, "is", vec![], vec![("expr", print_expr(other))]),
+        }
+    }
+}
+
+fn with_string_attr(
+    ctx: &mut Context,
+    state: OperationState,
+    key: &str,
+    value: &str,
+) -> OperationState {
+    let key = ctx.symbol(key);
+    let value = ctx.string_attr(value.to_string());
+    state.add_attribute(key, value)
+}
+
+fn with_opt_string_attr(
+    ctx: &mut Context,
+    state: OperationState,
+    key: &str,
+    value: &Option<String>,
+) -> OperationState {
+    match value {
+        Some(value) => with_string_attr(ctx, state, key, value),
+        None => state,
+    }
+}
+
+/// Recovers a [`DialectDef`] from an `irdl.dialect` operation.
+///
+/// # Errors
+///
+/// Returns a diagnostic when the meta-IR is malformed (wrong op names,
+/// missing attributes, non-constraint operands).
+pub fn from_meta_ir(ctx: &mut Context, dialect_op: OpRef) -> Result<DialectDef> {
+    let get_string = |ctx: &Context, op: OpRef, key: &str| -> Option<String> {
+        op.attr(ctx, key).and_then(|a| a.as_str(ctx).map(str::to_string))
+    };
+    let name = get_string(ctx, dialect_op, "sym_name")
+        .ok_or_else(|| Diagnostic::new("irdl.dialect needs a sym_name"))?;
+    let summary = get_string(ctx, dialect_op, "summary");
+    let mut items = Vec::new();
+    let body = dialect_op
+        .region(ctx, 0)
+        .entry_block(ctx)
+        .ok_or_else(|| Diagnostic::new("irdl.dialect has an empty body"))?;
+    for &item_op in body.ops(ctx).to_vec().iter() {
+        let op_name = item_op.name(ctx).display(ctx);
+        match op_name.as_str() {
+            "irdl.type_def" | "irdl.attr_def" => {
+                let is_type = op_name == "irdl.type_def";
+                let def = raise_type_attr(ctx, item_op)?;
+                items.push(if is_type { Item::Type(def) } else { Item::Attribute(def) });
+            }
+            "irdl.operation" => items.push(Item::Operation(raise_operation(ctx, item_op)?)),
+            "irdl.verbatim" => {
+                let text = get_string(ctx, item_op, "text")
+                    .ok_or_else(|| Diagnostic::new("irdl.verbatim needs text"))?;
+                let wrapped = format!("Dialect d {{\n{text}\n}}");
+                let parsed = crate::parser::parse_irdl(&wrapped)
+                    .map_err(|d| d.with_note("while raising irdl.verbatim"))?;
+                items.extend(parsed.dialects.into_iter().flat_map(|d| d.items));
+            }
+            other => {
+                return Err(Diagnostic::new(format!(
+                    "unexpected operation `{other}` in irdl.dialect body"
+                )))
+            }
+        }
+    }
+    Ok(DialectDef { name, summary, items, span: 0 })
+}
+
+fn string_array(ctx: &Context, op: OpRef, key: &str) -> Vec<String> {
+    op.attr(ctx, key)
+        .and_then(|a| a.as_array(ctx).map(|items| items.to_vec()))
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(|a| a.as_str(ctx).map(str::to_string))
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+fn raise_type_attr(ctx: &mut Context, op: OpRef) -> Result<TypeAttrDef> {
+    let name = op
+        .attr(ctx, "sym_name")
+        .and_then(|a| a.as_str(ctx).map(str::to_string))
+        .ok_or_else(|| Diagnostic::new("definition needs a sym_name"))?;
+    let entry = op
+        .region(ctx, 0)
+        .entry_block(ctx)
+        .ok_or_else(|| Diagnostic::new("definition has an empty body"))?;
+    let raiser = ConstraintRaiser::analyze(ctx, entry, &[]);
+    let mut parameters = Vec::new();
+    for &inner in entry.ops(ctx).to_vec().iter() {
+        if inner.name(ctx).display(ctx) == "irdl.parameters" {
+            let names = string_array(ctx, inner, "names");
+            for (i, operand) in inner.operands(ctx).to_vec().iter().enumerate() {
+                parameters.push(NamedConstraint {
+                    name: names.get(i).cloned().unwrap_or_else(|| format!("p{i}")),
+                    constraint: raiser.raise(ctx, *operand)?,
+                    span: 0,
+                });
+            }
+        }
+    }
+    let get = |ctx: &Context, key: &str| {
+        op.attr(ctx, key).and_then(|a| a.as_str(ctx).map(str::to_string))
+    };
+    Ok(TypeAttrDef {
+        name,
+        parameters,
+        summary: get(ctx, "summary"),
+        native_verifier: get(ctx, "native_verifier"),
+        format: get(ctx, "format"),
+        span: 0,
+    })
+}
+
+fn raise_operation(ctx: &mut Context, op: OpRef) -> Result<OpDef> {
+    let get = |ctx: &Context, key: &str| {
+        op.attr(ctx, key).and_then(|a| a.as_str(ctx).map(str::to_string))
+    };
+    let name = get(ctx, "sym_name").ok_or_else(|| Diagnostic::new("operation needs sym_name"))?;
+    let entry = op
+        .region(ctx, 0)
+        .entry_block(ctx)
+        .ok_or_else(|| Diagnostic::new("operation has an empty body"))?;
+    let var_names = string_array(ctx, op, "var_names");
+    let raiser = ConstraintRaiser::analyze(ctx, entry, &var_names);
+
+    let mut def = OpDef { name, span: 0, ..Default::default() };
+    def.summary = get(ctx, "summary");
+    def.format = get(ctx, "format");
+    def.native_verifier = get(ctx, "native_verifier");
+    if op.attr(ctx, "successors").is_some() {
+        def.successors = Some(string_array(ctx, op, "successors"));
+    }
+    // Declared variables become ConstraintVars entries.
+    for (var_name, value) in &raiser.var_defs {
+        def.constraint_vars.push(NamedConstraint {
+            name: var_name.clone(),
+            constraint: raiser.raise_definition(ctx, *value)?,
+            span: 0,
+        });
+    }
+
+    for &inner in entry.ops(ctx).to_vec().iter() {
+        let inner_name = inner.name(ctx).display(ctx);
+        match inner_name.as_str() {
+            "irdl.operands_def" | "irdl.results_def" => {
+                let names = string_array(ctx, inner, "names");
+                let variadicity = string_array(ctx, inner, "variadicity");
+                let mut args = Vec::new();
+                for (i, operand) in inner.operands(ctx).to_vec().iter().enumerate() {
+                    args.push(ArgDef {
+                        name: names.get(i).cloned().unwrap_or_else(|| format!("v{i}")),
+                        constraint: raiser.raise(ctx, *operand)?,
+                        variadicity: match variadicity.get(i).map(String::as_str) {
+                            Some("variadic") => Variadicity::Variadic,
+                            Some("optional") => Variadicity::Optional,
+                            _ => Variadicity::Single,
+                        },
+                        span: 0,
+                    });
+                }
+                if inner_name == "irdl.operands_def" {
+                    def.operands = args;
+                } else {
+                    def.results = args;
+                }
+            }
+            "irdl.attributes_def" => {
+                let names = string_array(ctx, inner, "names");
+                for (i, operand) in inner.operands(ctx).to_vec().iter().enumerate() {
+                    def.attributes.push(NamedConstraint {
+                        name: names.get(i).cloned().unwrap_or_else(|| format!("a{i}")),
+                        constraint: raiser.raise(ctx, *operand)?,
+                        span: 0,
+                    });
+                }
+            }
+            _ => {} // constraint-producing ops are raised on demand
+        }
+    }
+
+    // Region definitions were carried as canonical text.
+    for text in string_array(ctx, op, "region_defs") {
+        let wrapped = format!("Dialect d {{ Operation x {{ {text} }} }}");
+        let parsed = crate::parser::parse_irdl(&wrapped)
+            .map_err(|d| d.with_note("while raising a region definition"))?;
+        for item in &parsed.dialects[0].items {
+            if let Item::Operation(x) = item {
+                def.regions.extend(x.regions.clone());
+            }
+        }
+    }
+    Ok(def)
+}
+
+/// Raises constraint SSA values back to expressions. Values used more than
+/// once become constraint-variable references.
+struct ConstraintRaiser {
+    /// Variable name for each multiply-used value.
+    var_defs: Vec<(String, Value)>,
+}
+
+impl ConstraintRaiser {
+    fn analyze(ctx: &Context, entry: irdl_ir::BlockRef, _declared_names: &[String]) -> Self {
+        // Declared variables are the ops carrying a `var` marker (written
+        // by the lowering); multiply-used unmarked values also become
+        // variables so hand-authored meta-IR keeps the SSA-sharing
+        // semantics.
+        let mut var_defs: Vec<(String, Value)> = Vec::new();
+        let mut next = 0usize;
+        for &op in entry.ops(ctx) {
+            for i in 0..op.num_results(ctx) {
+                let value = op.result(ctx, i);
+                if let Some(name) =
+                    op.attr(ctx, "var").and_then(|a| a.as_str(ctx).map(str::to_string))
+                {
+                    var_defs.push((name, value));
+                } else if value.uses(ctx).len() > 1 {
+                    loop {
+                        next += 1;
+                        let candidate = format!("T{next}");
+                        if !var_defs.iter().any(|(n, _)| *n == candidate) {
+                            var_defs.push((candidate, value));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        ConstraintRaiser { var_defs }
+    }
+
+    /// Raises a use of `value`: shared values become variable references.
+    fn raise(&self, ctx: &mut Context, value: Value) -> Result<ConstraintExpr> {
+        if let Some((name, _)) = self.var_defs.iter().find(|(_, v)| *v == value) {
+            // Variables canonically print with the type sigil (`!T`).
+            return Ok(ConstraintExpr::Ref {
+                sigil: Sigil::Type,
+                path: vec![name.clone()],
+                args: vec![],
+                span: 0,
+            });
+        }
+        self.raise_definition(ctx, value)
+    }
+
+    /// Raises the defining expression of `value` (never a variable ref).
+    fn raise_definition(&self, ctx: &mut Context, value: Value) -> Result<ConstraintExpr> {
+        let op = value
+            .defining_op(ctx)
+            .ok_or_else(|| Diagnostic::new("constraint operand is not an op result"))?;
+        let name = op.name(ctx).display(ctx);
+        let operands = op.operands(ctx).to_vec();
+        let raise_all = |this: &Self, ctx: &mut Context| -> Result<Vec<ConstraintExpr>> {
+            operands.iter().map(|v| this.raise(ctx, *v)).collect()
+        };
+        match name.as_str() {
+            "irdl.any" => Ok(ConstraintExpr::AnyParam),
+            "irdl.any_type" => Ok(ConstraintExpr::AnyType),
+            "irdl.any_attr" => Ok(ConstraintExpr::AnyAttr),
+            "irdl.any_of" => Ok(ConstraintExpr::AnyOf(raise_all(self, ctx)?)),
+            "irdl.all_of" => Ok(ConstraintExpr::And(raise_all(self, ctx)?)),
+            "irdl.not_op" => {
+                let inner = self.raise(ctx, operands[0])?;
+                Ok(ConstraintExpr::Not(Box::new(inner)))
+            }
+            "irdl.array_of" => {
+                let inner = self.raise(ctx, operands[0])?;
+                Ok(ConstraintExpr::ArrayOf(Box::new(inner)))
+            }
+            "irdl.array_exact" => Ok(ConstraintExpr::ArrayExact(raise_all(self, ctx)?)),
+            "irdl.parametric" => {
+                let base = op
+                    .attr(ctx, "base")
+                    .and_then(|a| a.as_str(ctx).map(str::to_string))
+                    .ok_or_else(|| Diagnostic::new("irdl.parametric needs a base"))?;
+                let sigil = match op.attr(ctx, "sigil").and_then(|a| {
+                    a.as_str(ctx).map(str::to_string)
+                }) {
+                    Some(s) if s == "#" => Sigil::Attr,
+                    Some(s) if s.is_empty() => Sigil::None,
+                    _ => Sigil::Type,
+                };
+                Ok(ConstraintExpr::Ref {
+                    sigil,
+                    path: base.split('.').map(str::to_string).collect(),
+                    args: raise_all(self, ctx)?,
+                    span: 0,
+                })
+            }
+            "irdl.is" => {
+                let expr = op
+                    .attr(ctx, "expr")
+                    .and_then(|a| a.as_str(ctx).map(str::to_string))
+                    .ok_or_else(|| Diagnostic::new("irdl.is needs an expr"))?;
+                crate::parser::parse_constraint_expr_str(&expr)
+                    .map_err(|d| d.with_note("while raising an irdl.is expression"))
+            }
+            other => Err(Diagnostic::new(format!(
+                "`{other}` is not a constraint operation"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::{print_dialect, strip_spans};
+
+    const CMATH: &str = r#"
+Dialect cmath {
+  Summary "Complex arithmetic"
+  Alias !FloatType = !AnyOf<!f32, !f64>
+  Type complex {
+    Parameters (elementType: !AnyOf<!f32, !f64>)
+    Summary "A complex number"
+  }
+  Operation mul {
+    ConstraintVar (!T: !complex<!AnyOf<!f32, !f64>>)
+    Operands (lhs: !T, rhs: !T)
+    Results (res: !T)
+    Format "$lhs, $rhs : $T.elementType"
+    Summary "Multiply two complex numbers"
+  }
+  Operation log {
+    Operands (c: !complex<!f32>, base: Optional<!f32>)
+    Results (res: !complex<!f32>)
+  }
+}
+"#;
+
+    #[test]
+    fn meta_dialect_registers() {
+        let mut ctx = Context::new();
+        register_meta_dialect(&mut ctx).unwrap();
+        let irdl_sym = ctx.symbol("irdl");
+        let d = ctx.registry().dialect(irdl_sym).unwrap();
+        assert!(d.num_ops() >= 15);
+    }
+
+    #[test]
+    fn roundtrip_through_meta_ir() {
+        let mut ctx = Context::new();
+        register_meta_dialect(&mut ctx).unwrap();
+        let file = crate::parser::parse_irdl(CMATH).unwrap();
+
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let meta_op = to_meta_ir(&mut ctx, &file.dialects[0], block).unwrap();
+
+        // The meta-IR itself verifies against the irdl meta-dialect.
+        irdl_ir::verify::verify_op(&ctx, module)
+            .unwrap_or_else(|e| panic!("meta-IR invalid: {:?}", e[0]));
+
+        // Raising recovers a structurally equal AST (modulo spans).
+        let mut raised = from_meta_ir(&mut ctx, meta_op).unwrap();
+        let mut original = file.dialects[0].clone();
+        let mut original_file = SourceFile { dialects: vec![original.clone()] };
+        strip_spans(&mut original_file);
+        original = original_file.dialects.remove(0);
+        let mut raised_file = SourceFile { dialects: vec![raised.clone()] };
+        strip_spans(&mut raised_file);
+        raised = raised_file.dialects.remove(0);
+        assert_eq!(
+            print_dialect(&raised),
+            print_dialect(&original),
+            "canonical text differs after the meta round-trip"
+        );
+    }
+
+    #[test]
+    fn meta_ir_prints_and_reparses() {
+        let mut ctx = Context::new();
+        register_meta_dialect(&mut ctx).unwrap();
+        let file = crate::parser::parse_irdl(CMATH).unwrap();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        to_meta_ir(&mut ctx, &file.dialects[0], block).unwrap();
+        let text = irdl_ir::print::op_to_string(&ctx, module);
+        assert!(text.contains("irdl.dialect"), "{text}");
+        assert!(text.contains("irdl.any_of"), "{text}");
+        let mut ctx2 = Context::new();
+        register_meta_dialect(&mut ctx2).unwrap();
+        let module2 = irdl_ir::parse::parse_module(&mut ctx2, &text)
+            .unwrap_or_else(|e| panic!("{}", e.render(&text)));
+        irdl_ir::verify::verify_op(&ctx2, module2).unwrap();
+        assert_eq!(irdl_ir::print::op_to_string(&ctx2, module2), text);
+    }
+
+    #[test]
+    fn single_use_constraint_var_survives_raising() {
+        // Regression: vars used once were dropped by the uses>1 heuristic,
+        // breaking formats that reference them ($T below).
+        let mut ctx = Context::new();
+        register_meta_dialect(&mut ctx).unwrap();
+        let src = r#"Dialect d {
+            Type box_t { Parameters (e: !AnyType) }
+            Operation wrap {
+                ConstraintVar (!T: !AnyOf<!f32, !f64>)
+                Operands (x: !box_t<!T>)
+                Results (res: !T)
+                Format "$x : $T"
+            }
+        }"#;
+        let file = crate::parser::parse_irdl(src).unwrap();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let meta_op = to_meta_ir(&mut ctx, &file.dialects[0], block).unwrap();
+        let raised = from_meta_ir(&mut ctx, meta_op).unwrap();
+        let op = raised
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Operation(op) => Some(op),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(op.constraint_vars.len(), 1, "{op:?}");
+        assert_eq!(op.constraint_vars[0].name, "T");
+        // The raised dialect must compile (the format references $T).
+        let mut fresh = Context::new();
+        crate::compile::compile_dialect(&mut fresh, &raised, &crate::NativeRegistry::new())
+            .unwrap();
+    }
+
+    #[test]
+    fn parametric_attr_sigil_survives_raising() {
+        // Regression: parametric attribute constraints were raised with a
+        // type sigil.
+        let mut ctx = Context::new();
+        register_meta_dialect(&mut ctx).unwrap();
+        let src = r#"Dialect demo {
+            Attribute myattr { Parameters (v: string) }
+            Operation o {
+                Results (r: !AnyType)
+                Attributes (a: #myattr<string>)
+            }
+        }"#;
+        let file = crate::parser::parse_irdl(src).unwrap();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let meta_op = to_meta_ir(&mut ctx, &file.dialects[0], block).unwrap();
+        let raised = from_meta_ir(&mut ctx, meta_op).unwrap();
+        let text = crate::printer::print_dialect(&raised);
+        assert!(text.contains("#myattr<string>"), "{text}");
+    }
+
+    #[test]
+    fn raised_dialect_compiles_and_behaves() {
+        let mut ctx = Context::new();
+        register_meta_dialect(&mut ctx).unwrap();
+        let file = crate::parser::parse_irdl(CMATH).unwrap();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let meta_op = to_meta_ir(&mut ctx, &file.dialects[0], block).unwrap();
+        let raised = from_meta_ir(&mut ctx, meta_op).unwrap();
+
+        // Compile the *raised* definition on a fresh context and check the
+        // synthesized verifier behaves like the original.
+        let mut fresh = Context::new();
+        crate::compile::compile_dialect(&mut fresh, &raised, &crate::NativeRegistry::new())
+            .unwrap();
+        let f32 = fresh.f32_type();
+        let ok = fresh.type_attr(f32);
+        assert!(fresh.parametric_type("cmath", "complex", [ok]).is_ok());
+        let i32 = fresh.i32_type();
+        let bad = fresh.type_attr(i32);
+        assert!(fresh.parametric_type("cmath", "complex", [bad]).is_err());
+    }
+}
+

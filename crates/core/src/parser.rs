@@ -1,0 +1,937 @@
+//! Parser for the IRDL language.
+//!
+//! The concrete syntax follows the paper's listings: a `Dialect` block
+//! containing `Type`, `Attribute`, `Alias`, `Enum`, `Constraint`,
+//! `TypeOrAttrParam`, and `Operation` definitions. The token stream is the
+//! same one used by the IR textual format ([`irdl_ir::lexer`]).
+
+use irdl_ir::diag::{Diagnostic, Result};
+use irdl_ir::lexer::{lex, Spanned, Token};
+
+use crate::ast::*;
+
+/// Parses an IRDL source file.
+///
+/// # Errors
+///
+/// Returns a diagnostic carrying a byte offset into `source`.
+///
+/// # Example
+///
+/// ```
+/// let file = irdl::parser::parse_irdl(
+///     "Dialect cmath {\n  Type complex { Parameters (elementType: !AnyType) }\n}",
+/// )?;
+/// assert_eq!(file.dialects[0].name, "cmath");
+/// # Ok::<(), irdl_ir::Diagnostic>(())
+/// ```
+pub fn parse_irdl(source: &str) -> Result<SourceFile> {
+    let tokens = lex(source)?;
+    let mut parser = IrdlParser { tokens, pos: 0 };
+    let mut dialects = Vec::new();
+    while parser.peek() != &Token::Eof {
+        dialects.push(parser.parse_dialect()?);
+    }
+    Ok(SourceFile { dialects })
+}
+
+/// Parses a single constraint expression from `source` (e.g.
+/// `"!complex<!AnyOf<!f32, !f64>>"`).
+///
+/// # Errors
+///
+/// Returns a diagnostic on malformed input or trailing tokens.
+pub fn parse_constraint_expr_str(source: &str) -> Result<crate::ast::ConstraintExpr> {
+    let tokens = lex(source)?;
+    let mut parser = IrdlParser { tokens, pos: 0 };
+    let expr = parser.parse_constraint_expr()?;
+    match parser.peek() {
+        Token::Eof => Ok(expr),
+        other => Err(Diagnostic::at(
+            parser.offset(),
+            format!("unexpected trailing {}", other.describe()),
+        )),
+    }
+}
+
+struct IrdlParser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl IrdlParser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn error(&self, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::at(self.offset(), message)
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<()> {
+        if self.peek() == expected {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                expected.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn consume_if(&mut self, expected: &Token) -> bool {
+        if self.peek() == expected {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.peek() {
+            Token::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {}", other.describe()))),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Token::Ident(s) if s == kw)
+    }
+
+    fn expect_string(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => {
+                Err(self.error(format!("expected string literal, found {}", other.describe())))
+            }
+        }
+    }
+
+    // ----- dialect & items ---------------------------------------------------
+
+    fn parse_dialect(&mut self) -> Result<DialectDef> {
+        let span = self.offset();
+        self.expect_keyword("Dialect")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut summary = None;
+        let mut items = Vec::new();
+        while !self.consume_if(&Token::RBrace) {
+            match self.peek().clone() {
+                Token::Ident(kw) => match kw.as_str() {
+                    "Summary" => {
+                        self.bump();
+                        summary = Some(self.expect_string()?);
+                    }
+                    "Type" => items.push(Item::Type(self.parse_type_attr_def()?)),
+                    "Attribute" => items.push(Item::Attribute(self.parse_type_attr_def()?)),
+                    "Alias" => items.push(Item::Alias(self.parse_alias()?)),
+                    "Enum" => items.push(Item::Enum(self.parse_enum()?)),
+                    "Constraint" => items.push(Item::Constraint(self.parse_constraint_def()?)),
+                    "TypeOrAttrParam" => {
+                        items.push(Item::TypeOrAttrParam(self.parse_param_def()?))
+                    }
+                    "Operation" => items.push(Item::Operation(self.parse_op_def()?)),
+                    other => {
+                        return Err(self.error(format!("unknown dialect item `{other}`")));
+                    }
+                },
+                Token::Eof => return Err(self.error("unterminated dialect body")),
+                other => {
+                    return Err(self
+                        .error(format!("expected dialect item, found {}", other.describe())))
+                }
+            }
+        }
+        Ok(DialectDef { name, summary, items, span })
+    }
+
+    fn parse_type_attr_def(&mut self) -> Result<TypeAttrDef> {
+        let span = self.offset();
+        self.bump(); // `Type` or `Attribute`
+        let name = self.expect_ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut def = TypeAttrDef {
+            name,
+            parameters: Vec::new(),
+            summary: None,
+            native_verifier: None,
+            format: None,
+            span,
+        };
+        while !self.consume_if(&Token::RBrace) {
+            match self.peek().clone() {
+                Token::Ident(kw) => match kw.as_str() {
+                    "Parameters" => {
+                        self.bump();
+                        def.parameters = self.parse_named_constraint_list()?;
+                    }
+                    "Summary" => {
+                        self.bump();
+                        def.summary = Some(self.expect_string()?);
+                    }
+                    "NativeVerifier" => {
+                        self.bump();
+                        def.native_verifier = Some(self.expect_string()?);
+                    }
+                    "Format" => {
+                        self.bump();
+                        def.format = Some(self.expect_string()?);
+                    }
+                    other => return Err(self.error(format!("unknown directive `{other}`"))),
+                },
+                other => {
+                    return Err(self.error(format!("expected directive, found {}", other.describe())))
+                }
+            }
+        }
+        Ok(def)
+    }
+
+    fn parse_alias(&mut self) -> Result<AliasDef> {
+        let span = self.offset();
+        self.expect_keyword("Alias")?;
+        let name = match self.bump() {
+            Token::Ident(s) | Token::TypeRef(s) | Token::AttrRef(s) => s,
+            other => {
+                return Err(self.error(format!("expected alias name, found {}", other.describe())))
+            }
+        };
+        let mut params = Vec::new();
+        if self.consume_if(&Token::Lt) {
+            loop {
+                params.push(self.expect_ident()?);
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::Gt)?;
+        }
+        self.expect(&Token::Equals)?;
+        let body = self.parse_constraint_expr()?;
+        Ok(AliasDef { name, params, body, span })
+    }
+
+    fn parse_enum(&mut self) -> Result<EnumDef> {
+        let span = self.offset();
+        self.expect_keyword("Enum")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut variants = Vec::new();
+        if !self.consume_if(&Token::RBrace) {
+            loop {
+                variants.push(self.expect_ident()?);
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RBrace)?;
+        }
+        Ok(EnumDef { name, variants, span })
+    }
+
+    fn parse_constraint_def(&mut self) -> Result<ConstraintDef> {
+        let span = self.offset();
+        self.expect_keyword("Constraint")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::Colon)?;
+        let base = self.parse_constraint_expr()?;
+        let mut summary = None;
+        let mut native = None;
+        if self.consume_if(&Token::LBrace) {
+            while !self.consume_if(&Token::RBrace) {
+                match self.peek().clone() {
+                    Token::Ident(kw) => match kw.as_str() {
+                        "Summary" => {
+                            self.bump();
+                            summary = Some(self.expect_string()?);
+                        }
+                        "NativeConstraint" => {
+                            self.bump();
+                            native = Some(self.expect_string()?);
+                        }
+                        other => return Err(self.error(format!("unknown directive `{other}`"))),
+                    },
+                    other => {
+                        return Err(self
+                            .error(format!("expected directive, found {}", other.describe())))
+                    }
+                }
+            }
+        }
+        Ok(ConstraintDef { name, base, summary, native, span })
+    }
+
+    fn parse_param_def(&mut self) -> Result<ParamDef> {
+        let span = self.offset();
+        self.expect_keyword("TypeOrAttrParam")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut summary = None;
+        let mut native_kind = None;
+        while !self.consume_if(&Token::RBrace) {
+            match self.peek().clone() {
+                Token::Ident(kw) => match kw.as_str() {
+                    "Summary" => {
+                        self.bump();
+                        summary = Some(self.expect_string()?);
+                    }
+                    "NativeType" => {
+                        self.bump();
+                        native_kind = Some(self.expect_string()?);
+                    }
+                    other => return Err(self.error(format!("unknown directive `{other}`"))),
+                },
+                other => {
+                    return Err(self.error(format!("expected directive, found {}", other.describe())))
+                }
+            }
+        }
+        let native_kind = native_kind
+            .ok_or_else(|| Diagnostic::at(span, "TypeOrAttrParam requires a NativeType name"))?;
+        Ok(ParamDef { name, summary, native_kind, span })
+    }
+
+    fn parse_op_def(&mut self) -> Result<OpDef> {
+        let span = self.offset();
+        self.expect_keyword("Operation")?;
+        let name = self.expect_ident()?;
+        self.expect(&Token::LBrace)?;
+        let mut def = OpDef { name, span, ..Default::default() };
+        while !self.consume_if(&Token::RBrace) {
+            match self.peek().clone() {
+                Token::Ident(kw) => match kw.as_str() {
+                    "ConstraintVar" | "ConstraintVars" => {
+                        self.bump();
+                        def.constraint_vars.extend(self.parse_named_constraint_list()?);
+                    }
+                    "Operands" => {
+                        self.bump();
+                        def.operands = self.parse_arg_def_list()?;
+                    }
+                    "Results" => {
+                        self.bump();
+                        def.results = self.parse_arg_def_list()?;
+                    }
+                    "Attributes" => {
+                        self.bump();
+                        def.attributes = self.parse_named_constraint_list()?;
+                    }
+                    "Region" => {
+                        self.bump();
+                        def.regions.push(self.parse_region_def()?);
+                    }
+                    "Successors" => {
+                        self.bump();
+                        self.expect(&Token::LParen)?;
+                        let mut successors = Vec::new();
+                        if !self.consume_if(&Token::RParen) {
+                            loop {
+                                successors.push(self.expect_ident()?);
+                                if !self.consume_if(&Token::Comma) {
+                                    break;
+                                }
+                            }
+                            self.expect(&Token::RParen)?;
+                        }
+                        def.successors = Some(successors);
+                    }
+                    "Format" => {
+                        self.bump();
+                        def.format = Some(self.expect_string()?);
+                    }
+                    "Summary" => {
+                        self.bump();
+                        def.summary = Some(self.expect_string()?);
+                    }
+                    "NativeVerifier" => {
+                        self.bump();
+                        def.native_verifier = Some(self.expect_string()?);
+                    }
+                    other => return Err(self.error(format!("unknown directive `{other}`"))),
+                },
+                other => {
+                    return Err(self.error(format!("expected directive, found {}", other.describe())))
+                }
+            }
+        }
+        Ok(def)
+    }
+
+    fn parse_region_def(&mut self) -> Result<RegionDef> {
+        let span = self.offset();
+        let name = self.expect_ident()?;
+        let mut def = RegionDef { name, arguments: None, terminator: None, span };
+        if self.consume_if(&Token::LBrace) {
+            while !self.consume_if(&Token::RBrace) {
+                match self.peek().clone() {
+                    Token::Ident(kw) => match kw.as_str() {
+                        "Arguments" => {
+                            self.bump();
+                            def.arguments = Some(self.parse_arg_def_list()?);
+                        }
+                        "Terminator" => {
+                            self.bump();
+                            def.terminator = Some(self.expect_ident()?);
+                        }
+                        other => return Err(self.error(format!("unknown directive `{other}`"))),
+                    },
+                    other => {
+                        return Err(self
+                            .error(format!("expected directive, found {}", other.describe())))
+                    }
+                }
+            }
+        }
+        Ok(def)
+    }
+
+    // ----- shared pieces --------------------------------------------------------
+
+    /// `(name: constraint, ...)`; names may carry a `!`/`#` sigil (the paper
+    /// writes `ConstraintVar (!T: ...)`).
+    fn parse_named_constraint_list(&mut self) -> Result<Vec<NamedConstraint>> {
+        self.expect(&Token::LParen)?;
+        let mut out = Vec::new();
+        if !self.consume_if(&Token::RParen) {
+            loop {
+                let span = self.offset();
+                let name = match self.bump() {
+                    Token::Ident(s) | Token::TypeRef(s) | Token::AttrRef(s) => s,
+                    other => {
+                        return Err(
+                            self.error(format!("expected name, found {}", other.describe()))
+                        )
+                    }
+                };
+                self.expect(&Token::Colon)?;
+                let constraint = self.parse_constraint_expr()?;
+                out.push(NamedConstraint { name, constraint, span });
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        Ok(out)
+    }
+
+    /// `(name: constraint, ...)` where constraints may be wrapped in
+    /// `Variadic<...>` / `Optional<...>`.
+    fn parse_arg_def_list(&mut self) -> Result<Vec<ArgDef>> {
+        self.expect(&Token::LParen)?;
+        let mut out = Vec::new();
+        if !self.consume_if(&Token::RParen) {
+            loop {
+                let span = self.offset();
+                let name = match self.bump() {
+                    Token::Ident(s) | Token::TypeRef(s) | Token::AttrRef(s) => s,
+                    other => {
+                        return Err(
+                            self.error(format!("expected name, found {}", other.describe()))
+                        )
+                    }
+                };
+                self.expect(&Token::Colon)?;
+                let (constraint, variadicity) = self.parse_arg_constraint()?;
+                out.push(ArgDef { name, constraint, variadicity, span });
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        Ok(out)
+    }
+
+    fn parse_arg_constraint(&mut self) -> Result<(ConstraintExpr, Variadicity)> {
+        for (kw, variadicity) in
+            [("Variadic", Variadicity::Variadic), ("Optional", Variadicity::Optional)]
+        {
+            if self.peek_keyword(kw) {
+                self.bump();
+                self.expect(&Token::Lt)?;
+                let inner = self.parse_constraint_expr()?;
+                self.expect(&Token::Gt)?;
+                return Ok((inner, variadicity));
+            }
+        }
+        Ok((self.parse_constraint_expr()?, Variadicity::Single))
+    }
+
+    // ----- constraint expressions -------------------------------------------------
+
+    fn parse_constraint_expr(&mut self) -> Result<ConstraintExpr> {
+        let span = self.offset();
+        match self.peek().clone() {
+            Token::Integer { value, .. } => {
+                self.bump();
+                self.expect(&Token::Colon)?;
+                let kw = self.expect_ident()?;
+                let kind = IntKind::from_keyword(&kw).ok_or_else(|| {
+                    Diagnostic::at(span, format!("`{kw}` is not an integer parameter kind"))
+                })?;
+                if !kind.fits(value) {
+                    return Err(Diagnostic::at(
+                        span,
+                        format!("literal {value} does not fit in {}", kind.keyword()),
+                    ));
+                }
+                Ok(ConstraintExpr::IntLiteral { value, kind })
+            }
+            Token::Str(s) => {
+                self.bump();
+                Ok(ConstraintExpr::StringLiteral(s))
+            }
+            Token::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.consume_if(&Token::RBracket) {
+                    loop {
+                        items.push(self.parse_constraint_expr()?);
+                        if !self.consume_if(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RBracket)?;
+                }
+                Ok(ConstraintExpr::ArrayExact(items))
+            }
+            Token::Ident(name) => {
+                self.bump();
+                self.finish_ref(Sigil::None, name, span)
+            }
+            Token::TypeRef(name) => {
+                self.bump();
+                self.finish_ref(Sigil::Type, name, span)
+            }
+            Token::AttrRef(name) => {
+                self.bump();
+                self.finish_ref(Sigil::Attr, name, span)
+            }
+            other => {
+                Err(self.error(format!("expected constraint, found {}", other.describe())))
+            }
+        }
+    }
+
+    fn finish_ref(&mut self, sigil: Sigil, name: String, span: Span) -> Result<ConstraintExpr> {
+        // Keyword forms that are not ordinary references.
+        match (sigil, name.as_str()) {
+            (Sigil::Type, "AnyType") | (Sigil::None, "AnyType") => {
+                return Ok(ConstraintExpr::AnyType)
+            }
+            (Sigil::Attr, "AnyAttr") | (Sigil::None, "AnyAttr") => {
+                return Ok(ConstraintExpr::AnyAttr)
+            }
+            (Sigil::None, "AnyParam") => return Ok(ConstraintExpr::AnyParam),
+            (_, "AnyOf") => return Ok(ConstraintExpr::AnyOf(self.parse_angle_list()?)),
+            (_, "And") => return Ok(ConstraintExpr::And(self.parse_angle_list()?)),
+            (_, "Not") => {
+                let mut items = self.parse_angle_list()?;
+                if items.len() != 1 {
+                    return Err(Diagnostic::at(span, "Not<> takes exactly one constraint"));
+                }
+                return Ok(ConstraintExpr::Not(Box::new(items.remove(0))));
+            }
+            (Sigil::None, "string") => return Ok(ConstraintExpr::StringAny),
+            (Sigil::None, "array") => {
+                if self.peek() == &Token::Lt {
+                    let mut items = self.parse_angle_list()?;
+                    if items.len() != 1 {
+                        return Err(Diagnostic::at(span, "array<> takes exactly one constraint"));
+                    }
+                    return Ok(ConstraintExpr::ArrayOf(Box::new(items.remove(0))));
+                }
+                return Ok(ConstraintExpr::ArrayAny);
+            }
+            (Sigil::None, kw) => {
+                if let Some(kind) = IntKind::from_keyword(kw) {
+                    return Ok(ConstraintExpr::IntKind(kind));
+                }
+            }
+            _ => {}
+        }
+        let path: Vec<String> = name.split('.').map(str::to_string).collect();
+        if path.len() > 2 || path.iter().any(String::is_empty) {
+            return Err(Diagnostic::at(span, format!("malformed reference `{name}`")));
+        }
+        let args = if self.peek() == &Token::Lt { self.parse_angle_list()? } else { Vec::new() };
+        Ok(ConstraintExpr::Ref { sigil, path, args, span })
+    }
+
+    fn parse_angle_list(&mut self) -> Result<Vec<ConstraintExpr>> {
+        self.expect(&Token::Lt)?;
+        let mut items = Vec::new();
+        if !self.consume_if(&Token::Gt) {
+            loop {
+                items.push(self.parse_constraint_expr()?);
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::Gt)?;
+        }
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Listing 3 of the paper: the self-contained cmath dialect.
+    const CMATH: &str = r#"
+Dialect cmath {
+  Alias !FloatType = !AnyOf<!f32, !f64>
+
+  Type complex {
+    Parameters (elementType: !FloatType)
+    Summary "A complex number"
+  }
+
+  Operation mul {
+    ConstraintVar (!T: !complex<!FloatType>)
+    Operands (lhs: !T, rhs: !T)
+    Results (res: !T)
+    Format "$lhs, $rhs : $T.elementType"
+    Summary "Multiply two complex numbers"
+  }
+
+  Operation norm {
+    ConstraintVar (!T: !FloatType)
+    Operands (c: !complex<!T>)
+    Results (res: !T)
+    Format "$c : $T"
+    Summary "Compute the norm of a complex number"
+  }
+}
+"#;
+
+    #[test]
+    fn parse_listing3_cmath() {
+        let file = parse_irdl(CMATH).unwrap();
+        assert_eq!(file.dialects.len(), 1);
+        let d = &file.dialects[0];
+        assert_eq!(d.name, "cmath");
+        assert_eq!(d.items.len(), 4);
+        assert!(matches!(&d.items[0], Item::Alias(a) if a.name == "FloatType"));
+        match &d.items[1] {
+            Item::Type(t) => {
+                assert_eq!(t.name, "complex");
+                assert_eq!(t.parameters.len(), 1);
+                assert_eq!(t.parameters[0].name, "elementType");
+                assert_eq!(t.summary.as_deref(), Some("A complex number"));
+            }
+            other => panic!("expected type, got {other:?}"),
+        }
+        match &d.items[2] {
+            Item::Operation(op) => {
+                assert_eq!(op.name, "mul");
+                assert_eq!(op.constraint_vars.len(), 1);
+                assert_eq!(op.constraint_vars[0].name, "T");
+                assert_eq!(op.operands.len(), 2);
+                assert_eq!(op.results.len(), 1);
+                assert_eq!(op.format.as_deref(), Some("$lhs, $rhs : $T.elementType"));
+            }
+            other => panic!("expected operation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_listing4_aliases() {
+        let src = r#"
+Dialect c {
+  Alias !Complexf32 = !complex<!f32>
+  Alias !ComplexOr<T> = AnyOf<!complex<!AnyType>, T>
+}
+"#;
+        let file = parse_irdl(src).unwrap();
+        match &file.dialects[0].items[1] {
+            Item::Alias(a) => {
+                assert_eq!(a.name, "ComplexOr");
+                assert_eq!(a.params, vec!["T"]);
+                assert!(matches!(&a.body, ConstraintExpr::AnyOf(items) if items.len() == 2));
+            }
+            other => panic!("expected alias, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_listing5_attributes() {
+        let src = r#"
+Dialect c {
+  Operation create_constant {
+    Results (res: !complex<!f32>)
+    Attributes (re: #f32_attr, im: #f32_attr)
+    Summary "Create a constant complex number"
+  }
+}
+"#;
+        let file = parse_irdl(src).unwrap();
+        match &file.dialects[0].items[0] {
+            Item::Operation(op) => {
+                assert_eq!(op.attributes.len(), 2);
+                assert_eq!(op.attributes[0].name, "re");
+            }
+            other => panic!("expected operation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_listing6_optional() {
+        let src = r#"
+Dialect c {
+  Operation log {
+    Operands (c: !complex<!f32>, base: Optional<!f32>)
+    Results (res: !complex<!f32>)
+  }
+}
+"#;
+        let file = parse_irdl(src).unwrap();
+        match &file.dialects[0].items[0] {
+            Item::Operation(op) => {
+                assert_eq!(op.operands[0].variadicity, Variadicity::Single);
+                assert_eq!(op.operands[1].variadicity, Variadicity::Optional);
+            }
+            other => panic!("expected operation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_listing7_regions() {
+        let src = r#"
+Dialect c {
+  Operation range_loop_terminator {}
+  Operation range_loop {
+    Operands (lower_bound: !i32, upper_bound: !i32, step: !i32)
+    Region body {
+      Arguments (induction_variable: !i32)
+      Terminator range_loop_terminator
+    }
+  }
+}
+"#;
+        let file = parse_irdl(src).unwrap();
+        match &file.dialects[0].items[1] {
+            Item::Operation(op) => {
+                assert_eq!(op.regions.len(), 1);
+                let region = &op.regions[0];
+                assert_eq!(region.name, "body");
+                assert_eq!(region.arguments.as_ref().map(Vec::len), Some(1));
+                assert_eq!(region.terminator.as_deref(), Some("range_loop_terminator"));
+            }
+            other => panic!("expected operation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_listing8_successors() {
+        let src = r#"
+Dialect c {
+  Operation conditional_branch {
+    Operands (condition: !i1)
+    Successors (next_bb_true, next_bb_false)
+  }
+}
+"#;
+        let file = parse_irdl(src).unwrap();
+        match &file.dialects[0].items[0] {
+            Item::Operation(op) => {
+                assert_eq!(
+                    op.successors,
+                    Some(vec!["next_bb_true".to_string(), "next_bb_false".to_string()])
+                );
+            }
+            other => panic!("expected operation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_listing9_enums() {
+        let src = r#"
+Dialect c {
+  Enum signedness { Signless, Signed, Unsigned }
+  Type integer {
+    Parameters (bitwidth: uint32_t, signed: signedness)
+  }
+  Alias signed_integer = !integer<uint32_t, signedness.Signed>
+}
+"#;
+        let file = parse_irdl(src).unwrap();
+        match &file.dialects[0].items[0] {
+            Item::Enum(e) => assert_eq!(e.variants, vec!["Signless", "Signed", "Unsigned"]),
+            other => panic!("expected enum, got {other:?}"),
+        }
+        match &file.dialects[0].items[1] {
+            Item::Type(t) => {
+                assert_eq!(
+                    t.parameters[0].constraint,
+                    ConstraintExpr::IntKind(IntKind { width: 32, unsigned: true })
+                );
+                assert!(matches!(
+                    &t.parameters[1].constraint,
+                    ConstraintExpr::Ref { path, .. } if path == &vec!["signedness".to_string()]
+                ));
+            }
+            other => panic!("expected type, got {other:?}"),
+        }
+        match &file.dialects[0].items[2] {
+            Item::Alias(a) => match &a.body {
+                ConstraintExpr::Ref { path, args, .. } => {
+                    assert_eq!(path, &vec!["integer".to_string()]);
+                    assert!(matches!(
+                        &args[1],
+                        ConstraintExpr::Ref { path, .. }
+                            if path == &vec!["signedness".to_string(), "Signed".to_string()]
+                    ));
+                }
+                other => panic!("expected ref, got {other:?}"),
+            },
+            other => panic!("expected alias, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_listing10_native_constraints() {
+        let src = r#"
+Dialect c {
+  Constraint BoundedInteger : uint32_t {
+    Summary "integer value between 0 and 32"
+    NativeConstraint "bounded_u32"
+  }
+  Operation append_vector {
+    ConstraintVars (T: !AnyType)
+    Operands (lhs: !vector<T, BoundedInteger>, rhs: !vector<T, BoundedInteger>)
+    Results (res: !vector<T, BoundedInteger>)
+    NativeVerifier "append_vector_sizes"
+  }
+}
+"#;
+        let file = parse_irdl(src).unwrap();
+        match &file.dialects[0].items[0] {
+            Item::Constraint(c) => {
+                assert_eq!(c.name, "BoundedInteger");
+                assert_eq!(c.native.as_deref(), Some("bounded_u32"));
+                assert_eq!(c.base, ConstraintExpr::IntKind(IntKind { width: 32, unsigned: true }));
+            }
+            other => panic!("expected constraint, got {other:?}"),
+        }
+        match &file.dialects[0].items[1] {
+            Item::Operation(op) => {
+                assert_eq!(op.native_verifier.as_deref(), Some("append_vector_sizes"));
+            }
+            other => panic!("expected operation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_listing11_native_params() {
+        let src = r#"
+Dialect c {
+  TypeOrAttrParam StringParam {
+    Summary "A string parameter"
+    NativeType "string_param"
+  }
+  Attribute StringAttr {
+    Parameters (data: StringParam)
+  }
+}
+"#;
+        let file = parse_irdl(src).unwrap();
+        match &file.dialects[0].items[0] {
+            Item::TypeOrAttrParam(p) => {
+                assert_eq!(p.name, "StringParam");
+                assert_eq!(p.native_kind, "string_param");
+            }
+            other => panic!("expected param def, got {other:?}"),
+        }
+        assert!(matches!(&file.dialects[0].items[1], Item::Attribute(a) if a.name == "StringAttr"));
+    }
+
+    #[test]
+    fn parse_parameter_constraint_forms() {
+        let src = r#"
+Dialect c {
+  Type t {
+    Parameters (
+      a: int32_t,
+      b: 3 : int32_t,
+      c: string,
+      d: "foo",
+      e: array,
+      f: array<!AnyType>,
+      g: [!AnyType, #AnyAttr],
+      h: And<int32_t, Not<0 : int32_t>>,
+      i: AnyParam
+    )
+  }
+}
+"#;
+        let file = parse_irdl(src).unwrap();
+        let Item::Type(t) = &file.dialects[0].items[0] else { panic!() };
+        assert_eq!(t.parameters.len(), 9);
+        assert_eq!(
+            t.parameters[1].constraint,
+            ConstraintExpr::IntLiteral { value: 3, kind: IntKind { width: 32, unsigned: false } }
+        );
+        assert_eq!(t.parameters[3].constraint, ConstraintExpr::StringLiteral("foo".into()));
+        assert_eq!(t.parameters[4].constraint, ConstraintExpr::ArrayAny);
+        assert!(matches!(&t.parameters[5].constraint, ConstraintExpr::ArrayOf(_)));
+        assert!(matches!(&t.parameters[6].constraint, ConstraintExpr::ArrayExact(v) if v.len() == 2));
+        assert!(matches!(&t.parameters[7].constraint, ConstraintExpr::And(v) if v.len() == 2));
+        assert_eq!(t.parameters[8].constraint, ConstraintExpr::AnyParam);
+    }
+
+    #[test]
+    fn literal_out_of_range_is_an_error() {
+        let src = "Dialect c { Type t { Parameters (a: 300 : int8_t) } }";
+        let err = parse_irdl(src).unwrap_err();
+        assert!(err.message().contains("does not fit"), "{err}");
+    }
+
+    #[test]
+    fn unknown_directive_is_an_error() {
+        let src = "Dialect c { Operation o { Typo \"x\" } }";
+        let err = parse_irdl(src).unwrap_err();
+        assert!(err.message().contains("unknown directive"), "{err}");
+    }
+
+    #[test]
+    fn dialect_summary_parses() {
+        let src = "Dialect c { Summary \"complex math\" }";
+        let file = parse_irdl(src).unwrap();
+        assert_eq!(file.dialects[0].summary.as_deref(), Some("complex math"));
+    }
+}

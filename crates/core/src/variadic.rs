@@ -1,0 +1,168 @@
+//! Variadic segment resolution (paper §4.6).
+//!
+//! Operand/result definitions may be `Variadic` (0+) or `Optional` (0/1).
+//! With at most one variadic definition, segment sizes are implied by the
+//! total count; with two or more, the operation must carry a segment-sizes
+//! attribute ("an attribute containing the size of the variadic operands
+//! and results is expected when Operands or Results contain more than one
+//! variadic definition").
+
+use crate::ast::Variadicity;
+
+/// Name of the attribute carrying operand segment sizes.
+///
+/// The segment attributes live in the ordinary attribute dictionary (as in
+/// MLIR); dialects should treat both names as reserved.
+pub const OPERAND_SEGMENT_ATTR: &str = "operand_segment_sizes";
+/// Name of the attribute carrying result segment sizes.
+pub const RESULT_SEGMENT_ATTR: &str = "result_segment_sizes";
+
+/// Computes the size of each definition's segment.
+///
+/// `total` is the actual operand/result count, `defs` the declared
+/// variadicities, and `explicit` the decoded segment-sizes attribute if the
+/// operation carries one.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the counts cannot be reconciled.
+pub fn resolve_segments(
+    total: usize,
+    defs: &[Variadicity],
+    explicit: Option<&[i64]>,
+) -> Result<Vec<usize>, String> {
+    if let Some(sizes) = explicit {
+        return check_explicit(total, defs, sizes);
+    }
+    let variadic_count =
+        defs.iter().filter(|v| !matches!(v, Variadicity::Single)).count();
+    match variadic_count {
+        0 => {
+            if total != defs.len() {
+                return Err(format!(
+                    "expected exactly {} value(s), got {total}",
+                    defs.len()
+                ));
+            }
+            Ok(vec![1; defs.len()])
+        }
+        1 => {
+            let fixed = defs.len() - 1;
+            if total < fixed {
+                return Err(format!("expected at least {fixed} value(s), got {total}"));
+            }
+            let variadic_size = total - fixed;
+            let index = defs
+                .iter()
+                .position(|v| !matches!(v, Variadicity::Single))
+                .expect("counted above");
+            if matches!(defs[index], Variadicity::Optional) && variadic_size > 1 {
+                return Err(format!(
+                    "optional definition #{index} matched {variadic_size} values"
+                ));
+            }
+            Ok(defs
+                .iter()
+                .enumerate()
+                .map(|(i, _)| if i == index { variadic_size } else { 1 })
+                .collect())
+        }
+        _ => Err(format!(
+            "{variadic_count} variadic definitions require a segment-sizes attribute"
+        )),
+    }
+}
+
+fn check_explicit(
+    total: usize,
+    defs: &[Variadicity],
+    sizes: &[i64],
+) -> Result<Vec<usize>, String> {
+    if sizes.len() != defs.len() {
+        return Err(format!(
+            "segment-sizes attribute has {} entries; {} definitions declared",
+            sizes.len(),
+            defs.len()
+        ));
+    }
+    let mut out = Vec::with_capacity(sizes.len());
+    let mut sum = 0usize;
+    for (i, (&size, def)) in sizes.iter().zip(defs).enumerate() {
+        if size < 0 {
+            return Err(format!("segment #{i} has negative size {size}"));
+        }
+        let size = size as usize;
+        match def {
+            Variadicity::Single if size != 1 => {
+                return Err(format!("segment #{i} must have size 1, got {size}"));
+            }
+            Variadicity::Optional if size > 1 => {
+                return Err(format!("segment #{i} is optional but has size {size}"));
+            }
+            _ => {}
+        }
+        sum += size;
+        out.push(size);
+    }
+    if sum != total {
+        return Err(format!("segment sizes sum to {sum}, but {total} value(s) are present"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Variadicity::{Optional, Single, Variadic};
+
+    #[test]
+    fn all_single() {
+        assert_eq!(resolve_segments(2, &[Single, Single], None).unwrap(), vec![1, 1]);
+        assert!(resolve_segments(3, &[Single, Single], None).is_err());
+    }
+
+    #[test]
+    fn one_variadic_absorbs_rest() {
+        assert_eq!(
+            resolve_segments(4, &[Single, Variadic, Single], None).unwrap(),
+            vec![1, 2, 1]
+        );
+        assert_eq!(
+            resolve_segments(2, &[Single, Variadic, Single], None).unwrap(),
+            vec![1, 0, 1]
+        );
+        assert!(resolve_segments(1, &[Single, Variadic, Single], None).is_err());
+    }
+
+    #[test]
+    fn optional_is_zero_or_one() {
+        // Listing 6: log with an optional base operand (1 or 2 operands).
+        assert_eq!(resolve_segments(1, &[Single, Optional], None).unwrap(), vec![1, 0]);
+        assert_eq!(resolve_segments(2, &[Single, Optional], None).unwrap(), vec![1, 1]);
+        let err = resolve_segments(3, &[Single, Optional], None).unwrap_err();
+        assert!(err.contains("optional"), "{err}");
+    }
+
+    #[test]
+    fn multiple_variadics_need_attribute() {
+        let err = resolve_segments(4, &[Variadic, Variadic], None).unwrap_err();
+        assert!(err.contains("segment-sizes"), "{err}");
+        assert_eq!(
+            resolve_segments(4, &[Variadic, Variadic], Some(&[3, 1])).unwrap(),
+            vec![3, 1]
+        );
+        assert!(resolve_segments(4, &[Variadic, Variadic], Some(&[3, 2])).is_err());
+        assert!(resolve_segments(4, &[Variadic, Variadic], Some(&[4])).is_err());
+        assert!(resolve_segments(4, &[Variadic, Variadic], Some(&[-1, 5])).is_err());
+    }
+
+    #[test]
+    fn explicit_sizes_respect_single_and_optional() {
+        assert!(resolve_segments(3, &[Single, Variadic, Variadic], Some(&[2, 1, 0])).is_err());
+        assert!(resolve_segments(4, &[Optional, Variadic, Variadic], Some(&[2, 1, 1])).is_err());
+        assert_eq!(
+            resolve_segments(4, &[Optional, Variadic, Variadic], Some(&[1, 2, 1])).unwrap(),
+            vec![1, 2, 1]
+        );
+    }
+}

@@ -1,0 +1,258 @@
+//! Assembling and registering the full 28-dialect corpus.
+
+use std::rc::Rc;
+
+use irdl::NativeRegistry;
+use irdl_ir::diag::{Diagnostic, Result};
+use irdl_ir::Context;
+
+use crate::generator::generate_dialect;
+use crate::metadata::{dialects, DialectMeta};
+
+/// Returns the IRDL source text of one corpus dialect: the hand-written
+/// spec when one exists, the generated expansion otherwise.
+pub fn dialect_source(meta: &DialectMeta) -> String {
+    match meta.name {
+        "builtin" => include_str!("../specs/builtin.irdl").to_string(),
+        "arm_neon" => include_str!("../specs/arm_neon.irdl").to_string(),
+        "complex" => include_str!("../specs/complex.irdl").to_string(),
+        "scf" => include_str!("../specs/scf.irdl").to_string(),
+        _ => generate_dialect(meta),
+    }
+}
+
+/// The IRDL source of the entire corpus, dialect by dialect.
+pub fn corpus_sources() -> Vec<(String, String)> {
+    dialects()
+        .iter()
+        .map(|meta| (meta.name.to_string(), dialect_source(meta)))
+        .collect()
+}
+
+/// The native (IRDL-Rust) hooks the corpus depends on: the stock registry
+/// plus the op verifiers and parameter-list verifiers referenced by the
+/// corpus specifications.
+pub fn corpus_natives() -> NativeRegistry {
+    let mut natives = NativeRegistry::with_std();
+    // A generic cross-operand check, standing in for the 30% of MLIR ops
+    // whose verifier needs C++ (paper Figure 11b). It rejects duplicate
+    // operands, a representative non-local invariant.
+    natives.register_op_verifier(
+        "cross_operand_check",
+        Rc::new(|ctx: &Context, op: irdl_ir::OpRef| {
+            let operands = op.operands(ctx);
+            for (i, a) in operands.iter().enumerate() {
+                for b in operands.iter().skip(i + 1) {
+                    if a == b && operands.len() > 8 {
+                        return Err(Diagnostic::new(
+                            "wide operations must not repeat operands",
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        }),
+    );
+    natives.register_params_verifier(
+        "params_always_ok",
+        Rc::new(|_ctx: &Context, _params: &[irdl_ir::Attribute]| Ok(())),
+    );
+    natives.register_params_verifier(
+        "builtin_integer_width",
+        Rc::new(|ctx: &Context, params: &[irdl_ir::Attribute]| {
+            match params.first().and_then(|p| p.as_int(ctx)) {
+                Some(w) if (1..=128).contains(&w) => Ok(()),
+                Some(w) => Err(Diagnostic::new(format!("invalid integer bitwidth {w}"))),
+                None => Err(Diagnostic::new("integer type needs a bitwidth")),
+            }
+        }),
+    );
+    natives.register_params_verifier(
+        "builtin_float_width",
+        Rc::new(|ctx: &Context, params: &[irdl_ir::Attribute]| {
+            match params.first().and_then(|p| p.as_int(ctx)) {
+                Some(16) | Some(32) | Some(64) => Ok(()),
+                Some(w) => Err(Diagnostic::new(format!("invalid float bitwidth {w}"))),
+                None => Err(Diagnostic::new("float type needs a bitwidth")),
+            }
+        }),
+    );
+    natives.register_params_verifier(
+        "builtin_dictionary_sorted",
+        Rc::new(|ctx: &Context, params: &[irdl_ir::Attribute]| {
+            let keys: Vec<String> = params
+                .first()
+                .and_then(|p| p.as_array(ctx))
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(|a| a.as_str(ctx).map(str::to_string))
+                        .collect()
+                })
+                .unwrap_or_default();
+            if keys.windows(2).all(|w| w[0] <= w[1]) {
+                Ok(())
+            } else {
+                Err(Diagnostic::new("dictionary keys must be sorted"))
+            }
+        }),
+    );
+    natives.register_params_verifier(
+        "builtin_integer_fits",
+        Rc::new(|_ctx: &Context, _params: &[irdl_ir::Attribute]| Ok(())),
+    );
+    natives.register_op_verifier(
+        "builtin_module_check",
+        Rc::new(|ctx: &Context, op: irdl_ir::OpRef| {
+            if op.num_operands(ctx) == 0 && op.num_results(ctx) == 0 {
+                Ok(())
+            } else {
+                Err(Diagnostic::new("module takes no operands and produces no results"))
+            }
+        }),
+    );
+    natives.register_op_verifier(
+        "builtin_func_check",
+        Rc::new(|ctx: &Context, op: irdl_ir::OpRef| {
+            match op.attr(ctx, "sym_name") {
+                Some(name) if name.as_str(ctx).is_some_and(|s| !s.is_empty()) => Ok(()),
+                _ => Err(Diagnostic::new("func needs a non-empty symbol name")),
+            }
+        }),
+    );
+    natives
+}
+
+/// Registers all 28 corpus dialects into `ctx` and returns their names in
+/// registration order.
+///
+/// # Errors
+///
+/// Returns the first compile diagnostic, annotated with the dialect name.
+pub fn register_corpus(ctx: &mut Context) -> Result<Vec<String>> {
+    let natives = corpus_natives();
+    let mut names = Vec::new();
+    for (name, source) in corpus_sources() {
+        irdl::register_dialects_with(ctx, &source, &natives)
+            .map_err(|d| d.with_note(format!("while compiling corpus dialect `{name}`")))?;
+        names.push(name);
+    }
+    Ok(names)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_compiles() {
+        let mut ctx = Context::new();
+        let names = register_corpus(&mut ctx).expect("corpus compiles");
+        assert_eq!(names.len(), 28);
+    }
+
+    #[test]
+    fn compiled_op_counts_match_metadata() {
+        let mut ctx = Context::new();
+        register_corpus(&mut ctx).unwrap();
+        for meta in dialects() {
+            let sym = ctx.symbol_lookup(meta.name).expect("dialect name interned");
+            let dialect = ctx.registry().dialect(sym).expect("dialect registered");
+            assert_eq!(dialect.num_ops(), meta.num_ops, "{}: op count", meta.name);
+            assert_eq!(dialect.num_types(), meta.num_types, "{}: type count", meta.name);
+            assert_eq!(dialect.num_attrs(), meta.num_attrs, "{}: attr count", meta.name);
+        }
+    }
+
+    #[test]
+    fn compiled_histograms_match_metadata() {
+        let mut ctx = Context::new();
+        register_corpus(&mut ctx).unwrap();
+        for meta in dialects() {
+            let sym = ctx.symbol_lookup(meta.name).unwrap();
+            let dialect = ctx.registry().dialect(sym).unwrap();
+            let mut operand_hist = [0usize; 4];
+            let mut result_hist = [0usize; 3];
+            let mut attr_hist = [0usize; 3];
+            let mut region_hist = [0usize; 3];
+            let mut variadic_op = 0;
+            let mut variadic_res = 0;
+            let mut native_verifier = 0;
+            let mut native_local = 0;
+            let mut terminators = 0;
+            for op in dialect.ops() {
+                operand_hist[(op.decl.operand_defs as usize).min(3)] += 1;
+                result_hist[(op.decl.result_defs as usize).min(2)] += 1;
+                attr_hist[(op.decl.attr_defs as usize).min(2)] += 1;
+                region_hist[(op.decl.region_defs as usize).min(2)] += 1;
+                if op.decl.variadic_operands > 0 {
+                    variadic_op += 1;
+                }
+                if op.decl.variadic_results > 0 {
+                    variadic_res += 1;
+                }
+                if op.decl.has_native_verifier {
+                    native_verifier += 1;
+                }
+                if !op.decl.native_local_constraints.is_empty() {
+                    native_local += 1;
+                }
+                if op.is_terminator {
+                    terminators += 1;
+                }
+            }
+            assert_eq!(operand_hist, meta.operand_hist, "{}: operands", meta.name);
+            assert_eq!(result_hist, meta.result_hist, "{}: results", meta.name);
+            assert_eq!(attr_hist, meta.attr_hist, "{}: attrs", meta.name);
+            assert_eq!(region_hist, meta.region_hist, "{}: regions", meta.name);
+            assert_eq!(variadic_op, meta.variadic_operand_ops, "{}: variadic ops", meta.name);
+            assert_eq!(variadic_res, meta.variadic_result_ops, "{}: variadic results", meta.name);
+            assert_eq!(
+                native_verifier, meta.native_verifier_ops,
+                "{}: native verifiers",
+                meta.name
+            );
+            assert_eq!(
+                native_local,
+                meta.native_local.iter().sum::<usize>(),
+                "{}: native local",
+                meta.name
+            );
+            assert_eq!(terminators, meta.successor_ops, "{}: terminators", meta.name);
+        }
+    }
+
+    #[test]
+    fn compiled_type_attr_flags_match_metadata() {
+        let mut ctx = Context::new();
+        register_corpus(&mut ctx).unwrap();
+        for meta in dialects() {
+            let sym = ctx.symbol_lookup(meta.name).unwrap();
+            let dialect = ctx.registry().dialect(sym).unwrap();
+            let native_param_types = dialect
+                .types()
+                .filter(|t| t.param_kinds.iter().any(|k| !k.is_builtin()))
+                .count();
+            let native_verifier_types =
+                dialect.types().filter(|t| t.has_native_verifier).count();
+            assert_eq!(native_param_types, meta.types_native_param, "{}: type params", meta.name);
+            assert_eq!(
+                native_verifier_types, meta.types_native_verifier,
+                "{}: type verifiers",
+                meta.name
+            );
+            let native_param_attrs = dialect
+                .attrs()
+                .filter(|t| t.param_kinds.iter().any(|k| !k.is_builtin()))
+                .count();
+            let native_verifier_attrs =
+                dialect.attrs().filter(|t| t.has_native_verifier).count();
+            assert_eq!(native_param_attrs, meta.attrs_native_param, "{}: attr params", meta.name);
+            assert_eq!(
+                native_verifier_attrs, meta.attrs_native_verifier,
+                "{}: attr verifiers",
+                meta.name
+            );
+        }
+    }
+}

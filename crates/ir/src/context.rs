@@ -1,0 +1,298 @@
+//! The [`Context`]: owner of all IR state.
+
+use crate::attrs::{AttrData, Attribute};
+use crate::block::{BlockData, BlockRef};
+use crate::dialect::DialectRegistry;
+use crate::entity::{EntityArena, UniqueArena};
+use crate::op::{OpRef, OperationData, OperationState};
+use crate::region::{RegionData, RegionRef};
+use crate::symbol::Symbol;
+use crate::types::{Type, TypeData};
+use crate::value::{Use, Value};
+
+/// Owns every piece of IR state: interned symbols, types and attributes,
+/// the operation/block/region arenas, and the dialect registry.
+///
+/// All handles ([`Type`], [`Attribute`], [`OpRef`], ...) are indices into
+/// this context; using a handle with a different context is a logic error.
+pub struct Context {
+    symbols: UniqueArena<String>,
+    types: UniqueArena<TypeData>,
+    attrs: UniqueArena<AttrData>,
+    ops: EntityArena<OperationData>,
+    blocks: EntityArena<BlockData>,
+    regions: EntityArena<RegionData>,
+    registry: DialectRegistry,
+    allow_unregistered: bool,
+}
+
+impl std::fmt::Debug for Context {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("symbols", &self.symbols.len())
+            .field("types", &self.types.len())
+            .field("attrs", &self.attrs.len())
+            .field("ops", &self.ops.len())
+            .field("blocks", &self.blocks.len())
+            .field("regions", &self.regions.len())
+            .field("dialects", &self.registry.len())
+            .finish()
+    }
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Context {
+    /// Creates a fresh context with the `builtin` dialect registered and
+    /// unregistered dialects allowed.
+    pub fn new() -> Self {
+        let mut ctx = Context {
+            symbols: UniqueArena::new(),
+            types: UniqueArena::new(),
+            attrs: UniqueArena::new(),
+            ops: EntityArena::new(),
+            blocks: EntityArena::new(),
+            regions: EntityArena::new(),
+            registry: DialectRegistry::new(),
+            allow_unregistered: true,
+        };
+        crate::builtin::register_builtin_dialect(&mut ctx);
+        ctx
+    }
+
+    // ----- Symbols ---------------------------------------------------------
+
+    /// Interns a string, returning its [`Symbol`].
+    pub fn symbol(&mut self, s: &str) -> Symbol {
+        if let Some(idx) = self.symbols.lookup_str(s) {
+            return Symbol(idx);
+        }
+        Symbol(self.symbols.intern(s.to_string()))
+    }
+
+    /// Returns the symbol for `s` if it has been interned.
+    pub fn symbol_lookup(&self, s: &str) -> Option<Symbol> {
+        self.symbols.lookup_str(s).map(Symbol)
+    }
+
+    /// Resolves a symbol back to its string.
+    pub fn symbol_str(&self, sym: Symbol) -> &str {
+        self.symbols.get(sym.0)
+    }
+
+    // ----- Uniquing tables -------------------------------------------------
+
+    pub(crate) fn types_mut(&mut self) -> &mut UniqueArena<TypeData> {
+        &mut self.types
+    }
+
+    pub(crate) fn attrs_mut(&mut self) -> &mut UniqueArena<AttrData> {
+        &mut self.attrs
+    }
+
+    /// Returns the structural payload of an interned type.
+    pub fn type_data(&self, ty: Type) -> &TypeData {
+        self.types.get(ty.0)
+    }
+
+    /// Returns the structural payload of an interned attribute.
+    pub fn attr_data(&self, attr: Attribute) -> &AttrData {
+        self.attrs.get(attr.0)
+    }
+
+    /// Number of distinct interned types.
+    pub fn num_types(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Number of distinct interned attributes.
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    // ----- Entity arenas ---------------------------------------------------
+
+    pub(crate) fn ops_mut(&mut self) -> &mut EntityArena<OperationData> {
+        &mut self.ops
+    }
+
+    pub(crate) fn blocks_mut(&mut self) -> &mut EntityArena<BlockData> {
+        &mut self.blocks
+    }
+
+    pub(crate) fn regions_mut(&mut self) -> &mut EntityArena<RegionData> {
+        &mut self.regions
+    }
+
+    /// Returns the payload of a live operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` was erased.
+    pub fn op_data(&self, op: OpRef) -> &OperationData {
+        self.ops.get(op.0)
+    }
+
+    pub(crate) fn op_data_mut(&mut self, op: OpRef) -> &mut OperationData {
+        self.ops.get_mut(op.0)
+    }
+
+    /// Returns the payload of a live block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was erased.
+    pub fn block_data(&self, block: BlockRef) -> &BlockData {
+        self.blocks.get(block.0)
+    }
+
+    pub(crate) fn block_data_mut(&mut self, block: BlockRef) -> &mut BlockData {
+        self.blocks.get_mut(block.0)
+    }
+
+    /// Returns the payload of a live region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` was erased.
+    pub fn region_data(&self, region: RegionRef) -> &RegionData {
+        self.regions.get(region.0)
+    }
+
+    pub(crate) fn region_data_mut(&mut self, region: RegionRef) -> &mut RegionData {
+        self.regions.get_mut(region.0)
+    }
+
+    pub(crate) fn op_is_live(&self, op: OpRef) -> bool {
+        self.ops.is_live(op.0)
+    }
+
+    pub(crate) fn block_is_live(&self, block: BlockRef) -> bool {
+        self.blocks.is_live(block.0)
+    }
+
+    pub(crate) fn region_is_live(&self, region: RegionRef) -> bool {
+        self.regions.is_live(region.0)
+    }
+
+    /// Number of live operations in the context.
+    pub fn num_ops(&self) -> usize {
+        self.ops.len()
+    }
+
+    // ----- Def-use chains --------------------------------------------------
+
+    /// The current uses of `value`.
+    pub fn value_uses(&self, value: Value) -> &[Use] {
+        match value {
+            Value::OpResult { op, index } => &self.op_data(op).result_uses[index as usize],
+            Value::BlockArg { block, index } => &self.block_data(block).arg_uses[index as usize],
+        }
+    }
+
+    pub(crate) fn add_use(&mut self, value: Value, u: Use) {
+        match value {
+            Value::OpResult { op, index } => {
+                self.op_data_mut(op).result_uses[index as usize].push(u)
+            }
+            Value::BlockArg { block, index } => {
+                self.block_data_mut(block).arg_uses[index as usize].push(u)
+            }
+        }
+    }
+
+    pub(crate) fn remove_use(&mut self, value: Value, u: Use) {
+        let uses = match value {
+            Value::OpResult { op, index } => {
+                &mut self.op_data_mut(op).result_uses[index as usize]
+            }
+            Value::BlockArg { block, index } => {
+                &mut self.block_data_mut(block).arg_uses[index as usize]
+            }
+        };
+        if let Some(pos) = uses.iter().position(|x| *x == u) {
+            uses.swap_remove(pos);
+        }
+    }
+
+    // ----- Registry --------------------------------------------------------
+
+    /// The dialect registry.
+    pub fn registry(&self) -> &DialectRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the dialect registry.
+    pub fn registry_mut(&mut self) -> &mut DialectRegistry {
+        &mut self.registry
+    }
+
+    /// Whether operations of unregistered dialects are accepted (default:
+    /// `true`, as in MLIR's `allowUnregisteredDialects`).
+    pub fn allows_unregistered(&self) -> bool {
+        self.allow_unregistered
+    }
+
+    /// Toggles acceptance of unregistered dialects.
+    pub fn set_allow_unregistered(&mut self, allow: bool) {
+        self.allow_unregistered = allow;
+    }
+
+    // ----- Module convenience ----------------------------------------------
+
+    /// Creates a `builtin.module` operation with a single-block region.
+    pub fn create_module(&mut self) -> OpRef {
+        let (region, _entry) = self.create_region_with_entry([]);
+        let name = self.op_name("builtin", "module");
+        self.create_op(OperationState::new(name).add_regions([region]))
+    }
+
+    /// The body block of a `builtin.module` created by
+    /// [`Context::create_module`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `module` has no region or an empty region.
+    pub fn module_block(&self, module: OpRef) -> BlockRef {
+        module
+            .region(self, 0)
+            .entry_block(self)
+            .expect("module region has no entry block")
+    }
+}
+
+impl UniqueArena<String> {
+    /// String-keyed lookup that avoids allocating when the value is already
+    /// interned.
+    fn lookup_str(&self, s: &str) -> Option<u32> {
+        // UniqueArena's map is keyed by String; this helper exists so the
+        // fast path does not allocate for hits.
+        self.lookup_with(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_roundtrip() {
+        let mut ctx = Context::new();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        assert_eq!(block.ops(&ctx).len(), 0);
+        assert_eq!(module.name(&ctx).display(&ctx), "builtin.module");
+    }
+
+    #[test]
+    fn symbol_lookup_without_interning() {
+        let mut ctx = Context::new();
+        assert_eq!(ctx.symbol_lookup("never-seen"), None);
+        let s = ctx.symbol("seen");
+        assert_eq!(ctx.symbol_lookup("seen"), Some(s));
+    }
+}

@@ -1,0 +1,250 @@
+//! Dominance analysis over region CFGs, used by the SSA verifier.
+//!
+//! Implements the Cooper–Harvey–Kennedy iterative dominator algorithm on
+//! the block graph of one region. Blocks unreachable from the entry are
+//! reported as such and treated permissively by the verifier (as in MLIR).
+
+use std::collections::HashMap;
+
+use crate::block::BlockRef;
+use crate::context::Context;
+use crate::region::RegionRef;
+
+/// Dominator information for one region.
+#[derive(Debug, Clone)]
+pub struct RegionDominance {
+    /// Reverse post-order index of each reachable block.
+    rpo_index: HashMap<BlockRef, usize>,
+    /// Immediate dominator of each reachable block (entry maps to itself).
+    idom: HashMap<BlockRef, BlockRef>,
+    entry: Option<BlockRef>,
+}
+
+impl RegionDominance {
+    /// Computes dominators for `region`.
+    pub fn compute(ctx: &Context, region: RegionRef) -> Self {
+        let entry = region.entry_block(ctx);
+        let Some(entry) = entry else {
+            return RegionDominance { rpo_index: HashMap::new(), idom: HashMap::new(), entry: None };
+        };
+
+        // Post-order DFS from the entry block. Each frame owns its
+        // successor list, so it is computed once per block.
+        let mut post_order: Vec<BlockRef> = Vec::new();
+        let mut visited: HashMap<BlockRef, bool> = HashMap::new();
+        let mut stack: Vec<(BlockRef, Vec<BlockRef>, usize)> =
+            vec![(entry, successors(ctx, entry), 0)];
+        visited.insert(entry, true);
+        while let Some(frame) = stack.last_mut() {
+            let block = frame.0;
+            if frame.2 < frame.1.len() {
+                let succ = frame.1[frame.2];
+                frame.2 += 1;
+                if let std::collections::hash_map::Entry::Vacant(e) = visited.entry(succ) {
+                    e.insert(true);
+                    stack.push((succ, successors(ctx, succ), 0));
+                }
+            } else {
+                post_order.push(block);
+                stack.pop();
+            }
+        }
+        let rpo: Vec<BlockRef> = post_order.iter().rev().copied().collect();
+        let rpo_index: HashMap<BlockRef, usize> =
+            rpo.iter().enumerate().map(|(i, b)| (*b, i)).collect();
+
+        // Predecessor lists restricted to reachable blocks.
+        let mut preds: HashMap<BlockRef, Vec<BlockRef>> =
+            rpo.iter().map(|b| (*b, Vec::new())).collect();
+        for &block in &rpo {
+            for succ in successors(ctx, block) {
+                if let Some(list) = preds.get_mut(&succ) {
+                    list.push(block);
+                }
+            }
+        }
+
+        // Cooper-Harvey-Kennedy iteration.
+        let mut idom: HashMap<BlockRef, BlockRef> = HashMap::new();
+        idom.insert(entry, entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &block in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockRef> = None;
+                for &pred in &preds[&block] {
+                    if !idom.contains_key(&pred) {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => pred,
+                        Some(cur) => intersect(&idom, &rpo_index, pred, cur),
+                    });
+                }
+                if let Some(new_idom) = new_idom {
+                    if idom.get(&block) != Some(&new_idom) {
+                        idom.insert(block, new_idom);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        RegionDominance { rpo_index, idom, entry: Some(entry) }
+    }
+
+    /// Returns `true` if `block` is reachable from the region entry.
+    pub fn is_reachable(&self, block: BlockRef) -> bool {
+        self.rpo_index.contains_key(&block)
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexively).
+    ///
+    /// Unreachable blocks are conservatively reported as dominated by
+    /// everything, matching MLIR's permissive treatment.
+    pub fn dominates(&self, a: BlockRef, b: BlockRef) -> bool {
+        if a == b {
+            return true;
+        }
+        if !self.is_reachable(b) {
+            return true;
+        }
+        if !self.is_reachable(a) {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            let parent = self.idom[&cur];
+            if parent == a {
+                return true;
+            }
+            if parent == cur {
+                return false; // reached entry
+            }
+            cur = parent;
+        }
+    }
+
+    /// The region entry block, if any.
+    pub fn entry(&self) -> Option<BlockRef> {
+        self.entry
+    }
+}
+
+fn intersect(
+    idom: &HashMap<BlockRef, BlockRef>,
+    rpo_index: &HashMap<BlockRef, usize>,
+    mut a: BlockRef,
+    mut b: BlockRef,
+) -> BlockRef {
+    while a != b {
+        while rpo_index[&a] > rpo_index[&b] {
+            a = idom[&a];
+        }
+        while rpo_index[&b] > rpo_index[&a] {
+            b = idom[&b];
+        }
+    }
+    a
+}
+
+/// The CFG successors of `block`: the successor list of its final
+/// operation.
+pub fn successors(ctx: &Context, block: BlockRef) -> Vec<BlockRef> {
+    match block.last_op(ctx) {
+        Some(op) => op.successors(ctx).to_vec(),
+        None => Vec::new(),
+    }
+}
+
+/// The CFG predecessors of `block` within its region.
+pub fn predecessors(ctx: &Context, block: BlockRef) -> Vec<BlockRef> {
+    let Some(region) = block.parent_region(ctx) else { return Vec::new() };
+    let mut preds = Vec::new();
+    for &candidate in region.blocks(ctx) {
+        if successors(ctx, candidate).contains(&block) {
+            preds.push(candidate);
+        }
+    }
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Context, OperationState};
+
+    /// Builds a diamond CFG: entry -> (left | right) -> merge.
+    fn diamond(ctx: &mut Context) -> (RegionRef, [BlockRef; 4]) {
+        let region = ctx.create_region();
+        let entry = ctx.create_block([]);
+        let left = ctx.create_block([]);
+        let right = ctx.create_block([]);
+        let merge = ctx.create_block([]);
+        for b in [entry, left, right, merge] {
+            ctx.append_block(region, b);
+        }
+        let cond_br = ctx.op_name("cf", "cond_br");
+        let br = ctx.op_name("cf", "br");
+        let ret = ctx.op_name("cf", "return");
+        let op = ctx.create_op(OperationState::new(cond_br).add_successors([left, right]));
+        ctx.append_op(entry, op);
+        let op = ctx.create_op(OperationState::new(br).add_successors([merge]));
+        ctx.append_op(left, op);
+        let op = ctx.create_op(OperationState::new(br).add_successors([merge]));
+        ctx.append_op(right, op);
+        let op = ctx.create_op(OperationState::new(ret));
+        ctx.append_op(merge, op);
+        (region, [entry, left, right, merge])
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let mut ctx = Context::new();
+        let (region, [entry, left, right, merge]) = diamond(&mut ctx);
+        let dom = RegionDominance::compute(&ctx, region);
+        assert!(dom.dominates(entry, merge));
+        assert!(dom.dominates(entry, left));
+        assert!(!dom.dominates(left, merge), "merge is reachable around left");
+        assert!(!dom.dominates(right, merge));
+        assert!(dom.dominates(merge, merge));
+    }
+
+    #[test]
+    fn loop_back_edge() {
+        let mut ctx = Context::new();
+        let region = ctx.create_region();
+        let entry = ctx.create_block([]);
+        let body = ctx.create_block([]);
+        let exit = ctx.create_block([]);
+        for b in [entry, body, exit] {
+            ctx.append_block(region, b);
+        }
+        let br = ctx.op_name("cf", "br");
+        let cond_br = ctx.op_name("cf", "cond_br");
+        let op = ctx.create_op(OperationState::new(br).add_successors([body]));
+        ctx.append_op(entry, op);
+        // body loops to itself or exits.
+        let op = ctx.create_op(OperationState::new(cond_br).add_successors([body, exit]));
+        ctx.append_op(body, op);
+        let dom = RegionDominance::compute(&ctx, region);
+        assert!(dom.dominates(entry, body));
+        assert!(dom.dominates(body, exit));
+        assert_eq!(predecessors(&ctx, body), vec![entry, body]);
+    }
+
+    #[test]
+    fn unreachable_blocks_are_permissive() {
+        let mut ctx = Context::new();
+        let region = ctx.create_region();
+        let entry = ctx.create_block([]);
+        let island = ctx.create_block([]);
+        ctx.append_block(region, entry);
+        ctx.append_block(region, island);
+        let dom = RegionDominance::compute(&ctx, region);
+        assert!(dom.is_reachable(entry));
+        assert!(!dom.is_reachable(island));
+        assert!(dom.dominates(entry, island));
+        assert!(!dom.dominates(island, entry));
+    }
+}

@@ -1,0 +1,261 @@
+//! Entity arenas and uniquing tables underlying the [`Context`].
+//!
+//! Two storage primitives are provided:
+//!
+//! - [`EntityArena`], a slot map with a free list for mutable IR entities
+//!   (operations, blocks, regions). Erasing an entity tombstones its slot;
+//!   accessing an erased handle panics, catching use-after-erase bugs early.
+//! - [`UniqueArena`], an append-only structural-uniquing table for immutable
+//!   values (types, attributes, symbols). Interning the same data twice
+//!   yields the same index, so handle equality is value equality.
+//!
+//! [`Context`]: crate::Context
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Defines a `Copy` newtype handle over a `u32` arena index.
+macro_rules! entity_handle {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Returns the raw arena index of this handle.
+            ///
+            /// Indices are only meaningful relative to the
+            /// [`Context`](crate::Context) that produced them.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Reconstructs a handle from a raw index previously obtained
+            /// via [`Self::index`].
+            pub fn from_index(index: usize) -> Self {
+                Self(index as u32)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+    };
+}
+pub(crate) use entity_handle;
+
+/// A slot-map arena: stable `u32` handles, O(1) allocation and erasure.
+///
+/// Erased slots are reused through a free list. The arena deliberately does
+/// not use generation counters: IR handles are expected to be managed by the
+/// owning [`Context`](crate::Context), and touching an erased handle is a
+/// logic error that panics.
+#[derive(Debug, Clone, Default)]
+pub struct EntityArena<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<T> EntityArena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        EntityArena { slots: Vec::new(), free: Vec::new(), live: 0 }
+    }
+
+    /// Inserts `value` and returns its slot index.
+    pub fn alloc(&mut self, value: T) -> u32 {
+        self.live += 1;
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = Some(value);
+            idx
+        } else {
+            self.slots.push(Some(value));
+            (self.slots.len() - 1) as u32
+        }
+    }
+
+    /// Returns a reference to the entity at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` was erased or never allocated.
+    pub fn get(&self, idx: u32) -> &T {
+        self.slots[idx as usize]
+            .as_ref()
+            .expect("access to erased IR entity")
+    }
+
+    /// Returns a mutable reference to the entity at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` was erased or never allocated.
+    pub fn get_mut(&mut self, idx: u32) -> &mut T {
+        self.slots[idx as usize]
+            .as_mut()
+            .expect("access to erased IR entity")
+    }
+
+    /// Removes and returns the entity at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` was already erased.
+    pub fn erase(&mut self, idx: u32) -> T {
+        let value = self.slots[idx as usize]
+            .take()
+            .expect("double-erase of IR entity");
+        self.free.push(idx);
+        self.live -= 1;
+        value
+    }
+
+    /// Returns `true` if `idx` refers to a live entity.
+    pub fn is_live(&self, idx: u32) -> bool {
+        (idx as usize) < self.slots.len() && self.slots[idx as usize].is_some()
+    }
+
+    /// Number of live entities.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` if the arena holds no live entities.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterates over `(index, entity)` pairs of live entities.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|value| (i as u32, value)))
+    }
+}
+
+/// An append-only uniquing table: equal values share one index.
+///
+/// Used for structural interning of types and attributes; the `u32` index is
+/// the identity, so comparing two interned values is an integer comparison.
+#[derive(Debug, Clone, Default)]
+pub struct UniqueArena<T> {
+    values: Vec<T>,
+    index: HashMap<T, u32>,
+}
+
+impl<T: Clone + Eq + Hash> UniqueArena<T> {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        UniqueArena { values: Vec::new(), index: HashMap::new() }
+    }
+
+    /// Interns `value`, returning the index of its unique copy.
+    pub fn intern(&mut self, value: T) -> u32 {
+        if let Some(&idx) = self.index.get(&value) {
+            return idx;
+        }
+        let idx = self.values.len() as u32;
+        self.values.push(value.clone());
+        self.index.insert(value, idx);
+        idx
+    }
+
+    /// Returns the value stored at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of bounds.
+    pub fn get(&self, idx: u32) -> &T {
+        &self.values[idx as usize]
+    }
+
+    /// Returns the index of `value` if it has been interned before.
+    pub fn lookup(&self, value: &T) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// Borrowed-key lookup (e.g. `&str` against a `String` table), avoiding
+    /// an allocation on the hit path.
+    pub fn lookup_with<Q>(&self, key: &Q) -> Option<u32>
+    where
+        T: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.index.get(key).copied()
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_alloc_get_roundtrip() {
+        let mut arena = EntityArena::new();
+        let a = arena.alloc("a");
+        let b = arena.alloc("b");
+        assert_eq!(*arena.get(a), "a");
+        assert_eq!(*arena.get(b), "b");
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn arena_erase_reuses_slots() {
+        let mut arena = EntityArena::new();
+        let a = arena.alloc(1);
+        let _b = arena.alloc(2);
+        assert_eq!(arena.erase(a), 1);
+        assert!(!arena.is_live(a));
+        let c = arena.alloc(3);
+        assert_eq!(c, a, "freed slot should be reused");
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "erased IR entity")]
+    fn arena_get_after_erase_panics() {
+        let mut arena = EntityArena::new();
+        let a = arena.alloc(1);
+        arena.erase(a);
+        arena.get(a);
+    }
+
+    #[test]
+    fn unique_arena_dedups() {
+        let mut arena = UniqueArena::new();
+        let a = arena.intern("x".to_string());
+        let b = arena.intern("y".to_string());
+        let a2 = arena.intern("x".to_string());
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a), "x");
+        assert_eq!(arena.lookup(&"y".to_string()), Some(b));
+        assert_eq!(arena.lookup(&"z".to_string()), None);
+    }
+
+    #[test]
+    fn arena_iter_skips_tombstones() {
+        let mut arena = EntityArena::new();
+        let _a = arena.alloc(1);
+        let b = arena.alloc(2);
+        let _c = arena.alloc(3);
+        arena.erase(b);
+        let values: Vec<i32> = arena.iter().map(|(_, v)| *v).collect();
+        assert_eq!(values, vec![1, 3]);
+    }
+}

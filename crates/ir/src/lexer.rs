@@ -1,0 +1,439 @@
+//! Lexer for the generic IR textual format.
+//!
+//! The same token stream serves the generic parser and dialect-defined
+//! custom syntax hooks. Comments run from `//` to end of line.
+
+use crate::diag::{Diagnostic, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (may contain `.`, `_`, `$`, digits).
+    Ident(String),
+    /// `%name` SSA value id (payload excludes the sigil).
+    ValueId(String),
+    /// `^name` block label (payload excludes the sigil).
+    BlockId(String),
+    /// `@name` symbol reference (payload excludes the sigil).
+    SymbolRef(String),
+    /// `!name` type reference (payload excludes the sigil).
+    TypeRef(String),
+    /// `#name` attribute reference (payload excludes the sigil).
+    AttrRef(String),
+    /// Integer literal. `hex` records whether it was written as `0x...`.
+    Integer {
+        /// Parsed value.
+        value: i128,
+        /// Whether the literal was hexadecimal (used for float bit patterns).
+        hex: bool,
+    },
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (unescaped payload).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `=`
+    Equals,
+    /// `->`
+    Arrow,
+    /// `?`
+    Question,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `.`
+    Dot,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// A short human-readable description for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            Token::Ident(s) => format!("`{s}`"),
+            Token::ValueId(s) => format!("`%{s}`"),
+            Token::BlockId(s) => format!("`^{s}`"),
+            Token::SymbolRef(s) => format!("`@{s}`"),
+            Token::TypeRef(s) => format!("`!{s}`"),
+            Token::AttrRef(s) => format!("`#{s}`"),
+            Token::Integer { value, .. } => format!("`{value}`"),
+            Token::Float(v) => format!("`{v}`"),
+            Token::Str(s) => format!("\"{s}\""),
+            Token::LParen => "`(`".into(),
+            Token::RParen => "`)`".into(),
+            Token::LBrace => "`{`".into(),
+            Token::RBrace => "`}`".into(),
+            Token::LBracket => "`[`".into(),
+            Token::RBracket => "`]`".into(),
+            Token::Lt => "`<`".into(),
+            Token::Gt => "`>`".into(),
+            Token::Comma => "`,`".into(),
+            Token::Colon => "`:`".into(),
+            Token::Equals => "`=`".into(),
+            Token::Arrow => "`->`".into(),
+            Token::Question => "`?`".into(),
+            Token::Star => "`*`".into(),
+            Token::Plus => "`+`".into(),
+            Token::Dot => "`.`".into(),
+            Token::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A token plus its byte offset in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the token start.
+    pub offset: usize,
+}
+
+/// Tokenizes `source` into a vector ending with [`Token::Eof`].
+///
+/// # Errors
+///
+/// Returns a diagnostic on malformed literals or unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Spanned>> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+
+    while pos < bytes.len() {
+        let start = pos;
+        let ch = bytes[pos] as char;
+        match ch {
+            ' ' | '\t' | '\r' | '\n' => {
+                pos += 1;
+            }
+            '/' if bytes.get(pos + 1) == Some(&b'/') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    pos += 1;
+                }
+            }
+            '(' => push_simple(&mut tokens, Token::LParen, &mut pos, start),
+            ')' => push_simple(&mut tokens, Token::RParen, &mut pos, start),
+            '{' => push_simple(&mut tokens, Token::LBrace, &mut pos, start),
+            '}' => push_simple(&mut tokens, Token::RBrace, &mut pos, start),
+            '[' => push_simple(&mut tokens, Token::LBracket, &mut pos, start),
+            ']' => push_simple(&mut tokens, Token::RBracket, &mut pos, start),
+            '<' => push_simple(&mut tokens, Token::Lt, &mut pos, start),
+            '>' => push_simple(&mut tokens, Token::Gt, &mut pos, start),
+            ',' => push_simple(&mut tokens, Token::Comma, &mut pos, start),
+            ':' => push_simple(&mut tokens, Token::Colon, &mut pos, start),
+            '=' => push_simple(&mut tokens, Token::Equals, &mut pos, start),
+            '?' => push_simple(&mut tokens, Token::Question, &mut pos, start),
+            '*' => push_simple(&mut tokens, Token::Star, &mut pos, start),
+            '+' => push_simple(&mut tokens, Token::Plus, &mut pos, start),
+            '.' => push_simple(&mut tokens, Token::Dot, &mut pos, start),
+            '-' => {
+                if bytes.get(pos + 1) == Some(&b'>') {
+                    pos += 2;
+                    tokens.push(Spanned { token: Token::Arrow, offset: start });
+                } else if bytes.get(pos + 1).is_some_and(|b| b.is_ascii_digit()) {
+                    pos += 1;
+                    let tok = lex_number(source, &mut pos, true)?;
+                    tokens.push(Spanned { token: tok, offset: start });
+                } else {
+                    return Err(Diagnostic::at(start, "unexpected `-`"));
+                }
+            }
+            '"' => {
+                let tok = lex_string(source, &mut pos)?;
+                tokens.push(Spanned { token: tok, offset: start });
+            }
+            '%' | '^' | '@' | '!' | '#' => {
+                pos += 1;
+                let ident = lex_ident_text(source, &mut pos);
+                if ident.is_empty() {
+                    return Err(Diagnostic::at(start, format!("expected identifier after `{ch}`")));
+                }
+                let token = match ch {
+                    '%' => Token::ValueId(ident),
+                    '^' => Token::BlockId(ident),
+                    '@' => Token::SymbolRef(ident),
+                    '!' => Token::TypeRef(ident),
+                    _ => Token::AttrRef(ident),
+                };
+                tokens.push(Spanned { token, offset: start });
+            }
+            c if c.is_ascii_digit() => {
+                let tok = lex_number(source, &mut pos, false)?;
+                tokens.push(Spanned { token: tok, offset: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let ident = lex_ident_text(source, &mut pos);
+                tokens.push(Spanned { token: Token::Ident(ident), offset: start });
+            }
+            other => {
+                return Err(Diagnostic::at(start, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    tokens.push(Spanned { token: Token::Eof, offset: source.len() });
+    Ok(tokens)
+}
+
+fn push_simple(tokens: &mut Vec<Spanned>, token: Token, pos: &mut usize, start: usize) {
+    *pos += 1;
+    tokens.push(Spanned { token, offset: start });
+}
+
+/// Identifiers may contain letters, digits, `_`, `$`, and (for dialect
+/// qualification and value suffixes) `.` and `#`.
+fn lex_ident_text(source: &str, pos: &mut usize) -> String {
+    let bytes = source.as_bytes();
+    let start = *pos;
+    while *pos < bytes.len() {
+        let b = bytes[*pos] as char;
+        if b.is_ascii_alphanumeric() || b == '_' || b == '$' || b == '.' || b == '#' {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    source[start..*pos].to_string()
+}
+
+fn lex_number(source: &str, pos: &mut usize, negative: bool) -> Result<Token> {
+    let bytes = source.as_bytes();
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'0')
+        && matches!(bytes.get(*pos + 1), Some(&b'x') | Some(&b'X'))
+    {
+        *pos += 2;
+        let hex_start = *pos;
+        while *pos < bytes.len() && (bytes[*pos] as char).is_ascii_hexdigit() {
+            *pos += 1;
+        }
+        let digits = &source[hex_start..*pos];
+        if digits.is_empty() {
+            return Err(Diagnostic::at(start, "expected hex digits after `0x`"));
+        }
+        let value = u128::from_str_radix(digits, 16)
+            .ok()
+            .and_then(|v| i128::try_from(v).ok())
+            .ok_or_else(|| Diagnostic::at(start, "hex literal out of range"))?;
+        return Ok(Token::Integer { value: if negative { -value } else { value }, hex: true });
+    }
+    while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    // Fractional part: `.` followed by a digit (a bare `.` is left for
+    // dialect-qualified names and parameter paths).
+    if bytes.get(*pos) == Some(&b'.') && bytes.get(*pos + 1).is_some_and(|b| b.is_ascii_digit()) {
+        is_float = true;
+        *pos += 1;
+        while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    // Exponent.
+    if matches!(bytes.get(*pos), Some(&b'e') | Some(&b'E')) {
+        let mut look = *pos + 1;
+        if matches!(bytes.get(look), Some(&b'+') | Some(&b'-')) {
+            look += 1;
+        }
+        if bytes.get(look).is_some_and(|b| b.is_ascii_digit()) {
+            is_float = true;
+            *pos = look;
+            while *pos < bytes.len() && bytes[*pos].is_ascii_digit() {
+                *pos += 1;
+            }
+        }
+    }
+    let text = &source[start..*pos];
+    if is_float {
+        let value: f64 = text
+            .parse()
+            .map_err(|_| Diagnostic::at(start, format!("invalid float literal `{text}`")))?;
+        Ok(Token::Float(if negative { -value } else { value }))
+    } else {
+        let value: i128 = text
+            .parse()
+            .map_err(|_| Diagnostic::at(start, format!("invalid integer literal `{text}`")))?;
+        Ok(Token::Integer { value: if negative { -value } else { value }, hex: false })
+    }
+}
+
+fn lex_string(source: &str, pos: &mut usize) -> Result<Token> {
+    let bytes = source.as_bytes();
+    let start = *pos;
+    *pos += 1; // opening quote
+    let mut out = String::new();
+    while *pos < bytes.len() {
+        let ch = bytes[*pos] as char;
+        match ch {
+            '"' => {
+                *pos += 1;
+                return Ok(Token::Str(out));
+            }
+            '\\' => {
+                *pos += 1;
+                let esc = bytes
+                    .get(*pos)
+                    .copied()
+                    .ok_or_else(|| Diagnostic::at(start, "unterminated string escape"))?
+                    as char;
+                *pos += 1;
+                match esc {
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    other => {
+                        return Err(Diagnostic::at(
+                            *pos - 1,
+                            format!("unknown escape `\\{other}`"),
+                        ))
+                    }
+                }
+            }
+            _ => {
+                // Multi-byte UTF-8: copy the full scalar.
+                let s = &source[*pos..];
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+    Err(Diagnostic::at(start, "unterminated string literal"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<Token> {
+        lex(source).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lex_basic_op() {
+        let toks = kinds("%0 = \"cmath.mul\"(%a, %b) : (f32) -> f32");
+        assert_eq!(
+            toks,
+            vec![
+                Token::ValueId("0".into()),
+                Token::Equals,
+                Token::Str("cmath.mul".into()),
+                Token::LParen,
+                Token::ValueId("a".into()),
+                Token::Comma,
+                Token::ValueId("b".into()),
+                Token::RParen,
+                Token::Colon,
+                Token::LParen,
+                Token::Ident("f32".into()),
+                Token::RParen,
+                Token::Arrow,
+                Token::Ident("f32".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers() {
+        assert_eq!(
+            kinds("42 -7 1.5 -2.5e10 0x1F"),
+            vec![
+                Token::Integer { value: 42, hex: false },
+                Token::Integer { value: -7, hex: false },
+                Token::Float(1.5),
+                Token::Float(-2.5e10),
+                Token::Integer { value: 0x1F, hex: true },
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_hex_literals() {
+        assert_eq!(
+            kinds("-0x1F"),
+            vec![Token::Integer { value: -0x1F, hex: true }, Token::Eof]
+        );
+    }
+
+    #[test]
+    fn oversized_hex_literal_is_an_error() {
+        // 33 hex digits: exceeds i128.
+        assert!(lex("0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF").is_err());
+    }
+
+    #[test]
+    fn lex_sigils() {
+        assert_eq!(
+            kinds("!cmath.complex #foo.bar ^bb0 @main"),
+            vec![
+                Token::TypeRef("cmath.complex".into()),
+                Token::AttrRef("foo.bar".into()),
+                Token::BlockId("bb0".into()),
+                Token::SymbolRef("main".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_string_escapes() {
+        assert_eq!(
+            kinds(r#""a\"b\n\\c""#),
+            vec![Token::Str("a\"b\n\\c".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment\nb"),
+            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn value_id_with_result_number() {
+        assert_eq!(
+            kinds("%x#1"),
+            vec![Token::ValueId("x#1".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn error_on_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn dot_after_integer_stays_separate() {
+        // `1.foo` is Integer(1), Dot, Ident — needed for parameter paths.
+        assert_eq!(
+            kinds("1.x"),
+            vec![Token::Integer { value: 1, hex: false }, Token::Dot, Token::Ident("x".into()), Token::Eof]
+        );
+    }
+}

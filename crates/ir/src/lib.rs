@@ -1,0 +1,77 @@
+//! An extensible SSA intermediate-representation substrate, modeled after
+//! MLIR's core IR (operations, regions, blocks, values, interned types and
+//! attributes, dynamically registered dialects).
+//!
+//! This crate is the substrate on which the IRDL definition language is
+//! built: dialects, operations, types, and attributes are *data* registered
+//! at runtime in a [`Context`], not Rust types fixed at compile time. An
+//! IRDL specification compiles down to [`dialect::OpInfo`] /
+//! [`dialect::TypeDefInfo`] / [`dialect::AttrDefInfo`] records holding
+//! verifier and syntax hooks, and this crate evaluates those hooks during
+//! [`verify::verify_op`] and textual round-tripping.
+//!
+//! # Architecture
+//!
+//! - [`Context`] owns append-only uniquing tables for [`Symbol`]s, [`Type`]s,
+//!   and [`Attribute`]s, slot-map arenas for operations / blocks / regions,
+//!   and the [`dialect::DialectRegistry`]. All entity handles are `Copy`
+//!   indices into the context; reads take `&Context` and mutation takes
+//!   `&mut Context`.
+//! - Operations form a tree: an operation holds regions, a region holds
+//!   blocks, a block holds operations. SSA values are either operation
+//!   results or block arguments, and def-use chains are maintained on every
+//!   mutation.
+//! - [`mod@print`] and [`parse`] implement the generic textual format (a close
+//!   cousin of MLIR's `"dialect.op"(%a, %b) : (T, T) -> T` syntax), with
+//!   hooks for dialect-defined custom syntax.
+//!
+//! # Example
+//!
+//! ```
+//! use irdl_ir::{Context, OperationState};
+//!
+//! let mut ctx = Context::new();
+//! let f32 = ctx.f32_type();
+//! let module = ctx.create_module();
+//! let body = ctx.module_block(module);
+//! // Create an unregistered constant-like operation with one result.
+//! let name = ctx.op_name("test", "const");
+//! let op = ctx.create_op(OperationState::new(name).add_result_types([f32]));
+//! ctx.append_op(body, op);
+//! assert_eq!(op.num_results(&ctx), 1);
+//! ```
+
+pub mod attrs;
+pub mod block;
+pub mod builder;
+pub mod builtin;
+pub mod context;
+pub mod diag;
+pub mod dialect;
+pub mod dominance;
+pub mod entity;
+pub mod lexer;
+pub mod op;
+pub mod parse;
+pub mod print;
+pub mod region;
+pub mod symbol;
+pub mod types;
+pub mod value;
+pub mod verify;
+pub mod walk;
+
+pub use attrs::{AttrData, Attribute};
+pub use block::{BlockData, BlockRef};
+pub use builder::OpBuilder;
+pub use context::Context;
+pub use diag::{Diagnostic, Result};
+pub use dialect::{
+    AttrDefInfo, DialectInfo, DialectRegistry, EnumInfo, OpInfo, OpSyntax, OpVerifier, ParamKind,
+    ParamsVerifier, TypeDefInfo,
+};
+pub use op::{OpName, OpRef, OperationData, OperationState};
+pub use region::{RegionData, RegionRef};
+pub use symbol::Symbol;
+pub use types::{FloatKind, Signedness, Type, TypeData};
+pub use value::Value;

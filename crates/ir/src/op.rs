@@ -1,0 +1,560 @@
+//! Operations: the unit of computation in the IR.
+//!
+//! An operation has a dialect-qualified [`OpName`], SSA operands and results,
+//! a sorted attribute dictionary, successor blocks (for terminators), and
+//! nested regions. Operations are created from an [`OperationState`] and
+//! inserted into blocks; def-use chains are maintained by every mutation on
+//! [`Context`].
+
+use crate::attrs::Attribute;
+use crate::block::BlockRef;
+use crate::context::Context;
+use crate::entity::entity_handle;
+use crate::region::RegionRef;
+use crate::symbol::Symbol;
+use crate::types::Type;
+use crate::value::{Use, Value};
+
+entity_handle! {
+    /// A handle to an operation stored in a [`Context`].
+    OpRef
+}
+
+/// A dialect-qualified operation name, e.g. `cmath.mul`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OpName {
+    /// Dialect namespace.
+    pub dialect: Symbol,
+    /// Operation name within the dialect.
+    pub name: Symbol,
+}
+
+impl OpName {
+    /// Renders the name as `dialect.op`.
+    pub fn display(self, ctx: &Context) -> String {
+        format!("{}.{}", ctx.symbol_str(self.dialect), ctx.symbol_str(self.name))
+    }
+}
+
+/// The payload of an operation.
+#[derive(Debug, Clone)]
+pub struct OperationData {
+    pub(crate) name: OpName,
+    pub(crate) operands: Vec<Value>,
+    pub(crate) result_types: Vec<Type>,
+    pub(crate) result_uses: Vec<Vec<Use>>,
+    /// Attribute dictionary, kept sorted by key symbol index for
+    /// deterministic printing.
+    pub(crate) attributes: Vec<(Symbol, Attribute)>,
+    pub(crate) successors: Vec<BlockRef>,
+    pub(crate) regions: Vec<RegionRef>,
+    pub(crate) parent: Option<BlockRef>,
+}
+
+/// Everything needed to create an operation, assembled builder-style.
+///
+/// ```
+/// use irdl_ir::{Context, OperationState};
+///
+/// let mut ctx = Context::new();
+/// let f32 = ctx.f32_type();
+/// let key = ctx.symbol("value");
+/// let one = ctx.f32_attr(1.0);
+/// let name = ctx.op_name("arith", "constant");
+/// let op = ctx.create_op(
+///     OperationState::new(name)
+///         .add_result_types([f32])
+///         .add_attribute(key, one),
+/// );
+/// assert_eq!(op.num_results(&ctx), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OperationState {
+    /// The operation name.
+    pub name: OpName,
+    /// SSA operands.
+    pub operands: Vec<Value>,
+    /// Result types.
+    pub result_types: Vec<Type>,
+    /// Attribute dictionary entries (deduplicated on creation, last wins).
+    pub attributes: Vec<(Symbol, Attribute)>,
+    /// Successor blocks.
+    pub successors: Vec<BlockRef>,
+    /// Regions to attach; each must be detached (no parent op).
+    pub regions: Vec<RegionRef>,
+}
+
+impl OperationState {
+    /// Starts a state for the given operation name.
+    pub fn new(name: OpName) -> Self {
+        OperationState {
+            name,
+            operands: Vec::new(),
+            result_types: Vec::new(),
+            attributes: Vec::new(),
+            successors: Vec::new(),
+            regions: Vec::new(),
+        }
+    }
+
+    /// Appends operands.
+    pub fn add_operands(mut self, operands: impl IntoIterator<Item = Value>) -> Self {
+        self.operands.extend(operands);
+        self
+    }
+
+    /// Appends result types.
+    pub fn add_result_types(mut self, types: impl IntoIterator<Item = Type>) -> Self {
+        self.result_types.extend(types);
+        self
+    }
+
+    /// Adds (or overrides) an attribute.
+    pub fn add_attribute(mut self, key: Symbol, value: Attribute) -> Self {
+        self.attributes.push((key, value));
+        self
+    }
+
+    /// Appends successor blocks.
+    pub fn add_successors(mut self, successors: impl IntoIterator<Item = BlockRef>) -> Self {
+        self.successors.extend(successors);
+        self
+    }
+
+    /// Attaches detached regions.
+    pub fn add_regions(mut self, regions: impl IntoIterator<Item = RegionRef>) -> Self {
+        self.regions.extend(regions);
+        self
+    }
+}
+
+impl OpRef {
+    /// The operation's dialect-qualified name.
+    pub fn name(self, ctx: &Context) -> OpName {
+        ctx.op_data(self).name
+    }
+
+    /// The operands, in order.
+    pub fn operands(self, ctx: &Context) -> &[Value] {
+        &ctx.op_data(self).operands
+    }
+
+    /// The `i`-th operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn operand(self, ctx: &Context, i: usize) -> Value {
+        ctx.op_data(self).operands[i]
+    }
+
+    /// Number of operands.
+    pub fn num_operands(self, ctx: &Context) -> usize {
+        ctx.op_data(self).operands.len()
+    }
+
+    /// The result types, in order.
+    pub fn result_types(self, ctx: &Context) -> &[Type] {
+        &ctx.op_data(self).result_types
+    }
+
+    /// The `i`-th result value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn result(self, ctx: &Context, i: usize) -> Value {
+        assert!(i < self.num_results(ctx), "result index out of bounds");
+        Value::OpResult { op: self, index: i as u32 }
+    }
+
+    /// All result values, in order.
+    pub fn results(self, ctx: &Context) -> Vec<Value> {
+        (0..self.num_results(ctx))
+            .map(|i| Value::OpResult { op: self, index: i as u32 })
+            .collect()
+    }
+
+    /// Number of results.
+    pub fn num_results(self, ctx: &Context) -> usize {
+        ctx.op_data(self).result_types.len()
+    }
+
+    /// The attribute dictionary, sorted by key.
+    pub fn attributes(self, ctx: &Context) -> &[(Symbol, Attribute)] {
+        &ctx.op_data(self).attributes
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attr(self, ctx: &Context, key: &str) -> Option<Attribute> {
+        let key = ctx.symbol_lookup(key)?;
+        self.attr_sym(ctx, key)
+    }
+
+    /// Looks up an attribute by interned key.
+    pub fn attr_sym(self, ctx: &Context, key: Symbol) -> Option<Attribute> {
+        ctx.op_data(self)
+            .attributes
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+
+    /// The successor blocks.
+    pub fn successors(self, ctx: &Context) -> &[BlockRef] {
+        &ctx.op_data(self).successors
+    }
+
+    /// The nested regions, in order.
+    pub fn regions(self, ctx: &Context) -> &[RegionRef] {
+        &ctx.op_data(self).regions
+    }
+
+    /// The `i`-th region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn region(self, ctx: &Context, i: usize) -> RegionRef {
+        ctx.op_data(self).regions[i]
+    }
+
+    /// Number of nested regions.
+    pub fn num_regions(self, ctx: &Context) -> usize {
+        ctx.op_data(self).regions.len()
+    }
+
+    /// The block containing this operation, if inserted.
+    pub fn parent_block(self, ctx: &Context) -> Option<BlockRef> {
+        ctx.op_data(self).parent
+    }
+
+    /// The operation owning the region containing this operation.
+    pub fn parent_op(self, ctx: &Context) -> Option<OpRef> {
+        let block = self.parent_block(ctx)?;
+        let region = block.parent_region(ctx)?;
+        region.parent_op(ctx)
+    }
+
+    /// Returns `true` if this operation is still live in the context.
+    pub fn is_live(self, ctx: &Context) -> bool {
+        ctx.op_is_live(self)
+    }
+}
+
+impl Context {
+    /// Builds an [`OpName`] from dialect and operation strings.
+    pub fn op_name(&mut self, dialect: &str, name: &str) -> OpName {
+        OpName { dialect: self.symbol(dialect), name: self.symbol(name) }
+    }
+
+    /// Creates a detached operation from `state`.
+    ///
+    /// Operand uses are recorded, attributes are sorted and deduplicated
+    /// (later entries win), and the supplied regions are attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a supplied region is already attached to another operation.
+    pub fn create_op(&mut self, state: OperationState) -> OpRef {
+        let OperationState { name, operands, result_types, attributes, successors, regions } =
+            state;
+        let mut dict: Vec<(Symbol, Attribute)> = Vec::with_capacity(attributes.len());
+        for (key, value) in attributes {
+            match dict.iter_mut().find(|(k, _)| *k == key) {
+                Some(entry) => entry.1 = value,
+                None => dict.push((key, value)),
+            }
+        }
+        dict.sort_by_key(|(k, _)| k.0);
+        let num_results = result_types.len();
+        let data = OperationData {
+            name,
+            operands: operands.clone(),
+            result_types,
+            result_uses: vec![Vec::new(); num_results],
+            attributes: dict,
+            successors,
+            regions: regions.clone(),
+            parent: None,
+        };
+        let op = OpRef(self.ops_mut().alloc(data));
+        for (index, operand) in operands.iter().enumerate() {
+            self.add_use(*operand, Use { op, operand_index: index as u32 });
+        }
+        for region in regions {
+            let slot = self.region_data_mut(region);
+            assert!(slot.parent_op.is_none(), "region already attached to an operation");
+            slot.parent_op = Some(op);
+        }
+        op
+    }
+
+    /// Replaces operand `index` of `op` with `value`, updating use lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_operand(&mut self, op: OpRef, index: usize, value: Value) {
+        let old = self.op_data(op).operands[index];
+        if old == value {
+            return;
+        }
+        self.remove_use(old, Use { op, operand_index: index as u32 });
+        self.op_data_mut(op).operands[index] = value;
+        self.add_use(value, Use { op, operand_index: index as u32 });
+    }
+
+    /// Replaces every use of `old` with `new`.
+    ///
+    /// Replacing a value with itself is a no-op.
+    pub fn replace_all_uses(&mut self, old: Value, new: Value) {
+        if old == new {
+            return;
+        }
+        let uses: Vec<Use> = self.value_uses(old).to_vec();
+        for u in uses {
+            self.set_operand(u.op, u.operand_index as usize, new);
+        }
+    }
+
+    /// Sets (or overrides) an attribute on `op`.
+    pub fn set_attr(&mut self, op: OpRef, key: Symbol, value: Attribute) {
+        let dict = &mut self.op_data_mut(op).attributes;
+        match dict.iter_mut().find(|(k, _)| *k == key) {
+            Some(entry) => entry.1 = value,
+            None => {
+                dict.push((key, value));
+                dict.sort_by_key(|(k, _)| k.0);
+            }
+        }
+    }
+
+    /// Removes an attribute from `op`, returning its previous value.
+    pub fn remove_attr(&mut self, op: OpRef, key: Symbol) -> Option<Attribute> {
+        let dict = &mut self.op_data_mut(op).attributes;
+        let pos = dict.iter().position(|(k, _)| *k == key)?;
+        Some(dict.remove(pos).1)
+    }
+
+    /// Detaches `op` from its parent block (it remains live).
+    pub fn detach_op(&mut self, op: OpRef) {
+        if let Some(block) = self.op_data(op).parent {
+            let ops = &mut self.block_data_mut(block).ops;
+            let pos = ops.iter().position(|o| *o == op).expect("op not in parent block");
+            ops.remove(pos);
+            self.op_data_mut(op).parent = None;
+        }
+    }
+
+    /// Appends `op` at the end of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is already inserted in a block.
+    pub fn append_op(&mut self, block: BlockRef, op: OpRef) {
+        assert!(self.op_data(op).parent.is_none(), "op already inserted; detach first");
+        self.block_data_mut(block).ops.push(op);
+        self.op_data_mut(op).parent = Some(block);
+    }
+
+    /// Inserts `op` immediately before `anchor` in `anchor`'s block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor` is detached or `op` is already inserted.
+    pub fn insert_op_before(&mut self, anchor: OpRef, op: OpRef) {
+        assert!(self.op_data(op).parent.is_none(), "op already inserted; detach first");
+        let block = self.op_data(anchor).parent.expect("anchor op is detached");
+        let pos = {
+            let ops = &self.block_data(block).ops;
+            ops.iter().position(|o| *o == anchor).expect("anchor not in its parent block")
+        };
+        self.block_data_mut(block).ops.insert(pos, op);
+        self.op_data_mut(op).parent = Some(block);
+    }
+
+    /// Inserts `op` immediately after `anchor` in `anchor`'s block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anchor` is detached or `op` is already inserted.
+    pub fn insert_op_after(&mut self, anchor: OpRef, op: OpRef) {
+        assert!(self.op_data(op).parent.is_none(), "op already inserted; detach first");
+        let block = self.op_data(anchor).parent.expect("anchor op is detached");
+        let pos = {
+            let ops = &self.block_data(block).ops;
+            ops.iter().position(|o| *o == anchor).expect("anchor not in its parent block")
+        };
+        self.block_data_mut(block).ops.insert(pos + 1, op);
+        self.op_data_mut(op).parent = Some(block);
+    }
+
+    /// Erases `op` and everything nested inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any result of any operation in the erased subtree still
+    /// has uses outside the subtree.
+    pub fn erase_op(&mut self, op: OpRef) {
+        // Collect the whole subtree first.
+        let mut ops = Vec::new();
+        let mut blocks = Vec::new();
+        let mut regions = Vec::new();
+        self.collect_subtree(op, &mut ops, &mut blocks, &mut regions);
+        let subtree: std::collections::HashSet<OpRef> = ops.iter().copied().collect();
+        // No result anywhere in the subtree may be used outside it. (Uses
+        // from outside a region are invalid IR, but the guard keeps a
+        // mis-built context from leaving dangling references.)
+        for &o in &ops {
+            for uses in &self.op_data(o).result_uses {
+                for u in uses {
+                    assert!(
+                        subtree.contains(&u.op),
+                        "erasing operation whose results still have uses"
+                    );
+                }
+            }
+        }
+        // Drop operand uses originating from the subtree, so that internal
+        // def-use edges do not block destruction.
+        for &o in &ops {
+            let operands = self.op_data(o).operands.clone();
+            for (index, operand) in operands.iter().enumerate() {
+                self.remove_use(*operand, Use { op: o, operand_index: index as u32 });
+            }
+        }
+        self.detach_op(op);
+        for o in ops {
+            self.ops_mut().erase(o.0);
+        }
+        for b in blocks {
+            self.blocks_mut().erase(b.0);
+        }
+        for r in regions {
+            self.regions_mut().erase(r.0);
+        }
+    }
+
+    fn collect_subtree(
+        &self,
+        op: OpRef,
+        ops: &mut Vec<OpRef>,
+        blocks: &mut Vec<BlockRef>,
+        regions: &mut Vec<RegionRef>,
+    ) {
+        ops.push(op);
+        for &region in self.op_data(op).regions.iter() {
+            regions.push(region);
+            for &block in self.region_data(region).blocks.iter() {
+                blocks.push(block);
+                for &nested in self.block_data(block).ops.iter() {
+                    self.collect_subtree(nested, ops, blocks, regions);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_op(ctx: &mut Context, name: &str, operands: &[Value], results: usize) -> OpRef {
+        let f32 = ctx.f32_type();
+        let name = ctx.op_name("test", name);
+        ctx.create_op(
+            OperationState::new(name)
+                .add_operands(operands.iter().copied())
+                .add_result_types(std::iter::repeat_n(f32, results)),
+        )
+    }
+
+    #[test]
+    fn use_lists_track_operands() {
+        let mut ctx = Context::new();
+        let a = test_op(&mut ctx, "a", &[], 1);
+        let va = a.result(&ctx, 0);
+        let b = test_op(&mut ctx, "b", &[va, va], 1);
+        assert_eq!(va.uses(&ctx).len(), 2);
+        assert!(va.uses(&ctx).iter().all(|u| u.op == b));
+    }
+
+    #[test]
+    fn replace_all_uses_moves_edges() {
+        let mut ctx = Context::new();
+        let a = test_op(&mut ctx, "a", &[], 1);
+        let c = test_op(&mut ctx, "c", &[], 1);
+        let va = a.result(&ctx, 0);
+        let vc = c.result(&ctx, 0);
+        let b = test_op(&mut ctx, "b", &[va], 1);
+        ctx.replace_all_uses(va, vc);
+        assert!(va.is_unused(&ctx));
+        assert_eq!(vc.uses(&ctx).len(), 1);
+        assert_eq!(b.operand(&ctx, 0), vc);
+    }
+
+    #[test]
+    fn attributes_sorted_and_deduped() {
+        let mut ctx = Context::new();
+        let k1 = ctx.symbol("zeta");
+        let k2 = ctx.symbol("alpha");
+        let v1 = ctx.i32_attr(1);
+        let v2 = ctx.i32_attr(2);
+        let v3 = ctx.i32_attr(3);
+        let name = ctx.op_name("test", "attrs");
+        let op = ctx.create_op(
+            OperationState::new(name)
+                .add_attribute(k1, v1)
+                .add_attribute(k2, v2)
+                .add_attribute(k1, v3),
+        );
+        assert_eq!(op.attr_sym(&ctx, k1), Some(v3), "last write wins");
+        assert_eq!(op.attr_sym(&ctx, k2), Some(v2));
+        assert_eq!(op.attributes(&ctx).len(), 2);
+    }
+
+    #[test]
+    fn insertion_and_detach() {
+        let mut ctx = Context::new();
+        let block = ctx.create_block([]);
+        let a = test_op(&mut ctx, "a", &[], 0);
+        let b = test_op(&mut ctx, "b", &[], 0);
+        let c = test_op(&mut ctx, "c", &[], 0);
+        ctx.append_op(block, a);
+        ctx.append_op(block, c);
+        ctx.insert_op_before(c, b);
+        let names: Vec<String> =
+            block.ops(&ctx).iter().map(|o| o.name(&ctx).display(&ctx)).collect();
+        assert_eq!(names, ["test.a", "test.b", "test.c"]);
+        ctx.detach_op(b);
+        assert_eq!(block.ops(&ctx).len(), 2);
+        assert_eq!(b.parent_block(&ctx), None);
+        ctx.insert_op_after(a, b);
+        let names: Vec<String> =
+            block.ops(&ctx).iter().map(|o| o.name(&ctx).display(&ctx)).collect();
+        assert_eq!(names, ["test.a", "test.b", "test.c"]);
+    }
+
+    #[test]
+    fn erase_op_releases_operand_uses() {
+        let mut ctx = Context::new();
+        let a = test_op(&mut ctx, "a", &[], 1);
+        let va = a.result(&ctx, 0);
+        let b = test_op(&mut ctx, "b", &[va], 0);
+        assert_eq!(va.uses(&ctx).len(), 1);
+        ctx.erase_op(b);
+        assert!(va.is_unused(&ctx));
+        assert!(!b.is_live(&ctx));
+    }
+
+    #[test]
+    #[should_panic(expected = "results still have uses")]
+    fn erase_used_op_panics() {
+        let mut ctx = Context::new();
+        let a = test_op(&mut ctx, "a", &[], 1);
+        let va = a.result(&ctx, 0);
+        let _b = test_op(&mut ctx, "b", &[va], 0);
+        ctx.erase_op(a);
+    }
+}

@@ -1,0 +1,1435 @@
+//! Parsing the generic IR textual format back into a [`Context`].
+//!
+//! Supports the generic operation form produced by [`crate::print`] plus
+//! dialect-registered custom syntax (IRDL `Format` directives or native
+//! hooks). SSA value names must be defined textually before use (forward
+//! references to *blocks* are supported; forward references to values are
+//! not — a documented divergence from MLIR's graph regions).
+
+use std::collections::HashMap;
+
+use crate::attrs::{AttrData, Attribute};
+use crate::block::BlockRef;
+use crate::context::Context;
+use crate::diag::{Diagnostic, Result};
+use crate::lexer::{lex, Spanned, Token};
+use crate::op::{OpName, OpRef, OperationState};
+use crate::region::RegionRef;
+use crate::types::{FloatKind, Signedness, Type, TypeData};
+use crate::value::Value;
+
+/// Parses a source file: a sequence of top-level operations.
+///
+/// If the source contains exactly one `builtin.module`, it is returned
+/// directly; otherwise the parsed operations are wrapped in a fresh module.
+///
+/// # Errors
+///
+/// Returns a diagnostic with a byte offset into `source` on malformed
+/// input.
+pub fn parse_module(ctx: &mut Context, source: &str) -> Result<OpRef> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(ctx, tokens);
+    parser.push_scopes();
+    let mut ops = Vec::new();
+    while parser.peek() != &Token::Eof {
+        ops.push(parser.parse_op()?);
+    }
+    parser.pop_scopes();
+    let module_name = parser.ctx.op_name("builtin", "module");
+    if ops.len() == 1 && ops[0].name(parser.ctx) == module_name {
+        return Ok(ops[0]);
+    }
+    let module = parser.ctx.create_module();
+    let block = parser.ctx.module_block(module);
+    for op in ops {
+        parser.ctx.append_op(block, op);
+    }
+    Ok(module)
+}
+
+/// Parses a single type from `source` (e.g. `"!cmath.complex<f32>"`).
+///
+/// # Errors
+///
+/// Returns a diagnostic on malformed input or trailing tokens.
+pub fn parse_type_str(ctx: &mut Context, source: &str) -> Result<Type> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(ctx, tokens);
+    let ty = parser.parse_type()?;
+    parser.expect_eof()?;
+    Ok(ty)
+}
+
+/// Parses a single attribute from `source` (e.g. `"42 : i32"`).
+///
+/// # Errors
+///
+/// Returns a diagnostic on malformed input or trailing tokens.
+pub fn parse_attr_str(ctx: &mut Context, source: &str) -> Result<Attribute> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(ctx, tokens);
+    let attr = parser.parse_attribute()?;
+    parser.expect_eof()?;
+    Ok(attr)
+}
+
+/// A named group of result values (`%x:2` defines a group of two).
+#[derive(Debug, Clone)]
+struct ValueGroup {
+    values: Vec<Value>,
+}
+
+pub(crate) struct Parser<'a> {
+    pub(crate) ctx: &'a mut Context,
+    tokens: Vec<Spanned>,
+    pos: usize,
+    value_scopes: Vec<HashMap<String, ValueGroup>>,
+    block_scopes: Vec<HashMap<String, BlockRef>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(ctx: &'a mut Context, tokens: Vec<Spanned>) -> Self {
+        Parser { ctx, tokens, pos: 0, value_scopes: Vec::new(), block_scopes: Vec::new() }
+    }
+
+    // ----- token plumbing ---------------------------------------------------
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn peek2(&self) -> &Token {
+        let idx = (self.pos + 1).min(self.tokens.len() - 1);
+        &self.tokens[idx].token
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn expect(&mut self, expected: &Token) -> Result<()> {
+        if self.peek() == expected {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                expected.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn consume_if(&mut self, expected: &Token) -> bool {
+        if self.peek() == expected {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
+        }
+    }
+
+    /// An attribute-dictionary key: a bare identifier or a quoted string
+    /// (for keys that are not lexable identifiers).
+    fn expect_attr_key(&mut self) -> Result<String> {
+        match self.peek().clone() {
+            Token::Ident(s) | Token::Str(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => {
+                Err(self.error(format!("expected attribute key, found {}", other.describe())))
+            }
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.peek() {
+            Token::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {}", other.describe()))),
+        }
+    }
+
+    /// Parses an optional `{key = attr, ...}` dictionary into `out`.
+    fn parse_optional_attr_entries(
+        &mut self,
+        out: &mut Vec<(crate::Symbol, Attribute)>,
+    ) -> Result<()> {
+        if self.consume_if(&Token::LBrace) && !self.consume_if(&Token::RBrace) {
+            loop {
+                let key = self.expect_attr_key()?;
+                self.expect(&Token::Equals)?;
+                let value = self.parse_attribute()?;
+                let key = self.ctx.symbol(&key);
+                out.push((key, value));
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RBrace)?;
+        }
+        Ok(())
+    }
+
+    fn consume_keyword(&mut self, kw: &str) -> bool {
+        match self.peek() {
+            Token::Ident(s) if s == kw => {
+                self.bump();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if self.peek() == &Token::Eof {
+            Ok(())
+        } else {
+            Err(self.error(format!("unexpected trailing {}", self.peek().describe())))
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::at(self.offset(), message)
+    }
+
+    // ----- scopes ------------------------------------------------------------
+
+    fn push_scopes(&mut self) {
+        self.value_scopes.push(HashMap::new());
+        self.block_scopes.push(HashMap::new());
+    }
+
+    fn pop_scopes(&mut self) {
+        self.value_scopes.pop();
+        self.block_scopes.pop();
+    }
+
+    fn define_value_group(&mut self, name: &str, values: Vec<Value>) -> Result<()> {
+        let scope = self.value_scopes.last_mut().expect("no value scope");
+        if scope.contains_key(name) {
+            return Err(self.error(format!("redefinition of value `%{name}`")));
+        }
+        scope.insert(name.to_string(), ValueGroup { values });
+        Ok(())
+    }
+
+    fn resolve_value(&self, name: &str) -> Result<Value> {
+        let (base, index) = match name.split_once('#') {
+            Some((base, idx)) => {
+                let index: usize = idx
+                    .parse()
+                    .map_err(|_| self.error(format!("invalid result index in `%{name}`")))?;
+                (base, Some(index))
+            }
+            None => (name, None),
+        };
+        for scope in self.value_scopes.iter().rev() {
+            if let Some(group) = scope.get(base) {
+                return match index {
+                    Some(i) => group.values.get(i).copied().ok_or_else(|| {
+                        self.error(format!("result index out of range in `%{name}`"))
+                    }),
+                    None => {
+                        if group.values.len() == 1 {
+                            Ok(group.values[0])
+                        } else {
+                            Err(self.error(format!(
+                                "`%{base}` names a group of {} results; use `%{base}#N`",
+                                group.values.len()
+                            )))
+                        }
+                    }
+                };
+            }
+        }
+        Err(self.error(format!("use of undefined value `%{base}`")))
+    }
+
+    fn get_or_create_block(&mut self, name: &str) -> BlockRef {
+        if let Some(block) = self.block_scopes.last().and_then(|s| s.get(name)) {
+            return *block;
+        }
+        let block = self.ctx.create_block([]);
+        self.block_scopes
+            .last_mut()
+            .expect("no block scope")
+            .insert(name.to_string(), block);
+        block
+    }
+
+    // ----- types -------------------------------------------------------------
+
+    pub(crate) fn parse_type(&mut self) -> Result<Type> {
+        match self.peek().clone() {
+            Token::Ident(name) => {
+                self.bump();
+                self.parse_builtin_type(&name)
+            }
+            Token::TypeRef(full) => {
+                self.bump();
+                let (dialect, name) = full.split_once('.').ok_or_else(|| {
+                    self.error(format!("type reference `!{full}` must be dialect-qualified"))
+                })?;
+                let (dialect, name) = (dialect.to_string(), name.to_string());
+                let dialect = self.ctx.symbol(&dialect);
+                let name = self.ctx.symbol(&name);
+                // Custom parameter syntax (IRDL `Format` on the type).
+                let custom = self
+                    .ctx
+                    .registry()
+                    .type_def(dialect, name)
+                    .and_then(|info| info.syntax.clone());
+                let params = match custom {
+                    Some(syntax) => {
+                        self.expect(&Token::Lt)?;
+                        let mut pp = ParamParser { parser: self };
+                        let params = syntax.parse(&mut pp)?;
+                        self.expect(&Token::Gt)?;
+                        params
+                    }
+                    None => self.parse_opt_param_list()?,
+                };
+                let offset = self.offset();
+                self.ctx
+                    .parametric_type_syms(dialect, name, params)
+                    .map_err(|d| d.or_offset(offset))
+            }
+            Token::LParen => {
+                self.bump();
+                let mut inputs = Vec::new();
+                if !self.consume_if(&Token::RParen) {
+                    loop {
+                        inputs.push(self.parse_type()?);
+                        if !self.consume_if(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+                self.expect(&Token::Arrow)?;
+                let results = self.parse_type_list_grouped()?;
+                Ok(self.ctx.function_type(inputs, results))
+            }
+            other => Err(self.error(format!("expected type, found {}", other.describe()))),
+        }
+    }
+
+    fn parse_builtin_type(&mut self, name: &str) -> Result<Type> {
+        if let Some(width) = parse_int_keyword(name, "i") {
+            return Ok(self.ctx.int_type(width));
+        }
+        if let Some(width) = parse_int_keyword(name, "si") {
+            return Ok(self.ctx.int_type_with_signedness(width, Signedness::Signed));
+        }
+        if let Some(width) = parse_int_keyword(name, "ui") {
+            return Ok(self.ctx.int_type_with_signedness(width, Signedness::Unsigned));
+        }
+        match name {
+            "f16" => return Ok(self.ctx.float_type(FloatKind::F16)),
+            "bf16" => return Ok(self.ctx.float_type(FloatKind::BF16)),
+            "f32" => return Ok(self.ctx.f32_type()),
+            "f64" => return Ok(self.ctx.f64_type()),
+            "index" => return Ok(self.ctx.index_type()),
+            _ => {}
+        }
+        match name {
+            "vector" => {
+                self.expect(&Token::Lt)?;
+                let mut dims: Vec<u64> = Vec::new();
+                loop {
+                    match self.peek().clone() {
+                        Token::Integer { value, .. } if value >= 0 => {
+                            self.bump();
+                            dims.push(value as u64);
+                            self.expect_keyword("x")?;
+                        }
+                        _ => break,
+                    }
+                }
+                let elem = self.parse_type()?;
+                self.expect(&Token::Gt)?;
+                Ok(self.ctx.vector_type(dims, elem))
+            }
+            "tensor" | "memref" => {
+                let is_tensor = name == "tensor";
+                self.expect(&Token::Lt)?;
+                let mut dims: Vec<i64> = Vec::new();
+                loop {
+                    match self.peek().clone() {
+                        Token::Integer { value, .. } if value >= 0 => {
+                            self.bump();
+                            dims.push(value as i64);
+                            self.expect_keyword("x")?;
+                        }
+                        Token::Question => {
+                            self.bump();
+                            dims.push(-1);
+                            self.expect_keyword("x")?;
+                        }
+                        _ => break,
+                    }
+                }
+                let elem = self.parse_type()?;
+                self.expect(&Token::Gt)?;
+                Ok(if is_tensor {
+                    self.ctx.tensor_type(dims, elem)
+                } else {
+                    self.ctx.memref_type(dims, elem)
+                })
+            }
+            other => Err(self.error(format!("unknown builtin type `{other}`"))),
+        }
+    }
+
+    fn parse_type_list_grouped(&mut self) -> Result<Vec<Type>> {
+        if self.peek() == &Token::LParen {
+            self.bump();
+            let mut types = Vec::new();
+            if !self.consume_if(&Token::RParen) {
+                loop {
+                    types.push(self.parse_type()?);
+                    if !self.consume_if(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            }
+            Ok(types)
+        } else {
+            Ok(vec![self.parse_type()?])
+        }
+    }
+
+    /// Parses an optional `<attr, attr, ...>` parameter list.
+    fn parse_opt_param_list(&mut self) -> Result<Vec<Attribute>> {
+        let mut params = Vec::new();
+        if self.consume_if(&Token::Lt)
+            && !self.consume_if(&Token::Gt) {
+                loop {
+                    params.push(self.parse_attribute()?);
+                    if !self.consume_if(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::Gt)?;
+            }
+        Ok(params)
+    }
+
+    // ----- attributes ----------------------------------------------------------
+
+    pub(crate) fn parse_attribute(&mut self) -> Result<Attribute> {
+        match self.peek().clone() {
+            Token::Integer { value, hex } => {
+                self.bump();
+                if self.consume_if(&Token::Colon) {
+                    let ty = self.parse_type()?;
+                    match *self.ctx.type_data(ty) {
+                        TypeData::Float(kind) => {
+                            if hex {
+                                let bits = u64::try_from(value).map_err(|_| {
+                                    self.error(format!(
+                                        "hex float literal {value:#x} does not fit in 64 bits"
+                                    ))
+                                })?;
+                                Ok(self.ctx.intern_attr(AttrData::Float { bits, kind }))
+                            } else {
+                                Ok(self.ctx.float_attr(value as f64, kind))
+                            }
+                        }
+                        TypeData::Integer { .. } | TypeData::Index => {
+                            Ok(self.ctx.int_attr(value, ty))
+                        }
+                        _ => Err(self.error("integer attribute requires an integer, index, or float type")),
+                    }
+                } else {
+                    // Untyped integers default to i64, matching common usage.
+                    Ok(self.ctx.i64_attr(value as i64))
+                }
+            }
+            Token::Float(value) => {
+                self.bump();
+                let kind = if self.consume_if(&Token::Colon) {
+                    let ty = self.parse_type()?;
+                    match *self.ctx.type_data(ty) {
+                        TypeData::Float(kind) => kind,
+                        _ => return Err(self.error("float attribute requires a float type")),
+                    }
+                } else {
+                    FloatKind::F64
+                };
+                Ok(self.ctx.float_attr(value, kind))
+            }
+            Token::Str(s) => {
+                self.bump();
+                Ok(self.ctx.string_attr(s))
+            }
+            Token::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.consume_if(&Token::RBracket) {
+                    loop {
+                        items.push(self.parse_attribute()?);
+                        if !self.consume_if(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RBracket)?;
+                }
+                Ok(self.ctx.array_attr(items))
+            }
+            Token::SymbolRef(name) => {
+                self.bump();
+                Ok(self.ctx.symbol_ref_attr(&name))
+            }
+            Token::Ident(kw) => match kw.as_str() {
+                "unit" => {
+                    self.bump();
+                    Ok(self.ctx.unit_attr())
+                }
+                "true" => {
+                    self.bump();
+                    Ok(self.ctx.bool_attr(true))
+                }
+                "false" => {
+                    self.bump();
+                    Ok(self.ctx.bool_attr(false))
+                }
+                "loc" => {
+                    self.bump();
+                    self.expect(&Token::LParen)?;
+                    let file = match self.bump() {
+                        Token::Str(s) => s,
+                        other => {
+                            return Err(self
+                                .error(format!("expected file string, found {}", other.describe())))
+                        }
+                    };
+                    self.expect(&Token::Colon)?;
+                    let line = self.expect_unsigned()? as u32;
+                    self.expect(&Token::Colon)?;
+                    let col = self.expect_unsigned()? as u32;
+                    self.expect(&Token::RParen)?;
+                    Ok(self.ctx.location_attr(&file, line, col))
+                }
+                "typeid" => {
+                    self.bump();
+                    self.expect(&Token::Lt)?;
+                    let name = match self.bump() {
+                        Token::Str(s) => s,
+                        other => {
+                            return Err(self.error(format!(
+                                "expected type-id string, found {}",
+                                other.describe()
+                            )))
+                        }
+                    };
+                    self.expect(&Token::Gt)?;
+                    Ok(self.ctx.type_id_attr(&name))
+                }
+                _ => {
+                    // Fall back to a type attribute (`i32`, `vector<...>`, ...).
+                    let ty = self.parse_type()?;
+                    Ok(self.ctx.type_attr(ty))
+                }
+            },
+            Token::TypeRef(_) | Token::LParen => {
+                let ty = self.parse_type()?;
+                Ok(self.ctx.type_attr(ty))
+            }
+            Token::AttrRef(full) => {
+                self.bump();
+                if full == "native" {
+                    self.expect(&Token::Lt)?;
+                    let kind = self.expect_ident()?;
+                    let text = match self.bump() {
+                        Token::Str(s) => s,
+                        other => {
+                            return Err(self.error(format!(
+                                "expected native parameter text, found {}",
+                                other.describe()
+                            )))
+                        }
+                    };
+                    self.expect(&Token::Gt)?;
+                    let offset = self.offset();
+                    return self
+                        .ctx
+                        .native_attr(&kind, &text)
+                        .map_err(|d| d.or_offset(offset));
+                }
+                let (dialect, name) = full.split_once('.').ok_or_else(|| {
+                    self.error(format!("attribute reference `#{full}` must be dialect-qualified"))
+                })?;
+                let (dialect, name) = (dialect.to_string(), name.to_string());
+                let dialect_sym = self.ctx.symbol(&dialect);
+                let name_sym = self.ctx.symbol(&name);
+                // Enum attribute if (dialect, name) names a registered enum.
+                if self.ctx.registry().enum_def(dialect_sym, name_sym).is_some() {
+                    self.expect(&Token::Lt)?;
+                    let variant = self.expect_ident()?;
+                    self.expect(&Token::Gt)?;
+                    let offset = self.offset();
+                    let info = self
+                        .ctx
+                        .registry()
+                        .enum_def(dialect_sym, name_sym)
+                        .expect("checked above");
+                    let variant_sym = self.ctx.symbol_lookup(&variant);
+                    let valid = variant_sym.is_some_and(|v| info.variants.contains(&v));
+                    if !valid {
+                        return Err(Diagnostic::at(
+                            offset,
+                            format!("`{variant}` is not a constructor of enum `{dialect}.{name}`"),
+                        ));
+                    }
+                    return Ok(self.ctx.enum_attr(&dialect, &name, &variant));
+                }
+                let custom = self
+                    .ctx
+                    .registry()
+                    .attr_def(dialect_sym, name_sym)
+                    .and_then(|info| info.syntax.clone());
+                let params = match custom {
+                    Some(syntax) => {
+                        self.expect(&Token::Lt)?;
+                        let mut pp = ParamParser { parser: self };
+                        let params = syntax.parse(&mut pp)?;
+                        self.expect(&Token::Gt)?;
+                        params
+                    }
+                    None => self.parse_opt_param_list()?,
+                };
+                let offset = self.offset();
+                self.ctx
+                    .parametric_attr_syms(dialect_sym, name_sym, params)
+                    .map_err(|d| d.or_offset(offset))
+            }
+            other => Err(self.error(format!("expected attribute, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_unsigned(&mut self) -> Result<i128> {
+        match self.peek().clone() {
+            Token::Integer { value, .. } if value >= 0 => {
+                self.bump();
+                Ok(value)
+            }
+            other => Err(self.error(format!("expected unsigned integer, found {}", other.describe()))),
+        }
+    }
+
+    // ----- operations ----------------------------------------------------------
+
+    fn parse_op(&mut self) -> Result<OpRef> {
+        // Result definitions: `%a:2, %b = ...`
+        let mut defs: Vec<(String, usize)> = Vec::new();
+        if matches!(self.peek(), Token::ValueId(_)) {
+            loop {
+                let name = match self.bump() {
+                    Token::ValueId(name) => name,
+                    _ => unreachable!(),
+                };
+                let mut count = 1usize;
+                if self.consume_if(&Token::Colon) {
+                    count = self.expect_unsigned()? as usize;
+                    if count == 0 {
+                        return Err(self.error("result group size must be positive"));
+                    }
+                }
+                defs.push((name, count));
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::Equals)?;
+        }
+
+        let op = match self.peek().clone() {
+            Token::Str(name) => {
+                self.bump();
+                self.parse_generic_op_body(&name)?
+            }
+            Token::Ident(name) if name.contains('.') => {
+                self.bump();
+                self.parse_custom_op_body(&name)?
+            }
+            other => {
+                return Err(self.error(format!(
+                    "expected operation name (quoted or dialect-qualified), found {}",
+                    other.describe()
+                )))
+            }
+        };
+
+        // Bind result names.
+        let total: usize = defs.iter().map(|(_, n)| n).sum();
+        if !defs.is_empty() && total != op.num_results(self.ctx) {
+            return Err(self.error(format!(
+                "operation defines {} result(s), but {} name(s) were bound",
+                op.num_results(self.ctx),
+                total
+            )));
+        }
+        let mut next = 0usize;
+        for (name, count) in defs {
+            let values: Vec<Value> =
+                (next..next + count).map(|i| op.result(self.ctx, i)).collect();
+            next += count;
+            self.define_value_group(&name, values)?;
+        }
+        Ok(op)
+    }
+
+    fn split_op_name(&mut self, full: &str) -> Result<OpName> {
+        let (dialect, name) = full
+            .split_once('.')
+            .ok_or_else(|| self.error(format!("operation name `{full}` must be dialect-qualified")))?;
+        let dialect = self.ctx.symbol(dialect);
+        let name = self.ctx.symbol(name);
+        Ok(OpName { dialect, name })
+    }
+
+    fn parse_generic_op_body(&mut self, full_name: &str) -> Result<OpRef> {
+        let name = self.split_op_name(full_name)?;
+        self.expect(&Token::LParen)?;
+        let mut operands = Vec::new();
+        if !self.consume_if(&Token::RParen) {
+            loop {
+                match self.bump() {
+                    Token::ValueId(vname) => operands.push(self.resolve_value(&vname)?),
+                    other => {
+                        return Err(self
+                            .error(format!("expected operand `%name`, found {}", other.describe())))
+                    }
+                }
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+
+        let mut successors = Vec::new();
+        if self.consume_if(&Token::LBracket)
+            && !self.consume_if(&Token::RBracket) {
+                loop {
+                    match self.bump() {
+                        Token::BlockId(bname) => successors.push(self.get_or_create_block(&bname)),
+                        other => {
+                            return Err(self.error(format!(
+                                "expected successor `^name`, found {}",
+                                other.describe()
+                            )))
+                        }
+                    }
+                    if !self.consume_if(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RBracket)?;
+            }
+
+        let mut regions = Vec::new();
+        if self.peek() == &Token::LParen {
+            self.bump();
+            if !self.consume_if(&Token::RParen) {
+                loop {
+                    regions.push(self.parse_region(&[])?);
+                    if !self.consume_if(&Token::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Token::RParen)?;
+            }
+        }
+
+        let mut attributes = Vec::new();
+        self.parse_optional_attr_entries(&mut attributes)?;
+
+        self.expect(&Token::Colon)?;
+        let sig_offset = self.offset();
+        self.expect(&Token::LParen)?;
+        let mut operand_types = Vec::new();
+        if !self.consume_if(&Token::RParen) {
+            loop {
+                operand_types.push(self.parse_type()?);
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        }
+        self.expect(&Token::Arrow)?;
+        let result_types = self.parse_type_list_grouped_or_empty()?;
+
+        if operand_types.len() != operands.len() {
+            return Err(Diagnostic::at(
+                sig_offset,
+                format!(
+                    "signature lists {} operand type(s) but {} operand(s) were given",
+                    operand_types.len(),
+                    operands.len()
+                ),
+            ));
+        }
+        for (i, (operand, expected)) in operands.iter().zip(&operand_types).enumerate() {
+            let actual = operand.ty(self.ctx);
+            if actual != *expected {
+                return Err(Diagnostic::at(
+                    sig_offset,
+                    format!(
+                        "operand #{i} has type {} but the signature expects {}",
+                        actual.display(self.ctx),
+                        expected.display(self.ctx)
+                    ),
+                ));
+            }
+        }
+
+        let state = OperationState {
+            name,
+            operands,
+            result_types,
+            attributes,
+            successors,
+            regions,
+        };
+        Ok(self.ctx.create_op(state))
+    }
+
+    /// `() -> ()`-style empty lists are common in result position.
+    fn parse_type_list_grouped_or_empty(&mut self) -> Result<Vec<Type>> {
+        if self.peek() == &Token::LParen && self.peek2() == &Token::RParen {
+            self.bump();
+            self.bump();
+            // A trailing `-> (...)` after `()` would mean a function type
+            // result; the generic form never prints that without parens.
+            return Ok(Vec::new());
+        }
+        self.parse_type_list_grouped()
+    }
+
+    fn parse_custom_op_body(&mut self, full_name: &str) -> Result<OpRef> {
+        let name = self.split_op_name(full_name)?;
+        let info = self
+            .ctx
+            .registry()
+            .op_info(name.dialect, name.name)
+            .cloned()
+            .ok_or_else(|| {
+                self.error(format!(
+                    "operation `{full_name}` is not registered; use the quoted generic form"
+                ))
+            })?;
+        let syntax = info.syntax.clone().ok_or_else(|| {
+            self.error(format!(
+                "operation `{full_name}` has no custom syntax; use the quoted generic form"
+            ))
+        })?;
+        let mut op_parser = OpParser { parser: self, name };
+        let mut state = syntax.parse(&mut op_parser)?;
+        state.name = name;
+        Ok(self.ctx.create_op(state))
+    }
+
+    // ----- regions ---------------------------------------------------------------
+
+    fn parse_region(&mut self, entry_args: &[(String, Type)]) -> Result<RegionRef> {
+        self.expect(&Token::LBrace)?;
+        let region = self.ctx.create_region();
+        self.push_scopes();
+
+        let starts_with_label = matches!(self.peek(), Token::BlockId(_));
+        if starts_with_label && !entry_args.is_empty() {
+            return Err(self.error(
+                "region with explicit entry arguments cannot start with a block label",
+            ));
+        }
+
+        if !starts_with_label {
+            if self.peek() == &Token::RBrace && entry_args.is_empty() {
+                // Empty region.
+                self.bump();
+                self.pop_scopes();
+                return Ok(region);
+            }
+            let entry = self.ctx.create_block([]);
+            self.ctx.append_block(region, entry);
+            for (name, ty) in entry_args {
+                let value = self.ctx.add_block_arg(entry, *ty);
+                self.define_value_group(name, vec![value])?;
+            }
+            while !matches!(self.peek(), Token::RBrace | Token::BlockId(_)) {
+                let op = self.parse_op()?;
+                self.ctx.append_op(entry, op);
+            }
+        }
+
+        while let Token::BlockId(label) = self.peek().clone() {
+            self.bump();
+            let block = self.get_or_create_block(&label);
+            if block.parent_region(self.ctx).is_some() {
+                return Err(self.error(format!("redefinition of block `^{label}`")));
+            }
+            self.ctx.append_block(region, block);
+            if self.consume_if(&Token::LParen)
+                && !self.consume_if(&Token::RParen) {
+                    loop {
+                        let vname = match self.bump() {
+                            Token::ValueId(v) => v,
+                            other => {
+                                return Err(self.error(format!(
+                                    "expected block argument `%name`, found {}",
+                                    other.describe()
+                                )))
+                            }
+                        };
+                        self.expect(&Token::Colon)?;
+                        let ty = self.parse_type()?;
+                        let value = self.ctx.add_block_arg(block, ty);
+                        self.define_value_group(&vname, vec![value])?;
+                        if !self.consume_if(&Token::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                }
+            self.expect(&Token::Colon)?;
+            while !matches!(self.peek(), Token::RBrace | Token::BlockId(_)) {
+                let op = self.parse_op()?;
+                self.ctx.append_op(block, op);
+            }
+        }
+
+        self.expect(&Token::RBrace)?;
+
+        // Every referenced block must have been defined.
+        let scope = self.block_scopes.last().expect("no block scope");
+        for (label, block) in scope {
+            if block.parent_region(self.ctx).is_none() {
+                return Err(self.error(format!("use of undefined block `^{label}`")));
+            }
+        }
+        self.pop_scopes();
+        Ok(region)
+    }
+}
+
+fn parse_int_keyword(name: &str, prefix: &str) -> Option<u32> {
+    let rest = name.strip_prefix(prefix)?;
+    if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// The parsing interface handed to dialect syntax hooks (IRDL formats and
+/// native implementations): token primitives plus recursive entry points
+/// for types, attributes, operands, successors, and regions.
+pub struct OpParser<'p, 'a> {
+    parser: &'p mut Parser<'a>,
+    name: OpName,
+}
+
+impl<'p, 'a> OpParser<'p, 'a> {
+    /// The name of the operation being parsed.
+    pub fn op_name(&self) -> OpName {
+        self.name
+    }
+
+    /// Mutable access to the context (for building types/attributes).
+    pub fn ctx(&mut self) -> &mut Context {
+        self.parser.ctx
+    }
+
+    /// Read-only access to the context.
+    pub fn ctx_ref(&self) -> &Context {
+        self.parser.ctx
+    }
+
+    /// Byte offset of the next token (for diagnostics).
+    pub fn offset(&self) -> usize {
+        self.parser.offset()
+    }
+
+    /// Creates a diagnostic at the current position.
+    pub fn error(&self, message: impl Into<String>) -> Diagnostic {
+        self.parser.error(message)
+    }
+
+    /// Consumes the next token if it equals `token`.
+    pub fn consume_if(&mut self, token: &Token) -> bool {
+        self.parser.consume_if(token)
+    }
+
+    /// Requires the next token to equal `token`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the found token otherwise.
+    pub fn expect(&mut self, token: &Token) -> Result<()> {
+        self.parser.expect(token)
+    }
+
+    /// Requires and returns a bare identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic if the next token is not an identifier.
+    pub fn expect_ident(&mut self) -> Result<String> {
+        self.parser.expect_ident()
+    }
+
+    /// Requires the identifier `kw`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic if the next token is not `kw`.
+    pub fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        self.parser.expect_keyword(kw)
+    }
+
+    /// Consumes the identifier `kw` if present.
+    pub fn consume_keyword(&mut self, kw: &str) -> bool {
+        self.parser.consume_keyword(kw)
+    }
+
+    /// Peeks at the next token.
+    pub fn peek(&self) -> &Token {
+        self.parser.peek()
+    }
+
+    /// Parses and resolves one SSA operand (`%name`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic if the value is undefined or malformed.
+    pub fn parse_operand(&mut self) -> Result<Value> {
+        match self.parser.bump() {
+            Token::ValueId(name) => self.parser.resolve_value(&name),
+            other => Err(self
+                .parser
+                .error(format!("expected operand `%name`, found {}", other.describe()))),
+        }
+    }
+
+    /// Parses a comma-separated list of operands.
+    ///
+    /// # Errors
+    ///
+    /// Propagates operand resolution failures.
+    pub fn parse_operand_list(&mut self) -> Result<Vec<Value>> {
+        let mut operands = vec![self.parse_operand()?];
+        while self.consume_if(&Token::Comma) {
+            operands.push(self.parse_operand()?);
+        }
+        Ok(operands)
+    }
+
+    /// Parses a type.
+    ///
+    /// # Errors
+    ///
+    /// Propagates type parsing failures.
+    pub fn parse_type(&mut self) -> Result<Type> {
+        self.parser.parse_type()
+    }
+
+    /// Parses an attribute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attribute parsing failures.
+    pub fn parse_attribute(&mut self) -> Result<Attribute> {
+        self.parser.parse_attribute()
+    }
+
+    /// Parses a successor block reference (`^name`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic if the next token is not a block label.
+    pub fn parse_successor(&mut self) -> Result<BlockRef> {
+        match self.parser.bump() {
+            Token::BlockId(name) => Ok(self.parser.get_or_create_block(&name)),
+            other => Err(self
+                .parser
+                .error(format!("expected successor `^name`, found {}", other.describe()))),
+        }
+    }
+
+    /// Parses a nested region `{ ... }` with no predeclared entry arguments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates region parsing failures.
+    pub fn parse_region(&mut self) -> Result<RegionRef> {
+        self.parser.parse_region(&[])
+    }
+
+    /// Parses a nested region whose entry block binds `args` (used by
+    /// function-like syntaxes where the signature declares the arguments).
+    ///
+    /// # Errors
+    ///
+    /// Propagates region parsing failures.
+    pub fn parse_region_with_entry(&mut self, args: &[(String, Type)]) -> Result<RegionRef> {
+        self.parser.parse_region(args)
+    }
+
+    /// Parses an optional trailing attribute dictionary into `state`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attribute parsing failures.
+    pub fn parse_optional_attr_dict(&mut self, state: &mut OperationState) -> Result<()> {
+        self.parser.parse_optional_attr_entries(&mut state.attributes)
+    }
+
+    /// Parses `@name`, returning the symbol text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic if the next token is not a symbol reference.
+    pub fn parse_symbol_name(&mut self) -> Result<String> {
+        match self.parser.bump() {
+            Token::SymbolRef(name) => Ok(name),
+            other => Err(self
+                .parser
+                .error(format!("expected `@symbol`, found {}", other.describe()))),
+        }
+    }
+
+    /// Parses `%name` introducing a *definition* (e.g. a function argument
+    /// in a signature) and returns the raw name without resolving it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic if the next token is not a value id.
+    pub fn parse_value_id(&mut self) -> Result<String> {
+        match self.parser.bump() {
+            Token::ValueId(name) => Ok(name),
+            other => Err(self
+                .parser
+                .error(format!("expected `%name`, found {}", other.describe()))),
+        }
+    }
+}
+
+/// The parsing interface handed to type/attribute parameter-syntax hooks:
+/// everything between the angle brackets of `!dialect.name<...>`.
+pub struct ParamParser<'p, 'a> {
+    pub(crate) parser: &'p mut Parser<'a>,
+}
+
+impl<'p, 'a> ParamParser<'p, 'a> {
+    /// Mutable access to the context.
+    pub fn ctx(&mut self) -> &mut Context {
+        self.parser.ctx
+    }
+
+    /// Read-only access to the context.
+    pub fn ctx_ref(&self) -> &Context {
+        self.parser.ctx
+    }
+
+    /// Creates a diagnostic at the current position.
+    pub fn error(&self, message: impl Into<String>) -> Diagnostic {
+        self.parser.error(message)
+    }
+
+    /// Peeks at the next token.
+    pub fn peek(&self) -> &Token {
+        self.parser.peek()
+    }
+
+    /// Requires the next token to equal `token`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic naming the found token otherwise.
+    pub fn expect(&mut self, token: &Token) -> Result<()> {
+        self.parser.expect(token)
+    }
+
+    /// Consumes the next token if it equals `token`.
+    pub fn consume_if(&mut self, token: &Token) -> bool {
+        self.parser.consume_if(token)
+    }
+
+    /// Requires the identifier `kw`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic if the next token is not `kw`.
+    pub fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        self.parser.expect_keyword(kw)
+    }
+
+    /// Parses a type.
+    ///
+    /// # Errors
+    ///
+    /// Propagates type parsing failures.
+    pub fn parse_type(&mut self) -> Result<Type> {
+        self.parser.parse_type()
+    }
+
+    /// Parses an attribute.
+    ///
+    /// # Errors
+    ///
+    /// Propagates attribute parsing failures.
+    pub fn parse_attribute(&mut self) -> Result<Attribute> {
+        self.parser.parse_attribute()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::print::{op_to_string, op_to_string_generic};
+    use crate::verify::verify_op;
+
+    #[test]
+    fn parse_types_roundtrip() {
+        let mut ctx = Context::new();
+        for text in [
+            "i32",
+            "si8",
+            "ui64",
+            "f32",
+            "bf16",
+            "index",
+            "(i32, f32) -> f64",
+            "() -> (i32, i32)",
+            "vector<4 x f32>",
+            "tensor<? x 3 x i8>",
+            "memref<2 x 2 x f64>",
+            "!cmath.complex<f32>",
+            "!llvm.ptr",
+        ] {
+            let ty = parse_type_str(&mut ctx, text).unwrap();
+            assert_eq!(ty.display(&ctx), text, "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn parse_attrs_roundtrip() {
+        let mut ctx = Context::new();
+        for text in [
+            "42 : i32",
+            "-7 : i64",
+            "1.5 : f32",
+            "\"hello\"",
+            "[1 : i32, 2 : i32]",
+            "unit",
+            "true",
+            "false",
+            "@main",
+            "loc(\"f.mlir\":3:7)",
+            "typeid<\"TypeID\">",
+            "i32",
+            "#llvm.linkage<\"internal\">",
+            "#native<affine_map \"(d0) -> (d0)\">",
+        ] {
+            let attr = parse_attr_str(&mut ctx, text).unwrap();
+            assert_eq!(attr.display(&ctx), text, "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn parse_generic_op() {
+        let mut ctx = Context::new();
+        let src = r#"
+            %0 = "test.source"() : () -> f32
+            %1 = "test.twice"(%0, %0) {factor = 2 : i32} : (f32, f32) -> f32
+        "#;
+        let module = parse_module(&mut ctx, src).unwrap();
+        verify_op(&ctx, module).unwrap();
+        let block = ctx.module_block(module);
+        assert_eq!(block.ops(&ctx).len(), 2);
+        let twice = block.ops(&ctx)[1];
+        assert_eq!(twice.num_operands(&ctx), 2);
+        assert!(twice.attr(&ctx, "factor").is_some());
+    }
+
+    #[test]
+    fn parse_print_roundtrip_with_regions_and_blocks() {
+        let mut ctx = Context::new();
+        let src = r#""test.func"() ({
+^bb0(%arg: i32):
+  "test.use"(%arg) : (i32) -> ()
+  "test.br"()[^bb1] : () -> ()
+^bb1:
+  "test.done"() : () -> ()
+}) : () -> ()"#;
+        let module = parse_module(&mut ctx, src).unwrap();
+        let block = ctx.module_block(module);
+        let func = block.ops(&ctx)[0];
+        let printed = op_to_string_generic(&ctx, func);
+        // Re-parse the printed form and print again: must be a fixpoint.
+        let mut ctx2 = Context::new();
+        let module2 = parse_module(&mut ctx2, &printed).unwrap();
+        let func2 = ctx2.module_block(module2).ops(&ctx2)[0];
+        assert_eq!(op_to_string_generic(&ctx2, func2), printed);
+    }
+
+    #[test]
+    fn forward_block_references_resolve() {
+        let mut ctx = Context::new();
+        let src = r#""test.region"() ({
+  "test.br"()[^exit] : () -> ()
+^exit:
+  "test.done"() : () -> ()
+}) : () -> ()"#;
+        let module = parse_module(&mut ctx, src).unwrap();
+        let func = ctx.module_block(module).ops(&ctx)[0];
+        let region = func.region(&ctx, 0);
+        assert_eq!(region.blocks(&ctx).len(), 2);
+        let entry = region.entry_block(&ctx).unwrap();
+        let br = entry.last_op(&ctx).unwrap();
+        assert_eq!(br.successors(&ctx), &[region.blocks(&ctx)[1]]);
+    }
+
+    #[test]
+    fn undefined_value_is_an_error() {
+        let mut ctx = Context::new();
+        let err = parse_module(&mut ctx, r#""test.use"(%nope) : (f32) -> ()"#).unwrap_err();
+        assert!(err.message().contains("undefined value"), "{err}");
+    }
+
+    #[test]
+    fn undefined_block_is_an_error() {
+        let mut ctx = Context::new();
+        let src = r#""test.region"() ({
+  "test.br"()[^nowhere] : () -> ()
+}) : () -> ()"#;
+        let err = parse_module(&mut ctx, src).unwrap_err();
+        assert!(err.message().contains("undefined block"), "{err}");
+    }
+
+    #[test]
+    fn signature_mismatch_is_an_error() {
+        let mut ctx = Context::new();
+        let src = r#"
+            %0 = "test.source"() : () -> f32
+            "test.use"(%0) : (i32) -> ()
+        "#;
+        let err = parse_module(&mut ctx, src).unwrap_err();
+        assert!(err.message().contains("has type f32"), "{err}");
+    }
+
+    #[test]
+    fn multi_result_groups_parse() {
+        let mut ctx = Context::new();
+        let src = r#"
+            %p:2 = "test.pair"() : () -> (f32, i32)
+            "test.use"(%p#1) : (i32) -> ()
+        "#;
+        let module = parse_module(&mut ctx, src).unwrap();
+        verify_op(&ctx, module).unwrap();
+        // Round-trip through the printer.
+        let printed = op_to_string(&ctx, module);
+        let mut ctx2 = Context::new();
+        assert!(parse_module(&mut ctx2, &printed).is_ok());
+    }
+
+    #[test]
+    fn redefinition_is_an_error() {
+        let mut ctx = Context::new();
+        let src = r#"
+            %x = "test.a"() : () -> f32
+            %x = "test.b"() : () -> f32
+        "#;
+        let err = parse_module(&mut ctx, src).unwrap_err();
+        assert!(err.message().contains("redefinition"), "{err}");
+    }
+
+    #[test]
+    fn empty_module_roundtrips() {
+        // Regression: a single empty block used to print headerless, which
+        // reparsed as a zero-block region and made module_block panic.
+        let mut ctx = Context::new();
+        let module = ctx.create_module();
+        let text = op_to_string_generic(&ctx, module);
+        let mut ctx2 = Context::new();
+        let module2 = parse_module(&mut ctx2, &text).unwrap();
+        assert!(module2.region(&ctx2, 0).entry_block(&ctx2).is_some());
+        let _ = ctx2.module_block(module2); // must not panic
+        assert_eq!(op_to_string_generic(&ctx2, module2), text);
+    }
+
+    #[test]
+    fn quoted_attr_keys_roundtrip() {
+        // Regression: keys that are not bare identifiers must print quoted
+        // and parse back.
+        let mut ctx = Context::new();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let key = ctx.symbol("llvm.loop-metadata");
+        let value = ctx.i64_attr(7);
+        let name = ctx.op_name("test", "annotated");
+        let op = ctx.create_op(OperationState::new(name).add_attribute(key, value));
+        ctx.append_op(block, op);
+        let text = op_to_string_generic(&ctx, op);
+        assert!(text.contains("\"llvm.loop-metadata\" = 7 : i64"), "{text}");
+        let mut ctx2 = Context::new();
+        let module2 = parse_module(&mut ctx2, &text).unwrap();
+        let reparsed = ctx2.module_block(module2).ops(&ctx2)[0];
+        assert!(reparsed.attr(&ctx2, "llvm.loop-metadata").is_some());
+    }
+
+    #[test]
+    fn oversized_hex_float_is_rejected() {
+        let mut ctx = Context::new();
+        let err = parse_attr_str(&mut ctx, "0x1FFFFFFFFFFFFFFFF : f64").unwrap_err();
+        assert!(err.to_string().contains("does not fit in 64 bits"), "{err}");
+    }
+
+    #[test]
+    fn successor_targeted_entry_block_prints_with_header() {
+        // Regression: the entry-block header used to be omitted for
+        // single-block regions even when a terminator named the block,
+        // producing unparseable text.
+        let mut ctx = Context::new();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let (region, entry) = ctx.create_region_with_entry([]);
+        let br = ctx.op_name("cf", "br");
+        let brop = ctx.create_op(OperationState::new(br).add_successors([entry]));
+        ctx.append_op(entry, brop);
+        let holder = ctx.op_name("test", "holder");
+        let op = ctx.create_op(OperationState::new(holder).add_regions([region]));
+        ctx.append_op(block, op);
+        let text = op_to_string_generic(&ctx, op);
+        assert!(text.contains("^bb0:"), "{text}");
+        let mut ctx2 = Context::new();
+        assert!(parse_module(&mut ctx2, &text).is_ok(), "{text}");
+    }
+}
+

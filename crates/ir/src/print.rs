@@ -1,0 +1,628 @@
+//! Printing IR to the generic textual format.
+//!
+//! The syntax is a close cousin of MLIR's generic form:
+//!
+//! ```text
+//! %0 = "cmath.norm"(%p) : (!cmath.complex<f32>) -> f32
+//! ```
+//!
+//! with attribute dictionaries (`{key = value}`), successor lists
+//! (`[^bb1, ^bb2]`), and nested regions (`({ ... })`). Operations whose
+//! dialect registers a custom syntax hook (an IRDL `Format` or a native
+//! implementation) print in their custom form unless
+//! [`Printer::set_generic`] forces the generic one.
+//!
+//! One divergence from MLIR: shaped-type dimension lists are spaced
+//! (`vector<4 x f32>` instead of `vector<4xf32>`), which keeps the lexer
+//! free of MLIR's dimension-list special case.
+
+use std::collections::HashMap;
+
+use crate::attrs::{AttrData, Attribute};
+use crate::block::BlockRef;
+use crate::context::Context;
+use crate::op::OpRef;
+use crate::region::RegionRef;
+use crate::types::{Type, TypeData};
+use crate::value::Value;
+
+/// Prints IR entities, assigning stable SSA names as it goes.
+///
+/// Dialect syntax hooks receive a `&mut Printer` and append to the same
+/// buffer via [`Printer::token`], [`Printer::print_value`], and friends.
+#[derive(Debug, Default)]
+pub struct Printer {
+    out: String,
+    indent: usize,
+    value_names: HashMap<Value, String>,
+    block_names: HashMap<BlockRef, String>,
+    next_value: usize,
+    next_block: usize,
+    generic: bool,
+}
+
+impl Printer {
+    /// Creates a printer with custom syntax enabled.
+    pub fn new() -> Self {
+        Printer::default()
+    }
+
+    /// Forces the generic form for all operations when `generic` is `true`.
+    pub fn set_generic(&mut self, generic: bool) {
+        self.generic = generic;
+    }
+
+    /// Consumes the printer, returning the rendered text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    /// Appends raw text.
+    pub fn token(&mut self, text: &str) {
+        self.out.push_str(text);
+    }
+
+    /// Appends a newline followed by the current indentation.
+    pub fn newline(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    /// Prints the SSA name of `value` (assigning one if needed).
+    pub fn print_value(&mut self, ctx: &Context, value: Value) {
+        let name = self.value_name(ctx, value);
+        self.out.push_str(&name);
+    }
+
+    fn value_name(&mut self, ctx: &Context, value: Value) -> String {
+        if let Some(name) = self.value_names.get(&value) {
+            return name.clone();
+        }
+        // Name the whole result group of the defining op, or the block arg.
+        let name = match value {
+            Value::OpResult { op, index } => {
+                let base = format!("%{}", self.next_value);
+                self.next_value += 1;
+                let group = op.num_results(ctx);
+                for k in 0..group.max(index as usize + 1) {
+                    let v = Value::OpResult { op, index: k as u32 };
+                    let display =
+                        if group > 1 { format!("{base}#{k}") } else { base.clone() };
+                    self.value_names.insert(v, display);
+                }
+                return self.value_names[&value].clone();
+            }
+            Value::BlockArg { .. } => {
+                let name = format!("%{}", self.next_value);
+                self.next_value += 1;
+                name
+            }
+        };
+        self.value_names.insert(value, name.clone());
+        name
+    }
+
+    /// Prints the label of `block` (assigning one if needed).
+    pub fn print_block_name(&mut self, block: BlockRef) {
+        let label = self
+            .block_names
+            .entry(block)
+            .or_insert_with(|| {
+                let label = format!("^bb{}", self.next_block);
+                self.next_block += 1;
+                label
+            })
+            .clone();
+        self.out.push_str(&label);
+    }
+
+    /// Prints a type in textual syntax.
+    pub fn print_type(&mut self, ctx: &Context, ty: Type) {
+        match ctx.type_data(ty) {
+            TypeData::Integer { width, signedness } => {
+                self.out.push_str(&format!("{}i{}", signedness.prefix(), width));
+            }
+            TypeData::Float(kind) => self.out.push_str(kind.keyword()),
+            TypeData::Index => self.out.push_str("index"),
+            TypeData::Function { inputs, results } => {
+                let (inputs, results) = (inputs.clone(), results.clone());
+                self.out.push('(');
+                for (i, input) in inputs.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.print_type(ctx, *input);
+                }
+                self.out.push_str(") -> ");
+                self.print_type_list_grouped(ctx, &results);
+            }
+            TypeData::Vector { dims, elem } => {
+                let (dims, elem) = (dims.clone(), *elem);
+                self.out.push_str("vector<");
+                for d in &dims {
+                    self.out.push_str(&format!("{d} x "));
+                }
+                self.print_type(ctx, elem);
+                self.out.push('>');
+            }
+            TypeData::Tensor { dims, elem } => {
+                let (dims, elem) = (dims.clone(), *elem);
+                self.out.push_str("tensor<");
+                self.print_signed_dims(ctx, &dims, elem);
+            }
+            TypeData::MemRef { dims, elem } => {
+                let (dims, elem) = (dims.clone(), *elem);
+                self.out.push_str("memref<");
+                self.print_signed_dims(ctx, &dims, elem);
+            }
+            TypeData::Parametric { dialect, name, params } => {
+                let (dialect, name, params) = (*dialect, *name, params.clone());
+                self.out.push_str(&format!(
+                    "!{}.{}",
+                    ctx.symbol_str(dialect),
+                    ctx.symbol_str(name)
+                ));
+                let custom = ctx
+                    .registry()
+                    .type_def(dialect, name)
+                    .and_then(|info| info.syntax.clone());
+                if let Some(syntax) = custom {
+                    self.out.push('<');
+                    syntax.print(ctx, &params, self);
+                    self.out.push('>');
+                } else if !params.is_empty() {
+                    self.out.push('<');
+                    for (i, p) in params.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.print_attribute(ctx, *p);
+                    }
+                    self.out.push('>');
+                }
+            }
+        }
+    }
+
+    fn print_signed_dims(&mut self, ctx: &Context, dims: &[i64], elem: Type) {
+        for d in dims {
+            if *d < 0 {
+                self.out.push_str("? x ");
+            } else {
+                self.out.push_str(&format!("{d} x "));
+            }
+        }
+        self.print_type(ctx, elem);
+        self.out.push('>');
+    }
+
+    /// Prints `types` as a single type or a parenthesized list.
+    pub fn print_type_list_grouped(&mut self, ctx: &Context, types: &[Type]) {
+        if types.len() == 1 {
+            // A function result that is itself a function type needs parens.
+            if matches!(ctx.type_data(types[0]), TypeData::Function { .. }) {
+                self.out.push('(');
+                self.print_type(ctx, types[0]);
+                self.out.push(')');
+            } else {
+                self.print_type(ctx, types[0]);
+            }
+            return;
+        }
+        self.out.push('(');
+        for (i, ty) in types.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.print_type(ctx, *ty);
+        }
+        self.out.push(')');
+    }
+
+    /// Prints an attribute-dictionary key, quoting it when it is not a
+    /// bare identifier (e.g. `{"foo-bar" = ...}`).
+    pub fn print_attr_key(&mut self, ctx: &Context, key: crate::Symbol) {
+        let text = ctx.symbol_str(key);
+        if is_bare_identifier(text) {
+            self.out.push_str(text);
+        } else {
+            self.out.push_str(&format!("\"{}\"", escape_string(text)));
+        }
+    }
+
+    /// Prints an attribute in textual syntax.
+    pub fn print_attribute(&mut self, ctx: &Context, attr: Attribute) {
+        match ctx.attr_data(attr) {
+            AttrData::Unit => self.out.push_str("unit"),
+            AttrData::Bool(b) => self.out.push_str(if *b { "true" } else { "false" }),
+            AttrData::Integer { value, ty } => {
+                let (value, ty) = (*value, *ty);
+                self.out.push_str(&format!("{value} : "));
+                self.print_type(ctx, ty);
+            }
+            AttrData::Float { bits, kind } => {
+                let (bits, kind) = (*bits, *kind);
+                let value = f64::from_bits(bits);
+                if value.is_finite() {
+                    self.out.push_str(&format!("{value:?} : {}", kind.keyword()));
+                } else {
+                    self.out.push_str(&format!("0x{bits:016X} : {}", kind.keyword()));
+                }
+            }
+            AttrData::String(s) => {
+                let escaped = escape_string(s);
+                self.out.push_str(&format!("\"{escaped}\""));
+            }
+            AttrData::Array(items) => {
+                let items = items.clone();
+                self.out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        self.out.push_str(", ");
+                    }
+                    self.print_attribute(ctx, *item);
+                }
+                self.out.push(']');
+            }
+            AttrData::TypeAttr(ty) => {
+                let ty = *ty;
+                self.print_type(ctx, ty);
+            }
+            AttrData::SymbolRef(sym) => {
+                self.out.push_str(&format!("@{}", ctx.symbol_str(*sym)));
+            }
+            AttrData::EnumValue { dialect, enum_name, variant } => {
+                self.out.push_str(&format!(
+                    "#{}.{}<{}>",
+                    ctx.symbol_str(*dialect),
+                    ctx.symbol_str(*enum_name),
+                    ctx.symbol_str(*variant)
+                ));
+            }
+            AttrData::Location { file, line, col } => {
+                let escaped = escape_string(file);
+                self.out.push_str(&format!("loc(\"{escaped}\":{line}:{col})"));
+            }
+            AttrData::TypeId(sym) => {
+                self.out.push_str(&format!("typeid<\"{}\">", ctx.symbol_str(*sym)));
+            }
+            AttrData::Native { kind, text } => {
+                let escaped = escape_string(text);
+                self.out.push_str(&format!(
+                    "#native<{} \"{escaped}\">",
+                    ctx.symbol_str(*kind)
+                ));
+            }
+            AttrData::Parametric { dialect, name, params } => {
+                let (dialect, name, params) = (*dialect, *name, params.clone());
+                self.out.push_str(&format!(
+                    "#{}.{}",
+                    ctx.symbol_str(dialect),
+                    ctx.symbol_str(name)
+                ));
+                let custom = ctx
+                    .registry()
+                    .attr_def(dialect, name)
+                    .and_then(|info| info.syntax.clone());
+                if let Some(syntax) = custom {
+                    self.out.push('<');
+                    syntax.print(ctx, &params, self);
+                    self.out.push('>');
+                } else if !params.is_empty() {
+                    self.out.push('<');
+                    for (i, p) in params.iter().enumerate() {
+                        if i > 0 {
+                            self.out.push_str(", ");
+                        }
+                        self.print_attribute(ctx, *p);
+                    }
+                    self.out.push('>');
+                }
+            }
+        }
+    }
+
+    /// Prints a full operation (results, name, body, nested regions).
+    pub fn print_op(&mut self, ctx: &Context, op: OpRef) {
+        if op.num_results(ctx) > 0 {
+            let first = op.result(ctx, 0);
+            let name = self.value_name(ctx, first);
+            let base = name.split('#').next().unwrap_or(&name).to_string();
+            if op.num_results(ctx) > 1 {
+                self.out.push_str(&format!("{base}:{} = ", op.num_results(ctx)));
+            } else {
+                self.out.push_str(&format!("{base} = "));
+            }
+        }
+        let info = ctx.op_info(op);
+        let custom = info.and_then(|i| i.syntax.clone());
+        match custom {
+            Some(syntax) if !self.generic => {
+                self.out.push_str(&op.name(ctx).display(ctx));
+                syntax.print(ctx, op, self);
+            }
+            _ => self.print_op_generic_body(ctx, op),
+        }
+    }
+
+    fn print_op_generic_body(&mut self, ctx: &Context, op: OpRef) {
+        self.out.push_str(&format!("\"{}\"(", op.name(ctx).display(ctx)));
+        let operands = op.operands(ctx).to_vec();
+        for (i, operand) in operands.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.print_value(ctx, *operand);
+        }
+        self.out.push(')');
+        let successors = op.successors(ctx).to_vec();
+        if !successors.is_empty() {
+            self.out.push('[');
+            for (i, succ) in successors.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.print_block_name(*succ);
+            }
+            self.out.push(']');
+        }
+        let regions = op.regions(ctx).to_vec();
+        if !regions.is_empty() {
+            self.out.push_str(" (");
+            for (i, region) in regions.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.print_region(ctx, *region);
+            }
+            self.out.push(')');
+        }
+        let attrs = op.attributes(ctx).to_vec();
+        if !attrs.is_empty() {
+            self.out.push_str(" {");
+            for (i, (key, value)) in attrs.iter().enumerate() {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                self.print_attr_key(ctx, *key);
+                self.out.push_str(" = ");
+                self.print_attribute(ctx, *value);
+            }
+            self.out.push('}');
+        }
+        self.out.push_str(" : (");
+        let operand_types: Vec<Type> = operands.iter().map(|v| v.ty(ctx)).collect();
+        for (i, ty) in operand_types.iter().enumerate() {
+            if i > 0 {
+                self.out.push_str(", ");
+            }
+            self.print_type(ctx, *ty);
+        }
+        self.out.push_str(") -> ");
+        let result_types = op.result_types(ctx).to_vec();
+        if result_types.is_empty() {
+            self.out.push_str("()");
+        } else {
+            self.print_type_list_grouped(ctx, &result_types);
+        }
+    }
+
+    /// Prints a region: `{ blocks }` with indented operations.
+    pub fn print_region(&mut self, ctx: &Context, region: RegionRef) {
+        self.out.push('{');
+        self.indent += 1;
+        let blocks = region.blocks(ctx).to_vec();
+        // The entry-block header can only be omitted when nothing needs it:
+        // the block must be the sole, non-empty, argument-free block, and no
+        // operation in the region may name it as a successor.
+        let entry_targeted = blocks.iter().any(|b| {
+            b.ops(ctx).iter().any(|op| op.successors(ctx).contains(&blocks[0]))
+        });
+        let single_plain_entry = blocks.len() == 1
+            && blocks[0].num_args(ctx) == 0
+            && !blocks[0].ops(ctx).is_empty()
+            && !entry_targeted;
+        for (i, block) in blocks.iter().enumerate() {
+            if !(single_plain_entry && i == 0) {
+                self.indent -= 1;
+                self.newline();
+                self.indent += 1;
+                self.print_block_header(ctx, *block);
+            }
+            let ops = block.ops(ctx).to_vec();
+            for op in ops {
+                self.newline();
+                self.print_op(ctx, op);
+            }
+        }
+        self.indent -= 1;
+        self.newline();
+        self.out.push('}');
+    }
+
+    fn print_block_header(&mut self, ctx: &Context, block: BlockRef) {
+        self.print_block_name(block);
+        if block.num_args(ctx) > 0 {
+            self.out.push('(');
+            for i in 0..block.num_args(ctx) {
+                if i > 0 {
+                    self.out.push_str(", ");
+                }
+                let arg = block.arg(ctx, i);
+                self.print_value(ctx, arg);
+                self.out.push_str(": ");
+                self.print_type(ctx, arg.ty(ctx));
+            }
+            self.out.push(')');
+        }
+        self.out.push(':');
+    }
+}
+
+/// Renders a type to a string.
+pub fn type_to_string(ctx: &Context, ty: Type) -> String {
+    let mut p = Printer::new();
+    p.print_type(ctx, ty);
+    p.finish()
+}
+
+/// Renders an attribute to a string.
+pub fn attr_to_string(ctx: &Context, attr: Attribute) -> String {
+    let mut p = Printer::new();
+    p.print_attribute(ctx, attr);
+    p.finish()
+}
+
+/// Renders an operation (custom syntax where registered) to a string.
+pub fn op_to_string(ctx: &Context, op: OpRef) -> String {
+    let mut p = Printer::new();
+    p.print_op(ctx, op);
+    p.finish()
+}
+
+/// Renders an operation in the generic form only.
+pub fn op_to_string_generic(ctx: &Context, op: OpRef) -> String {
+    let mut p = Printer::new();
+    p.set_generic(true);
+    p.print_op(ctx, op);
+    p.finish()
+}
+
+/// Returns `true` when `s` lexes as a single bare identifier.
+fn is_bare_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '$' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '$' || c == '.')
+}
+
+/// Escapes `s` for inclusion in a double-quoted string literal.
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(ch),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Context, OperationState};
+
+    #[test]
+    fn print_builtin_types() {
+        let mut ctx = Context::new();
+        let i32 = ctx.i32_type();
+        assert_eq!(type_to_string(&ctx, i32), "i32");
+        let si8 = ctx.int_type_with_signedness(8, crate::Signedness::Signed);
+        assert_eq!(type_to_string(&ctx, si8), "si8");
+        let f32 = ctx.f32_type();
+        let fty = ctx.function_type([i32, f32], [f32]);
+        assert_eq!(type_to_string(&ctx, fty), "(i32, f32) -> f32");
+        let multi = ctx.function_type([], [i32, f32]);
+        assert_eq!(type_to_string(&ctx, multi), "() -> (i32, f32)");
+        let vec = ctx.vector_type([4, 8], f32);
+        assert_eq!(type_to_string(&ctx, vec), "vector<4 x 8 x f32>");
+        let tensor = ctx.tensor_type([-1, 3], f32);
+        assert_eq!(type_to_string(&ctx, tensor), "tensor<? x 3 x f32>");
+    }
+
+    #[test]
+    fn print_parametric_type() {
+        let mut ctx = Context::new();
+        let f32 = ctx.f32_type();
+        let param = ctx.type_attr(f32);
+        let complex = ctx.parametric_type("cmath", "complex", [param]).unwrap();
+        assert_eq!(type_to_string(&ctx, complex), "!cmath.complex<f32>");
+    }
+
+    #[test]
+    fn print_attributes() {
+        let mut ctx = Context::new();
+        let i = ctx.i32_attr(42);
+        assert_eq!(attr_to_string(&ctx, i), "42 : i32");
+        let f = ctx.f32_attr(1.5);
+        assert_eq!(attr_to_string(&ctx, f), "1.5 : f32");
+        let s = ctx.string_attr("a\"b");
+        assert_eq!(attr_to_string(&ctx, s), "\"a\\\"b\"");
+        let arr = ctx.array_attr([i, f]);
+        assert_eq!(attr_to_string(&ctx, arr), "[42 : i32, 1.5 : f32]");
+        let sym = ctx.symbol_ref_attr("main");
+        assert_eq!(attr_to_string(&ctx, sym), "@main");
+        let e = ctx.enum_attr("x", "signedness", "Signed");
+        assert_eq!(attr_to_string(&ctx, e), "#x.signedness<Signed>");
+        let loc = ctx.location_attr("f.mlir", 3, 7);
+        assert_eq!(attr_to_string(&ctx, loc), "loc(\"f.mlir\":3:7)");
+    }
+
+    #[test]
+    fn print_simple_op() {
+        let mut ctx = Context::new();
+        let f32 = ctx.f32_type();
+        let name = ctx.op_name("test", "source");
+        let def = ctx.create_op(OperationState::new(name).add_result_types([f32]));
+        let v = def.result(&ctx, 0);
+        let use_name = ctx.op_name("test", "sink");
+        let user = ctx.create_op(OperationState::new(use_name).add_operands([v]));
+        let block = ctx.create_block([]);
+        ctx.append_op(block, def);
+        ctx.append_op(block, user);
+        assert_eq!(op_to_string(&ctx, def), "%0 = \"test.source\"() : () -> f32");
+        let mut p = Printer::new();
+        p.print_op(&ctx, def);
+        p.newline();
+        p.print_op(&ctx, user);
+        let text = p.finish();
+        assert_eq!(
+            text,
+            "%0 = \"test.source\"() : () -> f32\n\"test.sink\"(%0) : (f32) -> ()"
+        );
+    }
+
+    #[test]
+    fn print_module_with_region() {
+        let mut ctx = Context::new();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let name = ctx.op_name("test", "op");
+        let op = ctx.create_op(OperationState::new(name));
+        ctx.append_op(block, op);
+        let text = op_to_string(&ctx, module);
+        assert_eq!(
+            text,
+            "\"builtin.module\"() ({\n  \"test.op\"() : () -> ()\n}) : () -> ()"
+        );
+    }
+
+    #[test]
+    fn multi_result_group_naming() {
+        let mut ctx = Context::new();
+        let f32 = ctx.f32_type();
+        let i32 = ctx.i32_type();
+        let name = ctx.op_name("test", "pair");
+        let def = ctx.create_op(OperationState::new(name).add_result_types([f32, i32]));
+        let user_name = ctx.op_name("test", "use");
+        let r1 = def.result(&ctx, 1);
+        let user = ctx.create_op(OperationState::new(user_name).add_operands([r1]));
+        let mut p = Printer::new();
+        p.print_op(&ctx, def);
+        p.newline();
+        p.print_op(&ctx, user);
+        let text = p.finish();
+        assert_eq!(
+            text,
+            "%0:2 = \"test.pair\"() : () -> (f32, i32)\n\"test.use\"(%0#1) : (i32) -> ()"
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Regions: control-flow graphs nested inside operations.
+
+use crate::block::BlockRef;
+use crate::context::Context;
+use crate::entity::entity_handle;
+use crate::op::OpRef;
+
+entity_handle! {
+    /// A handle to a region stored in a [`Context`].
+    RegionRef
+}
+
+/// The payload of a region: an ordered list of blocks, the first being the
+/// entry block.
+#[derive(Debug, Clone, Default)]
+pub struct RegionData {
+    pub(crate) blocks: Vec<BlockRef>,
+    pub(crate) parent_op: Option<OpRef>,
+}
+
+impl RegionRef {
+    /// The blocks of the region, entry block first.
+    pub fn blocks(self, ctx: &Context) -> &[BlockRef] {
+        &ctx.region_data(self).blocks
+    }
+
+    /// The entry block, if the region is non-empty.
+    pub fn entry_block(self, ctx: &Context) -> Option<BlockRef> {
+        ctx.region_data(self).blocks.first().copied()
+    }
+
+    /// The operation owning this region, if attached.
+    pub fn parent_op(self, ctx: &Context) -> Option<OpRef> {
+        ctx.region_data(self).parent_op
+    }
+
+    /// Returns `true` if the region contains no blocks.
+    pub fn is_empty(self, ctx: &Context) -> bool {
+        ctx.region_data(self).blocks.is_empty()
+    }
+
+    /// Returns `true` if this region is still live in the context.
+    pub fn is_live(self, ctx: &Context) -> bool {
+        ctx.region_is_live(self)
+    }
+}
+
+impl Context {
+    /// Creates a detached, empty region.
+    pub fn create_region(&mut self) -> RegionRef {
+        RegionRef(self.regions_mut().alloc(RegionData::default()))
+    }
+
+    /// Convenience: creates a region with a single empty entry block.
+    pub fn create_region_with_entry(
+        &mut self,
+        arg_types: impl IntoIterator<Item = crate::Type>,
+    ) -> (RegionRef, BlockRef) {
+        let region = self.create_region();
+        let entry = self.create_block(arg_types);
+        self.append_block(region, entry);
+        (region, entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Context;
+
+    #[test]
+    fn region_with_entry() {
+        let mut ctx = Context::new();
+        let i32 = ctx.i32_type();
+        let (region, entry) = ctx.create_region_with_entry([i32]);
+        assert_eq!(region.entry_block(&ctx), Some(entry));
+        assert!(!region.is_empty(&ctx));
+        assert_eq!(entry.num_args(&ctx), 1);
+    }
+}

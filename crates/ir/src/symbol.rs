@@ -1,0 +1,31 @@
+//! Interned identifiers.
+//!
+//! A [`Symbol`] is a `Copy` handle to a string interned in a
+//! [`Context`](crate::Context). Symbols are used for dialect names,
+//! operation names, attribute keys, and enum variants; comparing two symbols
+//! is an integer comparison.
+
+use crate::entity::entity_handle;
+
+entity_handle! {
+    /// An interned string, resolvable via
+    /// [`Context::symbol_str`](crate::Context::symbol_str).
+    Symbol
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Context;
+
+    #[test]
+    fn symbols_are_uniqued() {
+        let mut ctx = Context::new();
+        let a = ctx.symbol("cmath");
+        let b = ctx.symbol("arith");
+        let a2 = ctx.symbol("cmath");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(ctx.symbol_str(a), "cmath");
+        assert_eq!(ctx.symbol_str(b), "arith");
+    }
+}

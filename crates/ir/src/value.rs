@@ -1,0 +1,104 @@
+//! SSA values: operation results and block arguments.
+
+use crate::block::BlockRef;
+use crate::context::Context;
+use crate::op::OpRef;
+use crate::types::Type;
+
+/// An SSA value: defined exactly once, either as an operation result or as
+/// a block argument (the MLIR equivalent of a phi node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The `index`-th result of operation `op`.
+    OpResult {
+        /// Defining operation.
+        op: OpRef,
+        /// Result position.
+        index: u32,
+    },
+    /// The `index`-th argument of block `block`.
+    BlockArg {
+        /// Owning block.
+        block: BlockRef,
+        /// Argument position.
+        index: u32,
+    },
+}
+
+/// A single use of a value: the `operand_index`-th operand of `op`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Use {
+    /// The operation using the value.
+    pub op: OpRef,
+    /// Which operand slot refers to the value.
+    pub operand_index: u32,
+}
+
+impl Value {
+    /// The type of this value.
+    pub fn ty(self, ctx: &Context) -> Type {
+        match self {
+            Value::OpResult { op, index } => op.result_types(ctx)[index as usize],
+            Value::BlockArg { block, index } => block.arg_types(ctx)[index as usize],
+        }
+    }
+
+    /// The operation defining this value, if it is an op result.
+    pub fn defining_op(self, ctx: &Context) -> Option<OpRef> {
+        let _ = ctx;
+        match self {
+            Value::OpResult { op, .. } => Some(op),
+            Value::BlockArg { .. } => None,
+        }
+    }
+
+    /// The block this value belongs to: the parent block of the defining
+    /// operation, or the owning block for block arguments.
+    pub fn parent_block(self, ctx: &Context) -> Option<BlockRef> {
+        match self {
+            Value::OpResult { op, .. } => op.parent_block(ctx),
+            Value::BlockArg { block, .. } => Some(block),
+        }
+    }
+
+    /// All current uses of this value.
+    pub fn uses(self, ctx: &Context) -> &[Use] {
+        ctx.value_uses(self)
+    }
+
+    /// Returns `true` if the value has no uses.
+    pub fn is_unused(self, ctx: &Context) -> bool {
+        self.uses(ctx).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Context, OperationState};
+
+    #[test]
+    fn value_types_and_defs() {
+        let mut ctx = Context::new();
+        let f32 = ctx.f32_type();
+        let i32 = ctx.i32_type();
+        let name = ctx.op_name("test", "two_results");
+        let op = ctx.create_op(OperationState::new(name).add_result_types([f32, i32]));
+        let r0 = op.result(&ctx, 0);
+        let r1 = op.result(&ctx, 1);
+        assert_eq!(r0.ty(&ctx), f32);
+        assert_eq!(r1.ty(&ctx), i32);
+        assert_eq!(r0.defining_op(&ctx), Some(op));
+        assert!(r0.is_unused(&ctx));
+    }
+
+    #[test]
+    fn block_args_have_types() {
+        let mut ctx = Context::new();
+        let i32 = ctx.i32_type();
+        let block = ctx.create_block([i32]);
+        let arg = block.arg(&ctx, 0);
+        assert_eq!(arg.ty(&ctx), i32);
+        assert_eq!(arg.defining_op(&ctx), None);
+        assert_eq!(arg.parent_block(&ctx), Some(block));
+    }
+}

@@ -1,0 +1,202 @@
+//! Property-based tests for the IR substrate: dominance against a
+//! ground-truth definition, and structural uniquing of types/attributes.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+
+use irdl_ir::dominance::{successors, RegionDominance};
+use irdl_ir::{BlockRef, Context, OperationState, RegionRef};
+
+/// Builds a region with `n` blocks; block `i`'s terminator targets the
+/// blocks listed in `edges[i]` (indices taken modulo `n`).
+fn build_cfg(ctx: &mut Context, edges: &[Vec<usize>]) -> (RegionRef, Vec<BlockRef>) {
+    let region = ctx.create_region();
+    let blocks: Vec<BlockRef> = (0..edges.len()).map(|_| ctx.create_block([])).collect();
+    for block in &blocks {
+        ctx.append_block(region, *block);
+    }
+    let br = ctx.op_name("cf", "br");
+    for (i, targets) in edges.iter().enumerate() {
+        let succs: Vec<BlockRef> =
+            targets.iter().map(|t| blocks[t % edges.len()]).collect();
+        let op = ctx.create_op(OperationState::new(br).add_successors(succs));
+        ctx.append_op(blocks[i], op);
+    }
+    (region, blocks)
+}
+
+/// Ground truth: `a` dominates `b` iff every path from the entry to `b`
+/// passes through `a` — equivalently, `b` is unreachable from the entry
+/// when `a` is removed from the graph.
+fn dominates_ground_truth(
+    ctx: &Context,
+    blocks: &[BlockRef],
+    a: BlockRef,
+    b: BlockRef,
+) -> bool {
+    if a == b {
+        return true;
+    }
+    let entry = blocks[0];
+    // Unreachable blocks are dominated by everything (the analysis's
+    // documented permissive convention, matching MLIR).
+    if !reachable(ctx, entry, b, None) {
+        return true;
+    }
+    if entry == a {
+        return true;
+    }
+    !reachable(ctx, entry, b, Some(a))
+}
+
+fn reachable(ctx: &Context, from: BlockRef, to: BlockRef, removed: Option<BlockRef>) -> bool {
+    if Some(from) == removed {
+        return false;
+    }
+    let mut seen = HashSet::new();
+    let mut stack = vec![from];
+    seen.insert(from);
+    while let Some(block) = stack.pop() {
+        if block == to {
+            return true;
+        }
+        for succ in successors(ctx, block) {
+            if Some(succ) != removed && seen.insert(succ) {
+                stack.push(succ);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The iterative dominator algorithm agrees with the path-based
+    /// definition on random CFGs.
+    #[test]
+    fn dominance_matches_ground_truth(
+        edges in proptest::collection::vec(
+            proptest::collection::vec(0usize..8, 0..3),
+            1..8,
+        )
+    ) {
+        let mut ctx = Context::new();
+        let (region, blocks) = build_cfg(&mut ctx, &edges);
+        let dom = RegionDominance::compute(&ctx, region);
+        for &a in &blocks {
+            for &b in &blocks {
+                let expected = dominates_ground_truth(&ctx, &blocks, a, b);
+                prop_assert_eq!(
+                    dom.dominates(a, b),
+                    expected,
+                    "dominates({:?}, {:?}) with edges {:?}",
+                    a,
+                    b,
+                    &edges
+                );
+            }
+        }
+    }
+
+    /// Dominance is reflexive and transitive; the entry dominates every
+    /// reachable block.
+    #[test]
+    fn dominance_laws(
+        edges in proptest::collection::vec(
+            proptest::collection::vec(0usize..6, 0..3),
+            1..7,
+        )
+    ) {
+        let mut ctx = Context::new();
+        let (region, blocks) = build_cfg(&mut ctx, &edges);
+        let dom = RegionDominance::compute(&ctx, region);
+        let entry = blocks[0];
+        for &b in &blocks {
+            prop_assert!(dom.dominates(b, b), "reflexivity");
+            if dom.is_reachable(b) {
+                prop_assert!(dom.dominates(entry, b), "entry dominates reachable");
+            }
+        }
+        for &a in &blocks {
+            for &b in &blocks {
+                for &c in &blocks {
+                    if dom.is_reachable(c)
+                        && dom.is_reachable(b)
+                        && dom.dominates(a, b)
+                        && dom.dominates(b, c)
+                    {
+                        prop_assert!(dom.dominates(a, c), "transitivity");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Structural uniquing: building the same type twice yields the same
+    /// handle; different structures yield different handles.
+    #[test]
+    fn type_uniquing(widths in proptest::collection::vec(1u32..256, 1..40)) {
+        let mut ctx = Context::new();
+        let first: Vec<_> = widths.iter().map(|w| ctx.int_type(*w)).collect();
+        let second: Vec<_> = widths.iter().map(|w| ctx.int_type(*w)).collect();
+        prop_assert_eq!(&first, &second);
+        for (i, a) in widths.iter().enumerate() {
+            for (j, b) in widths.iter().enumerate() {
+                prop_assert_eq!(first[i] == first[j], a == b);
+            }
+        }
+    }
+
+    /// Attribute uniquing over integer payloads.
+    #[test]
+    fn attr_uniquing(values in proptest::collection::vec(any::<i64>(), 1..40)) {
+        let mut ctx = Context::new();
+        let first: Vec<_> = values.iter().map(|v| ctx.i64_attr(*v)).collect();
+        let second: Vec<_> = values.iter().map(|v| ctx.i64_attr(*v)).collect();
+        prop_assert_eq!(&first, &second);
+        for (i, a) in values.iter().enumerate() {
+            for (j, b) in values.iter().enumerate() {
+                prop_assert_eq!(first[i] == first[j], a == b);
+            }
+        }
+    }
+
+    /// Use lists always reflect the actual operand edges, under a random
+    /// sequence of set_operand mutations.
+    #[test]
+    fn use_lists_consistent_under_mutation(
+        script in proptest::collection::vec((0usize..6, 0usize..6), 0..40)
+    ) {
+        let mut ctx = Context::new();
+        let block = ctx.create_block([]);
+        let f32 = ctx.f32_type();
+        let src = ctx.op_name("t", "src");
+        let defs: Vec<_> = (0..6)
+            .map(|_| {
+                let op = ctx.create_op(OperationState::new(src).add_result_types([f32]));
+                ctx.append_op(block, op);
+                op
+            })
+            .collect();
+        let sink_name = ctx.op_name("t", "sink");
+        let v0 = defs[0].result(&ctx, 0);
+        let sink = ctx.create_op(
+            OperationState::new(sink_name).add_operands([v0, v0, v0]),
+        );
+        ctx.append_op(block, sink);
+        for (slot, def) in &script {
+            let value = defs[*def].result(&ctx, 0);
+            ctx.set_operand(sink, slot % 3, value);
+        }
+        // Check: each def's use count equals the number of sink operands
+        // referring to it.
+        for def in &defs {
+            let v = def.result(&ctx, 0);
+            let expected =
+                sink.operands(&ctx).iter().filter(|o| **o == v).count();
+            prop_assert_eq!(v.uses(&ctx).len(), expected);
+        }
+    }
+}

@@ -1,0 +1,279 @@
+//! The greedy worklist rewrite driver.
+
+use std::collections::HashSet;
+
+use irdl_ir::walk::collect_ops;
+use irdl_ir::{Context, OpRef};
+
+use crate::pattern::{PatternSet, Rewriter};
+
+/// Statistics from one greedy rewriting run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RewriteStats {
+    /// Number of successful pattern applications.
+    pub rewrites: usize,
+    /// Number of operations visited (including revisits).
+    pub visited: usize,
+}
+
+/// Applies `patterns` to every operation nested under `container` until a
+/// fixpoint is reached, in the style of MLIR's greedy pattern driver.
+///
+/// After each successful application, the operations created by the
+/// rewrite and the users of any changed values are re-enqueued, so
+/// cascading rewrites (like `conorm`: first fuse the multiplication, then
+/// anything enabled by it) converge in one call.
+pub fn rewrite_greedily(
+    ctx: &mut Context,
+    container: OpRef,
+    patterns: &PatternSet,
+) -> RewriteStats {
+    let mut stats = RewriteStats::default();
+    let mut worklist: Vec<OpRef> = collect_ops(ctx, container);
+    // The container itself is not rewritten.
+    worklist.retain(|op| *op != container);
+    let mut enqueued: HashSet<OpRef> = worklist.iter().copied().collect();
+
+    while let Some(op) = worklist.pop() {
+        enqueued.remove(&op);
+        if !op.is_live(ctx) {
+            continue;
+        }
+        stats.visited += 1;
+        let op_name = op.name(ctx);
+        for pattern in patterns.patterns() {
+            if let Some(anchor) = pattern.root() {
+                if anchor != op_name {
+                    continue;
+                }
+            }
+            let mut rewriter = Rewriter::new(ctx, op);
+            let changed = pattern.match_and_rewrite(&mut rewriter);
+            let added = std::mem::take(&mut rewriter.added);
+            let touched = std::mem::take(&mut rewriter.touched);
+            if changed {
+                stats.rewrites += 1;
+                // Requeue new ops and (live) users of their results.
+                for new_op in added {
+                    if new_op.is_live(ctx) && enqueued.insert(new_op) {
+                        worklist.push(new_op);
+                    }
+                    if new_op.is_live(ctx) {
+                        for i in 0..new_op.num_results(ctx) {
+                            let result = new_op.result(ctx, i);
+                            for u in result.uses(ctx).to_vec() {
+                                if enqueued.insert(u.op) {
+                                    worklist.push(u.op);
+                                }
+                            }
+                        }
+                    }
+                }
+                // Replacements may rewire uses onto pre-existing values;
+                // their users changed operands and may now match patterns.
+                for value in touched {
+                    let live = match value {
+                        irdl_ir::Value::OpResult { op, .. } => op.is_live(ctx),
+                        irdl_ir::Value::BlockArg { block, .. } => block.is_live(ctx),
+                    };
+                    if !live {
+                        continue;
+                    }
+                    for u in value.uses(ctx).to_vec() {
+                        if enqueued.insert(u.op) {
+                            worklist.push(u.op);
+                        }
+                    }
+                }
+                break; // The root may be gone; stop trying patterns on it.
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::RewritePattern;
+    use irdl_ir::{OperationState, OpName};
+    use std::rc::Rc;
+
+    /// Rewrites `t.add(x, x)` into `t.double(x)`.
+    struct AddToDouble {
+        add: OpName,
+        double: OpName,
+    }
+
+    impl RewritePattern for AddToDouble {
+        fn root(&self) -> Option<OpName> {
+            Some(self.add)
+        }
+        fn name(&self) -> &str {
+            "add-to-double"
+        }
+        fn match_and_rewrite(&self, rewriter: &mut Rewriter<'_>) -> bool {
+            let op = rewriter.root();
+            let ctx = rewriter.ctx();
+            if op.num_operands(ctx) != 2 || op.operand(ctx, 0) != op.operand(ctx, 1) {
+                return false;
+            }
+            let x = op.operand(ctx, 0);
+            let result_ty = op.result_types(ctx)[0];
+            let double = rewriter.insert_before_root(
+                OperationState::new(self.double)
+                    .add_operands([x])
+                    .add_result_types([result_ty]),
+            );
+            let ctx = rewriter.ctx();
+            let replacement = double.result(ctx, 0);
+            rewriter.replace_root(&[replacement]);
+            true
+        }
+    }
+
+    /// Folds `t.double(t.double(x))` into `t.quad(x)`.
+    struct DoubleDoubleToQuad {
+        double: OpName,
+        quad: OpName,
+    }
+
+    impl RewritePattern for DoubleDoubleToQuad {
+        fn root(&self) -> Option<OpName> {
+            Some(self.double)
+        }
+        fn name(&self) -> &str {
+            "double-double-to-quad"
+        }
+        fn match_and_rewrite(&self, rewriter: &mut Rewriter<'_>) -> bool {
+            let op = rewriter.root();
+            let ctx = rewriter.ctx();
+            let Some(inner) = op.operand(ctx, 0).defining_op(ctx) else { return false };
+            if inner.name(ctx) != self.double {
+                return false;
+            }
+            let x = inner.operand(ctx, 0);
+            let result_ty = op.result_types(ctx)[0];
+            let quad = rewriter.insert_before_root(
+                OperationState::new(self.quad).add_operands([x]).add_result_types([result_ty]),
+            );
+            let ctx = rewriter.ctx();
+            let replacement = quad.result(ctx, 0);
+            rewriter.replace_root(&[replacement]);
+            rewriter.erase_if_unused(inner);
+            true
+        }
+    }
+
+    #[test]
+    fn cascading_rewrites_reach_fixpoint() {
+        let mut ctx = Context::new();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let i32 = ctx.i32_type();
+        let src = ctx.op_name("t", "src");
+        let add = ctx.op_name("t", "add");
+        let double = ctx.op_name("t", "double");
+        let quad = ctx.op_name("t", "quad");
+
+        // x = src(); a = add(x, x); b = add(a, a); sink(b)
+        let x = ctx.create_op(OperationState::new(src).add_result_types([i32]));
+        ctx.append_op(block, x);
+        let vx = x.result(&ctx, 0);
+        let a = ctx.create_op(OperationState::new(add).add_operands([vx, vx]).add_result_types([i32]));
+        ctx.append_op(block, a);
+        let va = a.result(&ctx, 0);
+        let b = ctx.create_op(OperationState::new(add).add_operands([va, va]).add_result_types([i32]));
+        ctx.append_op(block, b);
+        let vb = b.result(&ctx, 0);
+        let sink = ctx.op_name("t", "sink");
+        let s = ctx.create_op(OperationState::new(sink).add_operands([vb]));
+        ctx.append_op(block, s);
+
+        let mut patterns = PatternSet::new();
+        patterns.add(Rc::new(AddToDouble { add, double }));
+        patterns.add(Rc::new(DoubleDoubleToQuad { double, quad }));
+        let stats = rewrite_greedily(&mut ctx, module, &patterns);
+
+        // add(x,x) -> double(x); add(a,a) -> double(a);
+        // double(double(x)) -> quad(x). Three rewrites total.
+        assert_eq!(stats.rewrites, 3);
+        let names: Vec<String> =
+            block.ops(&ctx).iter().map(|o| o.name(&ctx).display(&ctx)).collect();
+        assert_eq!(names, ["t.src", "t.quad", "t.sink"]);
+    }
+
+    /// Replacing a root with a *pre-existing* value must re-enqueue that
+    /// value's users so cascading rewrites still reach a fixpoint.
+    struct ForwardCopy {
+        copy: OpName,
+    }
+
+    impl RewritePattern for ForwardCopy {
+        fn root(&self) -> Option<OpName> {
+            Some(self.copy)
+        }
+        fn name(&self) -> &str {
+            "forward-copy"
+        }
+        fn match_and_rewrite(&self, rewriter: &mut Rewriter<'_>) -> bool {
+            let op = rewriter.root();
+            let source = op.operand(rewriter.ctx(), 0);
+            rewriter.replace_root(&[source]);
+            true
+        }
+    }
+
+    #[test]
+    fn replacement_with_existing_value_requeues_users() {
+        let mut ctx = Context::new();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let i32 = ctx.i32_type();
+        let src = ctx.op_name("t", "src");
+        let copy = ctx.op_name("t", "copy");
+        let add = ctx.op_name("t", "add");
+        let double = ctx.op_name("t", "double");
+
+        // x = src(); c = copy(x); b = add(c, x); sink(b)
+        // The copy-forwarding rewrite turns add(c, x) into add(x, x), which
+        // only then matches add-to-double. Without touched-value requeueing
+        // the add op is never revisited (it was popped before the copy).
+        let x = ctx.create_op(OperationState::new(src).add_result_types([i32]));
+        ctx.append_op(block, x);
+        let vx = x.result(&ctx, 0);
+        let c = ctx.create_op(OperationState::new(copy).add_operands([vx]).add_result_types([i32]));
+        ctx.append_op(block, c);
+        let vc = c.result(&ctx, 0);
+        let b = ctx.create_op(OperationState::new(add).add_operands([vc, vx]).add_result_types([i32]));
+        ctx.append_op(block, b);
+        let vb = b.result(&ctx, 0);
+        let sink = ctx.op_name("t", "sink");
+        let s = ctx.create_op(OperationState::new(sink).add_operands([vb]));
+        ctx.append_op(block, s);
+
+        let mut patterns = PatternSet::new();
+        // Benefit ordering + LIFO worklist make the add op pop before the
+        // copy op is forwarded.
+        patterns.add(Rc::new(AddToDouble { add, double }));
+        patterns.add(Rc::new(ForwardCopy { copy }));
+        let stats = rewrite_greedily(&mut ctx, module, &patterns);
+        assert_eq!(stats.rewrites, 2, "copy forward + add-to-double");
+        let names: Vec<String> =
+            block.ops(&ctx).iter().map(|o| o.name(&ctx).display(&ctx)).collect();
+        assert_eq!(names, ["t.src", "t.double", "t.sink"]);
+    }
+
+    #[test]
+    fn no_patterns_is_a_noop() {
+        let mut ctx = Context::new();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let src = ctx.op_name("t", "src");
+        let op = ctx.create_op(OperationState::new(src));
+        ctx.append_op(block, op);
+        let stats = rewrite_greedily(&mut ctx, module, &PatternSet::new());
+        assert_eq!(stats.rewrites, 0);
+        assert!(op.is_live(&ctx));
+    }
+}

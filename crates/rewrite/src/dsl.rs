@@ -1,0 +1,592 @@
+//! A declarative, textual pattern format.
+//!
+//! Dialects in this reproduction are loaded from IRDL text at runtime; this
+//! module lets *rewrites* be loaded the same way (the "dynamic pattern
+//! rewriting support" the paper pairs with IRDL in §3). A pattern matches a
+//! DAG of operations rooted at the last operation of its `Match` block and
+//! replaces it with the ops of its `Rewrite` block:
+//!
+//! ```text
+//! Pattern conorm {
+//!   Match {
+//!     %n1 = cmath.norm(%p)
+//!     %n2 = cmath.norm(%q)
+//!     %r = arith.mulf(%n1, %n2)
+//!   }
+//!   Rewrite {
+//!     %m = cmath.mul(%p, %q) : typeof(%p)
+//!     %r2 = cmath.norm(%m) : typeof(%r)
+//!     Replace %r with %r2
+//!   }
+//! }
+//! ```
+//!
+//! Result types of new operations are written `typeof(%v)`, referencing any
+//! matched or newly created value. Interior matched operations are erased
+//! when the rewrite leaves them without uses.
+
+use std::collections::HashMap;
+
+use irdl_ir::diag::{Diagnostic, Result};
+use irdl_ir::lexer::{lex, Spanned, Token};
+use irdl_ir::{Context, OpName, OperationState, OpRef, Value};
+
+use crate::pattern::{PatternSet, RewritePattern, Rewriter};
+
+/// One operation template in a `Match` block.
+#[derive(Debug, Clone)]
+struct MatchOp {
+    /// Variable bound to the single result (`None` for zero-result ops).
+    def: Option<String>,
+    name: OpName,
+    /// Operand variable names.
+    operands: Vec<String>,
+}
+
+/// One operation template in a `Rewrite` block.
+#[derive(Debug, Clone)]
+struct RewriteOp {
+    def: Option<String>,
+    name: OpName,
+    operands: Vec<String>,
+    /// `typeof(%v)` sources for each result (one per result).
+    result_types_of: Vec<String>,
+}
+
+/// A parsed declarative pattern; implements [`RewritePattern`].
+#[derive(Debug, Clone)]
+pub struct DeclarativePattern {
+    name: String,
+    match_ops: Vec<MatchOp>,
+    rewrite_ops: Vec<RewriteOp>,
+    /// `Replace <root def var> with <replacement var>`.
+    replace_with: String,
+}
+
+/// Parses a sequence of `Pattern` definitions into a [`PatternSet`].
+///
+/// # Errors
+///
+/// Returns a diagnostic with an offset into `source` on malformed input.
+pub fn parse_patterns(ctx: &mut Context, source: &str) -> Result<PatternSet> {
+    let tokens = lex(source)?;
+    let mut parser = DslParser { ctx, tokens, pos: 0 };
+    let mut set = PatternSet::new();
+    while parser.peek() != &Token::Eof {
+        let pattern = parser.parse_pattern()?;
+        set.add(std::rc::Rc::new(pattern));
+    }
+    Ok(set)
+}
+
+struct DslParser<'a> {
+    ctx: &'a mut Context,
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl<'a> DslParser<'a> {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn bump(&mut self) -> Token {
+        let tok = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn error(&self, message: impl Into<String>) -> Diagnostic {
+        Diagnostic::at(self.tokens[self.pos].offset, message)
+    }
+
+    fn expect(&mut self, token: &Token) -> Result<()> {
+        if self.peek() == token {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.error(format!(
+                "expected {}, found {}",
+                token.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        match self.peek() {
+            Token::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            other => Err(self.error(format!("expected `{kw}`, found {}", other.describe()))),
+        }
+    }
+
+    fn expect_value(&mut self) -> Result<String> {
+        match self.bump() {
+            Token::ValueId(name) => Ok(name),
+            other => Err(self.error(format!("expected `%name`, found {}", other.describe()))),
+        }
+    }
+
+    fn parse_pattern(&mut self) -> Result<DeclarativePattern> {
+        self.expect_keyword("Pattern")?;
+        let name = match self.bump() {
+            Token::Ident(s) => s,
+            other => {
+                return Err(self.error(format!("expected pattern name, found {}", other.describe())))
+            }
+        };
+        self.expect(&Token::LBrace)?;
+        self.expect_keyword("Match")?;
+        self.expect(&Token::LBrace)?;
+        let mut match_ops = Vec::new();
+        while self.peek() != &Token::RBrace {
+            match_ops.push(self.parse_match_op()?);
+        }
+        self.expect(&Token::RBrace)?;
+        if match_ops.is_empty() {
+            return Err(self.error("Match block must contain at least one operation"));
+        }
+        self.expect_keyword("Rewrite")?;
+        self.expect(&Token::LBrace)?;
+        let mut rewrite_ops = Vec::new();
+        let mut replace_with = None;
+        while self.peek() != &Token::RBrace {
+            if matches!(self.peek(), Token::Ident(s) if s == "Replace") {
+                self.bump();
+                let target = self.expect_value()?;
+                let root_def = match_ops
+                    .last()
+                    .and_then(|op| op.def.clone())
+                    .ok_or_else(|| self.error("root operation binds no result"))?;
+                if target != root_def {
+                    return Err(self.error(format!(
+                        "Replace target `%{target}` must be the root's result `%{root_def}`"
+                    )));
+                }
+                self.expect_keyword("with")?;
+                replace_with = Some(self.expect_value()?);
+            } else {
+                rewrite_ops.push(self.parse_rewrite_op()?);
+            }
+        }
+        self.expect(&Token::RBrace)?;
+        self.expect(&Token::RBrace)?;
+        let replace_with = replace_with
+            .ok_or_else(|| self.error("Rewrite block must end with a `Replace ... with ...`"))?;
+        // Every variable the rewrite reads must be bound by the match (an
+        // operand or result var) or defined by an earlier rewrite op, so a
+        // failed lookup can never occur mid-rewrite (which would leave
+        // partially materialized IR behind).
+        let mut bound: Vec<&str> = Vec::new();
+        for op in &match_ops {
+            bound.extend(op.operands.iter().map(String::as_str));
+            bound.extend(op.def.as_deref());
+        }
+        for op in &rewrite_ops {
+            for var in op.operands.iter().chain(op.result_types_of.iter()) {
+                if !bound.contains(&var.as_str()) {
+                    return Err(self.error(format!(
+                        "rewrite references `%{var}`, which neither the match nor an \
+                         earlier rewrite op binds"
+                    )));
+                }
+            }
+            bound.extend(op.def.as_deref());
+        }
+        if !bound.contains(&replace_with.as_str()) {
+            return Err(self.error(format!(
+                "Replace uses `%{replace_with}`, which nothing binds"
+            )));
+        }
+        Ok(DeclarativePattern { name, match_ops, rewrite_ops, replace_with })
+    }
+
+    fn parse_op_head(&mut self) -> Result<(Option<String>, OpName, Vec<String>)> {
+        let def = if matches!(self.peek(), Token::ValueId(_)) {
+            let def = self.expect_value()?;
+            self.expect(&Token::Equals)?;
+            Some(def)
+        } else {
+            None
+        };
+        let full = match self.bump() {
+            Token::Ident(s) if s.contains('.') => s,
+            other => {
+                return Err(self.error(format!(
+                    "expected `dialect.op`, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let (dialect, op) = full.split_once('.').expect("checked above");
+        let name = self.ctx.op_name(dialect, op);
+        self.expect(&Token::LParen)?;
+        let mut operands = Vec::new();
+        if self.peek() != &Token::RParen {
+            loop {
+                operands.push(self.expect_value()?);
+                if !matches!(self.peek(), Token::Comma) {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        self.expect(&Token::RParen)?;
+        Ok((def, name, operands))
+    }
+
+    fn parse_match_op(&mut self) -> Result<MatchOp> {
+        let (def, name, operands) = self.parse_op_head()?;
+        Ok(MatchOp { def, name, operands })
+    }
+
+    fn parse_rewrite_op(&mut self) -> Result<RewriteOp> {
+        let (def, name, operands) = self.parse_op_head()?;
+        let mut result_types_of = Vec::new();
+        if self.peek() == &Token::Colon {
+            self.bump();
+            loop {
+                self.expect_keyword("typeof")?;
+                self.expect(&Token::LParen)?;
+                result_types_of.push(self.expect_value()?);
+                self.expect(&Token::RParen)?;
+                if self.peek() != &Token::Comma {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        if def.is_some() && result_types_of.is_empty() {
+            return Err(self.error(
+                "rewrite op with a result needs a `: typeof(%v)` result type",
+            ));
+        }
+        Ok(RewriteOp { def, name, operands, result_types_of })
+    }
+}
+
+impl DeclarativePattern {
+    /// Attempts to match the pattern DAG rooted at `root`, returning value
+    /// and operation bindings on success.
+    fn try_match(
+        &self,
+        ctx: &Context,
+        root: OpRef,
+    ) -> Option<(HashMap<String, Value>, Vec<OpRef>)> {
+        let mut values: HashMap<String, Value> = HashMap::new();
+        let mut ops: Vec<Option<OpRef>> = vec![None; self.match_ops.len()];
+        let root_index = self.match_ops.len() - 1;
+        if !self.match_op_at(ctx, root_index, root, &mut values, &mut ops) {
+            return None;
+        }
+        let matched = ops.into_iter().map(|o| o.expect("all ops bound on success")).collect();
+        Some((values, matched))
+    }
+
+    fn match_op_at(
+        &self,
+        ctx: &Context,
+        index: usize,
+        candidate: OpRef,
+        values: &mut HashMap<String, Value>,
+        ops: &mut Vec<Option<OpRef>>,
+    ) -> bool {
+        if let Some(bound) = ops[index] {
+            return bound == candidate;
+        }
+        let template = &self.match_ops[index];
+        if candidate.name(ctx) != template.name {
+            return false;
+        }
+        if candidate.num_operands(ctx) != template.operands.len() {
+            return false;
+        }
+        let expected_results = usize::from(template.def.is_some());
+        if candidate.num_results(ctx) != expected_results {
+            return false;
+        }
+        ops[index] = Some(candidate);
+        for (slot, var) in template.operands.iter().enumerate() {
+            let actual = candidate.operand(ctx, slot);
+            // Is this variable the result of another match op?
+            if let Some(producer_index) =
+                self.match_ops.iter().position(|m| m.def.as_deref() == Some(var.as_str()))
+            {
+                if producer_index != index {
+                    let Some(def_op) = actual.defining_op(ctx) else {
+                        ops[index] = None;
+                        return false;
+                    };
+                    if !self.match_op_at(ctx, producer_index, def_op, values, ops) {
+                        ops[index] = None;
+                        return false;
+                    }
+                    values.insert(var.clone(), actual);
+                    continue;
+                }
+            }
+            match values.get(var) {
+                Some(bound) if *bound != actual => {
+                    ops[index] = None;
+                    return false;
+                }
+                _ => {
+                    values.insert(var.clone(), actual);
+                }
+            }
+        }
+        if let Some(def) = &template.def {
+            values.insert(def.clone(), candidate.result(ctx, 0));
+        }
+        true
+    }
+}
+
+impl RewritePattern for DeclarativePattern {
+    fn root(&self) -> Option<OpName> {
+        self.match_ops.last().map(|op| op.name)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn match_and_rewrite(&self, rewriter: &mut Rewriter<'_>) -> bool {
+        let root = rewriter.root();
+        let Some((mut values, matched)) = self.try_match(rewriter.ctx(), root) else {
+            return false;
+        };
+        // Materialize the rewrite ops in order. Parse-time validation
+        // guarantees every referenced variable is bound.
+        for template in &self.rewrite_ops {
+            let mut operands = Vec::with_capacity(template.operands.len());
+            for var in &template.operands {
+                let value = values[var];
+                operands.push(value);
+            }
+            let mut result_types = Vec::with_capacity(template.result_types_of.len());
+            for source in &template.result_types_of {
+                let value = values[source];
+                result_types.push(value.ty(rewriter.ctx()));
+            }
+            let op = rewriter.insert_before_root(
+                OperationState::new(template.name)
+                    .add_operands(operands)
+                    .add_result_types(result_types),
+            );
+            if let Some(def) = &template.def {
+                let result = op.result(rewriter.ctx(), 0);
+                values.insert(def.clone(), result);
+            }
+        }
+        let replacement = values[&self.replace_with];
+        rewriter.replace_root(&[replacement]);
+        // Clean up interior matched ops that became dead (skip the root,
+        // which replace_root already erased).
+        for op in matched.into_iter().rev() {
+            if op != root && op.is_live(rewriter.ctx()) {
+                rewriter.erase_if_unused(op);
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::rewrite_greedily;
+    use irdl_ir::parse::parse_module;
+    use irdl_ir::print::op_to_string;
+    use irdl_ir::verify::verify_op;
+
+    const CMATH: &str = r#"
+Dialect cmath {
+  Alias !FloatType = !AnyOf<!f32, !f64>
+  Type complex { Parameters (elementType: !FloatType) }
+  Operation mul {
+    ConstraintVar (!T: !complex<!FloatType>)
+    Operands (lhs: !T, rhs: !T)
+    Results (res: !T)
+  }
+  Operation norm {
+    ConstraintVar (!T: !FloatType)
+    Operands (c: !complex<!T>)
+    Results (res: !T)
+  }
+}
+Dialect arith {
+  Operation mulf {
+    ConstraintVar (!T: !AnyFloat)
+    Operands (lhs: !T, rhs: !T)
+    Results (res: !T)
+  }
+}
+"#;
+
+    const CONORM_PATTERN: &str = r#"
+Pattern conorm {
+  Match {
+    %n1 = cmath.norm(%p)
+    %n2 = cmath.norm(%q)
+    %r = arith.mulf(%n1, %n2)
+  }
+  Rewrite {
+    %m = cmath.mul(%p, %q) : typeof(%p)
+    %r2 = cmath.norm(%m) : typeof(%r)
+    Replace %r with %r2
+  }
+}
+"#;
+
+    /// The paper's Listing 1: |p|*|q| becomes |p*q|.
+    #[test]
+    fn conorm_optimization_from_listing1() {
+        let mut ctx = Context::new();
+        irdl::register_dialects(&mut ctx, CMATH).unwrap();
+        let patterns = parse_patterns(&mut ctx, CONORM_PATTERN).unwrap();
+        let module = parse_module(
+            &mut ctx,
+            r#"
+            %p = "test.arg"() : () -> !cmath.complex<f32>
+            %q = "test.arg"() : () -> !cmath.complex<f32>
+            %norm_p = "cmath.norm"(%p) : (!cmath.complex<f32>) -> f32
+            %norm_q = "cmath.norm"(%q) : (!cmath.complex<f32>) -> f32
+            %pq = "arith.mulf"(%norm_p, %norm_q) : (f32, f32) -> f32
+            "test.return"(%pq) : (f32) -> ()
+            "#,
+        )
+        .unwrap();
+        verify_op(&ctx, module).unwrap();
+        let stats = rewrite_greedily(&mut ctx, module, &patterns);
+        assert_eq!(stats.rewrites, 1);
+        verify_op(&ctx, module).expect("optimized module verifies");
+        let text = op_to_string(&ctx, module);
+        assert!(text.contains("cmath.mul"), "{text}");
+        assert!(!text.contains("arith.mulf"), "{text}");
+        // Exactly one norm remains.
+        assert_eq!(text.matches("cmath.norm").count(), 1, "{text}");
+    }
+
+    /// The pattern must not fire when the operands of mulf come from
+    /// different computations than two norms.
+    #[test]
+    fn conorm_pattern_does_not_overfire() {
+        let mut ctx = Context::new();
+        irdl::register_dialects(&mut ctx, CMATH).unwrap();
+        let patterns = parse_patterns(&mut ctx, CONORM_PATTERN).unwrap();
+        let module = parse_module(
+            &mut ctx,
+            r#"
+            %a = "test.arg"() : () -> f32
+            %p = "test.arg"() : () -> !cmath.complex<f32>
+            %norm_p = "cmath.norm"(%p) : (!cmath.complex<f32>) -> f32
+            %x = "arith.mulf"(%norm_p, %a) : (f32, f32) -> f32
+            "#,
+        )
+        .unwrap();
+        let stats = rewrite_greedily(&mut ctx, module, &patterns);
+        assert_eq!(stats.rewrites, 0);
+    }
+
+    #[test]
+    fn repeated_variable_requires_equal_values() {
+        let mut ctx = Context::new();
+        irdl::register_dialects(
+            &mut ctx,
+            "Dialect toy {
+               Operation add { Operands (a: !i32, b: !i32) Results (r: !i32) }
+               Operation double { Operands (x: !i32) Results (r: !i32) }
+             }",
+        )
+        .unwrap();
+        let patterns = parse_patterns(
+            &mut ctx,
+            "Pattern p { Match { %r = toy.add(%x, %x) } Rewrite { %d = toy.double(%x) : typeof(%x) Replace %r with %d } }",
+        )
+        .unwrap();
+        let module = parse_module(
+            &mut ctx,
+            r#"
+            %a = "test.arg"() : () -> i32
+            %b = "test.arg"() : () -> i32
+            %same = "toy.add"(%a, %a) : (i32, i32) -> i32
+            %diff = "toy.add"(%a, %b) : (i32, i32) -> i32
+            "test.keep"(%same, %diff) : (i32, i32) -> ()
+            "#,
+        )
+        .unwrap();
+        let stats = rewrite_greedily(&mut ctx, module, &patterns);
+        assert_eq!(stats.rewrites, 1, "only add(%a, %a) matches");
+        let text = op_to_string(&ctx, module);
+        assert!(text.contains("toy.double"), "{text}");
+        assert!(text.contains("toy.add"), "{text}");
+    }
+
+    #[test]
+    fn malformed_pattern_is_an_error() {
+        let mut ctx = Context::new();
+        // Missing Replace.
+        let err = parse_patterns(
+            &mut ctx,
+            "Pattern p { Match { %r = a.b(%x) } Rewrite { } }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("Replace"), "{err}");
+        // Replace target is not the root result.
+        let err = parse_patterns(
+            &mut ctx,
+            "Pattern p { Match { %r = a.b(%x) } Rewrite { Replace %x with %r } }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("root"), "{err}");
+    }
+
+    #[test]
+    fn unbound_rewrite_variable_is_a_parse_error() {
+        let mut ctx = Context::new();
+        let err = parse_patterns(
+            &mut ctx,
+            "Pattern p { Match { %r = a.b(%x) } Rewrite { %d = a.c(%ghost) : typeof(%x) Replace %r with %d } }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("%ghost"), "{err}");
+        let err = parse_patterns(
+            &mut ctx,
+            "Pattern p { Match { %r = a.b(%x) } Rewrite { %d = a.c(%x) : typeof(%nope) Replace %r with %d } }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("%nope"), "{err}");
+    }
+
+    #[test]
+    fn interior_op_with_other_uses_is_kept() {
+        let mut ctx = Context::new();
+        irdl::register_dialects(&mut ctx, CMATH).unwrap();
+        let patterns = parse_patterns(&mut ctx, CONORM_PATTERN).unwrap();
+        let module = parse_module(
+            &mut ctx,
+            r#"
+            %p = "test.arg"() : () -> !cmath.complex<f32>
+            %q = "test.arg"() : () -> !cmath.complex<f32>
+            %norm_p = "cmath.norm"(%p) : (!cmath.complex<f32>) -> f32
+            %norm_q = "cmath.norm"(%q) : (!cmath.complex<f32>) -> f32
+            %pq = "arith.mulf"(%norm_p, %norm_q) : (f32, f32) -> f32
+            "test.keep"(%norm_p, %pq) : (f32, f32) -> ()
+            "#,
+        )
+        .unwrap();
+        let stats = rewrite_greedily(&mut ctx, module, &patterns);
+        assert_eq!(stats.rewrites, 1);
+        let text = op_to_string(&ctx, module);
+        // norm_p still has a use in test.keep, so exactly two norms remain:
+        // the kept one and the new norm(mul).
+        assert_eq!(text.matches("cmath.norm").count(), 2, "{text}");
+        verify_op(&ctx, module).unwrap();
+    }
+}

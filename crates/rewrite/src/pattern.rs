@@ -1,0 +1,218 @@
+//! The [`RewritePattern`] trait and the [`Rewriter`] handed to patterns.
+
+use std::rc::Rc;
+
+use irdl_ir::{Context, OpName, OperationState, OpRef, Value};
+
+/// A rewrite pattern rooted at one operation.
+pub trait RewritePattern {
+    /// The operation name this pattern is anchored on, or `None` to try it
+    /// on every operation.
+    fn root(&self) -> Option<OpName> {
+        None
+    }
+
+    /// Relative priority; higher-benefit patterns are tried first.
+    fn benefit(&self) -> usize {
+        1
+    }
+
+    /// A human-readable name for debugging and statistics.
+    fn name(&self) -> &str {
+        "<anonymous>"
+    }
+
+    /// Attempts to match at `rewriter.root()` and perform the rewrite.
+    ///
+    /// Returns `true` if the IR was changed. Patterns must perform all
+    /// mutation through the [`Rewriter`] so the driver can track changes.
+    fn match_and_rewrite(&self, rewriter: &mut Rewriter<'_>) -> bool;
+}
+
+/// An ordered collection of patterns, sorted by descending benefit.
+#[derive(Clone, Default)]
+pub struct PatternSet {
+    patterns: Vec<Rc<dyn RewritePattern>>,
+}
+
+impl std::fmt::Debug for PatternSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<&str> = self.patterns.iter().map(|p| p.name()).collect();
+        f.debug_tuple("PatternSet").field(&names).finish()
+    }
+}
+
+impl PatternSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pattern, keeping the set sorted by benefit.
+    pub fn add(&mut self, pattern: Rc<dyn RewritePattern>) {
+        self.patterns.push(pattern);
+        self.patterns.sort_by_key(|p| std::cmp::Reverse(p.benefit()));
+    }
+
+    /// The patterns, highest benefit first.
+    pub fn patterns(&self) -> &[Rc<dyn RewritePattern>] {
+        &self.patterns
+    }
+
+    /// Number of patterns.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// Returns `true` if the set has no patterns.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+}
+
+impl FromIterator<Rc<dyn RewritePattern>> for PatternSet {
+    fn from_iter<I: IntoIterator<Item = Rc<dyn RewritePattern>>>(iter: I) -> Self {
+        let mut set = PatternSet::new();
+        for p in iter {
+            set.add(p);
+        }
+        set
+    }
+}
+
+/// The mutation interface handed to patterns: all IR changes made during a
+/// rewrite go through it so the driver can maintain its worklist.
+pub struct Rewriter<'a> {
+    ctx: &'a mut Context,
+    root: OpRef,
+    /// Operations created during this rewrite.
+    pub(crate) added: Vec<OpRef>,
+    /// Operations erased during this rewrite.
+    pub(crate) erased: Vec<OpRef>,
+    /// Values whose use lists changed (replacement targets), so the driver
+    /// can revisit their users even when no new op was created.
+    pub(crate) touched: Vec<Value>,
+}
+
+impl<'a> Rewriter<'a> {
+    pub(crate) fn new(ctx: &'a mut Context, root: OpRef) -> Self {
+        Rewriter { ctx, root, added: Vec::new(), erased: Vec::new(), touched: Vec::new() }
+    }
+
+    /// The operation the pattern is anchored on.
+    pub fn root(&self) -> OpRef {
+        self.root
+    }
+
+    /// Read access to the context.
+    pub fn ctx(&self) -> &Context {
+        self.ctx
+    }
+
+    /// Mutable access to the context (for interning types/attributes).
+    pub fn ctx_mut(&mut self) -> &mut Context {
+        self.ctx
+    }
+
+    /// Creates an operation and inserts it immediately before the root.
+    pub fn insert_before_root(&mut self, state: OperationState) -> OpRef {
+        let op = self.ctx.create_op(state);
+        self.ctx.insert_op_before(self.root, op);
+        self.added.push(op);
+        op
+    }
+
+    /// Replaces every use of the root's results with `values` and erases
+    /// the root.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` does not match the root's result count.
+    pub fn replace_root(&mut self, values: &[Value]) {
+        assert_eq!(
+            values.len(),
+            self.root.num_results(self.ctx),
+            "replacement value count must match the root's result count"
+        );
+        for (i, value) in values.iter().enumerate() {
+            let old = self.root.result(self.ctx, i);
+            self.ctx.replace_all_uses(old, *value);
+            self.touched.push(*value);
+        }
+        let root = self.root;
+        self.erase(root);
+    }
+
+    /// Erases `op` (which must be use-free).
+    pub fn erase(&mut self, op: OpRef) {
+        self.ctx.erase_op(op);
+        self.erased.push(op);
+    }
+
+    /// Erases `op` if none of its results have uses; returns whether it was
+    /// erased.
+    pub fn erase_if_unused(&mut self, op: OpRef) -> bool {
+        let unused = (0..op.num_results(self.ctx))
+            .all(|i| op.result(self.ctx, i).is_unused(self.ctx));
+        if unused {
+            self.erase(op);
+        }
+        unused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Trivial;
+    impl RewritePattern for Trivial {
+        fn match_and_rewrite(&self, _rewriter: &mut Rewriter<'_>) -> bool {
+            false
+        }
+    }
+
+    struct Better;
+    impl RewritePattern for Better {
+        fn benefit(&self) -> usize {
+            10
+        }
+        fn name(&self) -> &str {
+            "better"
+        }
+        fn match_and_rewrite(&self, _rewriter: &mut Rewriter<'_>) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn pattern_set_orders_by_benefit() {
+        let mut set = PatternSet::new();
+        set.add(Rc::new(Trivial));
+        set.add(Rc::new(Better));
+        assert_eq!(set.patterns()[0].name(), "better");
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn rewriter_replace_root() {
+        let mut ctx = Context::new();
+        let f32 = ctx.f32_type();
+        let block = ctx.create_block([]);
+        let src = ctx.op_name("t", "src");
+        let a = ctx.create_op(OperationState::new(src).add_result_types([f32]));
+        let b = ctx.create_op(OperationState::new(src).add_result_types([f32]));
+        ctx.append_op(block, a);
+        ctx.append_op(block, b);
+        let va = a.result(&ctx, 0);
+        let vb = b.result(&ctx, 0);
+        let sink = ctx.op_name("t", "sink");
+        let user = ctx.create_op(OperationState::new(sink).add_operands([va]));
+        ctx.append_op(block, user);
+
+        let mut rewriter = Rewriter::new(&mut ctx, a);
+        rewriter.replace_root(&[vb]);
+        assert_eq!(user.operand(&ctx, 0), vb);
+        assert!(!a.is_live(&ctx));
+    }
+}

@@ -1,0 +1,103 @@
+//! `irdl-fmt`: canonical formatter for IRDL specification files.
+//!
+//! ```text
+//! irdl-fmt spec.irdl            # print the formatted spec to stdout
+//! irdl-fmt --check spec.irdl    # exit 1 if the file is not canonical
+//! irdl-fmt --write spec.irdl    # reformat in place
+//! echo '...' | irdl-fmt         # format stdin
+//! ```
+
+use std::io::Read;
+
+use irdl::printer::print_source;
+
+fn main() {
+    let mut check = false;
+    let mut write = false;
+    let mut files = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--write" => write = true,
+            "--help" | "-h" => {
+                eprintln!("usage: irdl-fmt [--check|--write] [FILE]...");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => files.push(other.to_string()),
+            other => {
+                eprintln!("error: unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut dirty = false;
+    if files.is_empty() {
+        let mut source = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut source) {
+            eprintln!("error: cannot read stdin: {e}");
+            std::process::exit(1);
+        }
+        match format_one("<stdin>", &source) {
+            Ok(formatted) => write_stdout(&formatted),
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(source) => source,
+            Err(e) => {
+                eprintln!("error: cannot read `{file}`: {e}");
+                std::process::exit(1);
+            }
+        };
+        let formatted = match format_one(file, &source) {
+            Ok(formatted) => formatted,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(1);
+            }
+        };
+        if check {
+            if formatted != source {
+                eprintln!("{file}: not canonically formatted");
+                dirty = true;
+            }
+        } else if write {
+            if formatted != source {
+                if let Err(e) = std::fs::write(file, &formatted) {
+                    eprintln!("error: cannot write `{file}`: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("reformatted {file}");
+            }
+        } else {
+            write_stdout(&formatted);
+        }
+    }
+    if dirty {
+        std::process::exit(1);
+    }
+}
+
+
+/// Writes `text` to stdout, exiting quietly if the reader closed the pipe
+/// (e.g. `irdl-doc --corpus | head`).
+fn write_stdout(text: &str) {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    if out.write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn format_one(name: &str, source: &str) -> Result<String, String> {
+    let ast = irdl::parse_irdl(source)
+        .map_err(|d| format!("{name}:\n{}", d.render(source)))?;
+    Ok(print_source(&ast))
+}

@@ -1,0 +1,175 @@
+//! `irdl-opt`: an `mlir-opt`-style driver, fully runtime-configured.
+//!
+//! Dialects, rewrite patterns, and the IR all come from files (or stdin):
+//!
+//! ```text
+//! irdl-opt --irdl cmath.irdl --patterns conorm.pat input.ir
+//! irdl-opt --irdl cmath.irdl --verify --generic input.ir
+//! echo '...ir...' | irdl-opt --irdl cmath.irdl
+//! ```
+//!
+//! Options:
+//! - `--irdl <file>`     register dialects from an IRDL file (repeatable)
+//! - `--patterns <file>` apply declarative patterns from a file (repeatable)
+//! - `--showcase`        preregister the cmath/arith/func showcase dialects
+//! - `--corpus`          preregister the 28-dialect evaluation corpus
+//! - `--verify`          verify after parsing (and after rewriting)
+//! - `--generic`         print in the generic form only
+//! - `<file>`            the IR input (defaults to stdin)
+
+use std::io::Read;
+
+use irdl_ir::print::Printer;
+use irdl_ir::verify::verify_op;
+use irdl_ir::Context;
+use irdl_rewrite::{parse_patterns, rewrite_greedily, PatternSet};
+
+struct Options {
+    irdl_files: Vec<String>,
+    pattern_files: Vec<String>,
+    input: Option<String>,
+    showcase: bool,
+    corpus: bool,
+    verify: bool,
+    generic: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        irdl_files: Vec::new(),
+        pattern_files: Vec::new(),
+        input: None,
+        showcase: false,
+        corpus: false,
+        verify: false,
+        generic: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--irdl" => {
+                let file = args.next().ok_or("--irdl needs a file argument")?;
+                opts.irdl_files.push(file);
+            }
+            "--patterns" => {
+                let file = args.next().ok_or("--patterns needs a file argument")?;
+                opts.pattern_files.push(file);
+            }
+            "--showcase" => opts.showcase = true,
+            "--corpus" => opts.corpus = true,
+            "--verify" => opts.verify = true,
+            "--generic" => opts.generic = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: irdl-opt [--irdl FILE]... [--patterns FILE]... \
+                     [--showcase] [--corpus] [--verify] [--generic] [IR-FILE]"
+                );
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') && opts.input.is_none() => {
+                opts.input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: Options) -> Result<(), String> {
+    let mut ctx = Context::new();
+    if opts.showcase {
+        irdl_dialects_showcase(&mut ctx)?;
+    }
+    if opts.corpus {
+        // Registered through the same native hooks the corpus tests use.
+        irdl_corpus(&mut ctx)?;
+    }
+    let natives = irdl_dialects::corpus_natives();
+    for file in &opts.irdl_files {
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read `{file}`: {e}"))?;
+        irdl::register_dialects_with(&mut ctx, &source, &natives)
+            .map_err(|d| format!("{file}:\n{}", d.render(&source)))?;
+    }
+
+    let mut patterns = PatternSet::new();
+    for file in &opts.pattern_files {
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read `{file}`: {e}"))?;
+        let set = parse_patterns(&mut ctx, &source)
+            .map_err(|d| format!("{file}:\n{}", d.render(&source)))?;
+        for pattern in set.patterns() {
+            patterns.add(pattern.clone());
+        }
+    }
+
+    let ir = match &opts.input {
+        Some(file) => std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read `{file}`: {e}"))?,
+        None => {
+            let mut buffer = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buffer)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buffer
+        }
+    };
+
+    let module = irdl_ir::parse::parse_module(&mut ctx, &ir)
+        .map_err(|d| d.render(&ir))?;
+    if opts.verify {
+        verify_op(&ctx, module).map_err(|errs| {
+            errs.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        })?;
+    }
+
+    if !patterns.is_empty() {
+        let stats = rewrite_greedily(&mut ctx, module, &patterns);
+        eprintln!("applied {} rewrite(s)", stats.rewrites);
+        if opts.verify {
+            verify_op(&ctx, module).map_err(|errs| {
+                format!("IR invalid after rewriting: {}", errs[0])
+            })?;
+        }
+    }
+
+    let mut printer = Printer::new();
+    printer.set_generic(opts.generic);
+    printer.print_op(&ctx, module);
+    write_stdout(&printer.finish());
+    write_stdout("\n");
+    Ok(())
+}
+
+
+/// Writes `text` to stdout, exiting quietly if the reader closed the pipe
+/// (e.g. `irdl-doc --corpus | head`).
+fn write_stdout(text: &str) {
+    use std::io::Write;
+    let mut out = std::io::stdout().lock();
+    if out.write_all(text.as_bytes()).is_err() {
+        std::process::exit(0);
+    }
+}
+
+fn irdl_dialects_showcase(ctx: &mut Context) -> Result<(), String> {
+    irdl_dialects::showcase::register_showcase(ctx).map_err(|d| d.to_string())
+}
+
+fn irdl_corpus(ctx: &mut Context) -> Result<(), String> {
+    irdl_dialects::register_corpus(ctx).map(|_| ()).map_err(|d| d.to_string())
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(message) = run(opts) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

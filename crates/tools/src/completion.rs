@@ -1,0 +1,233 @@
+//! Completion and signature help over a dialect registry.
+//!
+//! These are the queries an IR language server answers while a developer
+//! types IR or IRDL: "which operations start with `cmath.m`?", "what does
+//! `cmath.mul` expect?". They work on any [`Context`] because registered
+//! definitions are introspectable data — the paper's argument for a
+//! structured definition format (§3).
+
+use irdl_ir::Context;
+
+/// One completion item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletionItem {
+    /// The completed name (`cmath.mul`, `!cmath.complex`, ...).
+    pub name: String,
+    /// The definition's documentation summary, when present.
+    pub summary: String,
+    /// What kind of definition this is.
+    pub kind: CompletionKind,
+}
+
+/// The kind of a completed definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompletionKind {
+    /// An operation.
+    Operation,
+    /// A type definition.
+    Type,
+    /// An attribute definition.
+    Attribute,
+    /// A dialect namespace.
+    Dialect,
+}
+
+/// Completes `prefix` against every registered definition.
+///
+/// A bare prefix (`cma`) completes dialect names; a dotted prefix
+/// (`cmath.m`) completes operations, types, and attributes of that
+/// dialect. Results are sorted by name.
+pub fn complete(ctx: &Context, prefix: &str) -> Vec<CompletionItem> {
+    let mut items = Vec::new();
+    match prefix.split_once('.') {
+        None => {
+            for dialect in ctx.registry().dialects() {
+                let Some(name_sym) = dialect.name else { continue };
+                let name = ctx.symbol_str(name_sym);
+                if name.starts_with(prefix) {
+                    items.push(CompletionItem {
+                        name: name.to_string(),
+                        summary: dialect.summary.clone(),
+                        kind: CompletionKind::Dialect,
+                    });
+                }
+            }
+        }
+        Some((dialect_name, member_prefix)) => {
+            let Some(dialect_sym) = ctx.symbol_lookup(dialect_name) else {
+                return items;
+            };
+            let Some(dialect) = ctx.registry().dialect(dialect_sym) else {
+                return items;
+            };
+            for op in dialect.ops() {
+                let name = ctx.symbol_str(op.name);
+                if name.starts_with(member_prefix) {
+                    items.push(CompletionItem {
+                        name: format!("{dialect_name}.{name}"),
+                        summary: op.summary.clone(),
+                        kind: CompletionKind::Operation,
+                    });
+                }
+            }
+            for def in dialect.types() {
+                let name = ctx.symbol_str(def.name);
+                if name.starts_with(member_prefix) {
+                    items.push(CompletionItem {
+                        name: format!("!{dialect_name}.{name}"),
+                        summary: def.summary.clone(),
+                        kind: CompletionKind::Type,
+                    });
+                }
+            }
+            for def in dialect.attrs() {
+                let name = ctx.symbol_str(def.name);
+                if name.starts_with(member_prefix) {
+                    items.push(CompletionItem {
+                        name: format!("#{dialect_name}.{name}"),
+                        summary: def.summary.clone(),
+                        kind: CompletionKind::Attribute,
+                    });
+                }
+            }
+        }
+    }
+    items.sort_by(|a, b| a.name.cmp(&b.name));
+    items
+}
+
+/// Renders signature help for a fully qualified operation name.
+///
+/// Returns `None` when the operation is not registered.
+pub fn signature_help(ctx: &Context, qualified: &str) -> Option<String> {
+    let (dialect_name, op_name) = qualified.split_once('.')?;
+    let dialect_sym = ctx.symbol_lookup(dialect_name)?;
+    let op_sym = ctx.symbol_lookup(op_name)?;
+    let info = ctx.registry().op_info(dialect_sym, op_sym)?;
+    let mut out = format!("{dialect_name}.{op_name}");
+    if !info.summary.is_empty() {
+        out.push_str(&format!(" — {}", info.summary));
+    }
+    out.push('\n');
+    let decl = &info.decl;
+    out.push_str(&format!(
+        "  operands: {}{}\n",
+        decl.operand_defs,
+        if decl.variadic_operands > 0 {
+            format!(" ({} variadic)", decl.variadic_operands)
+        } else {
+            String::new()
+        }
+    ));
+    out.push_str(&format!(
+        "  results:  {}{}\n",
+        decl.result_defs,
+        if decl.variadic_results > 0 {
+            format!(" ({} variadic)", decl.variadic_results)
+        } else {
+            String::new()
+        }
+    ));
+    if decl.attr_defs > 0 {
+        out.push_str(&format!("  attributes: {}\n", decl.attr_defs));
+    }
+    if decl.region_defs > 0 {
+        out.push_str(&format!("  regions: {}\n", decl.region_defs));
+    }
+    if info.is_terminator {
+        out.push_str(&format!("  terminator with {} successor(s)\n", decl.successor_defs));
+    }
+    if decl.has_native_verifier {
+        out.push_str("  has a native (IRDL-Rust) verifier\n");
+    }
+    if info.syntax.is_some() {
+        out.push_str("  has a custom assembly format\n");
+    }
+    Some(out)
+}
+
+/// Renders signature help for a fully qualified type or attribute name
+/// (with or without its `!`/`#` sigil).
+pub fn type_signature_help(ctx: &Context, qualified: &str) -> Option<String> {
+    let stripped = qualified.trim_start_matches(['!', '#']);
+    let (dialect_name, def_name) = stripped.split_once('.')?;
+    let dialect_sym = ctx.symbol_lookup(dialect_name)?;
+    let def_sym = ctx.symbol_lookup(def_name)?;
+    let (sigil, info) = match ctx.registry().type_def(dialect_sym, def_sym) {
+        Some(info) => ('!', info),
+        None => ('#', ctx.registry().attr_def(dialect_sym, def_sym)?),
+    };
+    let mut out = format!("{sigil}{dialect_name}.{def_name}");
+    if !info.summary.is_empty() {
+        out.push_str(&format!(" — {}", info.summary));
+    }
+    out.push('\n');
+    for (name, kind) in info.param_names.iter().zip(&info.param_kinds) {
+        out.push_str(&format!("  {}: {kind:?}\n", ctx.symbol_str(*name)));
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn showcase() -> Context {
+        let mut ctx = Context::new();
+        irdl_dialects::showcase::register_showcase(&mut ctx).unwrap();
+        ctx
+    }
+
+    #[test]
+    fn complete_dialect_names() {
+        let ctx = showcase();
+        let items = complete(&ctx, "cm");
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "cmath");
+        assert_eq!(items[0].kind, CompletionKind::Dialect);
+    }
+
+    #[test]
+    fn complete_ops_and_types() {
+        let ctx = showcase();
+        let items = complete(&ctx, "cmath.");
+        let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+        assert!(names.contains(&"cmath.mul"), "{names:?}");
+        assert!(names.contains(&"cmath.norm"), "{names:?}");
+        assert!(names.contains(&"!cmath.complex"), "{names:?}");
+        let m_items = complete(&ctx, "cmath.m");
+        assert_eq!(m_items.len(), 1);
+        assert_eq!(m_items[0].name, "cmath.mul");
+        assert_eq!(m_items[0].summary, "Multiply two complex numbers");
+    }
+
+    #[test]
+    fn unknown_prefixes_complete_to_nothing() {
+        let ctx = showcase();
+        assert!(complete(&ctx, "nosuch.").is_empty());
+        assert!(complete(&ctx, "zzz").is_empty());
+    }
+
+    #[test]
+    fn op_signature_help_renders() {
+        let ctx = showcase();
+        let help = signature_help(&ctx, "cmath.mul").unwrap();
+        assert!(help.contains("Multiply two complex numbers"), "{help}");
+        assert!(help.contains("operands: 2"), "{help}");
+        assert!(help.contains("results:  1"), "{help}");
+        assert!(help.contains("custom assembly format"), "{help}");
+        assert!(signature_help(&ctx, "cmath.nope").is_none());
+        let ret = signature_help(&ctx, "func.return_op").unwrap();
+        assert!(ret.contains("terminator"), "{ret}");
+        assert!(ret.contains("variadic"), "{ret}");
+    }
+
+    #[test]
+    fn type_signature_help_renders() {
+        let ctx = showcase();
+        let help = type_signature_help(&ctx, "!cmath.complex").unwrap();
+        assert!(help.contains("elementType"), "{help}");
+        assert!(type_signature_help(&ctx, "cmath.complex").is_some());
+        assert!(type_signature_help(&ctx, "!cmath.nope").is_none());
+    }
+}

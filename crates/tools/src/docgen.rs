@@ -1,0 +1,139 @@
+//! Reference-documentation generation from a dialect registry.
+//!
+//! Because every definition carries its `Summary` and structure as data,
+//! API documentation falls out of the registry — no doc comments in a host
+//! language to maintain. `irdl-doc` renders Markdown per dialect.
+
+use irdl::introspect::{DialectReport, OpReport};
+use irdl_ir::Context;
+
+/// Renders Markdown reference documentation for `dialects` (names), or for
+/// every registered dialect when `dialects` is empty.
+pub fn render_markdown(ctx: &Context, dialects: &[String]) -> String {
+    let mut out = String::from("# Dialect reference\n");
+    for report in irdl::introspect::report(ctx) {
+        if !dialects.is_empty() && !dialects.contains(&report.name) {
+            continue;
+        }
+        out.push_str(&render_dialect(&report));
+    }
+    out
+}
+
+fn render_dialect(report: &DialectReport) -> String {
+    let mut out = format!("\n## `{}`\n", report.name);
+    if !report.summary.is_empty() {
+        out.push_str(&format!("\n{}\n", report.summary));
+    }
+    out.push_str(&format!(
+        "\n{} operation(s), {} type(s), {} attribute(s), {} enum(s).\n",
+        report.ops.len(),
+        report.types.len(),
+        report.attrs.len(),
+        report.num_enums,
+    ));
+
+    if !report.types.is_empty() {
+        out.push_str("\n### Types\n\n| name | parameters | notes |\n|---|---|---|\n");
+        for def in &report.types {
+            out.push_str(&format!(
+                "| `!{}.{}` | {} | {} |\n",
+                report.name,
+                def.name,
+                def.param_kinds.len(),
+                type_notes(def)
+            ));
+        }
+    }
+    if !report.attrs.is_empty() {
+        out.push_str("\n### Attributes\n\n| name | parameters | notes |\n|---|---|---|\n");
+        for def in &report.attrs {
+            out.push_str(&format!(
+                "| `#{}.{}` | {} | {} |\n",
+                report.name,
+                def.name,
+                def.param_kinds.len(),
+                type_notes(def)
+            ));
+        }
+    }
+    if !report.ops.is_empty() {
+        out.push_str(
+            "\n### Operations\n\n| name | operands | results | attrs | regions | summary |\n\
+             |---|---|---|---|---|---|\n",
+        );
+        for op in &report.ops {
+            out.push_str(&format!(
+                "| `{}.{}`{} | {} | {} | {} | {} | {} |\n",
+                report.name,
+                op.name,
+                if op.is_terminator { " *(terminator)*" } else { "" },
+                count_with_variadic(op.decl.operand_defs, op.decl.variadic_operands),
+                count_with_variadic(op.decl.result_defs, op.decl.variadic_results),
+                op.decl.attr_defs,
+                op.decl.region_defs,
+                op.summary,
+            ));
+        }
+    }
+    out
+}
+
+fn count_with_variadic(defs: u32, variadic: u32) -> String {
+    if variadic > 0 {
+        format!("{defs} ({variadic} variadic)")
+    } else {
+        defs.to_string()
+    }
+}
+
+fn type_notes(def: &irdl::introspect::TypeAttrReport) -> String {
+    let mut notes = Vec::new();
+    if !def.params_in_irdl() {
+        notes.push("native parameters");
+    }
+    if def.has_native_verifier {
+        notes.push("native verifier");
+    }
+    if notes.is_empty() {
+        if def.summary.is_empty() {
+            "—".to_string()
+        } else {
+            def.summary.clone()
+        }
+    } else {
+        notes.join(", ")
+    }
+}
+
+/// Used by the doc table to show terminators distinctly.
+#[allow(dead_code)]
+fn is_terminator(op: &OpReport) -> bool {
+    op.is_terminator
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_showcase_docs() {
+        let mut ctx = Context::new();
+        irdl_dialects::showcase::register_showcase(&mut ctx).unwrap();
+        let docs = render_markdown(&ctx, &["cmath".to_string()]);
+        assert!(docs.contains("## `cmath`"), "{docs}");
+        assert!(docs.contains("`!cmath.complex`"), "{docs}");
+        assert!(docs.contains("Multiply two complex numbers"), "{docs}");
+        assert!(!docs.contains("## `func`"), "filtering failed: {docs}");
+    }
+
+    #[test]
+    fn renders_all_when_unfiltered() {
+        let mut ctx = Context::new();
+        irdl_dialects::showcase::register_showcase(&mut ctx).unwrap();
+        let docs = render_markdown(&ctx, &[]);
+        assert!(docs.contains("## `cmath`"));
+        assert!(docs.contains("## `func`"));
+        assert!(docs.contains("*(terminator)*"), "{docs}");
+    }
+}

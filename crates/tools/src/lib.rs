@@ -1,0 +1,16 @@
+//! IR-design tooling built on IRDL's introspectable definitions.
+//!
+//! The paper's Figure 1 positions IRDL as the foundation of an ecosystem of
+//! productivity tooling — "IR Language Server, IR Statistics, IR
+//! Refactoring, More IR Tools". This crate provides the first pieces:
+//!
+//! - [`completion`]: name completion and signature help over a registry,
+//!   the core queries an LSP server would serve;
+//! - `irdl-opt` (binary): an `mlir-opt`-style parse/verify/rewrite driver,
+//!   fully runtime-configured;
+//! - `irdl-fmt` (binary): a canonical formatter for IRDL specifications;
+//! - [`docgen`] / `irdl-doc` (binary): Markdown reference documentation
+//!   generated from the registry.
+
+pub mod completion;
+pub mod docgen;

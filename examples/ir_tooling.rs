@@ -1,0 +1,49 @@
+//! IR-design tooling over introspectable definitions (the paper's
+//! Figure 1: "IR Language Server ... More IR Tools").
+//!
+//! Every dialect registered from IRDL is plain data, so editor-style
+//! queries — completion, signature help, canonical formatting — need no
+//! per-dialect code. This example runs them against the showcase dialects
+//! and one of the corpus specifications.
+//!
+//! Run with: `cargo run --example ir_tooling`
+
+use irdl_repro::ir::Context;
+use irdl_repro::tools::completion::{complete, signature_help, type_signature_help};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut ctx = Context::new();
+    irdl_repro::dialects::showcase::register_showcase(&mut ctx)?;
+
+    // --- completion, as a language server would answer it ---------------
+    println!("complete `cm`:");
+    for item in complete(&ctx, "cm") {
+        println!("  {:?}  {}  — {}", item.kind, item.name, item.summary);
+    }
+    println!("\ncomplete `cmath.`:");
+    for item in complete(&ctx, "cmath.") {
+        println!("  {:?}  {}", item.kind, item.name);
+    }
+
+    // --- signature help ---------------------------------------------------
+    println!("\nsignature help for `cmath.mul`:");
+    print!("{}", signature_help(&ctx, "cmath.mul").expect("registered"));
+    println!("\nsignature help for `!cmath.complex`:");
+    print!("{}", type_signature_help(&ctx, "!cmath.complex").expect("registered"));
+
+    // --- canonical formatting ------------------------------------------------
+    let messy = "Dialect demo{Operation op{Operands(a: !AnyOf<!f32,!f64>) Results(r: !f32)}}";
+    let ast = irdl_repro::irdl::parse_irdl(messy)?;
+    println!("\ncanonical formatting of a one-line spec:");
+    print!("{}", irdl_repro::irdl::printer::print_source(&ast));
+
+    // --- the same queries work on the 28-dialect corpus ---------------------
+    let mut corpus_ctx = Context::new();
+    irdl_repro::dialects::register_corpus(&mut corpus_ctx)?;
+    let items = complete(&corpus_ctx, "scf.");
+    println!("\nthe corpus answers too — complete `scf.` ({} items):", items.len());
+    for item in items.iter().take(5) {
+        println!("  {}", item.name);
+    }
+    Ok(())
+}

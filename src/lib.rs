@@ -1,0 +1,20 @@
+//! Umbrella crate for the IRDL reproduction.
+//!
+//! This crate re-exports the workspace members so that the `examples/` and
+//! `tests/` directories at the repository root can exercise the whole stack
+//! through a single dependency:
+//!
+//! - [`ir`] — the extensible SSA IR substrate (dialects, operations, types,
+//!   attributes, regions, verifiers, textual syntax),
+//! - [`irdl`] — the IR definition language itself (the paper's contribution),
+//! - [`rewrite`] — the pattern rewriting driver,
+//! - [`dialects`] — the 28-dialect evaluation corpus,
+//! - [`analysis`] — the statistics tooling that regenerates the paper's
+//!   figures and tables.
+
+pub use irdl;
+pub use irdl_analysis as analysis;
+pub use irdl_dialects as dialects;
+pub use irdl_ir as ir;
+pub use irdl_rewrite as rewrite;
+pub use irdl_tools as tools;

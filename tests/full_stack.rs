@@ -1,0 +1,152 @@
+//! Cross-crate integration: corpus compilation, evaluation statistics,
+//! textual round-trips, and pattern rewriting on one context.
+
+use irdl_repro::analysis::{figures, CorpusStats};
+use irdl_repro::dialects::showcase::{
+    build_conorm_module, build_conorm_workload, register_showcase, CONORM_PATTERN,
+};
+use irdl_repro::ir::parse::parse_module;
+use irdl_repro::ir::print::{op_to_string, op_to_string_generic};
+use irdl_repro::ir::verify::verify_op;
+use irdl_repro::ir::Context;
+use irdl_repro::rewrite::{parse_patterns, rewrite_greedily};
+
+#[test]
+fn corpus_and_showcase_coexist() {
+    let mut ctx = Context::new();
+    let names = irdl_repro::dialects::register_corpus(&mut ctx).unwrap();
+    register_showcase(&mut ctx).unwrap();
+    assert_eq!(names.len(), 28);
+    // The corpus `complex` dialect and the showcase `cmath` are distinct.
+    let stats = CorpusStats::collect(&ctx, &names);
+    assert_eq!(stats.num_ops(), 942);
+    let module = build_conorm_module(&mut ctx).unwrap();
+    verify_op(&ctx, module).unwrap();
+}
+
+#[test]
+fn all_figures_render_from_one_corpus() {
+    let mut ctx = Context::new();
+    let names = irdl_repro::dialects::register_corpus(&mut ctx).unwrap();
+    let stats = CorpusStats::collect(&ctx, &names);
+    let all = figures::render_all(&stats);
+    for needle in [
+        "Table 1",
+        "Figure 3",
+        "Figure 4",
+        "Figure 5a",
+        "Figure 5b",
+        "Figure 6a",
+        "Figure 6b",
+        "Figure 7a",
+        "Figure 7b",
+        "Figure 8",
+        "Figure 9",
+        "Figure 10",
+        "Figure 11",
+        "Figure 12",
+    ] {
+        assert!(all.contains(needle), "missing {needle}");
+    }
+}
+
+#[test]
+fn conorm_pipeline_end_to_end() {
+    // Text in, optimized text out — the full Listing 1 flow.
+    let mut ctx = Context::new();
+    register_showcase(&mut ctx).unwrap();
+    let module = build_conorm_module(&mut ctx).unwrap();
+    let before = op_to_string(&ctx, module);
+    assert_eq!(before.matches("cmath.norm").count(), 2, "{before}");
+
+    let patterns = parse_patterns(&mut ctx, CONORM_PATTERN).unwrap();
+    let stats = rewrite_greedily(&mut ctx, module, &patterns);
+    assert_eq!(stats.rewrites, 1);
+
+    let after = op_to_string(&ctx, module);
+    assert_eq!(after.matches("cmath.norm").count(), 1, "{after}");
+    assert!(after.contains("cmath.mul"), "{after}");
+    verify_op(&ctx, module).unwrap();
+
+    // The optimized module round-trips through text.
+    let mut ctx2 = Context::new();
+    register_showcase(&mut ctx2).unwrap();
+    let module2 = parse_module(&mut ctx2, &after).unwrap();
+    verify_op(&ctx2, module2).unwrap();
+    assert_eq!(op_to_string(&ctx2, module2), after);
+}
+
+#[test]
+fn rewrites_scale_with_workload() {
+    let mut ctx = Context::new();
+    register_showcase(&mut ctx).unwrap();
+    for n in [1usize, 4, 32] {
+        let module = build_conorm_workload(&mut ctx, n).unwrap();
+        let patterns = parse_patterns(&mut ctx, CONORM_PATTERN).unwrap();
+        let stats = rewrite_greedily(&mut ctx, module, &patterns);
+        assert_eq!(stats.rewrites, n);
+        verify_op(&ctx, module).unwrap();
+        ctx.erase_op(module);
+    }
+}
+
+#[test]
+fn generic_and_custom_forms_agree() {
+    let mut ctx = Context::new();
+    register_showcase(&mut ctx).unwrap();
+    let src = r#"
+        %p = "test.source"() : () -> !cmath.complex<f64>
+        %q = "test.source"() : () -> !cmath.complex<f64>
+        %m = cmath.mul %p, %q : f64
+    "#;
+    let module = parse_module(&mut ctx, src).unwrap();
+    verify_op(&ctx, module).unwrap();
+    let block = ctx.module_block(module);
+    let mul = block.ops(&ctx)[2];
+    let generic = op_to_string_generic(&ctx, mul);
+    assert_eq!(
+        generic,
+        "%0 = \"cmath.mul\"(%1, %2) : (!cmath.complex<f64>, !cmath.complex<f64>) \
+         -> !cmath.complex<f64>"
+    );
+    // Parsing the generic form produces an op equivalent to the custom one.
+    let src2 = r#"
+        %p = "test.source"() : () -> !cmath.complex<f64>
+        %q = "test.source"() : () -> !cmath.complex<f64>
+        %m = "cmath.mul"(%p, %q) : (!cmath.complex<f64>, !cmath.complex<f64>) -> !cmath.complex<f64>
+    "#;
+    let mut ctx2 = Context::new();
+    register_showcase(&mut ctx2).unwrap();
+    let module2 = parse_module(&mut ctx2, src2).unwrap();
+    verify_op(&ctx2, module2).unwrap();
+    let mul2 = ctx2.module_block(module2).ops(&ctx2)[2];
+    assert_eq!(mul2.name(&ctx2).display(&ctx2), "cmath.mul");
+    assert_eq!(
+        op_to_string(&ctx2, mul2),
+        "%0 = cmath.mul %1, %2 : f64",
+        "the generic input prints back in custom form"
+    );
+}
+
+#[test]
+fn corpus_sources_are_self_contained() {
+    // Every corpus dialect's source can also be compiled alone on a fresh
+    // context (plus its cross-dialect dependencies registered first).
+    let sources = irdl_repro::dialects::corpus_sources();
+    let natives = irdl_repro::dialects::corpus_natives();
+    let mut ctx = Context::new();
+    for (name, source) in &sources {
+        irdl_repro::irdl::register_dialects_with(&mut ctx, source, &natives)
+            .unwrap_or_else(|e| panic!("{name}: {}", e.render(source)));
+    }
+}
+
+#[test]
+fn strict_context_rejects_unknown_dialects() {
+    let mut ctx = Context::new();
+    register_showcase(&mut ctx).unwrap();
+    ctx.set_allow_unregistered(false);
+    let src = r#"%x = "ghost.make"() : () -> f32"#;
+    let module = parse_module(&mut ctx, src).unwrap();
+    assert!(verify_op(&ctx, module).is_err());
+}

@@ -1,0 +1,156 @@
+//! Property-based tests on the constraint algebra and variadic segment
+//! resolution.
+
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+use irdl_repro::irdl::ast::{IntKind, Variadicity};
+use irdl_repro::irdl::constraint::{eval, BindingEnv, CVal, Constraint};
+use irdl_repro::irdl::variadic::resolve_segments;
+use irdl_repro::ir::Context;
+
+/// Builds a small pool of distinct values to evaluate constraints against.
+fn value_pool(ctx: &mut Context) -> Vec<CVal> {
+    let f32 = ctx.f32_type();
+    let f64 = ctx.f64_type();
+    let i32 = ctx.i32_type();
+    let int = ctx.i32_attr(7);
+    let zero = ctx.i32_attr(0);
+    let s = ctx.string_attr("s");
+    let arr = ctx.array_attr([int, zero]);
+    vec![
+        CVal::Type(f32),
+        CVal::Type(f64),
+        CVal::Type(i32),
+        CVal::Attr(int),
+        CVal::Attr(zero),
+        CVal::Attr(s),
+        CVal::Attr(arr),
+    ]
+}
+
+/// A variable-free constraint over the pool.
+fn constraint_strategy(ctx: &mut Context) -> impl Strategy<Value = Constraint> {
+    let f32 = ctx.f32_type();
+    let i32 = ctx.i32_type();
+    let kind = IntKind { width: 32, unsigned: false };
+    let leaf = prop_oneof![
+        Just(Constraint::Any),
+        Just(Constraint::AnyType),
+        Just(Constraint::AnyAttr),
+        Just(Constraint::ExactType(f32)),
+        Just(Constraint::ExactType(i32)),
+        Just(Constraint::Int(kind)),
+        Just(Constraint::IntLiteral { value: 0, kind }),
+        Just(Constraint::StringAny),
+        Just(Constraint::ArrayAny),
+    ];
+    leaf.prop_recursive(3, 32, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Constraint::AnyOf),
+            proptest::collection::vec(inner.clone(), 1..3).prop_map(Constraint::And),
+            inner.prop_map(|c| Constraint::Not(Box::new(c))),
+        ]
+    })
+}
+
+fn check(ctx: &Context, c: &Constraint, v: CVal) -> bool {
+    let mut env = BindingEnv::new(0);
+    eval(ctx, c, v, &mut env, &[]).is_ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// De Morgan-ish laws of the combinators on variable-free constraints.
+    #[test]
+    fn combinator_semantics(seed in any::<prop::sample::Index>(), idx in 0usize..7) {
+        let mut ctx = Context::new();
+        let pool = value_pool(&mut ctx);
+        let v = pool[idx % pool.len()];
+        let strat = constraint_strategy(&mut ctx);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let c = strat.new_tree(&mut runner).unwrap().current();
+        let _ = seed;
+
+        // Not inverts.
+        let not_c = Constraint::Not(Box::new(c.clone()));
+        prop_assert_eq!(check(&ctx, &not_c, v), !check(&ctx, &c, v));
+        // Double negation is the identity.
+        let not_not_c = Constraint::Not(Box::new(not_c.clone()));
+        prop_assert_eq!(check(&ctx, &not_not_c, v), check(&ctx, &c, v));
+        // AnyOf of one and And of one are the constraint itself.
+        let one_of = Constraint::AnyOf(vec![c.clone()]);
+        let all_of = Constraint::And(vec![c.clone()]);
+        prop_assert_eq!(check(&ctx, &one_of, v), check(&ctx, &c, v));
+        prop_assert_eq!(check(&ctx, &all_of, v), check(&ctx, &c, v));
+        // c AnyOf Not(c) is a tautology; c And Not(c) is unsatisfiable.
+        let tauto = Constraint::AnyOf(vec![c.clone(), not_c.clone()]);
+        let contra = Constraint::And(vec![c.clone(), not_c]);
+        prop_assert!(check(&ctx, &tauto, v));
+        prop_assert!(!check(&ctx, &contra, v));
+    }
+
+    /// Segment resolution: sizes always sum to the total and respect each
+    /// definition's variadicity.
+    #[test]
+    fn segments_partition_total(
+        defs in proptest::collection::vec(0u8..3, 1..6),
+        total in 0usize..12,
+    ) {
+        let defs: Vec<Variadicity> = defs
+            .iter()
+            .map(|d| match d {
+                0 => Variadicity::Single,
+                1 => Variadicity::Variadic,
+                _ => Variadicity::Optional,
+            })
+            .collect();
+        match resolve_segments(total, &defs, None) {
+            Ok(sizes) => {
+                prop_assert_eq!(sizes.len(), defs.len());
+                prop_assert_eq!(sizes.iter().sum::<usize>(), total);
+                for (size, def) in sizes.iter().zip(&defs) {
+                    match def {
+                        Variadicity::Single => prop_assert_eq!(*size, 1),
+                        Variadicity::Optional => prop_assert!(*size <= 1),
+                        Variadicity::Variadic => {}
+                    }
+                }
+            }
+            Err(_) => {
+                // Failure is legitimate only when the counts cannot work:
+                // fewer values than single defs, more values than the defs
+                // can absorb, or an ambiguous multi-variadic layout.
+                let singles = defs.iter().filter(|d| matches!(d, Variadicity::Single)).count();
+                let optionals =
+                    defs.iter().filter(|d| matches!(d, Variadicity::Optional)).count();
+                let variadics =
+                    defs.iter().filter(|d| matches!(d, Variadicity::Variadic)).count();
+                let impossible_low = total < singles;
+                let impossible_high = variadics == 0 && total > singles + optionals;
+                let ambiguous = variadics + optionals > 1;
+                prop_assert!(
+                    impossible_low || impossible_high || ambiguous,
+                    "rejected a satisfiable layout: {:?} with {}",
+                    defs,
+                    total
+                );
+            }
+        }
+    }
+
+    /// Explicit segment-size attributes are accepted exactly when they
+    /// partition the total and respect variadicities.
+    #[test]
+    fn explicit_segments_checked(
+        sizes in proptest::collection::vec(0i64..4, 1..5),
+    ) {
+        let defs: Vec<Variadicity> = vec![Variadicity::Variadic; sizes.len()];
+        let total: i64 = sizes.iter().sum();
+        let result = resolve_segments(total as usize, &defs, Some(&sizes));
+        prop_assert!(result.is_ok(), "{:?}", result);
+        let off_by_one = resolve_segments(total as usize + 1, &defs, Some(&sizes));
+        prop_assert!(off_by_one.is_err());
+    }
+}

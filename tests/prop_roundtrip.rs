@@ -1,0 +1,161 @@
+//! Property-based tests: printing and re-parsing is the identity for
+//! arbitrary types, attributes, and straight-line IR modules.
+
+use proptest::prelude::*;
+
+use irdl_repro::ir::parse::{parse_attr_str, parse_module, parse_type_str};
+use irdl_repro::ir::print::op_to_string;
+use irdl_repro::ir::verify::verify_op;
+use irdl_repro::ir::{Context, FloatKind, OperationState, Signedness, Type};
+
+/// A recipe for building an arbitrary type inside a fresh context.
+#[derive(Debug, Clone)]
+enum TypeRecipe {
+    Int(u32, u8),
+    Float(u8),
+    Index,
+    Vector(Vec<u64>, Box<TypeRecipe>),
+    Tensor(Vec<i64>, Box<TypeRecipe>),
+    Function(Vec<TypeRecipe>, Vec<TypeRecipe>),
+    Complex(Box<TypeRecipe>),
+}
+
+fn build_type(ctx: &mut Context, recipe: &TypeRecipe) -> Type {
+    match recipe {
+        TypeRecipe::Int(width, s) => {
+            let signedness = match s % 3 {
+                0 => Signedness::Signless,
+                1 => Signedness::Signed,
+                _ => Signedness::Unsigned,
+            };
+            ctx.int_type_with_signedness(width % 128 + 1, signedness)
+        }
+        TypeRecipe::Float(k) => {
+            let kind = match k % 4 {
+                0 => FloatKind::BF16,
+                1 => FloatKind::F16,
+                2 => FloatKind::F32,
+                _ => FloatKind::F64,
+            };
+            ctx.float_type(kind)
+        }
+        TypeRecipe::Index => ctx.index_type(),
+        TypeRecipe::Vector(dims, elem) => {
+            let elem = build_type(ctx, elem);
+            let dims: Vec<u64> = dims.iter().map(|d| d % 64 + 1).collect();
+            ctx.vector_type(dims, elem)
+        }
+        TypeRecipe::Tensor(dims, elem) => {
+            let elem = build_type(ctx, elem);
+            let dims: Vec<i64> = dims.iter().map(|d| if *d < 0 { -1 } else { d % 64 }).collect();
+            ctx.tensor_type(dims, elem)
+        }
+        TypeRecipe::Function(ins, outs) => {
+            let ins: Vec<Type> = ins.iter().map(|r| build_type(ctx, r)).collect();
+            let outs: Vec<Type> = outs.iter().map(|r| build_type(ctx, r)).collect();
+            ctx.function_type(ins, outs)
+        }
+        TypeRecipe::Complex(elem) => {
+            let elem = build_type(ctx, elem);
+            let param = ctx.type_attr(elem);
+            ctx.parametric_type("gen", "wrapped", [param]).expect("unregistered dialect")
+        }
+    }
+}
+
+fn type_recipe() -> impl Strategy<Value = TypeRecipe> {
+    let leaf = prop_oneof![
+        (1u32..128, any::<u8>()).prop_map(|(w, s)| TypeRecipe::Int(w, s)),
+        any::<u8>().prop_map(TypeRecipe::Float),
+        Just(TypeRecipe::Index),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (proptest::collection::vec(1u64..32, 0..3), inner.clone())
+                .prop_map(|(d, e)| TypeRecipe::Vector(d, Box::new(e))),
+            (proptest::collection::vec(-1i64..32, 0..3), inner.clone())
+                .prop_map(|(d, e)| TypeRecipe::Tensor(d, Box::new(e))),
+            (
+                proptest::collection::vec(inner.clone(), 0..3),
+                proptest::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(i, o)| TypeRecipe::Function(i, o)),
+            inner.prop_map(|e| TypeRecipe::Complex(Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn type_print_parse_roundtrip(recipe in type_recipe()) {
+        let mut ctx = Context::new();
+        let ty = build_type(&mut ctx, &recipe);
+        let text = ty.display(&ctx);
+        let reparsed = parse_type_str(&mut ctx, &text)
+            .unwrap_or_else(|e| panic!("{text}: {e}"));
+        prop_assert_eq!(reparsed, ty, "{}", text);
+    }
+
+    #[test]
+    fn int_attr_roundtrip(value in any::<i64>(), width in 1u32..128) {
+        let mut ctx = Context::new();
+        let ty = ctx.int_type(width);
+        let attr = ctx.int_attr(value as i128, ty);
+        let text = attr.display(&ctx);
+        let reparsed = parse_attr_str(&mut ctx, &text).unwrap();
+        prop_assert_eq!(reparsed, attr, "{}", text);
+    }
+
+    #[test]
+    fn float_attr_roundtrip(value in any::<f64>()) {
+        let mut ctx = Context::new();
+        let attr = ctx.float_attr(value, FloatKind::F64);
+        let text = attr.display(&ctx);
+        let reparsed = parse_attr_str(&mut ctx, &text).unwrap();
+        prop_assert_eq!(reparsed, attr, "{}", text);
+    }
+
+    #[test]
+    fn string_attr_roundtrip(s in "[ -~]*") {
+        let mut ctx = Context::new();
+        let attr = ctx.string_attr(s.clone());
+        let text = attr.display(&ctx);
+        let reparsed = parse_attr_str(&mut ctx, &text).unwrap();
+        prop_assert_eq!(reparsed, attr, "{}", text);
+    }
+
+    #[test]
+    fn straight_line_module_roundtrip(
+        ops in proptest::collection::vec((0usize..4, 0usize..3), 1..20)
+    ) {
+        // Build a random straight-line module: each op consumes up to
+        // `uses` previously defined values and produces `defs` results.
+        let mut ctx = Context::new();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let f32 = ctx.f32_type();
+        let mut available: Vec<irdl_repro::ir::Value> = Vec::new();
+        for (i, (uses, defs)) in ops.iter().enumerate() {
+            let operands: Vec<irdl_repro::ir::Value> = (0..*uses)
+                .filter_map(|k| available.get((i * 7 + k * 3) % available.len().max(1)).copied())
+                .collect();
+            let name = ctx.op_name("gen", &format!("op{}", i % 5));
+            let op = ctx.create_op(
+                OperationState::new(name)
+                    .add_operands(operands)
+                    .add_result_types(std::iter::repeat_n(f32, *defs)),
+            );
+            ctx.append_op(block, op);
+            available.extend(op.results(&ctx));
+        }
+        verify_op(&ctx, module).unwrap();
+        let text = op_to_string(&ctx, module);
+        let mut ctx2 = Context::new();
+        let module2 = parse_module(&mut ctx2, &text)
+            .unwrap_or_else(|e| panic!("{text}: {}", e.render(&text)));
+        verify_op(&ctx2, module2).unwrap();
+        prop_assert_eq!(op_to_string(&ctx2, module2), text);
+    }
+}
