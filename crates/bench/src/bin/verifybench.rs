@@ -1,0 +1,342 @@
+//! Zero-dependency verifier throughput benchmark.
+//!
+//! Compares the retained tree-walking constraint interpreter
+//! ([`CompiledOp::verify`]) against the registered flat-program fast path
+//! over two workloads:
+//!
+//! - **corpus**: one generated, verifying instance of every instantiable
+//!   operation of the 28-dialect corpus (the paper's §6 evaluation set);
+//! - **cmath_mul_chain**: a straight-line module of `cmath.mul` ops over
+//!   `!cmath.complex<f32>` — the Listing-1 showcase dialect — which is the
+//!   shape the rewrite driver re-verifies between pattern applications.
+//!
+//! Timing uses `std::time::Instant` only. A counting global allocator
+//! reports steady-state heap allocations per verification pass, which
+//! substantiates the "allocation-free success path" claim directly: after
+//! warm-up the fast path must not allocate on valid IR.
+//!
+//! Results are written to `BENCH_verifier.json` at the repository root.
+//!
+//! ```text
+//! cargo run -p irdl-bench --bin verifybench --release
+//! ```
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use irdl::genir::{instantiate_op, Instantiation};
+use irdl::program::{EvalScratch, OpProgram};
+use irdl::verifier::CompiledOp;
+use irdl_ir::{Context, OpRef, OpVerifier};
+
+// ---------------------------------------------------------------------------
+// Allocation accounting
+// ---------------------------------------------------------------------------
+
+/// Counts every allocation request so a measured pass can report how many
+/// times it hit the heap. Deallocations are not interesting here.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+/// One operation kind: the tree interpreter, the flat program, and the
+/// registered production verifier (flat program + lazy diagnostics).
+struct Kind {
+    compiled: Rc<CompiledOp>,
+    program: OpProgram,
+    registered: Rc<dyn OpVerifier>,
+}
+
+/// A set of live, valid op instances, each pointing at its kind.
+struct Workload {
+    ctx: Context,
+    kinds: Vec<Kind>,
+    /// `(kind index, instance)` pairs — the unit of one verification.
+    instances: Vec<(usize, OpRef)>,
+}
+
+impl Workload {
+    /// One pass of the tree-walking interpreter over every instance.
+    fn pass_tree(&self) -> usize {
+        let mut ok = 0;
+        for &(kind, op) in &self.instances {
+            if self.kinds[kind].compiled.verify(&self.ctx, op).is_ok() {
+                ok += 1;
+            }
+        }
+        ok
+    }
+
+    /// One pass of the registered fast-path verifier (the production
+    /// entry point: flat program, verdict cache, lazy diagnostics).
+    fn pass_fast(&self) -> usize {
+        let mut ok = 0;
+        for &(kind, op) in &self.instances {
+            if self.kinds[kind].registered.verify(&self.ctx, op).is_ok() {
+                ok += 1;
+            }
+        }
+        ok
+    }
+
+    /// One pass of the bare declarative program with caller-owned scratch
+    /// (the shape `ModuleVerifier` reuse exposes).
+    fn pass_program(&self, scratch: &mut EvalScratch) -> usize {
+        let mut ok = 0;
+        for &(kind, op) in &self.instances {
+            if self.kinds[kind].program.check(&self.ctx, op, scratch) {
+                ok += 1;
+            }
+        }
+        ok
+    }
+}
+
+/// Every instantiable operation of the 28-dialect corpus, one instance
+/// each, generated from its own compiled constraints.
+fn corpus_workload() -> Workload {
+    let mut ctx = Context::new();
+    let natives = irdl_dialects::corpus_natives();
+    let mut kinds = Vec::new();
+    let mut instances = Vec::new();
+    for (dialect_name, source) in irdl_dialects::corpus_sources() {
+        let file = irdl::parse_irdl(&source).expect("corpus parses");
+        for dialect in &file.dialects {
+            let compiled = irdl::compile_dialect_collecting(&mut ctx, dialect, &natives)
+                .unwrap_or_else(|e| panic!("{dialect_name} compiles: {e}"));
+            for op in compiled {
+                let module = ctx.create_module();
+                let block = ctx.module_block(module);
+                let built = match instantiate_op(&mut ctx, &op, block) {
+                    Instantiation::Built(built) => built,
+                    // CFG terminators need successor context; skip, as the
+                    // corpus generation test does.
+                    Instantiation::Skipped(_) => continue,
+                };
+                let registered = ctx
+                    .op_info(built)
+                    .and_then(|info| info.verifier.clone())
+                    .expect("compiled op has a registered verifier");
+                let program = OpProgram::build(&mut ctx, &op);
+                instances.push((kinds.len(), built));
+                kinds.push(Kind { compiled: op, program, registered });
+            }
+        }
+    }
+    Workload { ctx, kinds, instances }
+}
+
+/// A straight-line chain of `n` `cmath.mul` ops over `!cmath.complex<f32>`.
+fn mul_chain_workload(n: usize) -> Workload {
+    let mut ctx = Context::new();
+    let natives = irdl::NativeRegistry::default();
+    let file =
+        irdl::parse_irdl(irdl_dialects::showcase::SHOWCASE_SPEC).expect("showcase parses");
+    let mul_name = ctx.op_name("cmath", "mul");
+    let mut mul = None;
+    for dialect in &file.dialects {
+        for op in irdl::compile_dialect_collecting(&mut ctx, dialect, &natives)
+            .expect("showcase compiles")
+        {
+            if op.name == mul_name {
+                mul = Some(op);
+            }
+        }
+    }
+    let mul = mul.expect("showcase defines cmath.mul");
+    let registered = ctx
+        .registry()
+        .op_info(mul_name.dialect, mul_name.name)
+        .and_then(|info| info.verifier.clone())
+        .expect("cmath.mul has a registered verifier");
+    let program = OpProgram::build(&mut ctx, &mul);
+
+    let module = irdl_bench::mul_chain_module(&mut ctx, n);
+    let block = ctx.module_block(module);
+    let instances: Vec<(usize, OpRef)> = block
+        .ops(&ctx)
+        .iter()
+        .filter(|op| op.name(&ctx) == mul_name)
+        .map(|&op| (0usize, op))
+        .collect();
+    assert_eq!(instances.len(), n);
+    Workload { ctx, kinds: vec![Kind { compiled: mul, program, registered }], instances }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement
+// ---------------------------------------------------------------------------
+
+struct Measurement {
+    ops_per_sec: f64,
+    allocs_per_pass: f64,
+}
+
+/// Warm up, calibrate an iteration count targeting ~0.4 s of measurement,
+/// then time the pass and report throughput plus steady-state allocations.
+fn measure(mut pass: impl FnMut() -> usize, expected: usize) -> Measurement {
+    for _ in 0..3 {
+        let ok = pass();
+        assert_eq!(ok, expected, "benchmark pass must verify every instance");
+    }
+    let start = Instant::now();
+    black_box(pass());
+    let once = start.elapsed().as_secs_f64().max(1e-9);
+    let iters = ((0.4 / once) as usize).clamp(5, 50_000);
+
+    let allocs_before = allocs();
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(pass());
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let allocs_after = allocs();
+    Measurement {
+        ops_per_sec: (expected * iters) as f64 / secs,
+        allocs_per_pass: (allocs_after - allocs_before) as f64 / iters as f64,
+    }
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    instances: usize,
+    tree: Measurement,
+    fast: Measurement,
+    program: Measurement,
+}
+
+fn run_workload(name: &'static str, workload: &mut Workload) -> WorkloadReport {
+    let expected = workload.instances.len();
+    let tree = measure(|| workload.pass_tree(), expected);
+    let fast = measure(|| workload.pass_fast(), expected);
+    let mut scratch = EvalScratch::new();
+    let program = measure(|| workload.pass_program(&mut scratch), expected);
+    WorkloadReport { name, instances: expected, tree, fast, program }
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+fn json_f(value: f64) -> String {
+    if value.is_finite() { format!("{value:.1}") } else { "null".to_string() }
+}
+
+fn report_json(reports: &[WorkloadReport], cache: (usize, u64, u64)) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"benchmark\": \"verifier fast path vs tree interpreter\",\n");
+    out.push_str(
+        "  \"command\": \"cargo run -p irdl-bench --bin verifybench --release\",\n",
+    );
+    out.push_str("  \"required_speedup\": 1.5,\n  \"workloads\": {\n");
+    let mut worst: f64 = f64::INFINITY;
+    for (i, r) in reports.iter().enumerate() {
+        let speedup = r.fast.ops_per_sec / r.tree.ops_per_sec;
+        worst = worst.min(speedup);
+        out.push_str(&format!(
+            concat!(
+                "    \"{}\": {{\n",
+                "      \"instances\": {},\n",
+                "      \"tree_ops_per_sec\": {},\n",
+                "      \"fast_ops_per_sec\": {},\n",
+                "      \"speedup\": {:.2},\n",
+                "      \"program_check_ops_per_sec\": {},\n",
+                "      \"tree_allocs_per_pass\": {},\n",
+                "      \"fast_allocs_per_pass\": {},\n",
+                "      \"program_check_allocs_per_pass\": {}\n",
+                "    }}{}\n",
+            ),
+            r.name,
+            r.instances,
+            json_f(r.tree.ops_per_sec),
+            json_f(r.fast.ops_per_sec),
+            speedup,
+            json_f(r.program.ops_per_sec),
+            json_f(r.tree.allocs_per_pass),
+            json_f(r.fast.allocs_per_pass),
+            json_f(r.program.allocs_per_pass),
+            if i + 1 == reports.len() { "" } else { "," },
+        ));
+    }
+    let (entries, hits, misses) = cache;
+    out.push_str(&format!(
+        concat!(
+            "  }},\n",
+            "  \"min_speedup\": {:.2},\n",
+            "  \"verdict_cache\": {{ \"entries\": {}, \"hits\": {}, \"misses\": {} }}\n",
+            "}}\n",
+        ),
+        worst, entries, hits, misses,
+    ));
+    out
+}
+
+fn main() {
+    let mut corpus = corpus_workload();
+    let mut chain = mul_chain_workload(512);
+
+    let reports = vec![
+        run_workload("corpus", &mut corpus),
+        run_workload("cmath_mul_chain", &mut chain),
+    ];
+
+    // Cache statistics from the corpus context, where kind diversity makes
+    // memoization do real work.
+    let (hits, misses) = corpus.ctx.verdict_cache_stats();
+    let cache = (corpus.ctx.verdict_cache_len(), hits, misses);
+
+    let json = report_json(&reports, cache);
+    print!("{json}");
+    for r in &reports {
+        let speedup = r.fast.ops_per_sec / r.tree.ops_per_sec;
+        eprintln!(
+            "{}: {} instances, tree {:.0} ops/s, fast {:.0} ops/s ({speedup:.2}x), \
+             fast allocs/pass {:.1}",
+            r.name, r.instances, r.tree.ops_per_sec, r.fast.ops_per_sec,
+            r.fast.allocs_per_pass,
+        );
+    }
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_verifier.json");
+    std::fs::write(path, &json).expect("write BENCH_verifier.json");
+    eprintln!("wrote {path}");
+
+    let worst = reports
+        .iter()
+        .map(|r| r.fast.ops_per_sec / r.tree.ops_per_sec)
+        .fold(f64::INFINITY, f64::min);
+    if worst < 1.5 {
+        eprintln!("FAIL: speedup {worst:.2}x is below the required 1.5x");
+        std::process::exit(1);
+    }
+}

@@ -20,11 +20,9 @@ use crate::constraint::Constraint;
 use crate::format::FormatSpec;
 use crate::native::NativeRegistry;
 use crate::parser::parse_irdl;
+use crate::program::{OpProgram, ProgramOpVerifier, ProgramParamsVerifier};
 use crate::resolve::{DialectScope, Resolver};
-use crate::verifier::{
-    CompiledArg, CompiledOp, CompiledOpVerifier, CompiledParams, CompiledParamsVerifier,
-    CompiledRegion,
-};
+use crate::verifier::{CompiledArg, CompiledOp, CompiledParams, CompiledRegion};
 
 /// Parses `source` and registers every dialect it defines, using the stock
 /// native registry ([`NativeRegistry::with_std`]).
@@ -190,12 +188,15 @@ pub fn compile_dialect_collecting(
                 as Rc<dyn irdl_ir::dialect::ParamsSyntax>),
             None => None,
         };
+        // Register the flat-program fast path; the tree form is retained
+        // inside the adapter for lazy diagnostic rendering.
+        let verifier = Rc::new(ProgramParamsVerifier::build(ctx, compiled));
         let info = TypeDefInfo {
             name,
             summary: def.summary.clone().unwrap_or_default(),
             param_names,
             param_kinds,
-            verifier: Some(Rc::new(CompiledParamsVerifier(compiled))),
+            verifier: Some(verifier),
             syntax,
             has_native_verifier,
         };
@@ -358,11 +359,15 @@ fn compile_op(
         None => None,
     };
 
+    // Lower the constraints into the flat fast-path program at
+    // registration time; verification dispatches over it and falls back to
+    // the retained tree interpreter only to render a failure.
+    let program = OpProgram::build(ctx, &compiled);
     let info = OpInfo {
         name: name_sym,
         summary: def.summary.clone().unwrap_or_default(),
         is_terminator: def.successors.is_some(),
-        verifier: Some(Rc::new(CompiledOpVerifier(compiled.clone()))),
+        verifier: Some(Rc::new(ProgramOpVerifier::new(compiled.clone(), program))),
         syntax,
         decl,
     };

@@ -352,7 +352,7 @@ pub fn eval(
                     val.display(ctx)
                 ));
             }
-            let actual = ty.params(ctx).to_vec();
+            let actual = ty.params(ctx);
             if actual.len() != params.len() {
                 return Err(format!(
                     "type {} has {} parameter(s); constraint expects {}",
@@ -400,7 +400,7 @@ pub fn eval(
                 ));
             }
             let actual = match ctx.attr_data(attr) {
-                AttrData::Parametric { params, .. } => params.clone(),
+                AttrData::Parametric { params, .. } => params.as_slice(),
                 _ => unreachable!("parametric_name implies parametric data"),
             };
             if actual.len() != params.len() {
@@ -473,7 +473,7 @@ pub fn eval(
         },
         Constraint::ArrayOf(inner) => {
             let items = array_items(ctx, val)?;
-            for item in items {
+            for &item in items {
                 eval(ctx, inner, CVal::from_attr(ctx, item), env, var_decls)?;
             }
             Ok(())
@@ -589,10 +589,10 @@ pub fn eval(
     }
 }
 
-fn array_items(ctx: &Context, val: CVal) -> Result<Vec<Attribute>, String> {
+fn array_items(ctx: &Context, val: CVal) -> Result<&[Attribute], String> {
     match val {
         CVal::Attr(attr) => match ctx.attr_data(attr) {
-            AttrData::Array(items) => Ok(items.clone()),
+            AttrData::Array(items) => Ok(items),
             _ => Err(format!("expected an array parameter, got {}", val.display(ctx))),
         },
         _ => Err(format!("expected an array parameter, got {}", val.display(ctx))),

@@ -61,6 +61,7 @@ pub mod meta;
 pub mod native;
 pub mod parser;
 pub mod printer;
+pub mod program;
 pub mod resolve;
 pub mod variadic;
 pub mod verifier;

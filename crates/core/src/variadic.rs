@@ -31,8 +31,28 @@ pub fn resolve_segments(
     defs: &[Variadicity],
     explicit: Option<&[i64]>,
 ) -> Result<Vec<usize>, String> {
+    let mut out = Vec::with_capacity(defs.len());
+    resolve_segments_into(total, defs, explicit, &mut out)?;
+    Ok(out)
+}
+
+/// Like [`resolve_segments`], but writes into a caller-provided buffer
+/// (cleared first), so a hot loop resolving segments per operation never
+/// allocates once the buffer has reached its steady-state capacity.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the counts cannot be reconciled;
+/// `out` is left cleared or partially filled and must not be read.
+pub fn resolve_segments_into(
+    total: usize,
+    defs: &[Variadicity],
+    explicit: Option<&[i64]>,
+    out: &mut Vec<usize>,
+) -> Result<(), String> {
+    out.clear();
     if let Some(sizes) = explicit {
-        return check_explicit(total, defs, sizes);
+        return check_explicit(total, defs, sizes, out);
     }
     let variadic_count =
         defs.iter().filter(|v| !matches!(v, Variadicity::Single)).count();
@@ -44,7 +64,8 @@ pub fn resolve_segments(
                     defs.len()
                 ));
             }
-            Ok(vec![1; defs.len()])
+            out.resize(defs.len(), 1);
+            Ok(())
         }
         1 => {
             let fixed = defs.len() - 1;
@@ -61,11 +82,8 @@ pub fn resolve_segments(
                     "optional definition #{index} matched {variadic_size} values"
                 ));
             }
-            Ok(defs
-                .iter()
-                .enumerate()
-                .map(|(i, _)| if i == index { variadic_size } else { 1 })
-                .collect())
+            out.extend((0..defs.len()).map(|i| if i == index { variadic_size } else { 1 }));
+            Ok(())
         }
         _ => Err(format!(
             "{variadic_count} variadic definitions require a segment-sizes attribute"
@@ -77,7 +95,8 @@ fn check_explicit(
     total: usize,
     defs: &[Variadicity],
     sizes: &[i64],
-) -> Result<Vec<usize>, String> {
+    out: &mut Vec<usize>,
+) -> Result<(), String> {
     if sizes.len() != defs.len() {
         return Err(format!(
             "segment-sizes attribute has {} entries; {} definitions declared",
@@ -85,7 +104,6 @@ fn check_explicit(
             defs.len()
         ));
     }
-    let mut out = Vec::with_capacity(sizes.len());
     let mut sum = 0usize;
     for (i, (&size, def)) in sizes.iter().zip(defs).enumerate() {
         if size < 0 {
@@ -107,7 +125,7 @@ fn check_explicit(
     if sum != total {
         return Err(format!("segment sizes sum to {sum}, but {total} value(s) are present"));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

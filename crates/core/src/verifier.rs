@@ -91,7 +91,7 @@ impl CompiledOp {
             OPERAND_SEGMENT_ATTR,
             "operand",
         )?;
-        let operands = op.operands(ctx).to_vec();
+        let operands = op.operands(ctx);
         let mut cursor = 0usize;
         for (def, size) in self.operands.iter().zip(&operand_segments) {
             for k in 0..*size {
@@ -114,7 +114,7 @@ impl CompiledOp {
             RESULT_SEGMENT_ATTR,
             "result",
         )?;
-        let result_types = op.result_types(ctx).to_vec();
+        let result_types = op.result_types(ctx);
         let mut cursor = 0usize;
         for (def, size) in self.results.iter().zip(&result_segments) {
             for k in 0..*size {
@@ -212,9 +212,9 @@ impl CompiledOp {
         let region = op.region(ctx, index);
         let entry = region.entry_block(ctx);
         // Entry-block arguments.
-        let arg_types: Vec<irdl_ir::Type> = match entry {
-            Some(block) => block.arg_types(ctx).to_vec(),
-            None => Vec::new(),
+        let arg_types: &[irdl_ir::Type] = match entry {
+            Some(block) => block.arg_types(ctx),
+            None => &[],
         };
         let args = def.args.as_deref().unwrap_or(&[]);
         let variadicities: Vec<Variadicity> = args.iter().map(|a| a.variadicity).collect();

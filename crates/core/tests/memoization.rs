@@ -1,0 +1,177 @@
+//! Soundness tests for the verifier fast path's verdict memoization.
+//!
+//! The cache in [`irdl_ir::Context`] may only hold verdicts of *pure*
+//! subprograms — constraints whose outcome depends on nothing but the
+//! (uniqued) value itself. These tests pin the two ways that could go
+//! wrong: caching a variable-bearing constraint across binding
+//! environments, and key collisions between programs or values.
+
+use std::rc::Rc;
+
+use irdl::ast::Variadicity;
+use irdl::constraint::Constraint;
+use irdl::program::{EvalScratch, OpProgram, ProgramOpVerifier};
+use irdl::verifier::{CompiledArg, CompiledOp};
+use irdl_ir::{Context, OpRef, OperationState, Type};
+
+fn arg(name: &str, constraint: Constraint) -> CompiledArg {
+    CompiledArg { name: name.into(), constraint, variadicity: Variadicity::Single }
+}
+
+fn one_operand_op(ctx: &mut Context, constraint: Constraint) -> CompiledOp {
+    CompiledOp {
+        name: ctx.op_name("t", "op"),
+        var_names: vec![],
+        var_decls: vec![],
+        operands: vec![arg("x", constraint)],
+        results: vec![],
+        attributes: vec![],
+        regions: vec![],
+        successors: None,
+        native_verifier: None,
+    }
+}
+
+/// Creates a detached `t.op` whose operands have the given types.
+fn op_with_operands(ctx: &mut Context, types: &[Type]) -> OpRef {
+    let def_name = ctx.op_name("t", "def");
+    let operands: Vec<irdl_ir::Value> = types
+        .iter()
+        .map(|&ty| {
+            let def = ctx.create_op(OperationState::new(def_name).add_result_types([ty]));
+            def.result(ctx, 0)
+        })
+        .collect();
+    let name = ctx.op_name("t", "op");
+    ctx.create_op(OperationState::new(name).add_operands(operands))
+}
+
+/// Variable-bearing constraints must never be memoized: the same
+/// `AnyOf`-with-variable must be free to bind differently on different
+/// operations.
+#[test]
+fn variable_bearing_constraints_are_never_cached() {
+    let mut ctx = Context::new();
+    let f32 = ctx.f32_type();
+    let f64 = ctx.f64_type();
+    let i32 = ctx.i32_type();
+
+    let choice = Constraint::AnyOf(vec![Constraint::Var(0), Constraint::ExactType(i32)]);
+    let compiled = CompiledOp {
+        name: ctx.op_name("t", "op"),
+        var_names: vec!["T".into()],
+        var_decls: vec![Constraint::AnyType],
+        operands: vec![arg("lhs", choice.clone()), arg("rhs", choice)],
+        results: vec![],
+        attributes: vec![],
+        regions: vec![],
+        successors: None,
+        native_verifier: None,
+    };
+    let program = OpProgram::build(&mut ctx, &compiled);
+    assert_eq!(
+        program.num_cache_slots(),
+        0,
+        "a subprogram containing Var must not get a cache slot"
+    );
+
+    let mut scratch = EvalScratch::new();
+    // T binds to f32 on the first op and to f64 on the second; a cached
+    // verdict from the first environment would corrupt the second.
+    let both_f32 = op_with_operands(&mut ctx, &[f32, f32]);
+    let both_f64 = op_with_operands(&mut ctx, &[f64, f64]);
+    let mixed = op_with_operands(&mut ctx, &[f32, f64]);
+    assert!(program.check(&ctx, both_f32, &mut scratch));
+    assert!(program.check(&ctx, both_f64, &mut scratch));
+    assert!(!program.check(&ctx, mixed, &mut scratch), "T must be equal at every use");
+    assert_eq!(ctx.verdict_cache_len(), 0, "nothing here is pure enough to cache");
+}
+
+/// Pure verdicts are keyed per `(program, value)`: a verdict cached while
+/// an op *failed* must not leak a stale result into a later passing op.
+#[test]
+fn failing_op_does_not_poison_passing_op() {
+    let mut ctx = Context::new();
+    let f32 = ctx.f32_type();
+    let f64 = ctx.f64_type();
+    let i32 = ctx.i32_type();
+    let cmath = ctx.symbol("cmath");
+    let complex = ctx.symbol("complex");
+    let mk_complex = |ctx: &mut Context, elem: Type| {
+        let a = ctx.type_attr(elem);
+        ctx.parametric_type_syms(cmath, complex, vec![a]).unwrap()
+    };
+    let complex_i32 = mk_complex(&mut ctx, i32);
+    let complex_f32 = mk_complex(&mut ctx, f32);
+
+    let elem = Constraint::ParametricType {
+        dialect: cmath,
+        name: complex,
+        params: vec![Constraint::AnyOf(vec![
+            Constraint::ExactType(f32),
+            Constraint::ExactType(f64),
+        ])],
+    };
+    let compiled = one_operand_op(&mut ctx, elem);
+    let program = OpProgram::build(&mut ctx, &compiled);
+    assert!(program.num_cache_slots() >= 1, "the parametric pattern is pure");
+
+    let mut scratch = EvalScratch::new();
+    let bad = op_with_operands(&mut ctx, &[complex_i32]);
+    assert!(!program.check(&ctx, bad, &mut scratch));
+    assert!(ctx.verdict_cache_len() > 0, "the failing verdict itself is memoized");
+
+    // The passing op's operand is a *different* uniqued value, hence a
+    // different key: the cached `false` must not apply to it.
+    let good = op_with_operands(&mut ctx, &[complex_f32]);
+    assert!(program.check(&ctx, good, &mut scratch));
+
+    // Re-verifying serves the pure verdict from the cache.
+    let (hits_before, _) = ctx.verdict_cache_stats();
+    assert!(program.check(&ctx, good, &mut scratch));
+    let (hits_after, _) = ctx.verdict_cache_stats();
+    assert!(hits_after > hits_before, "second verification must hit the cache");
+}
+
+/// Two programs with structurally different constraints must own disjoint
+/// key domains, even when checking the same uniqued value.
+#[test]
+fn distinct_programs_never_share_cache_keys() {
+    let mut ctx = Context::new();
+    let f32 = ctx.f32_type();
+    let f64 = ctx.f64_type();
+
+    // Both programs cache a verdict for the *same* CVal (f64). If their
+    // domains overlapped, program B would read A's `false`.
+    let compiled_a = one_operand_op(&mut ctx, Constraint::And(vec![Constraint::ExactType(f32)]));
+    let program_a = OpProgram::build(&mut ctx, &compiled_a);
+    let compiled_b = one_operand_op(&mut ctx, Constraint::And(vec![Constraint::ExactType(f64)]));
+    let program_b = OpProgram::build(&mut ctx, &compiled_b);
+
+    let mut scratch = EvalScratch::new();
+    let op = op_with_operands(&mut ctx, &[f64]);
+    assert!(!program_a.check(&ctx, op, &mut scratch));
+    assert!(program_b.check(&ctx, op, &mut scratch));
+}
+
+/// The registered verifier renders its diagnostics lazily by re-running
+/// the tree interpreter — the message must be exactly the tree's.
+#[test]
+fn lazy_diagnostics_match_the_tree_interpreter() {
+    use irdl_ir::OpVerifier;
+
+    let mut ctx = Context::new();
+    let f32 = ctx.f32_type();
+    let i32 = ctx.i32_type();
+    let compiled = Rc::new(one_operand_op(&mut ctx, Constraint::ExactType(f32)));
+    let program = OpProgram::build(&mut ctx, &compiled);
+    let verifier = ProgramOpVerifier::new(compiled.clone(), program);
+
+    let good = op_with_operands(&mut ctx, &[f32]);
+    assert!(verifier.verify(&ctx, good).is_ok());
+
+    let bad = op_with_operands(&mut ctx, &[i32]);
+    let fast = verifier.verify(&ctx, bad).unwrap_err();
+    let tree = compiled.verify(&ctx, bad).unwrap_err();
+    assert_eq!(fast.message(), tree.message());
+}

@@ -1,5 +1,8 @@
 //! The [`Context`]: owner of all IR state.
 
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+
 use crate::attrs::{AttrData, Attribute};
 use crate::block::{BlockData, BlockRef};
 use crate::dialect::DialectRegistry;
@@ -24,6 +27,17 @@ pub struct Context {
     regions: EntityArena<RegionData>,
     registry: DialectRegistry,
     allow_unregistered: bool,
+    /// Memoized constraint verdicts, keyed by an opaque `u64` composed by
+    /// the verifier compiler from a *verdict domain* (see
+    /// [`Context::reserve_verdict_domains`]) and a uniqued type/attribute
+    /// index. Sound because interned values are immutable and append-only:
+    /// a verdict computed once holds for the lifetime of the context.
+    /// Interior-mutable so verifier hooks (which only see `&Context`) can
+    /// fill it.
+    verdict_cache: RefCell<HashMap<u64, bool>>,
+    verdict_hits: Cell<u64>,
+    verdict_misses: Cell<u64>,
+    next_verdict_domain: u32,
 }
 
 impl std::fmt::Debug for Context {
@@ -59,6 +73,10 @@ impl Context {
             regions: EntityArena::new(),
             registry: DialectRegistry::new(),
             allow_unregistered: true,
+            verdict_cache: RefCell::new(HashMap::new()),
+            verdict_hits: Cell::new(0),
+            verdict_misses: Cell::new(0),
+            next_verdict_domain: 0,
         };
         crate::builtin::register_builtin_dialect(&mut ctx);
         ctx
@@ -67,11 +85,11 @@ impl Context {
     // ----- Symbols ---------------------------------------------------------
 
     /// Interns a string, returning its [`Symbol`].
+    ///
+    /// A single hash lookup on the hit path; the string is copied into the
+    /// table only when it has never been seen before.
     pub fn symbol(&mut self, s: &str) -> Symbol {
-        if let Some(idx) = self.symbols.lookup_str(s) {
-            return Symbol(idx);
-        }
-        Symbol(self.symbols.intern(s.to_string()))
+        Symbol(self.symbols.intern_with(s, str::to_string))
     }
 
     /// Returns the symbol for `s` if it has been interned.
@@ -112,6 +130,51 @@ impl Context {
     /// Number of distinct interned attributes.
     pub fn num_attrs(&self) -> usize {
         self.attrs.len()
+    }
+
+    // ----- Verdict cache ---------------------------------------------------
+    //
+    // Compiled verifiers memoize the outcome of *pure* (variable-free,
+    // native-free) constraint subprograms per uniqued type/attribute. The
+    // context hands out disjoint key domains so independent programs can
+    // never collide, and stores verdicts behind interior mutability because
+    // verification only sees `&Context`. Soundness rests on the uniquing
+    // tables being append-only and immutable: the value behind a given
+    // index never changes, so neither does its verdict.
+
+    /// Reserves `count` fresh verdict-cache key domains, returning the first.
+    ///
+    /// Each domain is a namespace for one memoizable subprogram; callers
+    /// compose full keys from `(domain, uniqued index)`.
+    pub fn reserve_verdict_domains(&mut self, count: u32) -> u32 {
+        let base = self.next_verdict_domain;
+        self.next_verdict_domain = base.checked_add(count).expect("verdict domain overflow");
+        base
+    }
+
+    /// Looks up a memoized verdict, counting the hit or miss.
+    pub fn cached_verdict(&self, key: u64) -> Option<bool> {
+        let hit = self.verdict_cache.borrow().get(&key).copied();
+        match hit {
+            Some(_) => self.verdict_hits.set(self.verdict_hits.get() + 1),
+            None => self.verdict_misses.set(self.verdict_misses.get() + 1),
+        }
+        hit
+    }
+
+    /// Records a verdict for `key`.
+    pub fn cache_verdict(&self, key: u64, verdict: bool) {
+        self.verdict_cache.borrow_mut().insert(key, verdict);
+    }
+
+    /// Number of memoized verdicts (observability / tests).
+    pub fn verdict_cache_len(&self) -> usize {
+        self.verdict_cache.borrow().len()
+    }
+
+    /// `(hits, misses)` counters for the verdict cache.
+    pub fn verdict_cache_stats(&self) -> (u64, u64) {
+        (self.verdict_hits.get(), self.verdict_misses.get())
     }
 
     // ----- Entity arenas ---------------------------------------------------

@@ -188,6 +188,23 @@ impl<T: Clone + Eq + Hash> UniqueArena<T> {
         self.index.get(key).copied()
     }
 
+    /// Borrowed-key interning: a single hash lookup and zero allocations on
+    /// the hit path; `make` builds the owned value only on a miss.
+    pub fn intern_with<Q>(&mut self, key: &Q, make: impl FnOnce(&Q) -> T) -> u32
+    where
+        T: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        if let Some(&idx) = self.index.get(key) {
+            return idx;
+        }
+        let value = make(key);
+        let idx = self.values.len() as u32;
+        self.values.push(value.clone());
+        self.index.insert(value, idx);
+        idx
+    }
+
     /// Number of distinct values interned.
     pub fn len(&self) -> usize {
         self.values.len()
@@ -246,6 +263,21 @@ mod tests {
         assert_eq!(arena.get(a), "x");
         assert_eq!(arena.lookup(&"y".to_string()), Some(b));
         assert_eq!(arena.lookup(&"z".to_string()), None);
+    }
+
+    #[test]
+    fn intern_with_is_single_path() {
+        let mut arena: UniqueArena<String> = UniqueArena::new();
+        let a = arena.intern_with("x", str::to_string);
+        let b = arena.intern_with("y", str::to_string);
+        let a2 = arena.intern_with("x", str::to_string);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.get(a), "x");
+        // A hit must not rebuild the owned key.
+        let hit = arena.intern_with("x", |_| panic!("hit path must not allocate"));
+        assert_eq!(hit, a);
     }
 
     #[test]

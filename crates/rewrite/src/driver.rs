@@ -2,6 +2,8 @@
 
 use std::collections::HashSet;
 
+use irdl_ir::diag::Diagnostic;
+use irdl_ir::verify::ModuleVerifier;
 use irdl_ir::walk::collect_ops;
 use irdl_ir::{Context, OpRef};
 
@@ -16,6 +18,30 @@ pub struct RewriteStats {
     pub visited: usize,
 }
 
+/// Failure of [`rewrite_greedily_checked`]: a pattern application left the
+/// IR invalid.
+#[derive(Debug)]
+pub struct RewriteVerifyError {
+    /// Name of the pattern whose application produced the invalid IR.
+    pub pattern: String,
+    /// Statistics up to (and including) the offending application.
+    pub stats: RewriteStats,
+    /// The verifier diagnostics.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl std::fmt::Display for RewriteVerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pattern `{}` left the IR invalid after {} rewrite(s)",
+            self.pattern, self.stats.rewrites
+        )
+    }
+}
+
+impl std::error::Error for RewriteVerifyError {}
+
 /// Applies `patterns` to every operation nested under `container` until a
 /// fixpoint is reached, in the style of MLIR's greedy pattern driver.
 ///
@@ -28,6 +54,35 @@ pub fn rewrite_greedily(
     container: OpRef,
     patterns: &PatternSet,
 ) -> RewriteStats {
+    drive(ctx, container, patterns, None).expect("unchecked drive cannot fail")
+}
+
+/// Like [`rewrite_greedily`], but re-verifies `container` after every
+/// successful pattern application, stopping at the first application that
+/// leaves the IR invalid. One [`ModuleVerifier`] is reused across all the
+/// re-verification runs, so the repeated whole-module walks share their
+/// dominance/position scratch state (and benefit from the context's
+/// constraint verdict cache).
+///
+/// # Errors
+///
+/// Returns the offending pattern and diagnostics on the first invalid
+/// intermediate state.
+pub fn rewrite_greedily_checked(
+    ctx: &mut Context,
+    container: OpRef,
+    patterns: &PatternSet,
+) -> Result<RewriteStats, RewriteVerifyError> {
+    let mut verifier = ModuleVerifier::new();
+    drive(ctx, container, patterns, Some(&mut verifier))
+}
+
+fn drive(
+    ctx: &mut Context,
+    container: OpRef,
+    patterns: &PatternSet,
+    mut checker: Option<&mut ModuleVerifier>,
+) -> Result<RewriteStats, RewriteVerifyError> {
     let mut stats = RewriteStats::default();
     let mut worklist: Vec<OpRef> = collect_ops(ctx, container);
     // The container itself is not rewritten.
@@ -53,6 +108,15 @@ pub fn rewrite_greedily(
             let touched = std::mem::take(&mut rewriter.touched);
             if changed {
                 stats.rewrites += 1;
+                if let Some(verifier) = checker.as_deref_mut() {
+                    if let Err(diagnostics) = verifier.verify(ctx, container) {
+                        return Err(RewriteVerifyError {
+                            pattern: pattern.name().to_string(),
+                            stats,
+                            diagnostics,
+                        });
+                    }
+                }
                 // Requeue new ops and (live) users of their results.
                 for new_op in added {
                     if new_op.is_live(ctx) && enqueued.insert(new_op) {
@@ -89,7 +153,7 @@ pub fn rewrite_greedily(
             }
         }
     }
-    stats
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -262,6 +326,65 @@ mod tests {
         let names: Vec<String> =
             block.ops(&ctx).iter().map(|o| o.name(&ctx).display(&ctx)).collect();
         assert_eq!(names, ["t.src", "t.double", "t.sink"]);
+    }
+
+    /// A deliberately buggy pattern: inserts an op *before* the root that
+    /// uses the root's result, creating a use-before-def violation.
+    struct BreaksDominance {
+        add: OpName,
+        bad: OpName,
+    }
+
+    impl RewritePattern for BreaksDominance {
+        fn root(&self) -> Option<OpName> {
+            Some(self.add)
+        }
+        fn name(&self) -> &str {
+            "breaks-dominance"
+        }
+        fn match_and_rewrite(&self, rewriter: &mut Rewriter<'_>) -> bool {
+            let op = rewriter.root();
+            let result = op.result(rewriter.ctx(), 0);
+            rewriter.insert_before_root(OperationState::new(self.bad).add_operands([result]));
+            true
+        }
+    }
+
+    #[test]
+    fn checked_driver_catches_invalid_intermediate_ir() {
+        let mut ctx = Context::new();
+        let module = ctx.create_module();
+        let block = ctx.module_block(module);
+        let i32 = ctx.i32_type();
+        let src = ctx.op_name("t", "src");
+        let add = ctx.op_name("t", "add");
+        let double = ctx.op_name("t", "double");
+        let bad = ctx.op_name("t", "bad");
+
+        let x = ctx.create_op(OperationState::new(src).add_result_types([i32]));
+        ctx.append_op(block, x);
+        let vx = x.result(&ctx, 0);
+        let a = ctx.create_op(OperationState::new(add).add_operands([vx, vx]).add_result_types([i32]));
+        ctx.append_op(block, a);
+
+        // A correct pattern set passes the checked driver...
+        let mut good = PatternSet::new();
+        good.add(Rc::new(AddToDouble { add, double }));
+        let stats = rewrite_greedily_checked(&mut ctx, module, &good).unwrap();
+        assert_eq!(stats.rewrites, 1);
+
+        // ...and a buggy one is caught at the first invalid state.
+        let y = ctx.create_op(OperationState::new(add).add_operands([vx, vx]).add_result_types([i32]));
+        ctx.append_op(block, y);
+        let mut buggy = PatternSet::new();
+        buggy.add(Rc::new(BreaksDominance { add, bad }));
+        let err = rewrite_greedily_checked(&mut ctx, module, &buggy).unwrap_err();
+        assert_eq!(err.pattern, "breaks-dominance");
+        assert!(
+            err.diagnostics.iter().any(|d| d.message().contains("dominates")),
+            "{:?}",
+            err.diagnostics
+        );
     }
 
     #[test]

@@ -56,6 +56,6 @@ pub mod driver;
 pub mod dsl;
 pub mod pattern;
 
-pub use driver::{rewrite_greedily, RewriteStats};
+pub use driver::{rewrite_greedily, rewrite_greedily_checked, RewriteStats, RewriteVerifyError};
 pub use dsl::{parse_patterns, DeclarativePattern};
 pub use pattern::{PatternSet, RewritePattern, Rewriter};
