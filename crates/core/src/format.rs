@@ -12,7 +12,7 @@
 use std::rc::Rc;
 
 use irdl_ir::diag::{Diagnostic, Result};
-use irdl_ir::lexer::{lex, Token};
+use irdl_ir::lexer::TokenBuf;
 use irdl_ir::parse::OpParser;
 use irdl_ir::print::Printer;
 use irdl_ir::{Context, OperationState, OpRef, Symbol};
@@ -24,8 +24,9 @@ use crate::verifier::CompiledOp;
 /// One element of a compiled format.
 #[derive(Debug, Clone)]
 enum FormatElem {
-    /// Literal text plus its pre-lexed tokens (matched when parsing).
-    Literal(String, Vec<Token>),
+    /// Pre-lexed literal text (printed verbatim, matched token-by-token
+    /// when parsing).
+    Literal(TokenBuf),
     /// `$name` where `name` is the i-th operand definition.
     Operand(usize),
     /// `$name` where `name` is the i-th declared attribute.
@@ -251,12 +252,12 @@ fn param_index(
 }
 
 impl irdl_ir::OpSyntax for FormatSpec {
-    fn print(&self, ctx: &Context, op: OpRef, printer: &mut Printer) {
+    fn print(&self, ctx: &Context, op: OpRef, printer: &mut Printer<'_>) {
         let env = self.env_for(ctx, op);
         printer.token(" ");
         for elem in &self.elems {
             match elem {
-                FormatElem::Literal(text, _) => printer.token(text),
+                FormatElem::Literal(buf) => printer.token(buf.text()),
                 FormatElem::Operand(i) => {
                     let value = op.operand(ctx, *i);
                     printer.print_value(ctx, value);
@@ -302,14 +303,15 @@ impl irdl_ir::OpSyntax for FormatSpec {
                 if i > 0 {
                     printer.token(", ");
                 }
-                printer.token(&format!("{} = ", ctx.symbol_str(*key)));
+                printer.token(ctx.symbol_str(*key));
+                printer.token(" = ");
                 printer.print_attribute(ctx, *value);
             }
             printer.token("}");
         }
     }
 
-    fn parse(&self, parser: &mut OpParser<'_, '_>) -> Result<OperationState> {
+    fn parse(&self, parser: &mut OpParser<'_, '_, '_>) -> Result<OperationState> {
         let name = parser.op_name();
         let mut operands: Vec<Option<irdl_ir::Value>> = vec![None; self.op.operands.len()];
         let mut attrs: Vec<(Symbol, irdl_ir::Attribute)> = Vec::new();
@@ -318,9 +320,9 @@ impl irdl_ir::OpSyntax for FormatSpec {
 
         for elem in &self.elems {
             match elem {
-                FormatElem::Literal(_, tokens) => {
-                    for token in tokens {
-                        parser.expect(token)?;
+                FormatElem::Literal(buf) => {
+                    for token in buf.iter() {
+                        parser.expect(&token)?;
                     }
                 }
                 FormatElem::Operand(i) => {
@@ -405,18 +407,13 @@ impl irdl_ir::OpSyntax for FormatSpec {
 }
 
 /// Pre-lexes a literal chunk so parsing never re-tokenizes format text.
-fn lex_literal_tokens(text: &str) -> Result<Vec<Token>> {
-    Ok(lex(text)
-        .map_err(|e| Diagnostic::new(format!("invalid format literal `{text}`: {e}")))?
-        .into_iter()
-        .map(|s| s.token)
-        .filter(|t| *t != Token::Eof)
-        .collect())
+fn lex_literal_tokens(text: &str) -> Result<TokenBuf> {
+    TokenBuf::lex(text)
+        .map_err(|e| Diagnostic::new(format!("invalid format literal `{text}`: {e}")))
 }
 
 fn lex_literal(text: String) -> Result<FormatElem> {
-    let tokens = lex_literal_tokens(&text)?;
-    Ok(FormatElem::Literal(text, tokens))
+    Ok(FormatElem::Literal(lex_literal_tokens(&text)?))
 }
 
 /// A declarative format for type/attribute parameter lists (paper §4.7:
@@ -433,7 +430,7 @@ pub struct ParamsFormatSpec {
 
 #[derive(Debug, Clone)]
 enum ParamsFormatElem {
-    Literal(String, Vec<Token>),
+    Literal(TokenBuf),
     Param(usize),
 }
 
@@ -463,8 +460,7 @@ impl ParamsFormatSpec {
             }
             if !literal.is_empty() {
                 let text = std::mem::take(&mut literal);
-                let tokens = lex_literal_tokens(&text)?;
-                elems.push(ParamsFormatElem::Literal(text, tokens));
+                elems.push(ParamsFormatElem::Literal(lex_literal_tokens(&text)?));
             }
             let mut name = String::new();
             while let Some(c) = chars.peek() {
@@ -482,8 +478,7 @@ impl ParamsFormatSpec {
             elems.push(ParamsFormatElem::Param(index));
         }
         if !literal.is_empty() {
-            let tokens = lex_literal_tokens(&literal)?;
-            elems.push(ParamsFormatElem::Literal(literal, tokens));
+            elems.push(ParamsFormatElem::Literal(lex_literal_tokens(&literal)?));
         }
         if let Some(i) = covered.iter().position(|c| !c) {
             return Err(Diagnostic::new(format!(
@@ -496,10 +491,10 @@ impl ParamsFormatSpec {
 }
 
 impl irdl_ir::dialect::ParamsSyntax for ParamsFormatSpec {
-    fn print(&self, ctx: &Context, params: &[irdl_ir::Attribute], printer: &mut Printer) {
+    fn print(&self, ctx: &Context, params: &[irdl_ir::Attribute], printer: &mut Printer<'_>) {
         for elem in &self.elems {
             match elem {
-                ParamsFormatElem::Literal(text, _) => printer.token(text),
+                ParamsFormatElem::Literal(buf) => printer.token(buf.text()),
                 ParamsFormatElem::Param(i) => {
                     if let Some(param) = params.get(*i) {
                         printer.print_attribute(ctx, *param);
@@ -511,14 +506,14 @@ impl irdl_ir::dialect::ParamsSyntax for ParamsFormatSpec {
 
     fn parse(
         &self,
-        parser: &mut irdl_ir::parse::ParamParser<'_, '_>,
+        parser: &mut irdl_ir::parse::ParamParser<'_, '_, '_>,
     ) -> Result<Vec<irdl_ir::Attribute>> {
         let mut params: Vec<Option<irdl_ir::Attribute>> = vec![None; self.num_params];
         for elem in &self.elems {
             match elem {
-                ParamsFormatElem::Literal(_, tokens) => {
-                    for token in tokens {
-                        parser.expect(token)?;
+                ParamsFormatElem::Literal(buf) => {
+                    for token in buf.iter() {
+                        parser.expect(&token)?;
                     }
                 }
                 ParamsFormatElem::Param(i) => {

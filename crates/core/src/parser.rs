@@ -54,22 +54,24 @@ pub fn parse_constraint_expr_str(source: &str) -> Result<crate::ast::ConstraintE
     }
 }
 
-struct IrdlParser {
-    tokens: Vec<Spanned>,
+struct IrdlParser<'s> {
+    tokens: Vec<Spanned<'s>>,
     pos: usize,
 }
 
-impl IrdlParser {
-    fn peek(&self) -> &Token {
+impl<'s> IrdlParser<'s> {
+    fn peek(&self) -> &Token<'s> {
         &self.tokens[self.pos].token
     }
 
     fn offset(&self) -> usize {
-        self.tokens[self.pos].offset
+        self.tokens[self.pos].span.start
     }
 
-    fn bump(&mut self) -> Token {
-        let tok = self.tokens[self.pos].token.clone();
+    /// Takes the current token and advances (consumed slots are backfilled
+    /// with `Eof` and never re-read).
+    fn bump(&mut self) -> Token<'s> {
+        let tok = std::mem::replace(&mut self.tokens[self.pos].token, Token::Eof);
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
@@ -80,7 +82,7 @@ impl IrdlParser {
         Diagnostic::at(self.offset(), message)
     }
 
-    fn expect(&mut self, expected: &Token) -> Result<()> {
+    fn expect(&mut self, expected: &Token<'_>) -> Result<()> {
         if self.peek() == expected {
             self.bump();
             Ok(())
@@ -93,7 +95,7 @@ impl IrdlParser {
         }
     }
 
-    fn consume_if(&mut self, expected: &Token) -> bool {
+    fn consume_if(&mut self, expected: &Token<'_>) -> bool {
         if self.peek() == expected {
             self.bump();
             true
@@ -103,10 +105,11 @@ impl IrdlParser {
     }
 
     fn expect_ident(&mut self) -> Result<String> {
-        match self.peek().clone() {
+        match self.peek() {
             Token::Ident(s) => {
+                let s = *s;
                 self.bump();
-                Ok(s)
+                Ok(s.to_string())
             }
             other => Err(self.error(format!("expected identifier, found {}", other.describe()))),
         }
@@ -114,7 +117,7 @@ impl IrdlParser {
 
     fn expect_keyword(&mut self, kw: &str) -> Result<()> {
         match self.peek() {
-            Token::Ident(s) if s == kw => {
+            Token::Ident(s) if *s == kw => {
                 self.bump();
                 Ok(())
             }
@@ -123,14 +126,22 @@ impl IrdlParser {
     }
 
     fn peek_keyword(&self, kw: &str) -> bool {
-        matches!(self.peek(), Token::Ident(s) if s == kw)
+        matches!(self.peek(), Token::Ident(s) if *s == kw)
+    }
+
+    /// Peeks the text of an identifier token, if one is next.
+    fn peek_ident(&self) -> Option<&'s str> {
+        match self.peek() {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
     }
 
     fn expect_string(&mut self) -> Result<String> {
-        match self.peek().clone() {
-            Token::Str(s) => {
-                self.bump();
-                Ok(s)
+        match self.peek() {
+            Token::Str(_) => {
+                let Token::Str(s) = self.bump() else { unreachable!() };
+                Ok(s.into_owned())
             }
             other => {
                 Err(self.error(format!("expected string literal, found {}", other.describe())))
@@ -148,8 +159,8 @@ impl IrdlParser {
         let mut summary = None;
         let mut items = Vec::new();
         while !self.consume_if(&Token::RBrace) {
-            match self.peek().clone() {
-                Token::Ident(kw) => match kw.as_str() {
+            match self.peek_ident() {
+                Some(kw) => match kw {
                     "Summary" => {
                         self.bump();
                         summary = Some(self.expect_string()?);
@@ -167,10 +178,14 @@ impl IrdlParser {
                         return Err(self.error(format!("unknown dialect item `{other}`")));
                     }
                 },
-                Token::Eof => return Err(self.error("unterminated dialect body")),
-                other => {
-                    return Err(self
-                        .error(format!("expected dialect item, found {}", other.describe())))
+                None if self.peek() == &Token::Eof => {
+                    return Err(self.error("unterminated dialect body"))
+                }
+                None => {
+                    return Err(self.error(format!(
+                        "expected dialect item, found {}",
+                        self.peek().describe()
+                    )))
                 }
             }
         }
@@ -191,8 +206,8 @@ impl IrdlParser {
             span,
         };
         while !self.consume_if(&Token::RBrace) {
-            match self.peek().clone() {
-                Token::Ident(kw) => match kw.as_str() {
+            match self.peek_ident() {
+                Some(kw) => match kw {
                     "Parameters" => {
                         self.bump();
                         def.parameters = self.parse_named_constraint_list()?;
@@ -211,8 +226,11 @@ impl IrdlParser {
                     }
                     other => return Err(self.error(format!("unknown directive `{other}`"))),
                 },
-                other => {
-                    return Err(self.error(format!("expected directive, found {}", other.describe())))
+                None => {
+                    return Err(self.error(format!(
+                        "expected directive, found {}",
+                        self.peek().describe()
+                    )))
                 }
             }
         }
@@ -223,7 +241,7 @@ impl IrdlParser {
         let span = self.offset();
         self.expect_keyword("Alias")?;
         let name = match self.bump() {
-            Token::Ident(s) | Token::TypeRef(s) | Token::AttrRef(s) => s,
+            Token::Ident(s) | Token::TypeRef(s) | Token::AttrRef(s) => s.to_string(),
             other => {
                 return Err(self.error(format!("expected alias name, found {}", other.describe())))
             }
@@ -271,8 +289,8 @@ impl IrdlParser {
         let mut native = None;
         if self.consume_if(&Token::LBrace) {
             while !self.consume_if(&Token::RBrace) {
-                match self.peek().clone() {
-                    Token::Ident(kw) => match kw.as_str() {
+                match self.peek_ident() {
+                    Some(kw) => match kw {
                         "Summary" => {
                             self.bump();
                             summary = Some(self.expect_string()?);
@@ -283,9 +301,11 @@ impl IrdlParser {
                         }
                         other => return Err(self.error(format!("unknown directive `{other}`"))),
                     },
-                    other => {
-                        return Err(self
-                            .error(format!("expected directive, found {}", other.describe())))
+                    None => {
+                        return Err(self.error(format!(
+                            "expected directive, found {}",
+                            self.peek().describe()
+                        )))
                     }
                 }
             }
@@ -301,8 +321,8 @@ impl IrdlParser {
         let mut summary = None;
         let mut native_kind = None;
         while !self.consume_if(&Token::RBrace) {
-            match self.peek().clone() {
-                Token::Ident(kw) => match kw.as_str() {
+            match self.peek_ident() {
+                Some(kw) => match kw {
                     "Summary" => {
                         self.bump();
                         summary = Some(self.expect_string()?);
@@ -313,8 +333,11 @@ impl IrdlParser {
                     }
                     other => return Err(self.error(format!("unknown directive `{other}`"))),
                 },
-                other => {
-                    return Err(self.error(format!("expected directive, found {}", other.describe())))
+                None => {
+                    return Err(self.error(format!(
+                        "expected directive, found {}",
+                        self.peek().describe()
+                    )))
                 }
             }
         }
@@ -330,8 +353,8 @@ impl IrdlParser {
         self.expect(&Token::LBrace)?;
         let mut def = OpDef { name, span, ..Default::default() };
         while !self.consume_if(&Token::RBrace) {
-            match self.peek().clone() {
-                Token::Ident(kw) => match kw.as_str() {
+            match self.peek_ident() {
+                Some(kw) => match kw {
                     "ConstraintVar" | "ConstraintVars" => {
                         self.bump();
                         def.constraint_vars.extend(self.parse_named_constraint_list()?);
@@ -381,8 +404,11 @@ impl IrdlParser {
                     }
                     other => return Err(self.error(format!("unknown directive `{other}`"))),
                 },
-                other => {
-                    return Err(self.error(format!("expected directive, found {}", other.describe())))
+                None => {
+                    return Err(self.error(format!(
+                        "expected directive, found {}",
+                        self.peek().describe()
+                    )))
                 }
             }
         }
@@ -395,8 +421,8 @@ impl IrdlParser {
         let mut def = RegionDef { name, arguments: None, terminator: None, span };
         if self.consume_if(&Token::LBrace) {
             while !self.consume_if(&Token::RBrace) {
-                match self.peek().clone() {
-                    Token::Ident(kw) => match kw.as_str() {
+                match self.peek_ident() {
+                    Some(kw) => match kw {
                         "Arguments" => {
                             self.bump();
                             def.arguments = Some(self.parse_arg_def_list()?);
@@ -407,9 +433,11 @@ impl IrdlParser {
                         }
                         other => return Err(self.error(format!("unknown directive `{other}`"))),
                     },
-                    other => {
-                        return Err(self
-                            .error(format!("expected directive, found {}", other.describe())))
+                    None => {
+                        return Err(self.error(format!(
+                            "expected directive, found {}",
+                            self.peek().describe()
+                        )))
                     }
                 }
             }
@@ -428,7 +456,7 @@ impl IrdlParser {
             loop {
                 let span = self.offset();
                 let name = match self.bump() {
-                    Token::Ident(s) | Token::TypeRef(s) | Token::AttrRef(s) => s,
+                    Token::Ident(s) | Token::TypeRef(s) | Token::AttrRef(s) => s.to_string(),
                     other => {
                         return Err(
                             self.error(format!("expected name, found {}", other.describe()))
@@ -456,7 +484,7 @@ impl IrdlParser {
             loop {
                 let span = self.offset();
                 let name = match self.bump() {
-                    Token::Ident(s) | Token::TypeRef(s) | Token::AttrRef(s) => s,
+                    Token::Ident(s) | Token::TypeRef(s) | Token::AttrRef(s) => s.to_string(),
                     other => {
                         return Err(
                             self.error(format!("expected name, found {}", other.describe()))
@@ -494,8 +522,9 @@ impl IrdlParser {
 
     fn parse_constraint_expr(&mut self) -> Result<ConstraintExpr> {
         let span = self.offset();
-        match self.peek().clone() {
+        match self.peek() {
             Token::Integer { value, .. } => {
+                let value = *value;
                 self.bump();
                 self.expect(&Token::Colon)?;
                 let kw = self.expect_ident()?;
@@ -510,9 +539,9 @@ impl IrdlParser {
                 }
                 Ok(ConstraintExpr::IntLiteral { value, kind })
             }
-            Token::Str(s) => {
-                self.bump();
-                Ok(ConstraintExpr::StringLiteral(s))
+            Token::Str(_) => {
+                let Token::Str(s) = self.bump() else { unreachable!() };
+                Ok(ConstraintExpr::StringLiteral(s.into_owned()))
             }
             Token::LBracket => {
                 self.bump();
@@ -529,14 +558,17 @@ impl IrdlParser {
                 Ok(ConstraintExpr::ArrayExact(items))
             }
             Token::Ident(name) => {
+                let name = *name;
                 self.bump();
                 self.finish_ref(Sigil::None, name, span)
             }
             Token::TypeRef(name) => {
+                let name = *name;
                 self.bump();
                 self.finish_ref(Sigil::Type, name, span)
             }
             Token::AttrRef(name) => {
+                let name = *name;
                 self.bump();
                 self.finish_ref(Sigil::Attr, name, span)
             }
@@ -546,9 +578,9 @@ impl IrdlParser {
         }
     }
 
-    fn finish_ref(&mut self, sigil: Sigil, name: String, span: Span) -> Result<ConstraintExpr> {
+    fn finish_ref(&mut self, sigil: Sigil, name: &str, span: Span) -> Result<ConstraintExpr> {
         // Keyword forms that are not ordinary references.
-        match (sigil, name.as_str()) {
+        match (sigil, name) {
             (Sigil::Type, "AnyType") | (Sigil::None, "AnyType") => {
                 return Ok(ConstraintExpr::AnyType)
             }

@@ -149,12 +149,12 @@ pub fn register_showcase(ctx: &mut Context) -> Result<()> {
 struct FuncSyntax;
 
 impl OpSyntax for FuncSyntax {
-    fn print(&self, ctx: &Context, op: OpRef, p: &mut Printer) {
-        let name = op
-            .attr(ctx, "sym_name")
-            .and_then(|a| a.as_str(ctx).map(str::to_string))
-            .unwrap_or_default();
-        p.token(&format!(" @{name} : "));
+    fn print(&self, ctx: &Context, op: OpRef, p: &mut Printer<'_>) {
+        p.token(" @");
+        if let Some(name) = op.attr(ctx, "sym_name").and_then(|a| a.as_str(ctx)) {
+            p.token(name);
+        }
+        p.token(" : ");
         let fty = op.attr(ctx, "function_type").and_then(|a| a.as_type(ctx));
         match fty {
             Some(ty) => p.print_type(ctx, ty),
@@ -165,7 +165,7 @@ impl OpSyntax for FuncSyntax {
         p.print_region(ctx, region);
     }
 
-    fn parse(&self, p: &mut OpParser<'_, '_>) -> Result<OperationState> {
+    fn parse(&self, p: &mut OpParser<'_, '_, '_>) -> Result<OperationState> {
         let name = p.op_name();
         let sym = p.parse_symbol_name()?;
         p.expect(&irdl_ir::lexer::Token::Colon)?;
@@ -177,7 +177,7 @@ impl OpSyntax for FuncSyntax {
         let ctx = p.ctx();
         let sym_name_key = ctx.symbol("sym_name");
         let type_key = ctx.symbol("function_type");
-        let sym_attr = ctx.string_attr(sym.clone());
+        let sym_attr = ctx.string_attr(sym);
         let fty_attr = ctx.type_attr(fty);
         Ok(OperationState::new(name)
             .add_attribute(sym_name_key, sym_attr)

@@ -55,7 +55,7 @@ impl<F: Fn(&Context, &[Attribute]) -> Result<()>> ParamsVerifier for F {
 pub trait OpSyntax {
     /// Prints `op` after its result list (`%r = `) and name have been
     /// printed by the framework.
-    fn print(&self, ctx: &Context, op: OpRef, printer: &mut crate::print::Printer);
+    fn print(&self, ctx: &Context, op: OpRef, printer: &mut crate::print::Printer<'_>);
 
     /// Parses the body of the operation (everything after its name) and
     /// returns the assembled [`OperationState`].
@@ -63,7 +63,7 @@ pub trait OpSyntax {
     /// # Errors
     ///
     /// Returns a diagnostic pointing at the offending token.
-    fn parse(&self, parser: &mut crate::parse::OpParser<'_, '_>) -> Result<OperationState>;
+    fn parse(&self, parser: &mut crate::parse::OpParser<'_, '_, '_>) -> Result<OperationState>;
 }
 
 /// Custom textual syntax for the parameter list of a parametric type or
@@ -73,7 +73,7 @@ pub trait OpSyntax {
 /// handles everything between the angle brackets.
 pub trait ParamsSyntax {
     /// Prints the parameter list (without the surrounding brackets).
-    fn print(&self, ctx: &Context, params: &[Attribute], printer: &mut crate::print::Printer);
+    fn print(&self, ctx: &Context, params: &[Attribute], printer: &mut crate::print::Printer<'_>);
 
     /// Parses the parameter list (without the surrounding brackets).
     ///
@@ -82,7 +82,7 @@ pub trait ParamsSyntax {
     /// Returns a diagnostic pointing at the offending token.
     fn parse(
         &self,
-        parser: &mut crate::parse::ParamParser<'_, '_>,
+        parser: &mut crate::parse::ParamParser<'_, '_, '_>,
     ) -> Result<Vec<Attribute>>;
 }
 

@@ -2,24 +2,50 @@
 //!
 //! The same token stream serves the generic parser and dialect-defined
 //! custom syntax hooks. Comments run from `//` to end of line.
+//!
+//! Tokens are **zero-copy**: every payload is a `&str` slice of the source
+//! buffer (string literals use a [`Cow`] that only owns its data when the
+//! literal contains escapes), so lexing performs no per-token heap
+//! allocation beyond the token vector itself. Code that must retain tokens
+//! beyond the source's lifetime (pre-lexed format-spec literals) stores a
+//! [`TokenBuf`], which owns the text and re-materializes borrowed tokens on
+//! demand.
+
+use std::borrow::Cow;
 
 use crate::diag::{Diagnostic, Result};
 
-/// A lexical token.
+/// A half-open byte range `[start, end)` into the source buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl Span {
+    /// Returns the source text covered by this span.
+    pub fn text<'s>(&self, source: &'s str) -> &'s str {
+        &source[self.start..self.end]
+    }
+}
+
+/// A lexical token borrowing its payload from the source buffer.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Token {
+pub enum Token<'s> {
     /// Bare identifier or keyword (may contain `.`, `_`, `$`, digits).
-    Ident(String),
+    Ident(&'s str),
     /// `%name` SSA value id (payload excludes the sigil).
-    ValueId(String),
+    ValueId(&'s str),
     /// `^name` block label (payload excludes the sigil).
-    BlockId(String),
+    BlockId(&'s str),
     /// `@name` symbol reference (payload excludes the sigil).
-    SymbolRef(String),
+    SymbolRef(&'s str),
     /// `!name` type reference (payload excludes the sigil).
-    TypeRef(String),
+    TypeRef(&'s str),
     /// `#name` attribute reference (payload excludes the sigil).
-    AttrRef(String),
+    AttrRef(&'s str),
     /// Integer literal. `hex` records whether it was written as `0x...`.
     Integer {
         /// Parsed value.
@@ -29,8 +55,8 @@ pub enum Token {
     },
     /// Floating-point literal.
     Float(f64),
-    /// String literal (unescaped payload).
-    Str(String),
+    /// String literal (unescaped payload; borrowed unless escapes occur).
+    Str(Cow<'s, str>),
     /// `(`
     LParen,
     /// `)`
@@ -67,7 +93,7 @@ pub enum Token {
     Eof,
 }
 
-impl Token {
+impl Token<'_> {
     /// A short human-readable description for diagnostics.
     pub fn describe(&self) -> String {
         match self {
@@ -101,13 +127,20 @@ impl Token {
     }
 }
 
-/// A token plus its byte offset in the source.
+/// A token plus its byte span in the source.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Spanned {
+pub struct Spanned<'s> {
     /// The token.
-    pub token: Token,
-    /// Byte offset of the token start.
-    pub offset: usize,
+    pub token: Token<'s>,
+    /// Byte span of the token, including sigils and string quotes.
+    pub span: Span,
+}
+
+impl Spanned<'_> {
+    /// Byte offset of the token start (diagnostic anchor).
+    pub fn offset(&self) -> usize {
+        self.span.start
+    }
 }
 
 /// Tokenizes `source` into a vector ending with [`Token::Eof`].
@@ -115,7 +148,7 @@ pub struct Spanned {
 /// # Errors
 ///
 /// Returns a diagnostic on malformed literals or unexpected characters.
-pub fn lex(source: &str) -> Result<Vec<Spanned>> {
+pub fn lex(source: &str) -> Result<Vec<Spanned<'_>>> {
     let bytes = source.as_bytes();
     let mut tokens = Vec::new();
     let mut pos = 0usize;
@@ -150,18 +183,21 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>> {
             '-' => {
                 if bytes.get(pos + 1) == Some(&b'>') {
                     pos += 2;
-                    tokens.push(Spanned { token: Token::Arrow, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Arrow,
+                        span: Span { start, end: pos },
+                    });
                 } else if bytes.get(pos + 1).is_some_and(|b| b.is_ascii_digit()) {
                     pos += 1;
                     let tok = lex_number(source, &mut pos, true)?;
-                    tokens.push(Spanned { token: tok, offset: start });
+                    tokens.push(Spanned { token: tok, span: Span { start, end: pos } });
                 } else {
                     return Err(Diagnostic::at(start, "unexpected `-`"));
                 }
             }
             '"' => {
                 let tok = lex_string(source, &mut pos)?;
-                tokens.push(Spanned { token: tok, offset: start });
+                tokens.push(Spanned { token: tok, span: Span { start, end: pos } });
             }
             '%' | '^' | '@' | '!' | '#' => {
                 pos += 1;
@@ -176,33 +212,42 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>> {
                     '!' => Token::TypeRef(ident),
                     _ => Token::AttrRef(ident),
                 };
-                tokens.push(Spanned { token, offset: start });
+                tokens.push(Spanned { token, span: Span { start, end: pos } });
             }
             c if c.is_ascii_digit() => {
                 let tok = lex_number(source, &mut pos, false)?;
-                tokens.push(Spanned { token: tok, offset: start });
+                tokens.push(Spanned { token: tok, span: Span { start, end: pos } });
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
                 let ident = lex_ident_text(source, &mut pos);
-                tokens.push(Spanned { token: Token::Ident(ident), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Ident(ident),
+                    span: Span { start, end: pos },
+                });
             }
             other => {
                 return Err(Diagnostic::at(start, format!("unexpected character `{other}`")));
             }
         }
     }
-    tokens.push(Spanned { token: Token::Eof, offset: source.len() });
+    let end = source.len();
+    tokens.push(Spanned { token: Token::Eof, span: Span { start: end, end } });
     Ok(tokens)
 }
 
-fn push_simple(tokens: &mut Vec<Spanned>, token: Token, pos: &mut usize, start: usize) {
+fn push_simple<'s>(
+    tokens: &mut Vec<Spanned<'s>>,
+    token: Token<'s>,
+    pos: &mut usize,
+    start: usize,
+) {
     *pos += 1;
-    tokens.push(Spanned { token, offset: start });
+    tokens.push(Spanned { token, span: Span { start, end: *pos } });
 }
 
 /// Identifiers may contain letters, digits, `_`, `$`, and (for dialect
 /// qualification and value suffixes) `.` and `#`.
-fn lex_ident_text(source: &str, pos: &mut usize) -> String {
+fn lex_ident_text<'s>(source: &'s str, pos: &mut usize) -> &'s str {
     let bytes = source.as_bytes();
     let start = *pos;
     while *pos < bytes.len() {
@@ -213,10 +258,10 @@ fn lex_ident_text(source: &str, pos: &mut usize) -> String {
             break;
         }
     }
-    source[start..*pos].to_string()
+    &source[start..*pos]
 }
 
-fn lex_number(source: &str, pos: &mut usize, negative: bool) -> Result<Token> {
+fn lex_number<'s>(source: &'s str, pos: &mut usize, negative: bool) -> Result<Token<'s>> {
     let bytes = source.as_bytes();
     let start = *pos;
     if bytes.get(*pos) == Some(&b'0')
@@ -278,17 +323,37 @@ fn lex_number(source: &str, pos: &mut usize, negative: bool) -> Result<Token> {
     }
 }
 
-fn lex_string(source: &str, pos: &mut usize) -> Result<Token> {
+/// Lexes a string literal. The fast path — no escapes — returns a borrowed
+/// slice of the source; escaped contents are unescaped into an owned copy.
+fn lex_string<'s>(source: &'s str, pos: &mut usize) -> Result<Token<'s>> {
     let bytes = source.as_bytes();
     let start = *pos;
     *pos += 1; // opening quote
-    let mut out = String::new();
+    let contents_start = *pos;
+    // Scan ahead: an escape-free literal is a straight slice.
+    while *pos < bytes.len() {
+        match bytes[*pos] {
+            b'"' => {
+                let contents = &source[contents_start..*pos];
+                *pos += 1;
+                return Ok(Token::Str(Cow::Borrowed(contents)));
+            }
+            b'\\' => break,
+            _ => *pos += 1,
+        }
+    }
+    if *pos >= bytes.len() {
+        return Err(Diagnostic::at(start, "unterminated string literal"));
+    }
+    // Slow path: escapes present. Copy what was scanned, then unescape.
+    let mut out = String::with_capacity(*pos - contents_start + 16);
+    out.push_str(&source[contents_start..*pos]);
     while *pos < bytes.len() {
         let ch = bytes[*pos] as char;
         match ch {
             '"' => {
                 *pos += 1;
-                return Ok(Token::Str(out));
+                return Ok(Token::Str(Cow::Owned(out)));
             }
             '\\' => {
                 *pos += 1;
@@ -323,11 +388,189 @@ fn lex_string(source: &str, pos: &mut usize) -> Result<Token> {
     Err(Diagnostic::at(start, "unterminated string literal"))
 }
 
+// ---------------------------------------------------------------------------
+// Owned token sequences
+// ---------------------------------------------------------------------------
+
+/// Token kind plus whatever payload a span into the owning text cannot
+/// reconstruct for free.
+#[derive(Debug, Clone, PartialEq)]
+enum TokenInfo {
+    /// Ident-like token; the payload (sans sigil) is a span into the text.
+    Ident,
+    ValueId,
+    BlockId,
+    SymbolRef,
+    TypeRef,
+    AttrRef,
+    /// Numeric literals keep their parsed value.
+    Integer { value: i128, hex: bool },
+    Float(f64),
+    /// String literal; the span covers the raw (still-escaped) contents.
+    Str { escaped: bool },
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Lt,
+    Gt,
+    Comma,
+    Colon,
+    Equals,
+    Arrow,
+    Question,
+    Star,
+    Plus,
+    Dot,
+}
+
+/// An owned, self-contained token sequence.
+///
+/// Pre-lexed once from a text fragment and retained indefinitely (format
+/// specs store these for their literal chunks); [`TokenBuf::get`]
+/// re-materializes borrowed [`Token`]s against the owned text, so matching
+/// against a retained sequence stays allocation-free except for escaped
+/// string literals (which re-unescape lazily).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TokenBuf {
+    text: String,
+    /// `(kind, payload span into text)` pairs; the trailing `Eof` is dropped.
+    toks: Vec<(TokenInfo, Span)>,
+}
+
+impl TokenBuf {
+    /// Lexes `text` into an owned token sequence (without the trailing
+    /// [`Token::Eof`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates lexer diagnostics.
+    pub fn lex(text: &str) -> Result<TokenBuf> {
+        let mut toks = Vec::new();
+        for spanned in lex(text)? {
+            let Span { start, end } = spanned.span;
+            let (info, payload) = match spanned.token {
+                Token::Eof => continue,
+                Token::Ident(_) => (TokenInfo::Ident, Span { start, end }),
+                Token::ValueId(_) => (TokenInfo::ValueId, Span { start: start + 1, end }),
+                Token::BlockId(_) => (TokenInfo::BlockId, Span { start: start + 1, end }),
+                Token::SymbolRef(_) => (TokenInfo::SymbolRef, Span { start: start + 1, end }),
+                Token::TypeRef(_) => (TokenInfo::TypeRef, Span { start: start + 1, end }),
+                Token::AttrRef(_) => (TokenInfo::AttrRef, Span { start: start + 1, end }),
+                Token::Integer { value, hex } => {
+                    (TokenInfo::Integer { value, hex }, Span { start, end })
+                }
+                Token::Float(v) => (TokenInfo::Float(v), Span { start, end }),
+                Token::Str(_) => {
+                    // Payload: raw contents between the quotes.
+                    let contents = Span { start: start + 1, end: end - 1 };
+                    let escaped = text[contents.start..contents.end].contains('\\');
+                    (TokenInfo::Str { escaped }, contents)
+                }
+                Token::LParen => (TokenInfo::LParen, spanned.span),
+                Token::RParen => (TokenInfo::RParen, spanned.span),
+                Token::LBrace => (TokenInfo::LBrace, spanned.span),
+                Token::RBrace => (TokenInfo::RBrace, spanned.span),
+                Token::LBracket => (TokenInfo::LBracket, spanned.span),
+                Token::RBracket => (TokenInfo::RBracket, spanned.span),
+                Token::Lt => (TokenInfo::Lt, spanned.span),
+                Token::Gt => (TokenInfo::Gt, spanned.span),
+                Token::Comma => (TokenInfo::Comma, spanned.span),
+                Token::Colon => (TokenInfo::Colon, spanned.span),
+                Token::Equals => (TokenInfo::Equals, spanned.span),
+                Token::Arrow => (TokenInfo::Arrow, spanned.span),
+                Token::Question => (TokenInfo::Question, spanned.span),
+                Token::Star => (TokenInfo::Star, spanned.span),
+                Token::Plus => (TokenInfo::Plus, spanned.span),
+                Token::Dot => (TokenInfo::Dot, spanned.span),
+            };
+            toks.push((info, payload));
+        }
+        Ok(TokenBuf { text: text.to_string(), toks })
+    }
+
+    /// The original text this sequence was lexed from.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// Number of tokens (the trailing `Eof` is not stored).
+    pub fn len(&self) -> usize {
+        self.toks.len()
+    }
+
+    /// Returns `true` if the sequence holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.toks.is_empty()
+    }
+
+    /// Re-materializes token `i` as a [`Token`] borrowing from this buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> Token<'_> {
+        let (info, span) = &self.toks[i];
+        let payload = || &self.text[span.start..span.end];
+        match info {
+            TokenInfo::Ident => Token::Ident(payload()),
+            TokenInfo::ValueId => Token::ValueId(payload()),
+            TokenInfo::BlockId => Token::BlockId(payload()),
+            TokenInfo::SymbolRef => Token::SymbolRef(payload()),
+            TokenInfo::TypeRef => Token::TypeRef(payload()),
+            TokenInfo::AttrRef => Token::AttrRef(payload()),
+            TokenInfo::Integer { value, hex } => Token::Integer { value: *value, hex: *hex },
+            TokenInfo::Float(v) => Token::Float(*v),
+            TokenInfo::Str { escaped: false } => Token::Str(Cow::Borrowed(payload())),
+            TokenInfo::Str { escaped: true } => {
+                let mut out = String::with_capacity(span.end - span.start);
+                let mut chars = payload().chars();
+                while let Some(c) = chars.next() {
+                    if c == '\\' {
+                        match chars.next() {
+                            Some('n') => out.push('\n'),
+                            Some('t') => out.push('\t'),
+                            Some(other) => out.push(other),
+                            None => break,
+                        }
+                    } else {
+                        out.push(c);
+                    }
+                }
+                Token::Str(Cow::Owned(out))
+            }
+            TokenInfo::LParen => Token::LParen,
+            TokenInfo::RParen => Token::RParen,
+            TokenInfo::LBrace => Token::LBrace,
+            TokenInfo::RBrace => Token::RBrace,
+            TokenInfo::LBracket => Token::LBracket,
+            TokenInfo::RBracket => Token::RBracket,
+            TokenInfo::Lt => Token::Lt,
+            TokenInfo::Gt => Token::Gt,
+            TokenInfo::Comma => Token::Comma,
+            TokenInfo::Colon => Token::Colon,
+            TokenInfo::Equals => Token::Equals,
+            TokenInfo::Arrow => Token::Arrow,
+            TokenInfo::Question => Token::Question,
+            TokenInfo::Star => Token::Star,
+            TokenInfo::Plus => Token::Plus,
+            TokenInfo::Dot => Token::Dot,
+        }
+    }
+
+    /// Iterates over re-materialized borrowed tokens.
+    pub fn iter(&self) -> impl Iterator<Item = Token<'_>> {
+        (0..self.len()).map(|i| self.get(i))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn kinds(source: &str) -> Vec<Token> {
+    fn kinds(source: &str) -> Vec<Token<'_>> {
         lex(source).unwrap().into_iter().map(|s| s.token).collect()
     }
 
@@ -337,20 +580,20 @@ mod tests {
         assert_eq!(
             toks,
             vec![
-                Token::ValueId("0".into()),
+                Token::ValueId("0"),
                 Token::Equals,
                 Token::Str("cmath.mul".into()),
                 Token::LParen,
-                Token::ValueId("a".into()),
+                Token::ValueId("a"),
                 Token::Comma,
-                Token::ValueId("b".into()),
+                Token::ValueId("b"),
                 Token::RParen,
                 Token::Colon,
                 Token::LParen,
-                Token::Ident("f32".into()),
+                Token::Ident("f32"),
                 Token::RParen,
                 Token::Arrow,
-                Token::Ident("f32".into()),
+                Token::Ident("f32"),
                 Token::Eof,
             ]
         );
@@ -390,10 +633,10 @@ mod tests {
         assert_eq!(
             kinds("!cmath.complex #foo.bar ^bb0 @main"),
             vec![
-                Token::TypeRef("cmath.complex".into()),
-                Token::AttrRef("foo.bar".into()),
-                Token::BlockId("bb0".into()),
-                Token::SymbolRef("main".into()),
+                Token::TypeRef("cmath.complex"),
+                Token::AttrRef("foo.bar"),
+                Token::BlockId("bb0"),
+                Token::SymbolRef("main"),
                 Token::Eof,
             ]
         );
@@ -411,16 +654,13 @@ mod tests {
     fn comments_are_skipped() {
         assert_eq!(
             kinds("a // comment\nb"),
-            vec![Token::Ident("a".into()), Token::Ident("b".into()), Token::Eof]
+            vec![Token::Ident("a"), Token::Ident("b"), Token::Eof]
         );
     }
 
     #[test]
     fn value_id_with_result_number() {
-        assert_eq!(
-            kinds("%x#1"),
-            vec![Token::ValueId("x#1".into()), Token::Eof]
-        );
+        assert_eq!(kinds("%x#1"), vec![Token::ValueId("x#1"), Token::Eof]);
     }
 
     #[test]
@@ -433,7 +673,105 @@ mod tests {
         // `1.foo` is Integer(1), Dot, Ident — needed for parameter paths.
         assert_eq!(
             kinds("1.x"),
-            vec![Token::Integer { value: 1, hex: false }, Token::Dot, Token::Ident("x".into()), Token::Eof]
+            vec![Token::Integer { value: 1, hex: false }, Token::Dot, Token::Ident("x"), Token::Eof]
         );
+    }
+
+    // ----- Zero-copy guarantees --------------------------------------------
+
+    #[test]
+    fn spans_cover_token_text() {
+        let source = "%abc = foo.bar !t<0x1F, \"s\"> // tail";
+        let toks = lex(source).unwrap();
+        let texts: Vec<&str> = toks.iter().map(|s| s.span.text(source)).collect();
+        assert_eq!(
+            texts,
+            vec!["%abc", "=", "foo.bar", "!t", "<", "0x1F", ",", "\"s\"", ">", ""]
+        );
+    }
+
+    #[test]
+    fn ident_payloads_are_source_slices() {
+        let source = "%val ^blk @sym !ty #at name";
+        for spanned in lex(source).unwrap() {
+            let payload = match spanned.token {
+                Token::ValueId(s)
+                | Token::BlockId(s)
+                | Token::SymbolRef(s)
+                | Token::TypeRef(s)
+                | Token::AttrRef(s)
+                | Token::Ident(s) => s,
+                _ => continue,
+            };
+            // The payload must literally be a sub-slice of the source buffer.
+            let src_range = source.as_bytes().as_ptr_range();
+            let pay_range = payload.as_bytes().as_ptr_range();
+            assert!(src_range.start <= pay_range.start && pay_range.end <= src_range.end);
+            // And the span (minus any sigil) must point at the same text.
+            let text = spanned.span.text(source);
+            assert!(text.ends_with(payload), "{text} should end with {payload}");
+        }
+    }
+
+    #[test]
+    fn escape_free_strings_borrow() {
+        let toks = lex(r#""plain text""#).unwrap();
+        match &toks[0].token {
+            Token::Str(Cow::Borrowed(s)) => assert_eq!(*s, "plain text"),
+            other => panic!("expected borrowed Str, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn escaped_strings_own() {
+        let toks = lex(r#""a\tb""#).unwrap();
+        match &toks[0].token {
+            Token::Str(Cow::Owned(s)) => assert_eq!(s, "a\tb"),
+            other => panic!("expected owned Str, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_literal_span_includes_prefix() {
+        let source = "0xFF";
+        let toks = lex(source).unwrap();
+        assert_eq!(toks[0].span, Span { start: 0, end: 4 });
+        assert_eq!(toks[0].span.text(source), "0xFF");
+        assert_eq!(toks[0].token, Token::Integer { value: 255, hex: true });
+    }
+
+    #[test]
+    fn string_span_includes_quotes() {
+        let source = r#"x "a\nb" y"#;
+        let toks = lex(source).unwrap();
+        assert_eq!(toks[1].span.text(source), r#""a\nb""#);
+        assert_eq!(toks[1].token, Token::Str("a\nb".into()));
+    }
+
+    // ----- TokenBuf ---------------------------------------------------------
+
+    #[test]
+    fn token_buf_roundtrips() {
+        let text = "foo (%x) : 42 -> \"lit\" 1.5 !t";
+        let buf = TokenBuf::lex(text).unwrap();
+        let direct: Vec<Token<'_>> = lex(text)
+            .unwrap()
+            .into_iter()
+            .map(|s| s.token)
+            .filter(|t| *t != Token::Eof)
+            .collect();
+        let rebuilt: Vec<Token<'_>> = buf.iter().collect();
+        assert_eq!(rebuilt, direct);
+    }
+
+    #[test]
+    fn token_buf_unescapes_lazily() {
+        let buf = TokenBuf::lex(r#""a\"b""#).unwrap();
+        assert_eq!(buf.get(0), Token::Str("a\"b".into()));
+    }
+
+    #[test]
+    fn token_buf_reports_lex_errors() {
+        assert!(TokenBuf::lex("\"unterminated").is_err());
     }
 }

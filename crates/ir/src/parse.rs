@@ -5,6 +5,11 @@
 //! hooks). SSA value names must be defined textually before use (forward
 //! references to *blocks* are supported; forward references to values are
 //! not — a documented divergence from MLIR's graph regions).
+//!
+//! The parser is zero-copy end to end: tokens borrow `&str` slices of the
+//! source (see [`crate::lexer`]), identifiers intern straight into
+//! [`Symbol`]s with a single hash lookup, and value/block scopes are keyed
+//! by `Symbol` so resolution never materializes an owned `String`.
 
 use std::collections::HashMap;
 
@@ -15,6 +20,7 @@ use crate::diag::{Diagnostic, Result};
 use crate::lexer::{lex, Spanned, Token};
 use crate::op::{OpName, OpRef, OperationState};
 use crate::region::RegionRef;
+use crate::symbol::Symbol;
 use crate::types::{FloatKind, Signedness, Type, TypeData};
 use crate::value::Value;
 
@@ -80,43 +86,59 @@ struct ValueGroup {
     values: Vec<Value>,
 }
 
-pub(crate) struct Parser<'a> {
-    pub(crate) ctx: &'a mut Context,
-    tokens: Vec<Spanned>,
+pub(crate) struct Parser<'s, 'c> {
+    pub(crate) ctx: &'c mut Context,
+    tokens: Vec<Spanned<'s>>,
     pos: usize,
-    value_scopes: Vec<HashMap<String, ValueGroup>>,
-    block_scopes: Vec<HashMap<String, BlockRef>>,
+    /// Scopes keyed by interned name symbol; the textual name only exists
+    /// as a source slice.
+    value_scopes: Vec<HashMap<Symbol, ValueGroup>>,
+    block_scopes: Vec<HashMap<Symbol, BlockRef>>,
+    /// Retired scope maps, kept to reuse their capacity across regions.
+    value_pool: Vec<HashMap<Symbol, ValueGroup>>,
+    block_pool: Vec<HashMap<Symbol, BlockRef>>,
 }
 
-impl<'a> Parser<'a> {
-    fn new(ctx: &'a mut Context, tokens: Vec<Spanned>) -> Self {
-        Parser { ctx, tokens, pos: 0, value_scopes: Vec::new(), block_scopes: Vec::new() }
+impl<'s, 'c> Parser<'s, 'c> {
+    fn new(ctx: &'c mut Context, tokens: Vec<Spanned<'s>>) -> Self {
+        Parser {
+            ctx,
+            tokens,
+            pos: 0,
+            value_scopes: Vec::new(),
+            block_scopes: Vec::new(),
+            value_pool: Vec::new(),
+            block_pool: Vec::new(),
+        }
     }
 
     // ----- token plumbing ---------------------------------------------------
 
-    fn peek(&self) -> &Token {
+    fn peek(&self) -> &Token<'s> {
         &self.tokens[self.pos].token
     }
 
-    fn peek2(&self) -> &Token {
+    fn peek2(&self) -> &Token<'s> {
         let idx = (self.pos + 1).min(self.tokens.len() - 1);
         &self.tokens[idx].token
     }
 
     fn offset(&self) -> usize {
-        self.tokens[self.pos].offset
+        self.tokens[self.pos].span.start
     }
 
-    fn bump(&mut self) -> Token {
-        let tok = self.tokens[self.pos].token.clone();
+    /// Takes the current token and advances. Taking (rather than cloning)
+    /// means even owned `Str` payloads move out without reallocating; the
+    /// consumed slot is backfilled with `Eof` and never re-read.
+    fn bump(&mut self) -> Token<'s> {
+        let tok = std::mem::replace(&mut self.tokens[self.pos].token, Token::Eof);
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
         tok
     }
 
-    fn expect(&mut self, expected: &Token) -> Result<()> {
+    fn expect(&mut self, expected: &Token<'_>) -> Result<()> {
         if self.peek() == expected {
             self.bump();
             Ok(())
@@ -129,7 +151,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn consume_if(&mut self, expected: &Token) -> bool {
+    fn consume_if(&mut self, expected: &Token<'_>) -> bool {
         if self.peek() == expected {
             self.bump();
             true
@@ -138,9 +160,10 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect_ident(&mut self) -> Result<String> {
-        match self.peek().clone() {
+    fn expect_ident(&mut self) -> Result<&'s str> {
+        match self.peek() {
             Token::Ident(s) => {
+                let s = *s;
                 self.bump();
                 Ok(s)
             }
@@ -149,12 +172,17 @@ impl<'a> Parser<'a> {
     }
 
     /// An attribute-dictionary key: a bare identifier or a quoted string
-    /// (for keys that are not lexable identifiers).
-    fn expect_attr_key(&mut self) -> Result<String> {
-        match self.peek().clone() {
-            Token::Ident(s) | Token::Str(s) => {
+    /// (for keys that are not lexable identifiers). Interned directly.
+    fn expect_attr_key(&mut self) -> Result<Symbol> {
+        match self.peek() {
+            Token::Ident(s) => {
+                let s = *s;
                 self.bump();
-                Ok(s)
+                Ok(self.ctx.symbol(s))
+            }
+            Token::Str(_) => {
+                let Token::Str(s) = self.bump() else { unreachable!() };
+                Ok(self.ctx.symbol(&s))
             }
             other => {
                 Err(self.error(format!("expected attribute key, found {}", other.describe())))
@@ -164,7 +192,7 @@ impl<'a> Parser<'a> {
 
     fn expect_keyword(&mut self, kw: &str) -> Result<()> {
         match self.peek() {
-            Token::Ident(s) if s == kw => {
+            Token::Ident(s) if *s == kw => {
                 self.bump();
                 Ok(())
             }
@@ -175,14 +203,13 @@ impl<'a> Parser<'a> {
     /// Parses an optional `{key = attr, ...}` dictionary into `out`.
     fn parse_optional_attr_entries(
         &mut self,
-        out: &mut Vec<(crate::Symbol, Attribute)>,
+        out: &mut Vec<(Symbol, Attribute)>,
     ) -> Result<()> {
         if self.consume_if(&Token::LBrace) && !self.consume_if(&Token::RBrace) {
             loop {
                 let key = self.expect_attr_key()?;
                 self.expect(&Token::Equals)?;
                 let value = self.parse_attribute()?;
-                let key = self.ctx.symbol(&key);
                 out.push((key, value));
                 if !self.consume_if(&Token::Comma) {
                     break;
@@ -195,7 +222,7 @@ impl<'a> Parser<'a> {
 
     fn consume_keyword(&mut self, kw: &str) -> bool {
         match self.peek() {
-            Token::Ident(s) if s == kw => {
+            Token::Ident(s) if *s == kw => {
                 self.bump();
                 true
             }
@@ -218,21 +245,29 @@ impl<'a> Parser<'a> {
     // ----- scopes ------------------------------------------------------------
 
     fn push_scopes(&mut self) {
-        self.value_scopes.push(HashMap::new());
-        self.block_scopes.push(HashMap::new());
+        self.value_scopes.push(self.value_pool.pop().unwrap_or_default());
+        self.block_scopes.push(self.block_pool.pop().unwrap_or_default());
     }
 
     fn pop_scopes(&mut self) {
-        self.value_scopes.pop();
-        self.block_scopes.pop();
+        let mut values = self.value_scopes.pop().expect("no value scope");
+        values.clear();
+        self.value_pool.push(values);
+        let mut blocks = self.block_scopes.pop().expect("no block scope");
+        blocks.clear();
+        self.block_pool.push(blocks);
     }
 
     fn define_value_group(&mut self, name: &str, values: Vec<Value>) -> Result<()> {
+        let sym = self.ctx.symbol(name);
         let scope = self.value_scopes.last_mut().expect("no value scope");
-        if scope.contains_key(name) {
-            return Err(self.error(format!("redefinition of value `%{name}`")));
+        if scope.contains_key(&sym) {
+            return Err(Diagnostic::at(
+                self.tokens[self.pos].span.start,
+                format!("redefinition of value `%{name}`"),
+            ));
         }
-        scope.insert(name.to_string(), ValueGroup { values });
+        scope.insert(sym, ValueGroup { values });
         Ok(())
     }
 
@@ -246,56 +281,61 @@ impl<'a> Parser<'a> {
             }
             None => (name, None),
         };
-        for scope in self.value_scopes.iter().rev() {
-            if let Some(group) = scope.get(base) {
-                return match index {
-                    Some(i) => group.values.get(i).copied().ok_or_else(|| {
-                        self.error(format!("result index out of range in `%{name}`"))
-                    }),
-                    None => {
-                        if group.values.len() == 1 {
-                            Ok(group.values[0])
-                        } else {
-                            Err(self.error(format!(
-                                "`%{base}` names a group of {} results; use `%{base}#N`",
-                                group.values.len()
-                            )))
+        // A name that was never interned cannot have been defined.
+        if let Some(sym) = self.ctx.symbol_lookup(base) {
+            for scope in self.value_scopes.iter().rev() {
+                if let Some(group) = scope.get(&sym) {
+                    return match index {
+                        Some(i) => group.values.get(i).copied().ok_or_else(|| {
+                            self.error(format!("result index out of range in `%{name}`"))
+                        }),
+                        None => {
+                            if group.values.len() == 1 {
+                                Ok(group.values[0])
+                            } else {
+                                Err(self.error(format!(
+                                    "`%{base}` names a group of {} results; use `%{base}#N`",
+                                    group.values.len()
+                                )))
+                            }
                         }
-                    }
-                };
+                    };
+                }
             }
         }
         Err(self.error(format!("use of undefined value `%{base}`")))
     }
 
     fn get_or_create_block(&mut self, name: &str) -> BlockRef {
-        if let Some(block) = self.block_scopes.last().and_then(|s| s.get(name)) {
+        let sym = self.ctx.symbol(name);
+        if let Some(block) = self.block_scopes.last().and_then(|s| s.get(&sym)) {
             return *block;
         }
         let block = self.ctx.create_block([]);
         self.block_scopes
             .last_mut()
             .expect("no block scope")
-            .insert(name.to_string(), block);
+            .insert(sym, block);
         block
     }
 
     // ----- types -------------------------------------------------------------
 
     pub(crate) fn parse_type(&mut self) -> Result<Type> {
-        match self.peek().clone() {
+        match self.peek() {
             Token::Ident(name) => {
+                let name = *name;
                 self.bump();
-                self.parse_builtin_type(&name)
+                self.parse_builtin_type(name)
             }
             Token::TypeRef(full) => {
+                let full = *full;
                 self.bump();
                 let (dialect, name) = full.split_once('.').ok_or_else(|| {
                     self.error(format!("type reference `!{full}` must be dialect-qualified"))
                 })?;
-                let (dialect, name) = (dialect.to_string(), name.to_string());
-                let dialect = self.ctx.symbol(&dialect);
-                let name = self.ctx.symbol(&name);
+                let dialect = self.ctx.symbol(dialect);
+                let name = self.ctx.symbol(name);
                 // Custom parameter syntax (IRDL `Format` on the type).
                 let custom = self
                     .ctx
@@ -360,8 +400,9 @@ impl<'a> Parser<'a> {
                 self.expect(&Token::Lt)?;
                 let mut dims: Vec<u64> = Vec::new();
                 loop {
-                    match self.peek().clone() {
-                        Token::Integer { value, .. } if value >= 0 => {
+                    match self.peek() {
+                        Token::Integer { value, .. } if *value >= 0 => {
+                            let value = *value;
                             self.bump();
                             dims.push(value as u64);
                             self.expect_keyword("x")?;
@@ -378,8 +419,9 @@ impl<'a> Parser<'a> {
                 self.expect(&Token::Lt)?;
                 let mut dims: Vec<i64> = Vec::new();
                 loop {
-                    match self.peek().clone() {
-                        Token::Integer { value, .. } if value >= 0 => {
+                    match self.peek() {
+                        Token::Integer { value, .. } if *value >= 0 => {
+                            let value = *value;
                             self.bump();
                             dims.push(value as i64);
                             self.expect_keyword("x")?;
@@ -442,8 +484,9 @@ impl<'a> Parser<'a> {
     // ----- attributes ----------------------------------------------------------
 
     pub(crate) fn parse_attribute(&mut self) -> Result<Attribute> {
-        match self.peek().clone() {
+        match self.peek() {
             Token::Integer { value, hex } => {
+                let (value, hex) = (*value, *hex);
                 self.bump();
                 if self.consume_if(&Token::Colon) {
                     let ty = self.parse_type()?;
@@ -471,6 +514,7 @@ impl<'a> Parser<'a> {
                 }
             }
             Token::Float(value) => {
+                let value = *value;
                 self.bump();
                 let kind = if self.consume_if(&Token::Colon) {
                     let ty = self.parse_type()?;
@@ -483,8 +527,8 @@ impl<'a> Parser<'a> {
                 };
                 Ok(self.ctx.float_attr(value, kind))
             }
-            Token::Str(s) => {
-                self.bump();
+            Token::Str(_) => {
+                let Token::Str(s) = self.bump() else { unreachable!() };
                 Ok(self.ctx.string_attr(s))
             }
             Token::LBracket => {
@@ -502,10 +546,11 @@ impl<'a> Parser<'a> {
                 Ok(self.ctx.array_attr(items))
             }
             Token::SymbolRef(name) => {
+                let name = *name;
                 self.bump();
-                Ok(self.ctx.symbol_ref_attr(&name))
+                Ok(self.ctx.symbol_ref_attr(name))
             }
-            Token::Ident(kw) => match kw.as_str() {
+            Token::Ident(kw) => match *kw {
                 "unit" => {
                     self.bump();
                     Ok(self.ctx.unit_attr())
@@ -561,6 +606,7 @@ impl<'a> Parser<'a> {
                 Ok(self.ctx.type_attr(ty))
             }
             Token::AttrRef(full) => {
+                let full = *full;
                 self.bump();
                 if full == "native" {
                     self.expect(&Token::Lt)?;
@@ -578,15 +624,14 @@ impl<'a> Parser<'a> {
                     let offset = self.offset();
                     return self
                         .ctx
-                        .native_attr(&kind, &text)
+                        .native_attr(kind, &text)
                         .map_err(|d| d.or_offset(offset));
                 }
                 let (dialect, name) = full.split_once('.').ok_or_else(|| {
                     self.error(format!("attribute reference `#{full}` must be dialect-qualified"))
                 })?;
-                let (dialect, name) = (dialect.to_string(), name.to_string());
-                let dialect_sym = self.ctx.symbol(&dialect);
-                let name_sym = self.ctx.symbol(&name);
+                let dialect_sym = self.ctx.symbol(dialect);
+                let name_sym = self.ctx.symbol(name);
                 // Enum attribute if (dialect, name) names a registered enum.
                 if self.ctx.registry().enum_def(dialect_sym, name_sym).is_some() {
                     self.expect(&Token::Lt)?;
@@ -598,7 +643,7 @@ impl<'a> Parser<'a> {
                         .registry()
                         .enum_def(dialect_sym, name_sym)
                         .expect("checked above");
-                    let variant_sym = self.ctx.symbol_lookup(&variant);
+                    let variant_sym = self.ctx.symbol_lookup(variant);
                     let valid = variant_sym.is_some_and(|v| info.variants.contains(&v));
                     if !valid {
                         return Err(Diagnostic::at(
@@ -606,7 +651,7 @@ impl<'a> Parser<'a> {
                             format!("`{variant}` is not a constructor of enum `{dialect}.{name}`"),
                         ));
                     }
-                    return Ok(self.ctx.enum_attr(&dialect, &name, &variant));
+                    return Ok(self.ctx.enum_attr(dialect, name, variant));
                 }
                 let custom = self
                     .ctx
@@ -633,8 +678,9 @@ impl<'a> Parser<'a> {
     }
 
     fn expect_unsigned(&mut self) -> Result<i128> {
-        match self.peek().clone() {
-            Token::Integer { value, .. } if value >= 0 => {
+        match self.peek() {
+            Token::Integer { value, .. } if *value >= 0 => {
+                let value = *value;
                 self.bump();
                 Ok(value)
             }
@@ -646,7 +692,7 @@ impl<'a> Parser<'a> {
 
     fn parse_op(&mut self) -> Result<OpRef> {
         // Result definitions: `%a:2, %b = ...`
-        let mut defs: Vec<(String, usize)> = Vec::new();
+        let mut defs: Vec<(&'s str, usize)> = Vec::new();
         if matches!(self.peek(), Token::ValueId(_)) {
             loop {
                 let name = match self.bump() {
@@ -668,14 +714,15 @@ impl<'a> Parser<'a> {
             self.expect(&Token::Equals)?;
         }
 
-        let op = match self.peek().clone() {
-            Token::Str(name) => {
-                self.bump();
+        let op = match self.peek() {
+            Token::Str(_) => {
+                let Token::Str(name) = self.bump() else { unreachable!() };
                 self.parse_generic_op_body(&name)?
             }
             Token::Ident(name) if name.contains('.') => {
+                let name = *name;
                 self.bump();
-                self.parse_custom_op_body(&name)?
+                self.parse_custom_op_body(name)?
             }
             other => {
                 return Err(self.error(format!(
@@ -699,7 +746,7 @@ impl<'a> Parser<'a> {
             let values: Vec<Value> =
                 (next..next + count).map(|i| op.result(self.ctx, i)).collect();
             next += count;
-            self.define_value_group(&name, values)?;
+            self.define_value_group(name, values)?;
         }
         Ok(op)
     }
@@ -720,7 +767,7 @@ impl<'a> Parser<'a> {
         if !self.consume_if(&Token::RParen) {
             loop {
                 match self.bump() {
-                    Token::ValueId(vname) => operands.push(self.resolve_value(&vname)?),
+                    Token::ValueId(vname) => operands.push(self.resolve_value(vname)?),
                     other => {
                         return Err(self
                             .error(format!("expected operand `%name`, found {}", other.describe())))
@@ -738,7 +785,7 @@ impl<'a> Parser<'a> {
             && !self.consume_if(&Token::RBracket) {
                 loop {
                     match self.bump() {
-                        Token::BlockId(bname) => successors.push(self.get_or_create_block(&bname)),
+                        Token::BlockId(bname) => successors.push(self.get_or_create_block(bname)),
                         other => {
                             return Err(self.error(format!(
                                 "expected successor `^name`, found {}",
@@ -858,7 +905,7 @@ impl<'a> Parser<'a> {
 
     // ----- regions ---------------------------------------------------------------
 
-    fn parse_region(&mut self, entry_args: &[(String, Type)]) -> Result<RegionRef> {
+    fn parse_region(&mut self, entry_args: &[(&str, Type)]) -> Result<RegionRef> {
         self.expect(&Token::LBrace)?;
         let region = self.ctx.create_region();
         self.push_scopes();
@@ -889,9 +936,10 @@ impl<'a> Parser<'a> {
             }
         }
 
-        while let Token::BlockId(label) = self.peek().clone() {
+        while let Token::BlockId(label) = self.peek() {
+            let label = *label;
             self.bump();
-            let block = self.get_or_create_block(&label);
+            let block = self.get_or_create_block(label);
             if block.parent_region(self.ctx).is_some() {
                 return Err(self.error(format!("redefinition of block `^{label}`")));
             }
@@ -911,7 +959,7 @@ impl<'a> Parser<'a> {
                         self.expect(&Token::Colon)?;
                         let ty = self.parse_type()?;
                         let value = self.ctx.add_block_arg(block, ty);
-                        self.define_value_group(&vname, vec![value])?;
+                        self.define_value_group(vname, vec![value])?;
                         if !self.consume_if(&Token::Comma) {
                             break;
                         }
@@ -929,8 +977,9 @@ impl<'a> Parser<'a> {
 
         // Every referenced block must have been defined.
         let scope = self.block_scopes.last().expect("no block scope");
-        for (label, block) in scope {
+        for (&label, block) in scope {
             if block.parent_region(self.ctx).is_none() {
+                let label = self.ctx.symbol_str(label);
                 return Err(self.error(format!("use of undefined block `^{label}`")));
             }
         }
@@ -950,12 +999,15 @@ fn parse_int_keyword(name: &str, prefix: &str) -> Option<u32> {
 /// The parsing interface handed to dialect syntax hooks (IRDL formats and
 /// native implementations): token primitives plus recursive entry points
 /// for types, attributes, operands, successors, and regions.
-pub struct OpParser<'p, 'a> {
-    parser: &'p mut Parser<'a>,
+///
+/// Identifier-returning methods hand back `&'s str` slices of the source
+/// being parsed, so hooks can intern or inspect names without copies.
+pub struct OpParser<'p, 's, 'c> {
+    parser: &'p mut Parser<'s, 'c>,
     name: OpName,
 }
 
-impl<'p, 'a> OpParser<'p, 'a> {
+impl<'p, 's, 'c> OpParser<'p, 's, 'c> {
     /// The name of the operation being parsed.
     pub fn op_name(&self) -> OpName {
         self.name
@@ -982,7 +1034,7 @@ impl<'p, 'a> OpParser<'p, 'a> {
     }
 
     /// Consumes the next token if it equals `token`.
-    pub fn consume_if(&mut self, token: &Token) -> bool {
+    pub fn consume_if(&mut self, token: &Token<'_>) -> bool {
         self.parser.consume_if(token)
     }
 
@@ -991,16 +1043,16 @@ impl<'p, 'a> OpParser<'p, 'a> {
     /// # Errors
     ///
     /// Returns a diagnostic naming the found token otherwise.
-    pub fn expect(&mut self, token: &Token) -> Result<()> {
+    pub fn expect(&mut self, token: &Token<'_>) -> Result<()> {
         self.parser.expect(token)
     }
 
-    /// Requires and returns a bare identifier.
+    /// Requires and returns a bare identifier (a source slice).
     ///
     /// # Errors
     ///
     /// Returns a diagnostic if the next token is not an identifier.
-    pub fn expect_ident(&mut self) -> Result<String> {
+    pub fn expect_ident(&mut self) -> Result<&'s str> {
         self.parser.expect_ident()
     }
 
@@ -1019,7 +1071,7 @@ impl<'p, 'a> OpParser<'p, 'a> {
     }
 
     /// Peeks at the next token.
-    pub fn peek(&self) -> &Token {
+    pub fn peek(&self) -> &Token<'s> {
         self.parser.peek()
     }
 
@@ -1030,7 +1082,7 @@ impl<'p, 'a> OpParser<'p, 'a> {
     /// Returns a diagnostic if the value is undefined or malformed.
     pub fn parse_operand(&mut self) -> Result<Value> {
         match self.parser.bump() {
-            Token::ValueId(name) => self.parser.resolve_value(&name),
+            Token::ValueId(name) => self.parser.resolve_value(name),
             other => Err(self
                 .parser
                 .error(format!("expected operand `%name`, found {}", other.describe()))),
@@ -1075,7 +1127,7 @@ impl<'p, 'a> OpParser<'p, 'a> {
     /// Returns a diagnostic if the next token is not a block label.
     pub fn parse_successor(&mut self) -> Result<BlockRef> {
         match self.parser.bump() {
-            Token::BlockId(name) => Ok(self.parser.get_or_create_block(&name)),
+            Token::BlockId(name) => Ok(self.parser.get_or_create_block(name)),
             other => Err(self
                 .parser
                 .error(format!("expected successor `^name`, found {}", other.describe()))),
@@ -1097,7 +1149,7 @@ impl<'p, 'a> OpParser<'p, 'a> {
     /// # Errors
     ///
     /// Propagates region parsing failures.
-    pub fn parse_region_with_entry(&mut self, args: &[(String, Type)]) -> Result<RegionRef> {
+    pub fn parse_region_with_entry(&mut self, args: &[(&str, Type)]) -> Result<RegionRef> {
         self.parser.parse_region(args)
     }
 
@@ -1110,12 +1162,12 @@ impl<'p, 'a> OpParser<'p, 'a> {
         self.parser.parse_optional_attr_entries(&mut state.attributes)
     }
 
-    /// Parses `@name`, returning the symbol text.
+    /// Parses `@name`, returning the symbol text as a source slice.
     ///
     /// # Errors
     ///
     /// Returns a diagnostic if the next token is not a symbol reference.
-    pub fn parse_symbol_name(&mut self) -> Result<String> {
+    pub fn parse_symbol_name(&mut self) -> Result<&'s str> {
         match self.parser.bump() {
             Token::SymbolRef(name) => Ok(name),
             other => Err(self
@@ -1130,7 +1182,7 @@ impl<'p, 'a> OpParser<'p, 'a> {
     /// # Errors
     ///
     /// Returns a diagnostic if the next token is not a value id.
-    pub fn parse_value_id(&mut self) -> Result<String> {
+    pub fn parse_value_id(&mut self) -> Result<&'s str> {
         match self.parser.bump() {
             Token::ValueId(name) => Ok(name),
             other => Err(self
@@ -1142,11 +1194,11 @@ impl<'p, 'a> OpParser<'p, 'a> {
 
 /// The parsing interface handed to type/attribute parameter-syntax hooks:
 /// everything between the angle brackets of `!dialect.name<...>`.
-pub struct ParamParser<'p, 'a> {
-    pub(crate) parser: &'p mut Parser<'a>,
+pub struct ParamParser<'p, 's, 'c> {
+    pub(crate) parser: &'p mut Parser<'s, 'c>,
 }
 
-impl<'p, 'a> ParamParser<'p, 'a> {
+impl<'p, 's, 'c> ParamParser<'p, 's, 'c> {
     /// Mutable access to the context.
     pub fn ctx(&mut self) -> &mut Context {
         self.parser.ctx
@@ -1163,7 +1215,7 @@ impl<'p, 'a> ParamParser<'p, 'a> {
     }
 
     /// Peeks at the next token.
-    pub fn peek(&self) -> &Token {
+    pub fn peek(&self) -> &Token<'s> {
         self.parser.peek()
     }
 
@@ -1172,12 +1224,12 @@ impl<'p, 'a> ParamParser<'p, 'a> {
     /// # Errors
     ///
     /// Returns a diagnostic naming the found token otherwise.
-    pub fn expect(&mut self, token: &Token) -> Result<()> {
+    pub fn expect(&mut self, token: &Token<'_>) -> Result<()> {
         self.parser.expect(token)
     }
 
     /// Consumes the next token if it equals `token`.
-    pub fn consume_if(&mut self, token: &Token) -> bool {
+    pub fn consume_if(&mut self, token: &Token<'_>) -> bool {
         self.parser.consume_if(token)
     }
 
@@ -1432,4 +1484,3 @@ mod tests {
         assert!(parse_module(&mut ctx2, &text).is_ok(), "{text}");
     }
 }
-

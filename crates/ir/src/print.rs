@@ -12,11 +12,19 @@
 //! implementation) print in their custom form unless
 //! [`Printer::set_generic`] forces the generic one.
 //!
+//! The printer writes into a caller-provided `String` and never builds
+//! intermediate per-token strings: SSA names and block labels are numeric
+//! ids rendered on the fly, escape-free string literals are copied in one
+//! `push_str`, and [`print_op_into`] with a reusable [`PrintScratch`]
+//! prints in a steady state of zero heap allocations per operation.
+//!
 //! One divergence from MLIR: shaped-type dimension lists are spaced
 //! (`vector<4 x f32>` instead of `vector<4xf32>`), which keeps the lexer
 //! free of MLIR's dimension-list special case.
 
+use std::borrow::Cow;
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 use crate::attrs::{AttrData, Attribute};
 use crate::block::BlockRef;
@@ -26,35 +34,49 @@ use crate::region::RegionRef;
 use crate::types::{Type, TypeData};
 use crate::value::Value;
 
-/// Prints IR entities, assigning stable SSA names as it goes.
+/// Prints IR entities into a borrowed buffer, assigning stable SSA names
+/// as it goes.
 ///
 /// Dialect syntax hooks receive a `&mut Printer` and append to the same
 /// buffer via [`Printer::token`], [`Printer::print_value`], and friends.
-#[derive(Debug, Default)]
-pub struct Printer {
-    out: String,
+#[derive(Debug)]
+pub struct Printer<'w> {
+    out: &'w mut String,
     indent: usize,
-    value_names: HashMap<Value, String>,
-    block_names: HashMap<BlockRef, String>,
-    next_value: usize,
-    next_block: usize,
+    value_ids: HashMap<Value, u32>,
+    block_ids: HashMap<BlockRef, u32>,
+    next_value: u32,
+    next_block: u32,
     generic: bool,
 }
 
-impl Printer {
-    /// Creates a printer with custom syntax enabled.
-    pub fn new() -> Self {
-        Printer::default()
+/// Reusable naming-table storage for [`print_op_into`].
+///
+/// Holding one of these across calls lets the per-op hash maps keep their
+/// capacity, so steady-state printing performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct PrintScratch {
+    value_ids: HashMap<Value, u32>,
+    block_ids: HashMap<BlockRef, u32>,
+}
+
+impl<'w> Printer<'w> {
+    /// Creates a printer appending to `out` with custom syntax enabled.
+    pub fn new(out: &'w mut String) -> Self {
+        Printer {
+            out,
+            indent: 0,
+            value_ids: HashMap::new(),
+            block_ids: HashMap::new(),
+            next_value: 0,
+            next_block: 0,
+            generic: false,
+        }
     }
 
     /// Forces the generic form for all operations when `generic` is `true`.
     pub fn set_generic(&mut self, generic: bool) {
         self.generic = generic;
-    }
-
-    /// Consumes the printer, returning the rendered text.
-    pub fn finish(self) -> String {
-        self.out
     }
 
     /// Appends raw text.
@@ -72,62 +94,78 @@ impl Printer {
 
     /// Prints the SSA name of `value` (assigning one if needed).
     pub fn print_value(&mut self, ctx: &Context, value: Value) {
-        let name = self.value_name(ctx, value);
-        self.out.push_str(&name);
+        let id = self.value_id(ctx, value);
+        match value {
+            Value::OpResult { op, index } if op.num_results(ctx) > 1 => {
+                let _ = write!(self.out, "%{id}#{index}");
+            }
+            _ => {
+                let _ = write!(self.out, "%{id}");
+            }
+        }
     }
 
-    fn value_name(&mut self, ctx: &Context, value: Value) -> String {
-        if let Some(name) = self.value_names.get(&value) {
-            return name.clone();
+    /// Returns the numeric id naming `value`, assigning the whole result
+    /// group of the defining op (or the block arg) on first sight.
+    fn value_id(&mut self, ctx: &Context, value: Value) -> u32 {
+        if let Some(id) = self.value_ids.get(&value) {
+            return *id;
         }
-        // Name the whole result group of the defining op, or the block arg.
-        let name = match value {
+        let id = self.next_value;
+        self.next_value += 1;
+        match value {
             Value::OpResult { op, index } => {
-                let base = format!("%{}", self.next_value);
-                self.next_value += 1;
-                let group = op.num_results(ctx);
-                for k in 0..group.max(index as usize + 1) {
-                    let v = Value::OpResult { op, index: k as u32 };
-                    let display =
-                        if group > 1 { format!("{base}#{k}") } else { base.clone() };
-                    self.value_names.insert(v, display);
+                let group = op.num_results(ctx).max(index as usize + 1);
+                for k in 0..group {
+                    self.value_ids.insert(Value::OpResult { op, index: k as u32 }, id);
                 }
-                return self.value_names[&value].clone();
             }
             Value::BlockArg { .. } => {
-                let name = format!("%{}", self.next_value);
-                self.next_value += 1;
-                name
+                self.value_ids.insert(value, id);
             }
-        };
-        self.value_names.insert(value, name.clone());
-        name
+        }
+        id
     }
 
     /// Prints the label of `block` (assigning one if needed).
     pub fn print_block_name(&mut self, block: BlockRef) {
-        let label = self
-            .block_names
-            .entry(block)
-            .or_insert_with(|| {
-                let label = format!("^bb{}", self.next_block);
-                self.next_block += 1;
-                label
-            })
-            .clone();
-        self.out.push_str(&label);
+        let id = *self.block_ids.entry(block).or_insert_with(|| {
+            let id = self.next_block;
+            self.next_block += 1;
+            id
+        });
+        let _ = write!(self.out, "^bb{id}");
+    }
+
+    /// Appends `s` as the body of a double-quoted literal, escaping as
+    /// needed. Escape-free spans (the common case) are copied wholesale.
+    fn push_escaped(&mut self, s: &str) {
+        let mut rest = s;
+        while let Some(pos) = rest
+            .bytes()
+            .position(|b| matches!(b, b'"' | b'\\' | b'\n' | b'\t'))
+        {
+            self.out.push_str(&rest[..pos]);
+            self.out.push_str(match rest.as_bytes()[pos] {
+                b'"' => "\\\"",
+                b'\\' => "\\\\",
+                b'\n' => "\\n",
+                _ => "\\t",
+            });
+            rest = &rest[pos + 1..];
+        }
+        self.out.push_str(rest);
     }
 
     /// Prints a type in textual syntax.
     pub fn print_type(&mut self, ctx: &Context, ty: Type) {
         match ctx.type_data(ty) {
             TypeData::Integer { width, signedness } => {
-                self.out.push_str(&format!("{}i{}", signedness.prefix(), width));
+                let _ = write!(self.out, "{}i{width}", signedness.prefix());
             }
             TypeData::Float(kind) => self.out.push_str(kind.keyword()),
             TypeData::Index => self.out.push_str("index"),
             TypeData::Function { inputs, results } => {
-                let (inputs, results) = (inputs.clone(), results.clone());
                 self.out.push('(');
                 for (i, input) in inputs.iter().enumerate() {
                     if i > 0 {
@@ -136,41 +174,39 @@ impl Printer {
                     self.print_type(ctx, *input);
                 }
                 self.out.push_str(") -> ");
-                self.print_type_list_grouped(ctx, &results);
+                self.print_type_list_grouped(ctx, results);
             }
             TypeData::Vector { dims, elem } => {
-                let (dims, elem) = (dims.clone(), *elem);
                 self.out.push_str("vector<");
-                for d in &dims {
-                    self.out.push_str(&format!("{d} x "));
+                for d in dims {
+                    let _ = write!(self.out, "{d} x ");
                 }
-                self.print_type(ctx, elem);
+                self.print_type(ctx, *elem);
                 self.out.push('>');
             }
             TypeData::Tensor { dims, elem } => {
-                let (dims, elem) = (dims.clone(), *elem);
                 self.out.push_str("tensor<");
-                self.print_signed_dims(ctx, &dims, elem);
+                self.print_signed_dims(ctx, dims, *elem);
             }
             TypeData::MemRef { dims, elem } => {
-                let (dims, elem) = (dims.clone(), *elem);
                 self.out.push_str("memref<");
-                self.print_signed_dims(ctx, &dims, elem);
+                self.print_signed_dims(ctx, dims, *elem);
             }
             TypeData::Parametric { dialect, name, params } => {
-                let (dialect, name, params) = (*dialect, *name, params.clone());
-                self.out.push_str(&format!(
+                let (dialect, name) = (*dialect, *name);
+                let _ = write!(
+                    self.out,
                     "!{}.{}",
                     ctx.symbol_str(dialect),
                     ctx.symbol_str(name)
-                ));
+                );
                 let custom = ctx
                     .registry()
                     .type_def(dialect, name)
-                    .and_then(|info| info.syntax.clone());
+                    .and_then(|info| info.syntax.as_deref());
                 if let Some(syntax) = custom {
                     self.out.push('<');
-                    syntax.print(ctx, &params, self);
+                    syntax.print(ctx, params, self);
                     self.out.push('>');
                 } else if !params.is_empty() {
                     self.out.push('<');
@@ -191,7 +227,7 @@ impl Printer {
             if *d < 0 {
                 self.out.push_str("? x ");
             } else {
-                self.out.push_str(&format!("{d} x "));
+                let _ = write!(self.out, "{d} x ");
             }
         }
         self.print_type(ctx, elem);
@@ -228,7 +264,9 @@ impl Printer {
         if is_bare_identifier(text) {
             self.out.push_str(text);
         } else {
-            self.out.push_str(&format!("\"{}\"", escape_string(text)));
+            self.out.push('"');
+            self.push_escaped(text);
+            self.out.push('"');
         }
     }
 
@@ -238,25 +276,23 @@ impl Printer {
             AttrData::Unit => self.out.push_str("unit"),
             AttrData::Bool(b) => self.out.push_str(if *b { "true" } else { "false" }),
             AttrData::Integer { value, ty } => {
-                let (value, ty) = (*value, *ty);
-                self.out.push_str(&format!("{value} : "));
-                self.print_type(ctx, ty);
+                let _ = write!(self.out, "{value} : ");
+                self.print_type(ctx, *ty);
             }
             AttrData::Float { bits, kind } => {
-                let (bits, kind) = (*bits, *kind);
-                let value = f64::from_bits(bits);
+                let value = f64::from_bits(*bits);
                 if value.is_finite() {
-                    self.out.push_str(&format!("{value:?} : {}", kind.keyword()));
+                    let _ = write!(self.out, "{value:?} : {}", kind.keyword());
                 } else {
-                    self.out.push_str(&format!("0x{bits:016X} : {}", kind.keyword()));
+                    let _ = write!(self.out, "0x{bits:016X} : {}", kind.keyword());
                 }
             }
             AttrData::String(s) => {
-                let escaped = escape_string(s);
-                self.out.push_str(&format!("\"{escaped}\""));
+                self.out.push('"');
+                self.push_escaped(s);
+                self.out.push('"');
             }
             AttrData::Array(items) => {
-                let items = items.clone();
                 self.out.push('[');
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
@@ -267,48 +303,48 @@ impl Printer {
                 self.out.push(']');
             }
             AttrData::TypeAttr(ty) => {
-                let ty = *ty;
-                self.print_type(ctx, ty);
+                self.print_type(ctx, *ty);
             }
             AttrData::SymbolRef(sym) => {
-                self.out.push_str(&format!("@{}", ctx.symbol_str(*sym)));
+                let _ = write!(self.out, "@{}", ctx.symbol_str(*sym));
             }
             AttrData::EnumValue { dialect, enum_name, variant } => {
-                self.out.push_str(&format!(
+                let _ = write!(
+                    self.out,
                     "#{}.{}<{}>",
                     ctx.symbol_str(*dialect),
                     ctx.symbol_str(*enum_name),
                     ctx.symbol_str(*variant)
-                ));
+                );
             }
             AttrData::Location { file, line, col } => {
-                let escaped = escape_string(file);
-                self.out.push_str(&format!("loc(\"{escaped}\":{line}:{col})"));
+                self.out.push_str("loc(\"");
+                self.push_escaped(file);
+                let _ = write!(self.out, "\":{line}:{col})");
             }
             AttrData::TypeId(sym) => {
-                self.out.push_str(&format!("typeid<\"{}\">", ctx.symbol_str(*sym)));
+                let _ = write!(self.out, "typeid<\"{}\">", ctx.symbol_str(*sym));
             }
             AttrData::Native { kind, text } => {
-                let escaped = escape_string(text);
-                self.out.push_str(&format!(
-                    "#native<{} \"{escaped}\">",
-                    ctx.symbol_str(*kind)
-                ));
+                let _ = write!(self.out, "#native<{} \"", ctx.symbol_str(*kind));
+                self.push_escaped(text);
+                self.out.push_str("\">");
             }
             AttrData::Parametric { dialect, name, params } => {
-                let (dialect, name, params) = (*dialect, *name, params.clone());
-                self.out.push_str(&format!(
+                let (dialect, name) = (*dialect, *name);
+                let _ = write!(
+                    self.out,
                     "#{}.{}",
                     ctx.symbol_str(dialect),
                     ctx.symbol_str(name)
-                ));
+                );
                 let custom = ctx
                     .registry()
                     .attr_def(dialect, name)
-                    .and_then(|info| info.syntax.clone());
+                    .and_then(|info| info.syntax.as_deref());
                 if let Some(syntax) = custom {
                     self.out.push('<');
-                    syntax.print(ctx, &params, self);
+                    syntax.print(ctx, params, self);
                     self.out.push('>');
                 } else if !params.is_empty() {
                     self.out.push('<');
@@ -326,86 +362,98 @@ impl Printer {
 
     /// Prints a full operation (results, name, body, nested regions).
     pub fn print_op(&mut self, ctx: &Context, op: OpRef) {
-        if op.num_results(ctx) > 0 {
-            let first = op.result(ctx, 0);
-            let name = self.value_name(ctx, first);
-            let base = name.split('#').next().unwrap_or(&name).to_string();
-            if op.num_results(ctx) > 1 {
-                self.out.push_str(&format!("{base}:{} = ", op.num_results(ctx)));
+        let num_results = op.num_results(ctx);
+        if num_results > 0 {
+            let id = self.value_id(ctx, op.result(ctx, 0));
+            if num_results > 1 {
+                let _ = write!(self.out, "%{id}:{num_results} = ");
             } else {
-                self.out.push_str(&format!("{base} = "));
+                let _ = write!(self.out, "%{id} = ");
             }
         }
-        let info = ctx.op_info(op);
-        let custom = info.and_then(|i| i.syntax.clone());
+        let name = op.name(ctx);
+        let custom = if self.generic {
+            None
+        } else {
+            ctx.op_info(op).and_then(|i| i.syntax.clone())
+        };
         match custom {
-            Some(syntax) if !self.generic => {
-                self.out.push_str(&op.name(ctx).display(ctx));
+            Some(syntax) => {
+                let _ = write!(
+                    self.out,
+                    "{}.{}",
+                    ctx.symbol_str(name.dialect),
+                    ctx.symbol_str(name.name)
+                );
                 syntax.print(ctx, op, self);
             }
-            _ => self.print_op_generic_body(ctx, op),
+            None => self.print_op_generic_body(ctx, op),
         }
     }
 
     fn print_op_generic_body(&mut self, ctx: &Context, op: OpRef) {
-        self.out.push_str(&format!("\"{}\"(", op.name(ctx).display(ctx)));
-        let operands = op.operands(ctx).to_vec();
-        for (i, operand) in operands.iter().enumerate() {
+        let name = op.name(ctx);
+        let _ = write!(
+            self.out,
+            "\"{}.{}\"(",
+            ctx.symbol_str(name.dialect),
+            ctx.symbol_str(name.name)
+        );
+        for i in 0..op.num_operands(ctx) {
             if i > 0 {
                 self.out.push_str(", ");
             }
-            self.print_value(ctx, *operand);
+            let operand = op.operands(ctx)[i];
+            self.print_value(ctx, operand);
         }
         self.out.push(')');
-        let successors = op.successors(ctx).to_vec();
-        if !successors.is_empty() {
+        if !op.successors(ctx).is_empty() {
             self.out.push('[');
-            for (i, succ) in successors.iter().enumerate() {
+            for i in 0..op.successors(ctx).len() {
                 if i > 0 {
                     self.out.push_str(", ");
                 }
-                self.print_block_name(*succ);
+                self.print_block_name(op.successors(ctx)[i]);
             }
             self.out.push(']');
         }
-        let regions = op.regions(ctx).to_vec();
-        if !regions.is_empty() {
+        if !op.regions(ctx).is_empty() {
             self.out.push_str(" (");
-            for (i, region) in regions.iter().enumerate() {
+            for i in 0..op.regions(ctx).len() {
                 if i > 0 {
                     self.out.push_str(", ");
                 }
-                self.print_region(ctx, *region);
+                self.print_region(ctx, op.regions(ctx)[i]);
             }
             self.out.push(')');
         }
-        let attrs = op.attributes(ctx).to_vec();
-        if !attrs.is_empty() {
+        if !op.attributes(ctx).is_empty() {
             self.out.push_str(" {");
-            for (i, (key, value)) in attrs.iter().enumerate() {
+            for i in 0..op.attributes(ctx).len() {
                 if i > 0 {
                     self.out.push_str(", ");
                 }
-                self.print_attr_key(ctx, *key);
+                let (key, value) = op.attributes(ctx)[i];
+                self.print_attr_key(ctx, key);
                 self.out.push_str(" = ");
-                self.print_attribute(ctx, *value);
+                self.print_attribute(ctx, value);
             }
             self.out.push('}');
         }
         self.out.push_str(" : (");
-        let operand_types: Vec<Type> = operands.iter().map(|v| v.ty(ctx)).collect();
-        for (i, ty) in operand_types.iter().enumerate() {
+        for i in 0..op.num_operands(ctx) {
             if i > 0 {
                 self.out.push_str(", ");
             }
-            self.print_type(ctx, *ty);
+            let ty = op.operands(ctx)[i].ty(ctx);
+            self.print_type(ctx, ty);
         }
         self.out.push_str(") -> ");
-        let result_types = op.result_types(ctx).to_vec();
-        if result_types.is_empty() {
+        if op.result_types(ctx).is_empty() {
             self.out.push_str("()");
         } else {
-            self.print_type_list_grouped(ctx, &result_types);
+            let types = op.result_types(ctx);
+            self.print_type_list_grouped(ctx, types);
         }
     }
 
@@ -413,7 +461,7 @@ impl Printer {
     pub fn print_region(&mut self, ctx: &Context, region: RegionRef) {
         self.out.push('{');
         self.indent += 1;
-        let blocks = region.blocks(ctx).to_vec();
+        let blocks = region.blocks(ctx);
         // The entry-block header can only be omitted when nothing needs it:
         // the block must be the sole, non-empty, argument-free block, and no
         // operation in the region may name it as a successor.
@@ -424,15 +472,16 @@ impl Printer {
             && blocks[0].num_args(ctx) == 0
             && !blocks[0].ops(ctx).is_empty()
             && !entry_targeted;
-        for (i, block) in blocks.iter().enumerate() {
+        for i in 0..region.blocks(ctx).len() {
+            let block = region.blocks(ctx)[i];
             if !(single_plain_entry && i == 0) {
                 self.indent -= 1;
                 self.newline();
                 self.indent += 1;
-                self.print_block_header(ctx, *block);
+                self.print_block_header(ctx, block);
             }
-            let ops = block.ops(ctx).to_vec();
-            for op in ops {
+            for j in 0..block.ops(ctx).len() {
+                let op = block.ops(ctx)[j];
                 self.newline();
                 self.print_op(ctx, op);
             }
@@ -461,33 +510,51 @@ impl Printer {
     }
 }
 
+/// Prints `op` (custom syntax where registered) into `out`, reusing the
+/// naming tables in `scratch`.
+///
+/// This is the allocation-free workhorse behind [`op_to_string`]: with a
+/// warm `out` capacity and `scratch` reused across calls, steady-state
+/// printing performs zero heap allocations per operation.
+pub fn print_op_into(ctx: &Context, op: OpRef, out: &mut String, scratch: &mut PrintScratch) {
+    let mut p = Printer::new(out);
+    std::mem::swap(&mut p.value_ids, &mut scratch.value_ids);
+    std::mem::swap(&mut p.block_ids, &mut scratch.block_ids);
+    p.value_ids.clear();
+    p.block_ids.clear();
+    p.print_op(ctx, op);
+    std::mem::swap(&mut p.value_ids, &mut scratch.value_ids);
+    std::mem::swap(&mut p.block_ids, &mut scratch.block_ids);
+}
+
 /// Renders a type to a string.
 pub fn type_to_string(ctx: &Context, ty: Type) -> String {
-    let mut p = Printer::new();
-    p.print_type(ctx, ty);
-    p.finish()
+    let mut out = String::new();
+    Printer::new(&mut out).print_type(ctx, ty);
+    out
 }
 
 /// Renders an attribute to a string.
 pub fn attr_to_string(ctx: &Context, attr: Attribute) -> String {
-    let mut p = Printer::new();
-    p.print_attribute(ctx, attr);
-    p.finish()
+    let mut out = String::new();
+    Printer::new(&mut out).print_attribute(ctx, attr);
+    out
 }
 
 /// Renders an operation (custom syntax where registered) to a string.
 pub fn op_to_string(ctx: &Context, op: OpRef) -> String {
-    let mut p = Printer::new();
-    p.print_op(ctx, op);
-    p.finish()
+    let mut out = String::new();
+    Printer::new(&mut out).print_op(ctx, op);
+    out
 }
 
 /// Renders an operation in the generic form only.
 pub fn op_to_string_generic(ctx: &Context, op: OpRef) -> String {
-    let mut p = Printer::new();
+    let mut out = String::new();
+    let mut p = Printer::new(&mut out);
     p.set_generic(true);
     p.print_op(ctx, op);
-    p.finish()
+    out
 }
 
 /// Returns `true` when `s` lexes as a single bare identifier.
@@ -501,8 +568,14 @@ fn is_bare_identifier(s: &str) -> bool {
 }
 
 /// Escapes `s` for inclusion in a double-quoted string literal.
-pub fn escape_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
+///
+/// Escape-free input (the overwhelmingly common case) is returned borrowed
+/// without allocating.
+pub fn escape_string(s: &str) -> Cow<'_, str> {
+    if !s.bytes().any(|b| matches!(b, b'"' | b'\\' | b'\n' | b'\t')) {
+        return Cow::Borrowed(s);
+    }
+    let mut out = String::with_capacity(s.len() + 2);
     for ch in s.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -512,7 +585,7 @@ pub fn escape_string(s: &str) -> String {
             _ => out.push(ch),
         }
     }
-    out
+    Cow::Owned(out)
 }
 
 #[cfg(test)]
@@ -567,6 +640,13 @@ mod tests {
     }
 
     #[test]
+    fn escape_free_strings_borrow() {
+        assert!(matches!(escape_string("plain"), Cow::Borrowed("plain")));
+        assert!(matches!(escape_string("a\"b"), Cow::Owned(_)));
+        assert_eq!(escape_string("a\\b\nc"), "a\\\\b\\nc");
+    }
+
+    #[test]
     fn print_simple_op() {
         let mut ctx = Context::new();
         let f32 = ctx.f32_type();
@@ -579,11 +659,11 @@ mod tests {
         ctx.append_op(block, def);
         ctx.append_op(block, user);
         assert_eq!(op_to_string(&ctx, def), "%0 = \"test.source\"() : () -> f32");
-        let mut p = Printer::new();
+        let mut text = String::new();
+        let mut p = Printer::new(&mut text);
         p.print_op(&ctx, def);
         p.newline();
         p.print_op(&ctx, user);
-        let text = p.finish();
         assert_eq!(
             text,
             "%0 = \"test.source\"() : () -> f32\n\"test.sink\"(%0) : (f32) -> ()"
@@ -615,14 +695,31 @@ mod tests {
         let user_name = ctx.op_name("test", "use");
         let r1 = def.result(&ctx, 1);
         let user = ctx.create_op(OperationState::new(user_name).add_operands([r1]));
-        let mut p = Printer::new();
+        let mut text = String::new();
+        let mut p = Printer::new(&mut text);
         p.print_op(&ctx, def);
         p.newline();
         p.print_op(&ctx, user);
-        let text = p.finish();
         assert_eq!(
             text,
             "%0:2 = \"test.pair\"() : () -> (f32, i32)\n\"test.use\"(%0#1) : (i32) -> ()"
         );
+    }
+
+    #[test]
+    fn print_op_into_reuses_buffers() {
+        let mut ctx = Context::new();
+        let f32 = ctx.f32_type();
+        let name = ctx.op_name("test", "source");
+        let op = ctx.create_op(OperationState::new(name).add_result_types([f32]));
+        let block = ctx.create_block([]);
+        ctx.append_op(block, op);
+        let mut out = String::new();
+        let mut scratch = PrintScratch::default();
+        print_op_into(&ctx, op, &mut out, &mut scratch);
+        assert_eq!(out, "%0 = \"test.source\"() : () -> f32");
+        out.clear();
+        print_op_into(&ctx, op, &mut out, &mut scratch);
+        assert_eq!(out, "%0 = \"test.source\"() : () -> f32");
     }
 }

@@ -79,19 +79,21 @@ pub fn parse_patterns(ctx: &mut Context, source: &str) -> Result<PatternSet> {
     Ok(set)
 }
 
-struct DslParser<'a> {
-    ctx: &'a mut Context,
-    tokens: Vec<Spanned>,
+struct DslParser<'s, 'c> {
+    ctx: &'c mut Context,
+    tokens: Vec<Spanned<'s>>,
     pos: usize,
 }
 
-impl<'a> DslParser<'a> {
-    fn peek(&self) -> &Token {
+impl<'s, 'c> DslParser<'s, 'c> {
+    fn peek(&self) -> &Token<'s> {
         &self.tokens[self.pos].token
     }
 
-    fn bump(&mut self) -> Token {
-        let tok = self.tokens[self.pos].token.clone();
+    /// Takes the current token and advances (consumed slots are backfilled
+    /// with `Eof` and never re-read).
+    fn bump(&mut self) -> Token<'s> {
+        let tok = std::mem::replace(&mut self.tokens[self.pos].token, Token::Eof);
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
@@ -99,10 +101,10 @@ impl<'a> DslParser<'a> {
     }
 
     fn error(&self, message: impl Into<String>) -> Diagnostic {
-        Diagnostic::at(self.tokens[self.pos].offset, message)
+        Diagnostic::at(self.tokens[self.pos].span.start, message)
     }
 
-    fn expect(&mut self, token: &Token) -> Result<()> {
+    fn expect(&mut self, token: &Token<'_>) -> Result<()> {
         if self.peek() == token {
             self.bump();
             Ok(())
@@ -117,7 +119,7 @@ impl<'a> DslParser<'a> {
 
     fn expect_keyword(&mut self, kw: &str) -> Result<()> {
         match self.peek() {
-            Token::Ident(s) if s == kw => {
+            Token::Ident(s) if *s == kw => {
                 self.bump();
                 Ok(())
             }
@@ -127,7 +129,7 @@ impl<'a> DslParser<'a> {
 
     fn expect_value(&mut self) -> Result<String> {
         match self.bump() {
-            Token::ValueId(name) => Ok(name),
+            Token::ValueId(name) => Ok(name.to_string()),
             other => Err(self.error(format!("expected `%name`, found {}", other.describe()))),
         }
     }
@@ -135,7 +137,7 @@ impl<'a> DslParser<'a> {
     fn parse_pattern(&mut self) -> Result<DeclarativePattern> {
         self.expect_keyword("Pattern")?;
         let name = match self.bump() {
-            Token::Ident(s) => s,
+            Token::Ident(s) => s.to_string(),
             other => {
                 return Err(self.error(format!("expected pattern name, found {}", other.describe())))
             }
@@ -156,7 +158,7 @@ impl<'a> DslParser<'a> {
         let mut rewrite_ops = Vec::new();
         let mut replace_with = None;
         while self.peek() != &Token::RBrace {
-            if matches!(self.peek(), Token::Ident(s) if s == "Replace") {
+            if matches!(self.peek(), Token::Ident(s) if *s == "Replace") {
                 self.bump();
                 let target = self.expect_value()?;
                 let root_def = match_ops

@@ -133,10 +133,11 @@ fn run(opts: Options) -> Result<(), String> {
         }
     }
 
-    let mut printer = Printer::new();
+    let mut out = String::new();
+    let mut printer = Printer::new(&mut out);
     printer.set_generic(opts.generic);
     printer.print_op(&ctx, module);
-    write_stdout(&printer.finish());
+    write_stdout(&out);
     write_stdout("\n");
     Ok(())
 }
