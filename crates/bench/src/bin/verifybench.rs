@@ -23,7 +23,7 @@
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
-use std::rc::Rc;
+use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -72,9 +72,9 @@ fn allocs() -> u64 {
 /// One operation kind: the tree interpreter, the flat program, and the
 /// registered production verifier (flat program + lazy diagnostics).
 struct Kind {
-    compiled: Rc<CompiledOp>,
+    compiled: Arc<CompiledOp>,
     program: OpProgram,
-    registered: Rc<dyn OpVerifier>,
+    registered: Arc<dyn OpVerifier>,
 }
 
 /// A set of live, valid op instances, each pointing at its kind.

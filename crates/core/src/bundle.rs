@@ -1,0 +1,152 @@
+//! Shareable compiled-dialect artifacts: compile IRDL once, register
+//! everywhere.
+//!
+//! The paper's central claim is that dialect definitions are *data* (§4):
+//! compiled once from an IRDL specification and registered dynamically. A
+//! [`DialectBundle`] makes that sharing real across threads. Compilation
+//! produces artifacts — [`crate::verifier::CompiledOp`]s, flat
+//! [`crate::program::ConstraintProgram`]s, format specs, native hooks —
+//! that embed context-relative uniqued indices (`Symbol`s, `Type`s, verdict
+//! key domains). They are therefore only meaningful against a context whose
+//! interning tables contain the same entries at the same indices.
+//!
+//! The bundle exploits a structural property of [`Context`]: its uniquing
+//! tables are append-only, so a *clone* of a context resolves every
+//! existing index to the same value as the original. The bundle seals the
+//! fully-compiled context as an immutable template; [`instantiate`]
+//! (`DialectBundle::instantiate`) hands each caller a private clone. All
+//! `Arc`'d hook objects are shared (never recompiled), every clone may
+//! intern new symbols/types independently without affecting its siblings,
+//! and the cloned verdict cache arrives warm — and is sound, because the
+//! cached keys refer to interned values the clone resolves identically.
+
+use std::sync::Mutex;
+
+use irdl_ir::diag::Result;
+use irdl_ir::Context;
+
+use crate::compile::register_dialects_with;
+use crate::native::NativeRegistry;
+
+/// An immutable, thread-shareable set of compiled dialects.
+///
+/// Internally this is a sealed template [`Context`] holding the compiled
+/// registry. A `Mutex` guards it only because `Context` uses interior
+/// mutability (`Cell`/`RefCell` counters and caches) and so is `Send` but
+/// not `Sync`; the lock is held for the duration of one clone, never during
+/// verification or rewriting.
+pub struct DialectBundle {
+    template: Mutex<Context>,
+    names: Vec<String>,
+}
+
+impl std::fmt::Debug for DialectBundle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DialectBundle").field("names", &self.names).finish()
+    }
+}
+
+impl DialectBundle {
+    /// Compiles every dialect in `sources` (each a `(label, irdl-source)`
+    /// pair) into one bundle, using the given native hooks.
+    ///
+    /// Compilation happens exactly once here, regardless of how many
+    /// contexts are later instantiated from the bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse or compile diagnostic, prefixed with the
+    /// label of the offending source.
+    pub fn compile(sources: &[(String, String)], natives: &NativeRegistry) -> Result<Self> {
+        let mut ctx = Context::new();
+        let mut names = Vec::new();
+        for (label, source) in sources {
+            let registered = register_dialects_with(&mut ctx, source, natives)
+                .map_err(|d| d.with_note(format!("while compiling `{label}`")))?;
+            names.extend(registered);
+        }
+        Ok(Self::capture(ctx, names))
+    }
+
+    /// Seals an already-compiled context as a bundle.
+    ///
+    /// Use this when compilation needs custom setup beyond
+    /// [`DialectBundle::compile`] — e.g. extra hand-registered dialects or
+    /// native syntaxes. The context should be treated as consumed: IR state
+    /// (modules, ops) present in it will be cloned into every instance.
+    pub fn capture(ctx: Context, names: Vec<String>) -> Self {
+        DialectBundle { template: Mutex::new(ctx), names }
+    }
+
+    /// Creates a private [`Context`] carrying every compiled dialect.
+    ///
+    /// No recompilation happens: the registry (and all `Arc`'d verifier,
+    /// syntax, and native-hook objects) is shared with the template, the
+    /// interning tables are cloned so existing indices stay valid, and the
+    /// verdict cache arrives warm. The instance is fully independent
+    /// afterwards — interning, IR building, and cache growth are private.
+    pub fn instantiate(&self) -> Context {
+        self.template.lock().expect("dialect bundle lock poisoned").clone()
+    }
+
+    /// The names of the dialects compiled into this bundle.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPEC: &str = r#"
+Dialect cmath {
+  Alias !FloatType = !AnyOf<!f32, !f64>
+  Type complex {
+    Parameters (elementType: !FloatType)
+  }
+  Operation mul {
+    ConstraintVar (!T: !FloatType)
+    Operands (lhs: !complex<!T>, rhs: !complex<!T>)
+    Results (res: !complex<!T>)
+  }
+}
+"#;
+
+    #[test]
+    fn bundle_compiles_once_and_instantiates_many() {
+        let natives = NativeRegistry::with_std();
+        let sources = vec![("cmath.irdl".to_string(), SPEC.to_string())];
+        let before = crate::compile::dialect_compile_count();
+        let bundle = DialectBundle::compile(&sources, &natives).unwrap();
+        let after_compile = crate::compile::dialect_compile_count();
+        assert_eq!(after_compile - before, 1);
+        assert_eq!(bundle.names(), ["cmath"]);
+
+        let mut a = bundle.instantiate();
+        let mut b = bundle.instantiate();
+        assert_eq!(crate::compile::dialect_compile_count(), after_compile);
+
+        // Both instances resolve the compiled dialect and enforce its
+        // constraints identically.
+        for ctx in [&mut a, &mut b] {
+            let f32 = ctx.f32_type();
+            let ok = ctx.type_attr(f32);
+            assert!(ctx.parametric_type("cmath", "complex", [ok]).is_ok());
+            let i32 = ctx.i32_type();
+            let bad = ctx.type_attr(i32);
+            assert!(ctx.parametric_type("cmath", "complex", [bad]).is_err());
+        }
+
+        // Instances are independent: interning in one does not affect the
+        // other.
+        a.symbol("only-in-a");
+        assert_eq!(b.symbol_lookup("only-in-a"), None);
+    }
+
+    #[test]
+    fn bundle_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DialectBundle>();
+    }
+}

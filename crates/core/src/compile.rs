@@ -9,7 +9,8 @@
 //! "register a new dialect by providing an IRDL specification file instead
 //! of writing, compiling, and linking several complex C++ files" (§3).
 
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use irdl_ir::diag::{Diagnostic, Result};
 use irdl_ir::dialect::{DialectInfo, EnumInfo, OpDeclStats, OpInfo, ParamKind, TypeDefInfo};
@@ -72,6 +73,16 @@ pub fn compile_dialect(
     compile_dialect_collecting(ctx, dialect, natives).map(|_| ())
 }
 
+/// Process-wide count of dialect compilations, for asserting that sharing
+/// actually shares: a batch run over N workers must compile each dialect
+/// exactly once, so this counter must not move after setup.
+static DIALECT_COMPILES: AtomicU64 = AtomicU64::new(0);
+
+/// Number of dialect compilations performed by this process so far.
+pub fn dialect_compile_count() -> u64 {
+    DIALECT_COMPILES.load(Ordering::Relaxed)
+}
+
 /// Like [`compile_dialect`], additionally returning the compiled form of
 /// every operation — the structured artifact consumed by IR generation
 /// ([`crate::genir`]) and other tooling.
@@ -83,7 +94,8 @@ pub fn compile_dialect_collecting(
     ctx: &mut Context,
     dialect: &DialectDef,
     natives: &NativeRegistry,
-) -> Result<Vec<Rc<CompiledOp>>> {
+) -> Result<Vec<Arc<CompiledOp>>> {
+    DIALECT_COMPILES.fetch_add(1, Ordering::Relaxed);
     let scope = DialectScope::from_ast(dialect)?;
     let dialect_sym = ctx.symbol(&dialect.name);
 
@@ -172,7 +184,7 @@ pub fn compile_dialect_collecting(
         let uses_native_constraint = constraints.iter().any(contains_native);
         let param_kinds: Vec<ParamKind> = constraints.iter().map(classify_param).collect();
         let has_native_verifier = native_verifier.is_some() || uses_native_constraint;
-        let compiled = Rc::new(CompiledParams {
+        let compiled = Arc::new(CompiledParams {
             names: def.parameters.iter().map(|p| p.name.clone()).collect(),
             constraints,
             native_verifier,
@@ -180,17 +192,17 @@ pub fn compile_dialect_collecting(
         let name = ctx.symbol(&def.name);
         let param_names = def.parameters.iter().map(|p| ctx.symbol(&p.name)).collect();
         let syntax = match &def.format {
-            Some(format) => Some(Rc::new(crate::format::ParamsFormatSpec::compile(
+            Some(format) => Some(Arc::new(crate::format::ParamsFormatSpec::compile(
                 format,
                 &def.parameters.iter().map(|p| p.name.clone()).collect::<Vec<_>>(),
             )
             .map_err(|d| d.or_offset(def.span))?)
-                as Rc<dyn irdl_ir::dialect::ParamsSyntax>),
+                as Arc<dyn irdl_ir::dialect::ParamsSyntax>),
             None => None,
         };
         // Register the flat-program fast path; the tree form is retained
         // inside the adapter for lazy diagnostic rendering.
-        let verifier = Rc::new(ProgramParamsVerifier::build(ctx, compiled));
+        let verifier = Arc::new(ProgramParamsVerifier::build(ctx, compiled));
         let info = TypeDefInfo {
             name,
             summary: def.summary.clone().unwrap_or_default(),
@@ -225,7 +237,7 @@ fn compile_op(
     scope: &DialectScope,
     def: &OpDef,
     natives: &NativeRegistry,
-) -> Result<Rc<CompiledOp>> {
+) -> Result<Arc<CompiledOp>> {
     let var_names: Vec<String> = def.constraint_vars.iter().map(|v| v.name.clone()).collect();
 
     let mut resolver = Resolver::new(ctx, natives, scope, &var_names);
@@ -340,7 +352,7 @@ fn compile_op(
     };
 
     let name_sym = ctx.symbol(&def.name);
-    let compiled = Rc::new(CompiledOp {
+    let compiled = Arc::new(CompiledOp {
         name: OpName { dialect: dialect_sym, name: name_sym },
         var_names,
         var_decls,
@@ -353,9 +365,9 @@ fn compile_op(
     });
 
     let syntax = match &def.format {
-        Some(format) => Some(Rc::new(FormatSpec::compile(ctx, format, compiled.clone())
+        Some(format) => Some(Arc::new(FormatSpec::compile(ctx, format, compiled.clone())
             .map_err(|d| d.or_offset(def.span))?)
-            as Rc<dyn irdl_ir::OpSyntax>),
+            as Arc<dyn irdl_ir::OpSyntax>),
         None => None,
     };
 
@@ -367,7 +379,7 @@ fn compile_op(
         name: name_sym,
         summary: def.summary.clone().unwrap_or_default(),
         is_terminator: def.successors.is_some(),
-        verifier: Some(Rc::new(ProgramOpVerifier::new(compiled.clone(), program))),
+        verifier: Some(Arc::new(ProgramOpVerifier::new(compiled.clone(), program))),
         syntax,
         decl,
     };

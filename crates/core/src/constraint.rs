@@ -7,7 +7,7 @@
 //! attribute — under a [`BindingEnv`] that gives constraint variables their
 //! "equal at every use" semantics (paper §4.6).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use irdl_ir::attrs::AttrData;
 use irdl_ir::types::TypeData;
@@ -92,7 +92,7 @@ impl TypeClass {
 }
 
 /// A native (IRDL-Rust) predicate over a constrained value.
-pub type NativePred = Rc<dyn Fn(&Context, &CVal) -> Result<(), String>>;
+pub type NativePred = Arc<dyn Fn(&Context, &CVal) -> Result<(), String> + Send + Sync>;
 
 /// A compiled constraint (runtime form of paper Figure 2).
 #[derive(Clone)]
@@ -829,7 +829,7 @@ mod tests {
             Constraint::Int(IntKind { width: 32, unsigned: true }),
             Constraint::Native {
                 name: "bounded_u32".into(),
-                pred: Rc::new(|ctx, val| {
+                pred: Arc::new(|ctx, val| {
                     let CVal::Attr(attr) = val else { return Err("not an attr".into()) };
                     match attr.as_int(ctx) {
                         Some(v) if v <= 32 => Ok(()),

@@ -9,7 +9,7 @@
 //! `%r = cmath.mul %p, %q : f32` round-trips without spelling out
 //! `!cmath.complex<f32>` anywhere.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use irdl_ir::diag::{Diagnostic, Result};
 use irdl_ir::lexer::TokenBuf;
@@ -41,7 +41,7 @@ enum FormatElem {
 /// A compiled declarative format; implements [`irdl_ir::OpSyntax`].
 pub struct FormatSpec {
     elems: Vec<FormatElem>,
-    op: Rc<CompiledOp>,
+    op: Arc<CompiledOp>,
 }
 
 impl std::fmt::Debug for FormatSpec {
@@ -57,7 +57,7 @@ impl FormatSpec {
     ///
     /// Rejects unknown directive names, directives for variadic
     /// definitions, and formats that do not cover every operand.
-    pub fn compile(ctx: &Context, format: &str, op: Rc<CompiledOp>) -> Result<FormatSpec> {
+    pub fn compile(ctx: &Context, format: &str, op: Arc<CompiledOp>) -> Result<FormatSpec> {
         // Regions and successors have no format directives; an op declaring
         // them cannot round-trip through a declarative format.
         if !op.regions.is_empty() {

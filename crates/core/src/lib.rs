@@ -52,6 +52,7 @@
 
 pub mod ast;
 pub mod builder;
+pub mod bundle;
 pub mod compile;
 pub mod constraint;
 pub mod format;
@@ -67,7 +68,11 @@ pub mod variadic;
 pub mod verifier;
 
 pub use ast::SourceFile;
-pub use compile::{compile_dialect, compile_dialect_collecting, register_dialects, register_dialects_with};
+pub use bundle::DialectBundle;
+pub use compile::{
+    compile_dialect, compile_dialect_collecting, dialect_compile_count, register_dialects,
+    register_dialects_with,
+};
 pub use constraint::{BindingEnv, CVal, Constraint};
 pub use native::NativeRegistry;
 pub use parser::parse_irdl;

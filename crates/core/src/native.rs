@@ -10,7 +10,7 @@
 //! preserved: each native reference is visible in the registry metadata.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use irdl_ir::dialect::NativeParamHandler;
 use irdl_ir::{Attribute, Context, OpRef};
@@ -18,10 +18,10 @@ use irdl_ir::{Attribute, Context, OpRef};
 use crate::constraint::{CVal, NativePred};
 
 /// A native verifier over a whole operation (op-level `CppConstraint`).
-pub type NativeOpVerifier = Rc<dyn Fn(&Context, OpRef) -> irdl_ir::Result<()>>;
+pub type NativeOpVerifier = Arc<dyn Fn(&Context, OpRef) -> irdl_ir::Result<()> + Send + Sync>;
 
 /// A native verifier over a type/attribute parameter list.
-pub type NativeParamsVerifier = Rc<dyn Fn(&Context, &[Attribute]) -> irdl_ir::Result<()>>;
+pub type NativeParamsVerifier = Arc<dyn Fn(&Context, &[Attribute]) -> irdl_ir::Result<()> + Send + Sync>;
 
 /// The registry of named native hooks available to the IRDL compiler.
 #[derive(Default, Clone)]
@@ -29,7 +29,7 @@ pub struct NativeRegistry {
     constraints: HashMap<String, NativePred>,
     op_verifiers: HashMap<String, NativeOpVerifier>,
     params_verifiers: HashMap<String, NativeParamsVerifier>,
-    param_kinds: HashMap<String, Rc<dyn NativeParamHandler>>,
+    param_kinds: HashMap<String, Arc<dyn NativeParamHandler>>,
 }
 
 impl std::fmt::Debug for NativeRegistry {
@@ -64,7 +64,7 @@ impl NativeRegistry {
         let mut registry = Self::new();
         registry.register_constraint(
             "integer_inequality",
-            Rc::new(|ctx: &Context, val: &CVal| match val {
+            Arc::new(|ctx: &Context, val: &CVal| match val {
                 CVal::Attr(attr) => match attr.as_int(ctx) {
                     Some(v) if v >= 0 => Ok(()),
                     Some(v) => Err(format!("integer inequality violated: {v} < 0")),
@@ -75,7 +75,7 @@ impl NativeRegistry {
         );
         registry.register_constraint(
             "bounded_u32",
-            Rc::new(|ctx: &Context, val: &CVal| match val {
+            Arc::new(|ctx: &Context, val: &CVal| match val {
                 CVal::Attr(attr) => match attr.as_int(ctx) {
                     Some(v) if (0..=32).contains(&v) => Ok(()),
                     Some(v) => Err(format!("integer value {v} is not between 0 and 32")),
@@ -86,7 +86,7 @@ impl NativeRegistry {
         );
         registry.register_constraint(
             "stride_check",
-            Rc::new(|ctx: &Context, val: &CVal| match val {
+            Arc::new(|ctx: &Context, val: &CVal| match val {
                 // Strides are arrays of integers where each stride must be
                 // non-zero (a zero stride aliases every element).
                 CVal::Attr(attr) => match attr.as_array(ctx) {
@@ -107,7 +107,7 @@ impl NativeRegistry {
         );
         registry.register_constraint(
             "struct_opacity",
-            Rc::new(|ctx: &Context, val: &CVal| match val {
+            Arc::new(|ctx: &Context, val: &CVal| match val {
                 // An opaque struct has no body: model as the empty string
                 // body being the only rejected value.
                 CVal::Attr(attr) => match attr.as_str(ctx) {
@@ -120,11 +120,11 @@ impl NativeRegistry {
         );
         registry.register_param_kind(
             "string_param",
-            Rc::new(|_text: &str| Ok(())),
+            Arc::new(|_text: &str| Ok(())),
         );
         registry.register_param_kind(
             "affine_map",
-            Rc::new(|text: &str| {
+            Arc::new(|text: &str| {
                 if text.starts_with('(') && text.contains("->") {
                     Ok(())
                 } else {
@@ -136,7 +136,7 @@ impl NativeRegistry {
         );
         registry.register_param_kind(
             "llvm_struct_body",
-            Rc::new(|_text: &str| Ok(())),
+            Arc::new(|_text: &str| Ok(())),
         );
         registry
     }
@@ -164,7 +164,7 @@ impl NativeRegistry {
     pub fn register_param_kind(
         &mut self,
         name: impl Into<String>,
-        handler: Rc<dyn NativeParamHandler>,
+        handler: Arc<dyn NativeParamHandler>,
     ) {
         self.param_kinds.insert(name.into(), handler);
     }
@@ -185,7 +185,7 @@ impl NativeRegistry {
     }
 
     /// Looks up a native parameter kind handler.
-    pub fn param_kind(&self, name: &str) -> Option<Rc<dyn NativeParamHandler>> {
+    pub fn param_kind(&self, name: &str) -> Option<Arc<dyn NativeParamHandler>> {
         self.param_kinds.get(name).cloned()
     }
 }

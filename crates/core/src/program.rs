@@ -25,8 +25,7 @@
 //! immutable indices: a `!cmath.complex<f32>` checked once is checked
 //! forever.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use irdl_ir::attrs::AttrData;
 use irdl_ir::diag::{Diagnostic, Result};
@@ -797,15 +796,14 @@ impl OpProgram {
 /// ([`CompiledOp::verify`]) to produce the exact human-readable diagnostic
 /// the tree path has always produced.
 pub struct ProgramOpVerifier {
-    compiled: Rc<CompiledOp>,
+    compiled: Arc<CompiledOp>,
     program: OpProgram,
-    scratch: RefCell<EvalScratch>,
 }
 
 impl ProgramOpVerifier {
     /// Wraps a compiled op and its lowered program.
-    pub fn new(compiled: Rc<CompiledOp>, program: OpProgram) -> Self {
-        ProgramOpVerifier { compiled, program, scratch: RefCell::new(EvalScratch::new()) }
+    pub fn new(compiled: Arc<CompiledOp>, program: OpProgram) -> Self {
+        ProgramOpVerifier { compiled, program }
     }
 
     /// The lowered program (introspection / benchmarks).
@@ -814,25 +812,33 @@ impl ProgramOpVerifier {
     }
 }
 
+/// Runs `f` with the context's parked [`EvalScratch`], parking it again
+/// afterwards so the buffers are reused across verifier runs.
+///
+/// The scratch lives on the [`Context`] (not the verifier) so verifier
+/// objects stay stateless and shareable across threads. If the slot is
+/// empty — first use, or a native verifier re-entered verification while a
+/// run was in flight — a fresh scratch is used, which keeps nesting safe.
+fn with_ctx_scratch<R>(ctx: &Context, f: impl FnOnce(&mut EvalScratch) -> R) -> R {
+    let mut scratch: Box<EvalScratch> = match ctx.take_eval_scratch() {
+        Some(parked) => parked.downcast().unwrap_or_default(),
+        None => Box::default(),
+    };
+    let result = f(&mut scratch);
+    ctx.put_eval_scratch(scratch);
+    result
+}
+
 impl irdl_ir::OpVerifier for ProgramOpVerifier {
     fn verify(&self, ctx: &Context, op: OpRef) -> Result<()> {
-        // A native verifier nested under this op could re-enter us (e.g.
-        // by verifying a sibling); fall back to fresh scratch rather than
-        // panicking on the RefCell.
-        let ok = match self.scratch.try_borrow_mut() {
-            Ok(mut scratch) => self.program.check_declarative(
+        let ok = with_ctx_scratch(ctx, |scratch| {
+            self.program.check_declarative(
                 ctx,
                 op,
-                &mut scratch,
+                scratch,
                 self.compiled.native_verifier.as_ref(),
-            ),
-            Err(_) => self.program.check_declarative(
-                ctx,
-                op,
-                &mut EvalScratch::new(),
-                self.compiled.native_verifier.as_ref(),
-            ),
-        };
+            )
+        });
         if ok {
             return Ok(());
         }
@@ -852,22 +858,20 @@ impl irdl_ir::OpVerifier for ProgramOpVerifier {
 /// The registered type/attribute parameter verifier: fast path plus lazy
 /// tree-rendered diagnostics, mirroring [`ProgramOpVerifier`].
 pub struct ProgramParamsVerifier {
-    compiled: Rc<CompiledParams>,
+    compiled: Arc<CompiledParams>,
     program: ConstraintProgram,
     param_roots: Vec<u32>,
-    scratch: RefCell<EvalScratch>,
 }
 
 impl ProgramParamsVerifier {
     /// Lowers `compiled`'s parameter constraints into a flat program.
-    pub fn build(ctx: &mut Context, compiled: Rc<CompiledParams>) -> Self {
+    pub fn build(ctx: &mut Context, compiled: Arc<CompiledParams>) -> Self {
         let mut b = Builder::new();
         let param_roots = compiled.constraints.iter().map(|c| b.lower(c)).collect();
         ProgramParamsVerifier {
             program: b.finish(ctx, Vec::new()),
             param_roots,
             compiled,
-            scratch: RefCell::new(EvalScratch::new()),
         }
     }
 
@@ -890,10 +894,7 @@ impl ProgramParamsVerifier {
 
 impl irdl_ir::ParamsVerifier for ProgramParamsVerifier {
     fn verify(&self, ctx: &Context, params: &[Attribute]) -> Result<()> {
-        let ok = match self.scratch.try_borrow_mut() {
-            Ok(mut scratch) => self.check(ctx, params, &mut scratch),
-            Err(_) => self.check(ctx, params, &mut EvalScratch::new()),
-        };
+        let ok = with_ctx_scratch(ctx, |scratch| self.check(ctx, params, scratch));
         if ok {
             return Ok(());
         }

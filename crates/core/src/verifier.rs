@@ -5,7 +5,7 @@
 //! hand-written C++ verifier of Listing 2 is derivable from the declarative
 //! specification of Listing 3.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use irdl_ir::diag::{Diagnostic, Result};
 use irdl_ir::{Attribute, Context, OpName, OpRef, Symbol};
@@ -271,7 +271,7 @@ impl CompiledOp {
 }
 
 /// Adapter: [`CompiledOp`] as an [`irdl_ir::OpVerifier`].
-pub struct CompiledOpVerifier(pub Rc<CompiledOp>);
+pub struct CompiledOpVerifier(pub Arc<CompiledOp>);
 
 impl irdl_ir::OpVerifier for CompiledOpVerifier {
     fn verify(&self, ctx: &Context, op: OpRef) -> Result<()> {
@@ -329,7 +329,7 @@ impl CompiledParams {
 }
 
 /// Adapter: [`CompiledParams`] as an [`irdl_ir::ParamsVerifier`].
-pub struct CompiledParamsVerifier(pub Rc<CompiledParams>);
+pub struct CompiledParamsVerifier(pub Arc<CompiledParams>);
 
 impl irdl_ir::ParamsVerifier for CompiledParamsVerifier {
     fn verify(&self, ctx: &Context, params: &[Attribute]) -> Result<()> {

@@ -439,12 +439,12 @@ fn enum_parameters_from_spec() {
 /// Listing 10: native constraints and native op verifiers (IRDL-Rust).
 #[test]
 fn native_constraints_from_spec() {
-    use std::rc::Rc;
+    use std::sync::Arc;
     let mut ctx = Context::new();
     let mut natives = irdl::NativeRegistry::with_std();
     natives.register_op_verifier(
         "append_vector_sizes",
-        Rc::new(|ctx: &irdl_ir::Context, op: irdl_ir::OpRef| {
+        Arc::new(|ctx: &irdl_ir::Context, op: irdl_ir::OpRef| {
             // res.size == lhs.size + rhs.size
             let size_of = |ctx: &irdl_ir::Context, ty: irdl_ir::Type| -> i128 {
                 ty.params(ctx)

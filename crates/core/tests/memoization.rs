@@ -6,7 +6,7 @@
 //! wrong: caching a variable-bearing constraint across binding
 //! environments, and key collisions between programs or values.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use irdl::ast::Variadicity;
 use irdl::constraint::Constraint;
@@ -163,7 +163,7 @@ fn lazy_diagnostics_match_the_tree_interpreter() {
     let mut ctx = Context::new();
     let f32 = ctx.f32_type();
     let i32 = ctx.i32_type();
-    let compiled = Rc::new(one_operand_op(&mut ctx, Constraint::ExactType(f32)));
+    let compiled = Arc::new(one_operand_op(&mut ctx, Constraint::ExactType(f32)));
     let program = OpProgram::build(&mut ctx, &compiled);
     let verifier = ProgramOpVerifier::new(compiled.clone(), program);
 

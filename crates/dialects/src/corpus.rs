@@ -1,6 +1,6 @@
 //! Assembling and registering the full 28-dialect corpus.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use irdl::NativeRegistry;
 use irdl_ir::diag::{Diagnostic, Result};
@@ -39,7 +39,7 @@ pub fn corpus_natives() -> NativeRegistry {
     // operands, a representative non-local invariant.
     natives.register_op_verifier(
         "cross_operand_check",
-        Rc::new(|ctx: &Context, op: irdl_ir::OpRef| {
+        Arc::new(|ctx: &Context, op: irdl_ir::OpRef| {
             let operands = op.operands(ctx);
             for (i, a) in operands.iter().enumerate() {
                 for b in operands.iter().skip(i + 1) {
@@ -55,11 +55,11 @@ pub fn corpus_natives() -> NativeRegistry {
     );
     natives.register_params_verifier(
         "params_always_ok",
-        Rc::new(|_ctx: &Context, _params: &[irdl_ir::Attribute]| Ok(())),
+        Arc::new(|_ctx: &Context, _params: &[irdl_ir::Attribute]| Ok(())),
     );
     natives.register_params_verifier(
         "builtin_integer_width",
-        Rc::new(|ctx: &Context, params: &[irdl_ir::Attribute]| {
+        Arc::new(|ctx: &Context, params: &[irdl_ir::Attribute]| {
             match params.first().and_then(|p| p.as_int(ctx)) {
                 Some(w) if (1..=128).contains(&w) => Ok(()),
                 Some(w) => Err(Diagnostic::new(format!("invalid integer bitwidth {w}"))),
@@ -69,7 +69,7 @@ pub fn corpus_natives() -> NativeRegistry {
     );
     natives.register_params_verifier(
         "builtin_float_width",
-        Rc::new(|ctx: &Context, params: &[irdl_ir::Attribute]| {
+        Arc::new(|ctx: &Context, params: &[irdl_ir::Attribute]| {
             match params.first().and_then(|p| p.as_int(ctx)) {
                 Some(16) | Some(32) | Some(64) => Ok(()),
                 Some(w) => Err(Diagnostic::new(format!("invalid float bitwidth {w}"))),
@@ -79,7 +79,7 @@ pub fn corpus_natives() -> NativeRegistry {
     );
     natives.register_params_verifier(
         "builtin_dictionary_sorted",
-        Rc::new(|ctx: &Context, params: &[irdl_ir::Attribute]| {
+        Arc::new(|ctx: &Context, params: &[irdl_ir::Attribute]| {
             let keys: Vec<String> = params
                 .first()
                 .and_then(|p| p.as_array(ctx))
@@ -99,11 +99,11 @@ pub fn corpus_natives() -> NativeRegistry {
     );
     natives.register_params_verifier(
         "builtin_integer_fits",
-        Rc::new(|_ctx: &Context, _params: &[irdl_ir::Attribute]| Ok(())),
+        Arc::new(|_ctx: &Context, _params: &[irdl_ir::Attribute]| Ok(())),
     );
     natives.register_op_verifier(
         "builtin_module_check",
-        Rc::new(|ctx: &Context, op: irdl_ir::OpRef| {
+        Arc::new(|ctx: &Context, op: irdl_ir::OpRef| {
             if op.num_operands(ctx) == 0 && op.num_results(ctx) == 0 {
                 Ok(())
             } else {
@@ -113,7 +113,7 @@ pub fn corpus_natives() -> NativeRegistry {
     );
     natives.register_op_verifier(
         "builtin_func_check",
-        Rc::new(|ctx: &Context, op: irdl_ir::OpRef| {
+        Arc::new(|ctx: &Context, op: irdl_ir::OpRef| {
             match op.attr(ctx, "sym_name") {
                 Some(name) if name.as_str(ctx).is_some_and(|s| !s.is_empty()) => Ok(()),
                 _ => Err(Diagnostic::new("func needs a non-empty symbol name")),

@@ -7,7 +7,7 @@
 //! they are the dialects the examples, tests, and benchmarks drive IR
 //! through.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use irdl_ir::diag::Result;
 use irdl_ir::parse::OpParser;
@@ -131,7 +131,7 @@ pub fn register_showcase(ctx: &mut Context) -> Result<()> {
         .registry_mut()
         .dialect_mut(func)
         .expect("func dialect registered above");
-    dialect.set_op_syntax(func_op, Rc::new(FuncSyntax));
+    dialect.set_op_syntax(func_op, Arc::new(FuncSyntax));
     Ok(())
 }
 

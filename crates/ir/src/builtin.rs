@@ -2,7 +2,7 @@
 //! itself needs (as in MLIR, the builtin dialect is deliberately tiny; the
 //! paper counts it among the three smallest dialects).
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::context::Context;
 use crate::diag::Diagnostic;
@@ -26,7 +26,7 @@ pub fn register_builtin_dialect(ctx: &mut Context) {
         name: module,
         summary: "A top-level container operation".to_string(),
         is_terminator: false,
-        verifier: Some(Rc::new(verify_module)),
+        verifier: Some(Arc::new(verify_module)),
         syntax: None,
         decl: crate::dialect::OpDeclStats {
             region_defs: 1,

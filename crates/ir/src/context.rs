@@ -1,5 +1,6 @@
 //! The [`Context`]: owner of all IR state.
 
+use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
@@ -38,6 +39,37 @@ pub struct Context {
     verdict_hits: Cell<u64>,
     verdict_misses: Cell<u64>,
     next_verdict_domain: u32,
+    /// Per-context evaluation scratch parked here between verifier runs so
+    /// shared (`Arc`'d, stateless) verifier objects stay `Sync`. Type-erased
+    /// because the scratch type lives in a downstream crate.
+    eval_scratch: RefCell<Option<Box<dyn Any + Send>>>,
+}
+
+impl Clone for Context {
+    /// Clones the full context: interned tables, entity arenas, registry
+    /// (hook objects are `Arc`-shared, not deep-copied), and the verdict
+    /// cache. Because the uniquing tables are append-only, every index in
+    /// the clone resolves to the same value as in the original — so compiled
+    /// artifacts built against the original remain valid in the clone, and
+    /// the cloned verdict cache is warm *and* sound. Hit/miss counters reset
+    /// to zero; evaluation scratch starts empty.
+    fn clone(&self) -> Self {
+        Context {
+            symbols: self.symbols.clone(),
+            types: self.types.clone(),
+            attrs: self.attrs.clone(),
+            ops: self.ops.clone(),
+            blocks: self.blocks.clone(),
+            regions: self.regions.clone(),
+            registry: self.registry.clone(),
+            allow_unregistered: self.allow_unregistered,
+            verdict_cache: RefCell::new(self.verdict_cache.borrow().clone()),
+            verdict_hits: Cell::new(0),
+            verdict_misses: Cell::new(0),
+            next_verdict_domain: self.next_verdict_domain,
+            eval_scratch: RefCell::new(None),
+        }
+    }
 }
 
 impl std::fmt::Debug for Context {
@@ -77,6 +109,7 @@ impl Context {
             verdict_hits: Cell::new(0),
             verdict_misses: Cell::new(0),
             next_verdict_domain: 0,
+            eval_scratch: RefCell::new(None),
         };
         crate::builtin::register_builtin_dialect(&mut ctx);
         ctx
@@ -175,6 +208,33 @@ impl Context {
     /// `(hits, misses)` counters for the verdict cache.
     pub fn verdict_cache_stats(&self) -> (u64, u64) {
         (self.verdict_hits.get(), self.verdict_misses.get())
+    }
+
+    /// Zeroes the verdict hit/miss counters (the cache itself is kept).
+    ///
+    /// Lets callers measure hit rates over a window — e.g. per worker in
+    /// the batch pipeline — instead of since context creation.
+    pub fn reset_verdict_stats(&self) {
+        self.verdict_hits.set(0);
+        self.verdict_misses.set(0);
+    }
+
+    // ----- Evaluation scratch ----------------------------------------------
+
+    /// Takes the parked evaluation scratch, leaving the slot empty.
+    ///
+    /// Verifier implementations park reusable evaluation buffers here so
+    /// the verifier objects themselves can be shared across threads. The
+    /// slot is type-erased; callers downcast to their own scratch type and
+    /// fall back to a fresh value on mismatch or when the slot is empty
+    /// (which also makes nested verification re-entrant).
+    pub fn take_eval_scratch(&self) -> Option<Box<dyn Any + Send>> {
+        self.eval_scratch.borrow_mut().take()
+    }
+
+    /// Parks evaluation scratch for the next verifier run.
+    pub fn put_eval_scratch(&self, scratch: Box<dyn Any + Send>) {
+        *self.eval_scratch.borrow_mut() = Some(scratch);
     }
 
     // ----- Entity arenas ---------------------------------------------------

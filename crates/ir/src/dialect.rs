@@ -8,7 +8,7 @@
 //! paper registers dialects in MLIR from an IRDL file.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::attrs::Attribute;
 use crate::context::Context;
@@ -19,7 +19,7 @@ use crate::symbol::Symbol;
 /// Verifies a fully-constructed operation (operands, results, attributes,
 /// regions, successors). IRDL compiles declarative constraints into one of
 /// these; IRDL-Rust (the IRDL-C++ analog) registers arbitrary closures.
-pub trait OpVerifier {
+pub trait OpVerifier: Send + Sync {
     /// Checks `op` against this verifier's invariants.
     ///
     /// # Errors
@@ -28,14 +28,14 @@ pub trait OpVerifier {
     fn verify(&self, ctx: &Context, op: OpRef) -> Result<()>;
 }
 
-impl<F: Fn(&Context, OpRef) -> Result<()>> OpVerifier for F {
+impl<F: Fn(&Context, OpRef) -> Result<()> + Send + Sync> OpVerifier for F {
     fn verify(&self, ctx: &Context, op: OpRef) -> Result<()> {
         self(ctx, op)
     }
 }
 
 /// Verifies the parameter list of a parametric type or attribute.
-pub trait ParamsVerifier {
+pub trait ParamsVerifier: Send + Sync {
     /// Checks the parameter list against the definition's constraints.
     ///
     /// # Errors
@@ -44,7 +44,7 @@ pub trait ParamsVerifier {
     fn verify(&self, ctx: &Context, params: &[Attribute]) -> Result<()>;
 }
 
-impl<F: Fn(&Context, &[Attribute]) -> Result<()>> ParamsVerifier for F {
+impl<F: Fn(&Context, &[Attribute]) -> Result<()> + Send + Sync> ParamsVerifier for F {
     fn verify(&self, ctx: &Context, params: &[Attribute]) -> Result<()> {
         self(ctx, params)
     }
@@ -52,7 +52,7 @@ impl<F: Fn(&Context, &[Attribute]) -> Result<()>> ParamsVerifier for F {
 
 /// Custom textual syntax for an operation (IRDL `Format` directive or a
 /// native Rust implementation for syntaxes beyond the declarative subset).
-pub trait OpSyntax {
+pub trait OpSyntax: Send + Sync {
     /// Prints `op` after its result list (`%r = `) and name have been
     /// printed by the framework.
     fn print(&self, ctx: &Context, op: OpRef, printer: &mut crate::print::Printer<'_>);
@@ -71,7 +71,7 @@ pub trait OpSyntax {
 ///
 /// The framework prints/parses the `!dialect.name<` ... `>` shell; the hook
 /// handles everything between the angle brackets.
-pub trait ParamsSyntax {
+pub trait ParamsSyntax: Send + Sync {
     /// Prints the parameter list (without the surrounding brackets).
     fn print(&self, ctx: &Context, params: &[Attribute], printer: &mut crate::print::Printer<'_>);
 
@@ -88,7 +88,7 @@ pub trait ParamsSyntax {
 
 /// Validates and normalizes native (IRDL-Rust `TypeOrAttrParam`) parameter
 /// values from their textual form.
-pub trait NativeParamHandler {
+pub trait NativeParamHandler: Send + Sync {
     /// Checks that `text` is a valid value of this parameter kind.
     ///
     /// # Errors
@@ -97,7 +97,7 @@ pub trait NativeParamHandler {
     fn validate(&self, text: &str) -> Result<()>;
 }
 
-impl<F: Fn(&str) -> Result<()>> NativeParamHandler for F {
+impl<F: Fn(&str) -> Result<()> + Send + Sync> NativeParamHandler for F {
     fn validate(&self, text: &str) -> Result<()> {
         self(text)
     }
@@ -175,9 +175,9 @@ pub struct OpInfo {
     /// Whether the op is a terminator (declared `Successors`, even empty).
     pub is_terminator: bool,
     /// Verifier hook (IRDL-compiled constraints and/or native code).
-    pub verifier: Option<Rc<dyn OpVerifier>>,
+    pub verifier: Option<Arc<dyn OpVerifier>>,
     /// Custom syntax hook (IRDL `Format` or native).
-    pub syntax: Option<Rc<dyn OpSyntax>>,
+    pub syntax: Option<Arc<dyn OpSyntax>>,
     /// Declarative statistics for the evaluation tooling.
     pub decl: OpDeclStats,
 }
@@ -206,9 +206,9 @@ pub struct TypeDefInfo {
     /// Parameter kinds, for the Figure 8 analysis.
     pub param_kinds: Vec<ParamKind>,
     /// Parameter-constraint verifier.
-    pub verifier: Option<Rc<dyn ParamsVerifier>>,
+    pub verifier: Option<Arc<dyn ParamsVerifier>>,
     /// Custom parameter-list syntax (IRDL `Format` on the definition).
-    pub syntax: Option<Rc<dyn ParamsSyntax>>,
+    pub syntax: Option<Arc<dyn ParamsSyntax>>,
     /// Whether a native (IRDL-C++) verifier participates (Figure 9b).
     pub has_native_verifier: bool,
 }
@@ -287,7 +287,7 @@ impl DialectInfo {
     ///
     /// This is the hook for native syntaxes beyond the declarative format
     /// language. Returns `false` if no operation named `name` exists.
-    pub fn set_op_syntax(&mut self, name: Symbol, syntax: Rc<dyn OpSyntax>) -> bool {
+    pub fn set_op_syntax(&mut self, name: Symbol, syntax: Arc<dyn OpSyntax>) -> bool {
         match self.ops.get_mut(&name) {
             Some(info) => {
                 info.syntax = Some(syntax);
@@ -350,10 +350,10 @@ impl DialectInfo {
 
 /// All dialects registered in a [`Context`], plus the registry of native
 /// parameter handlers shared across dialects.
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub struct DialectRegistry {
     dialects: HashMap<Symbol, DialectInfo>,
-    native_params: HashMap<Symbol, Rc<dyn NativeParamHandler>>,
+    native_params: HashMap<Symbol, Arc<dyn NativeParamHandler>>,
 }
 
 impl std::fmt::Debug for DialectRegistry {
@@ -415,13 +415,13 @@ impl DialectRegistry {
     pub fn register_native_param(
         &mut self,
         kind: Symbol,
-        handler: Rc<dyn NativeParamHandler>,
+        handler: Arc<dyn NativeParamHandler>,
     ) {
         self.native_params.insert(kind, handler);
     }
 
     /// Looks up the handler for a native parameter kind.
-    pub fn native_param(&self, kind: Symbol) -> Option<Rc<dyn NativeParamHandler>> {
+    pub fn native_param(&self, kind: Symbol) -> Option<Arc<dyn NativeParamHandler>> {
         self.native_params.get(&kind).cloned()
     }
 
@@ -511,7 +511,7 @@ mod tests {
         let kind = ctx.symbol("affine_map");
         ctx.registry_mut().register_native_param(
             kind,
-            Rc::new(|text: &str| {
+            Arc::new(|text: &str| {
                 if text.starts_with('(') {
                     Ok(())
                 } else {

@@ -96,12 +96,10 @@ fn drive(
         }
         stats.visited += 1;
         let op_name = op.name(ctx);
-        for pattern in patterns.patterns() {
-            if let Some(anchor) = pattern.root() {
-                if anchor != op_name {
-                    continue;
-                }
-            }
+        // Only patterns anchored on this op name (plus the anchorless
+        // ones) are tried, in the same priority order a full scan of
+        // `patterns.patterns()` would visit them.
+        for pattern in patterns.candidates(op_name) {
             let mut rewriter = Rewriter::new(ctx, op);
             let changed = pattern.match_and_rewrite(&mut rewriter);
             let added = std::mem::take(&mut rewriter.added);
@@ -161,7 +159,7 @@ mod tests {
     use super::*;
     use crate::pattern::RewritePattern;
     use irdl_ir::{OperationState, OpName};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     /// Rewrites `t.add(x, x)` into `t.double(x)`.
     struct AddToDouble {
@@ -255,8 +253,8 @@ mod tests {
         ctx.append_op(block, s);
 
         let mut patterns = PatternSet::new();
-        patterns.add(Rc::new(AddToDouble { add, double }));
-        patterns.add(Rc::new(DoubleDoubleToQuad { double, quad }));
+        patterns.add(Arc::new(AddToDouble { add, double }));
+        patterns.add(Arc::new(DoubleDoubleToQuad { double, quad }));
         let stats = rewrite_greedily(&mut ctx, module, &patterns);
 
         // add(x,x) -> double(x); add(a,a) -> double(a);
@@ -319,8 +317,8 @@ mod tests {
         let mut patterns = PatternSet::new();
         // Benefit ordering + LIFO worklist make the add op pop before the
         // copy op is forwarded.
-        patterns.add(Rc::new(AddToDouble { add, double }));
-        patterns.add(Rc::new(ForwardCopy { copy }));
+        patterns.add(Arc::new(AddToDouble { add, double }));
+        patterns.add(Arc::new(ForwardCopy { copy }));
         let stats = rewrite_greedily(&mut ctx, module, &patterns);
         assert_eq!(stats.rewrites, 2, "copy forward + add-to-double");
         let names: Vec<String> =
@@ -369,7 +367,7 @@ mod tests {
 
         // A correct pattern set passes the checked driver...
         let mut good = PatternSet::new();
-        good.add(Rc::new(AddToDouble { add, double }));
+        good.add(Arc::new(AddToDouble { add, double }));
         let stats = rewrite_greedily_checked(&mut ctx, module, &good).unwrap();
         assert_eq!(stats.rewrites, 1);
 
@@ -377,7 +375,7 @@ mod tests {
         let y = ctx.create_op(OperationState::new(add).add_operands([vx, vx]).add_result_types([i32]));
         ctx.append_op(block, y);
         let mut buggy = PatternSet::new();
-        buggy.add(Rc::new(BreaksDominance { add, bad }));
+        buggy.add(Arc::new(BreaksDominance { add, bad }));
         let err = rewrite_greedily_checked(&mut ctx, module, &buggy).unwrap_err();
         assert_eq!(err.pattern, "breaks-dominance");
         assert!(

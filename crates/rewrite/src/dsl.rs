@@ -74,7 +74,7 @@ pub fn parse_patterns(ctx: &mut Context, source: &str) -> Result<PatternSet> {
     let mut set = PatternSet::new();
     while parser.peek() != &Token::Eof {
         let pattern = parser.parse_pattern()?;
-        set.add(std::rc::Rc::new(pattern));
+        set.add(std::sync::Arc::new(pattern));
     }
     Ok(set)
 }

@@ -1,11 +1,16 @@
 //! The [`RewritePattern`] trait and the [`Rewriter`] handed to patterns.
 
-use std::rc::Rc;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 use irdl_ir::{Context, OpName, OperationState, OpRef, Value};
 
 /// A rewrite pattern rooted at one operation.
-pub trait RewritePattern {
+///
+/// Patterns are registered behind `Arc` and shared across threads by the
+/// batch pipeline, so implementations must be `Send + Sync` — in practice,
+/// immutable match/rewrite logic plus configuration data.
+pub trait RewritePattern: Send + Sync {
     /// The operation name this pattern is anchored on, or `None` to try it
     /// on every operation.
     fn root(&self) -> Option<OpName> {
@@ -29,10 +34,21 @@ pub trait RewritePattern {
     fn match_and_rewrite(&self, rewriter: &mut Rewriter<'_>) -> bool;
 }
 
-/// An ordered collection of patterns, sorted by descending benefit.
+/// An ordered collection of patterns, sorted by descending benefit and
+/// indexed by root operation name.
+///
+/// The driver asks for the patterns applicable to one operation; the index
+/// answers without scanning patterns anchored elsewhere. Because the sort
+/// is stable, position in `patterns` *is* priority order, so candidate
+/// lists (which hold ascending positions) merge back into exactly the
+/// order a full scan would have produced.
 #[derive(Clone, Default)]
 pub struct PatternSet {
-    patterns: Vec<Rc<dyn RewritePattern>>,
+    patterns: Vec<Arc<dyn RewritePattern>>,
+    /// Positions of patterns anchored on a specific op name (ascending).
+    anchored: HashMap<OpName, Vec<usize>>,
+    /// Positions of patterns that try every operation (ascending).
+    anchorless: Vec<usize>,
 }
 
 impl std::fmt::Debug for PatternSet {
@@ -49,14 +65,35 @@ impl PatternSet {
     }
 
     /// Adds a pattern, keeping the set sorted by benefit.
-    pub fn add(&mut self, pattern: Rc<dyn RewritePattern>) {
+    pub fn add(&mut self, pattern: Arc<dyn RewritePattern>) {
         self.patterns.push(pattern);
         self.patterns.sort_by_key(|p| std::cmp::Reverse(p.benefit()));
+        self.reindex();
+    }
+
+    fn reindex(&mut self) {
+        self.anchored.clear();
+        self.anchorless.clear();
+        for (i, pattern) in self.patterns.iter().enumerate() {
+            match pattern.root() {
+                Some(root) => self.anchored.entry(root).or_default().push(i),
+                None => self.anchorless.push(i),
+            }
+        }
     }
 
     /// The patterns, highest benefit first.
-    pub fn patterns(&self) -> &[Rc<dyn RewritePattern>] {
+    pub fn patterns(&self) -> &[Arc<dyn RewritePattern>] {
         &self.patterns
+    }
+
+    /// The patterns applicable to an operation named `name` — those
+    /// anchored on `name` plus the anchorless ones — highest benefit first
+    /// (ties in registration order, matching [`PatternSet::patterns`]).
+    pub fn candidates(&self, name: OpName) -> impl Iterator<Item = &dyn RewritePattern> + '_ {
+        let anchored = self.anchored.get(&name).map_or(&[][..], Vec::as_slice);
+        MergeAscending { a: anchored, b: &self.anchorless }
+            .map(move |i| &*self.patterns[i])
     }
 
     /// Number of patterns.
@@ -70,12 +107,35 @@ impl PatternSet {
     }
 }
 
-impl FromIterator<Rc<dyn RewritePattern>> for PatternSet {
-    fn from_iter<I: IntoIterator<Item = Rc<dyn RewritePattern>>>(iter: I) -> Self {
+/// Merges two ascending position lists into one ascending stream.
+struct MergeAscending<'a> {
+    a: &'a [usize],
+    b: &'a [usize],
+}
+
+impl Iterator for MergeAscending<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        let take_a = match (self.a.first(), self.b.first()) {
+            (Some(x), Some(y)) => x < y,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        let list = if take_a { &mut self.a } else { &mut self.b };
+        let item = list[0];
+        *list = &list[1..];
+        Some(item)
+    }
+}
+
+impl FromIterator<Arc<dyn RewritePattern>> for PatternSet {
+    fn from_iter<I: IntoIterator<Item = Arc<dyn RewritePattern>>>(iter: I) -> Self {
         let mut set = PatternSet::new();
-        for p in iter {
-            set.add(p);
-        }
+        set.patterns.extend(iter);
+        set.patterns.sort_by_key(|p| std::cmp::Reverse(p.benefit()));
+        set.reindex();
         set
     }
 }
@@ -188,8 +248,8 @@ mod tests {
     #[test]
     fn pattern_set_orders_by_benefit() {
         let mut set = PatternSet::new();
-        set.add(Rc::new(Trivial));
-        set.add(Rc::new(Better));
+        set.add(Arc::new(Trivial));
+        set.add(Arc::new(Better));
         assert_eq!(set.patterns()[0].name(), "better");
         assert_eq!(set.len(), 2);
     }

@@ -15,34 +15,44 @@
 //! - `--corpus`          preregister the 28-dialect evaluation corpus
 //! - `--verify`          verify after parsing (and after rewriting)
 //! - `--generic`         print in the generic form only
-//! - `<file>`            the IR input (defaults to stdin)
+//! - `--jobs <n>`        process inputs on `n` worker threads
+//! - `<file>...`         the IR inputs (defaults to stdin)
+//!
+//! With several input files (or `--jobs > 1`), dialects and patterns are
+//! compiled once into a shared bundle and the files are fanned out across
+//! the workers; outputs are printed in input order, separated by the
+//! `// -----` split marker.
 
 use std::io::Read;
 
+use irdl::DialectBundle;
 use irdl_ir::print::Printer;
 use irdl_ir::verify::verify_op;
 use irdl_ir::Context;
+use irdl_rewrite::pipeline::{run_batch, PipelineOptions};
 use irdl_rewrite::{parse_patterns, rewrite_greedily, PatternSet};
 
 struct Options {
     irdl_files: Vec<String>,
     pattern_files: Vec<String>,
-    input: Option<String>,
+    inputs: Vec<String>,
     showcase: bool,
     corpus: bool,
     verify: bool,
     generic: bool,
+    jobs: usize,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         irdl_files: Vec::new(),
         pattern_files: Vec::new(),
-        input: None,
+        inputs: Vec::new(),
         showcase: false,
         corpus: false,
         verify: false,
         generic: false,
+        jobs: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +65,13 @@ fn parse_args() -> Result<Options, String> {
                 let file = args.next().ok_or("--patterns needs a file argument")?;
                 opts.pattern_files.push(file);
             }
+            "--jobs" | "-j" => {
+                let n = args.next().ok_or("--jobs needs a number argument")?;
+                opts.jobs = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --jobs value `{n}`"))?
+                    .max(1);
+            }
             "--showcase" => opts.showcase = true,
             "--corpus" => opts.corpus = true,
             "--verify" => opts.verify = true,
@@ -62,12 +79,13 @@ fn parse_args() -> Result<Options, String> {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: irdl-opt [--irdl FILE]... [--patterns FILE]... \
-                     [--showcase] [--corpus] [--verify] [--generic] [IR-FILE]"
+                     [--showcase] [--corpus] [--verify] [--generic] \
+                     [--jobs N] [IR-FILE]..."
                 );
                 std::process::exit(0);
             }
-            other if !other.starts_with('-') && opts.input.is_none() => {
-                opts.input = Some(other.to_string());
+            other if !other.starts_with('-') => {
+                opts.inputs.push(other.to_string());
             }
             other => return Err(format!("unknown option `{other}`")),
         }
@@ -103,7 +121,55 @@ fn run(opts: Options) -> Result<(), String> {
         }
     }
 
-    let ir = match &opts.input {
+    // Batch mode: several inputs, or an explicit worker count. Dialects
+    // and patterns were compiled once above; seal them into a shared
+    // bundle and fan the files out.
+    if opts.inputs.len() > 1 || opts.jobs > 1 {
+        let mut sources = Vec::with_capacity(opts.inputs.len());
+        for file in &opts.inputs {
+            sources.push(
+                std::fs::read_to_string(file)
+                    .map_err(|e| format!("cannot read `{file}`: {e}"))?,
+            );
+        }
+        let bundle = DialectBundle::capture(ctx, Vec::new());
+        let pipeline_opts = PipelineOptions {
+            jobs: opts.jobs,
+            verify: opts.verify,
+            generic: opts.generic,
+        };
+        let report = run_batch(&bundle, &patterns, &sources, &pipeline_opts);
+        let mut failed = false;
+        let total_rewrites: usize = report
+            .results
+            .iter()
+            .filter_map(|r| r.as_ref().ok().map(|m| m.rewrites))
+            .sum();
+        if !patterns.is_empty() {
+            eprintln!("applied {total_rewrites} rewrite(s)");
+        }
+        for (file, result) in opts.inputs.iter().zip(&report.results) {
+            match result {
+                Ok(module) => {
+                    write_stdout("// ----- ");
+                    write_stdout(file);
+                    write_stdout("\n");
+                    write_stdout(&module.output);
+                    write_stdout("\n");
+                }
+                Err(message) => {
+                    eprintln!("error: {file}:\n{message}");
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            return Err(format!("{} input(s) failed", report.errors()));
+        }
+        return Ok(());
+    }
+
+    let ir = match opts.inputs.first() {
         Some(file) => std::fs::read_to_string(file)
             .map_err(|e| format!("cannot read `{file}`: {e}"))?,
         None => {

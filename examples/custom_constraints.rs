@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example custom_constraints`
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use irdl_repro::ir::verify::verify_op;
 use irdl_repro::ir::{Context, OperationState, Signedness};
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The op-level invariant of Listing 10: lhs.size + rhs.size == res.size.
     natives.register_op_verifier(
         "append_vector_sizes",
-        Rc::new(|ctx: &Context, op: irdl_repro::ir::OpRef| {
+        Arc::new(|ctx: &Context, op: irdl_repro::ir::OpRef| {
             let size = |ty: irdl_repro::ir::Type| {
                 ty.params(ctx).get(1).and_then(|a| a.as_int(ctx)).unwrap_or(0)
             };

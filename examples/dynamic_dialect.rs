@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut natives = irdl_repro::irdl::NativeRegistry::with_std();
     natives.register_op_verifier(
         "matrix_dims_compose",
-        std::rc::Rc::new(|ctx: &Context, op: irdl_repro::ir::OpRef| {
+        std::sync::Arc::new(|ctx: &Context, op: irdl_repro::ir::OpRef| {
             let dims = |ty: irdl_repro::ir::Type| -> Option<(i128, i128)> {
                 let params = ty.params(ctx);
                 Some((params.first()?.as_int(ctx)?, params.get(1)?.as_int(ctx)?))
