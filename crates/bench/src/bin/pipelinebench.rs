@@ -106,7 +106,7 @@ fn timed_batch(
     inputs: &[String],
     jobs: usize,
 ) -> BatchTiming {
-    let opts = PipelineOptions { jobs, verify: true, generic: false };
+    let opts = PipelineOptions { jobs, verify: true, ..Default::default() };
     let start = Instant::now();
     let report = run_batch(bundle, patterns, inputs, &opts);
     let secs = start.elapsed().as_secs_f64();
@@ -212,7 +212,7 @@ fn main() {
     // synthesized terminators do not satisfy the full recursive module
     // verifier (a genir limitation, not a pipeline one). Drop them up
     // front — and say so, rather than silently shrinking the corpus.
-    let probe_opts = PipelineOptions { jobs: 1, verify: true, generic: false };
+    let probe_opts = PipelineOptions { jobs: 1, verify: true, ..Default::default() };
     let probe = run_batch(&bundle, &patterns, &candidates, &probe_opts);
     let inputs: Vec<String> = candidates
         .into_iter()

@@ -131,6 +131,62 @@ impl RegionDominance {
     }
 }
 
+/// A cache of per-region dominator analyses with region-granular
+/// invalidation.
+///
+/// The whole-module [`ModuleVerifier`](crate::verify::ModuleVerifier)
+/// clears it wholesale at the start of every run; the
+/// [`IncrementalVerifier`](crate::verify::IncrementalVerifier) instead
+/// invalidates only the regions a change journal names, so dominance for
+/// untouched regions is never recomputed.
+///
+/// Entity arenas reuse slots without generation counters, so an erased
+/// region's `RegionRef` can come back identifying a *different* region.
+/// Holders of a cache across erasures must therefore evict every erased
+/// region (the journal records them for exactly this purpose) — a stale
+/// entry under a reused ref would silently answer for the wrong CFG.
+#[derive(Debug, Default)]
+pub struct DominanceCache {
+    regions: HashMap<RegionRef, RegionDominance>,
+}
+
+impl DominanceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops every cached analysis (capacity is retained).
+    pub fn clear(&mut self) {
+        self.regions.clear();
+    }
+
+    /// Drops the cached analysis for `region`, if any. Used both for
+    /// regions whose CFG changed and for erased regions whose slot may be
+    /// reused.
+    pub fn invalidate(&mut self, region: RegionRef) {
+        self.regions.remove(&region);
+    }
+
+    /// The dominator analysis for `region`, computing (and caching) it on
+    /// first use.
+    pub fn get_or_compute(&mut self, ctx: &Context, region: RegionRef) -> &RegionDominance {
+        self.regions
+            .entry(region)
+            .or_insert_with(|| RegionDominance::compute(ctx, region))
+    }
+
+    /// Number of cached region analyses.
+    pub fn len(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Returns `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+}
+
 fn intersect(
     idom: &HashMap<BlockRef, BlockRef>,
     rpo_index: &HashMap<BlockRef, usize>,
@@ -231,6 +287,21 @@ mod tests {
         assert!(dom.dominates(entry, body));
         assert!(dom.dominates(body, exit));
         assert_eq!(predecessors(&ctx, body), vec![entry, body]);
+    }
+
+    #[test]
+    fn cache_invalidation_is_per_region() {
+        let mut ctx = Context::new();
+        let (region_a, [entry_a, ..]) = diamond(&mut ctx);
+        let (region_b, [entry_b, ..]) = diamond(&mut ctx);
+        let mut cache = DominanceCache::new();
+        assert!(cache.get_or_compute(&ctx, region_a).is_reachable(entry_a));
+        assert!(cache.get_or_compute(&ctx, region_b).is_reachable(entry_b));
+        assert_eq!(cache.len(), 2);
+        cache.invalidate(region_a);
+        assert_eq!(cache.len(), 1, "only the named region is dropped");
+        cache.clear();
+        assert!(cache.is_empty());
     }
 
     #[test]

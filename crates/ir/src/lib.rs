@@ -50,6 +50,7 @@ pub mod diag;
 pub mod dialect;
 pub mod dominance;
 pub mod entity;
+pub mod journal;
 pub mod lexer;
 pub mod op;
 pub mod parse;
@@ -70,7 +71,10 @@ pub use dialect::{
     AttrDefInfo, DialectInfo, DialectRegistry, EnumInfo, OpInfo, OpSyntax, OpVerifier, ParamKind,
     ParamsVerifier, TypeDefInfo,
 };
+pub use dominance::DominanceCache;
+pub use journal::ChangeJournal;
 pub use op::{OpName, OpRef, OperationData, OperationState};
+pub use verify::{IncrementalVerifier, ModuleVerifier};
 pub use region::{RegionData, RegionRef};
 pub use symbol::Symbol;
 pub use types::{FloatKind, Signedness, Type, TypeData};

@@ -49,7 +49,19 @@ pub struct OperationData {
     pub(crate) successors: Vec<BlockRef>,
     pub(crate) regions: Vec<RegionRef>,
     pub(crate) parent: Option<BlockRef>,
+    /// Position key within the parent block: strictly increasing along the
+    /// block's op list, so "does `a` come before `b`?" is one integer
+    /// comparison instead of a scan. Maintained by every insertion;
+    /// meaningless while the op is detached. Keys are spaced
+    /// [`ORDER_STRIDE`] apart so mid-block insertion usually finds a gap;
+    /// when a gap is exhausted the whole block is renumbered (amortized
+    /// O(1) per insertion).
+    pub(crate) order: u64,
 }
+
+/// Spacing between consecutive order keys, leaving room for mid-block
+/// insertions before a renumbering pass is needed.
+pub(crate) const ORDER_STRIDE: u64 = 1 << 10;
 
 /// Everything needed to create an operation, assembled builder-style.
 ///
@@ -240,6 +252,22 @@ impl OpRef {
     pub fn is_live(self, ctx: &Context) -> bool {
         ctx.op_is_live(self)
     }
+
+    /// Returns `true` if this operation comes before `other` in their
+    /// shared parent block. O(1): compares maintained order keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the two operations are not inserted in
+    /// the same block; the comparison is meaningless across blocks.
+    pub fn is_before_in_block(self, ctx: &Context, other: OpRef) -> bool {
+        debug_assert_eq!(
+            self.parent_block(ctx),
+            other.parent_block(ctx),
+            "order keys only compare within one block"
+        );
+        ctx.op_data(self).order < ctx.op_data(other).order
+    }
 }
 
 impl Context {
@@ -277,6 +305,7 @@ impl Context {
             successors,
             regions: regions.clone(),
             parent: None,
+            order: 0,
         };
         let op = OpRef(self.ops_mut().alloc(data));
         for (index, operand) in operands.iter().enumerate() {
@@ -354,8 +383,14 @@ impl Context {
     /// Panics if `op` is already inserted in a block.
     pub fn append_op(&mut self, block: BlockRef, op: OpRef) {
         assert!(self.op_data(op).parent.is_none(), "op already inserted; detach first");
+        let order = match self.block_data(block).ops.last() {
+            Some(&last) => self.op_data(last).order + ORDER_STRIDE,
+            None => ORDER_STRIDE,
+        };
         self.block_data_mut(block).ops.push(op);
-        self.op_data_mut(op).parent = Some(block);
+        let data = self.op_data_mut(op);
+        data.parent = Some(block);
+        data.order = order;
     }
 
     /// Inserts `op` immediately before `anchor` in `anchor`'s block.
@@ -372,6 +407,7 @@ impl Context {
         };
         self.block_data_mut(block).ops.insert(pos, op);
         self.op_data_mut(op).parent = Some(block);
+        self.assign_order(block, pos);
     }
 
     /// Inserts `op` immediately after `anchor` in `anchor`'s block.
@@ -388,6 +424,30 @@ impl Context {
         };
         self.block_data_mut(block).ops.insert(pos + 1, op);
         self.op_data_mut(op).parent = Some(block);
+        self.assign_order(block, pos + 1);
+    }
+
+    /// Gives the op at `pos` in `block` an order key between its neighbors,
+    /// renumbering the whole block when the gap is exhausted.
+    fn assign_order(&mut self, block: BlockRef, pos: usize) {
+        let ops = &self.block_data(block).ops;
+        let lo = if pos > 0 { self.op_data(ops[pos - 1]).order } else { 0 };
+        let hi = if pos + 1 < ops.len() {
+            self.op_data(ops[pos + 1]).order
+        } else {
+            lo + 2 * ORDER_STRIDE
+        };
+        let op = ops[pos];
+        if hi > lo + 1 {
+            self.op_data_mut(op).order = lo + (hi - lo) / 2;
+        } else {
+            // Gap exhausted: respace the whole block. Amortized across the
+            // ~log(ORDER_STRIDE) insertions that consumed the gap.
+            let ops = self.block_data(block).ops.clone();
+            for (i, o) in ops.into_iter().enumerate() {
+                self.op_data_mut(o).order = (i as u64 + 1) * ORDER_STRIDE;
+            }
+        }
     }
 
     /// Erases `op` and everything nested inside it.
@@ -546,6 +606,34 @@ mod tests {
         ctx.erase_op(b);
         assert!(va.is_unused(&ctx));
         assert!(!b.is_live(&ctx));
+    }
+
+    #[test]
+    fn order_keys_track_block_position() {
+        let mut ctx = Context::new();
+        let block = ctx.create_block([]);
+        let a = test_op(&mut ctx, "a", &[], 0);
+        let b = test_op(&mut ctx, "b", &[], 0);
+        ctx.append_op(block, a);
+        ctx.append_op(block, b);
+        assert!(a.is_before_in_block(&ctx, b));
+        assert!(!b.is_before_in_block(&ctx, a));
+        // Exhaust the gap between a and b: every insertion must keep the
+        // whole block strictly ordered, forcing renumbering on the way.
+        let mut anchor = b;
+        for i in 0..32 {
+            let mid = test_op(&mut ctx, &format!("m{i}"), &[], 0);
+            ctx.insert_op_before(anchor, mid);
+            anchor = mid;
+        }
+        let ops = block.ops(&ctx).to_vec();
+        for pair in ops.windows(2) {
+            assert!(pair[0].is_before_in_block(&ctx, pair[1]));
+        }
+        // Detach + reinsert refreshes the key.
+        ctx.detach_op(a);
+        ctx.append_op(block, a);
+        assert!(b.is_before_in_block(&ctx, a));
     }
 
     #[test]

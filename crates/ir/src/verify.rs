@@ -12,12 +12,13 @@
 //! 3. **Registered verifiers**: the per-operation hooks synthesized by the
 //!    IRDL compiler from declarative constraints (or written natively).
 
-use std::collections::HashMap;
+use std::collections::HashSet;
 
 use crate::block::BlockRef;
 use crate::context::Context;
 use crate::diag::Diagnostic;
-use crate::dominance::RegionDominance;
+use crate::dominance::DominanceCache;
+use crate::journal::ChangeJournal;
 use crate::op::OpRef;
 use crate::region::RegionRef;
 use crate::value::Value;
@@ -63,15 +64,15 @@ pub fn verify_module(ctx: &Context, root: OpRef) -> Result<(), Vec<Diagnostic>> 
 
 /// A reusable whole-module verifier.
 ///
-/// Behaves exactly like [`verify_op`], but the dominance info, per-block
-/// position indices, and diagnostic buffer are retained (capacity-wise)
-/// across calls, so verifying between every rewrite application does not
-/// re-allocate its scratch state each time. Cached analyses are invalidated
-/// wholesale at the start of each call, since the IR may have changed.
+/// Behaves exactly like [`verify_op`], but the dominance cache and the
+/// diagnostic buffer are retained (capacity-wise) across calls, so
+/// verifying repeatedly does not re-allocate its scratch state each time.
+/// Cached analyses are invalidated wholesale at the start of each call,
+/// since the IR may have changed arbitrarily — this is the conservative
+/// oracle; [`IncrementalVerifier`] is the journal-driven fast path.
 #[derive(Default)]
 pub struct ModuleVerifier {
-    dominance: HashMap<RegionRef, RegionDominance>,
-    positions: HashMap<BlockRef, HashMap<OpRef, usize>>,
+    dominance: DominanceCache,
     diags: Vec<Diagnostic>,
 }
 
@@ -98,16 +99,156 @@ impl ModuleVerifier {
         run_hooks: bool,
     ) -> Result<(), Vec<Diagnostic>> {
         self.dominance.clear();
-        self.positions.clear();
         self.diags.clear();
         let mut verifier = Verifier {
             ctx,
             diags: &mut self.diags,
             dominance: &mut self.dominance,
-            positions: &mut self.positions,
             run_hooks,
         };
         verifier.verify_tree(root);
+        if self.diags.is_empty() {
+            Ok(())
+        } else {
+            Err(std::mem::take(&mut self.diags))
+        }
+    }
+}
+
+/// The journal-driven incremental verifier.
+///
+/// Where [`ModuleVerifier`] re-walks the entire op tree on every call,
+/// this verifier consumes a [`ChangeJournal`] and re-checks only the
+/// recorded dirty set, making verification after a rewrite cost
+/// proportional to what the rewrite touched:
+///
+/// - **created** ops are verified as whole subtrees (their nested regions
+///   are new IR);
+/// - **modified** ops (rewired operands, moves, displaced block
+///   neighbours) are re-verified individually;
+/// - **dirty blocks** get the O(1) structural block rules (a multi-block
+///   region's blocks must be non-empty and terminator-final);
+/// - **CFG-dirty regions** — where blocks were inserted/removed or ops
+///   with successors were created/moved/erased — are re-verified
+///   region-wide, because edge changes can alter dominance for ops
+///   outside the dirty set;
+/// - **erased regions** are evicted from the dominance cache before
+///   anything else, since entity slots are reused and a stale analysis
+///   under a recycled `RegionRef` would answer for the wrong CFG.
+///
+/// ## Soundness
+///
+/// [`verify_changes`](Self::verify_changes) assumes the IR was valid
+/// before the journaled mutations (establish that once with
+/// [`verify_full`](Self::verify_full)); under that precondition, an `Ok`
+/// verdict implies the IR is valid afterwards. Every structural or SSA
+/// rule is local to an op, its block, or its region's CFG, and every
+/// mutation that can change a rule's outcome lands the affected entity in
+/// the journal's dirty set — see DESIGN.md ("Incremental verification")
+/// for the case analysis.
+#[derive(Default)]
+pub struct IncrementalVerifier {
+    dominance: DominanceCache,
+    diags: Vec<Diagnostic>,
+    seen_ops: HashSet<OpRef>,
+    seen_blocks: HashSet<BlockRef>,
+    seen_regions: HashSet<RegionRef>,
+}
+
+impl IncrementalVerifier {
+    /// Creates a verifier with empty scratch state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Full verification of `root`, establishing the valid-before baseline
+    /// for subsequent [`verify_changes`](Self::verify_changes) calls and
+    /// warming the dominance cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns every diagnostic discovered.
+    pub fn verify_full(&mut self, ctx: &Context, root: OpRef) -> Result<(), Vec<Diagnostic>> {
+        self.dominance.clear();
+        self.diags.clear();
+        let mut verifier =
+            Verifier { ctx, diags: &mut self.diags, dominance: &mut self.dominance, run_hooks: true };
+        verifier.verify_tree(root);
+        self.take_verdict()
+    }
+
+    /// Re-verifies only the dirty set recorded in `journal`.
+    ///
+    /// The IR must have been valid before the journaled mutations; then
+    /// `Ok` here means it is valid after them (and `Err` carries at least
+    /// one real violation).
+    ///
+    /// # Errors
+    ///
+    /// Returns every diagnostic discovered in the dirty set.
+    pub fn verify_changes(
+        &mut self,
+        ctx: &Context,
+        journal: &ChangeJournal,
+    ) -> Result<(), Vec<Diagnostic>> {
+        self.diags.clear();
+        self.seen_ops.clear();
+        self.seen_blocks.clear();
+        self.seen_regions.clear();
+
+        // Eviction first: erased-region slots may already have been reused
+        // by regions created later in the same journal window.
+        for &region in journal.erased_regions() {
+            self.dominance.invalidate(region);
+        }
+        for &region in journal.cfg_dirty_regions() {
+            self.dominance.invalidate(region);
+        }
+
+        let mut verifier =
+            Verifier { ctx, diags: &mut self.diags, dominance: &mut self.dominance, run_hooks: true };
+
+        // Regions with CFG changes get the full (but region-scoped) walk;
+        // everything they cover is marked seen so the per-op passes below
+        // do not double-report.
+        for &region in journal.cfg_dirty_regions() {
+            if !self.seen_regions.insert(region) {
+                continue;
+            }
+            for &block in region.blocks(ctx) {
+                self.seen_blocks.insert(block);
+                self.seen_ops.extend(block.ops(ctx).iter().copied());
+            }
+            verifier.verify_region(region);
+        }
+
+        for &op in journal.created() {
+            if self.seen_ops.insert(op) {
+                verifier.verify_placement(op);
+                verifier.verify_tree(op);
+            }
+        }
+        for &op in journal.modified() {
+            if self.seen_ops.insert(op) {
+                verifier.verify_placement(op);
+                verifier.verify_single(op);
+            }
+        }
+        for &block in journal.dirty_blocks() {
+            if self.seen_blocks.insert(block) {
+                verifier.verify_block_shape(block);
+            }
+        }
+        self.take_verdict()
+    }
+
+    /// Number of regions with a cached dominator analysis (observability
+    /// for tests and benchmarks).
+    pub fn cached_regions(&self) -> usize {
+        self.dominance.len()
+    }
+
+    fn take_verdict(&mut self) -> Result<(), Vec<Diagnostic>> {
         if self.diags.is_empty() {
             Ok(())
         } else {
@@ -128,10 +269,7 @@ pub fn verify_op_first(ctx: &Context, root: OpRef) -> crate::Result<()> {
 struct Verifier<'a, 'b> {
     ctx: &'a Context,
     diags: &'b mut Vec<Diagnostic>,
-    dominance: &'b mut HashMap<RegionRef, RegionDominance>,
-    /// Lazily built op-position index per block, so same-block dominance
-    /// checks are O(1) per use instead of a linear scan.
-    positions: &'b mut HashMap<BlockRef, HashMap<OpRef, usize>>,
+    dominance: &'b mut DominanceCache,
     run_hooks: bool,
 }
 
@@ -282,28 +420,51 @@ impl<'a, 'b> Verifier<'a, 'b> {
         user_block: BlockRef,
     ) -> bool {
         let ctx = self.ctx;
-        let dom = self
-            .dominance
-            .entry(region)
-            .or_insert_with(|| RegionDominance::compute(ctx, region));
-        match value {
-            Value::BlockArg { .. } => dom.dominates(def_block, user_block),
-            Value::OpResult { op: def_op, .. } => {
-                if def_block == user_block {
-                    let index = self.positions.entry(def_block).or_insert_with(|| {
-                        def_block
-                            .ops(ctx)
-                            .iter()
-                            .enumerate()
-                            .map(|(i, &o)| (o, i))
-                            .collect()
-                    });
-                    match (index.get(&def_op), index.get(&user)) {
-                        (Some(d), Some(u)) => d < u,
-                        _ => false,
-                    }
-                } else {
-                    dom.dominates(def_block, user_block)
+        // Same-block queries never touch the dominator analysis: block
+        // arguments precede every op, and op ordering is an O(1) order-key
+        // comparison. This keeps straight-line verification free of any
+        // per-block index building.
+        if def_block == user_block {
+            return match value {
+                Value::BlockArg { .. } => true,
+                Value::OpResult { op: def_op, .. } => def_op.is_before_in_block(ctx, user),
+            };
+        }
+        self.dominance.get_or_compute(ctx, region).dominates(def_block, user_block)
+    }
+
+    /// The O(1) in-block placement rules for one op, used by the
+    /// incremental verifier on dirty ops (the whole-tree walk checks the
+    /// same rules positionally in [`Verifier::verify_region`]).
+    fn verify_placement(&mut self, op: OpRef) {
+        let ctx = self.ctx;
+        let Some(block) = op.parent_block(ctx) else { return };
+        let Some(region) = block.parent_region(ctx) else { return };
+        let is_last = block.ops(ctx).last() == Some(&op);
+        if ctx.is_terminator(op) && !is_last {
+            self.error(op, "terminator operation must be the last in its block");
+        }
+        if is_last && region.blocks(ctx).len() > 1 && !ctx.is_terminator(op) {
+            self.error(op, "block in a multi-block region must end with a terminator");
+        }
+    }
+
+    /// The O(1) per-block structural rules, used by the incremental
+    /// verifier on dirty blocks: in a multi-block region a block must be
+    /// non-empty and end with a terminator.
+    fn verify_block_shape(&mut self, block: BlockRef) {
+        let ctx = self.ctx;
+        let Some(region) = block.parent_region(ctx) else { return };
+        if region.blocks(ctx).len() <= 1 {
+            return;
+        }
+        match block.ops(ctx).last() {
+            None => self.diags.push(Diagnostic::new(
+                "empty block in a multi-block region has no terminator",
+            )),
+            Some(&last) => {
+                if !ctx.is_terminator(last) {
+                    self.error(last, "block in a multi-block region must end with a terminator");
                 }
             }
         }

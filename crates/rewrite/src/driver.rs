@@ -3,11 +3,28 @@
 use std::collections::HashSet;
 
 use irdl_ir::diag::Diagnostic;
-use irdl_ir::verify::ModuleVerifier;
+use irdl_ir::verify::{IncrementalVerifier, ModuleVerifier};
 use irdl_ir::walk::collect_ops;
-use irdl_ir::{Context, OpRef};
+use irdl_ir::{ChangeJournal, Context, OpRef};
 
 use crate::pattern::{PatternSet, Rewriter};
+
+/// How much verification the driver interleaves with rewriting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CheckLevel {
+    /// No verification: the fastest mode, for trusted patterns.
+    #[default]
+    Off,
+    /// Journal-driven incremental verification after every application:
+    /// the container is fully verified once up front, then each rewrite
+    /// re-checks only what it touched — O(touched) per rewrite instead of
+    /// O(module).
+    Incremental,
+    /// Full re-verification of the whole container after every
+    /// application (and once up front). The conservative oracle —
+    /// `Incremental` is required to produce the same verdicts.
+    Full,
+}
 
 /// Statistics from one greedy rewriting run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -54,40 +71,85 @@ pub fn rewrite_greedily(
     container: OpRef,
     patterns: &PatternSet,
 ) -> RewriteStats {
-    drive(ctx, container, patterns, None).expect("unchecked drive cannot fail")
+    rewrite_greedily_with(ctx, container, patterns, CheckLevel::Off)
+        .expect("unchecked drive cannot fail")
 }
 
-/// Like [`rewrite_greedily`], but re-verifies `container` after every
-/// successful pattern application, stopping at the first application that
-/// leaves the IR invalid. One [`ModuleVerifier`] is reused across all the
-/// re-verification runs, so the repeated whole-module walks share their
-/// dominance/position scratch state (and benefit from the context's
-/// constraint verdict cache).
+/// Like [`rewrite_greedily`], but verifies `container` once up front and
+/// incrementally re-verifies the dirty set after every successful pattern
+/// application, stopping at the first application that leaves the IR
+/// invalid. Equivalent to [`rewrite_greedily_with`] at
+/// [`CheckLevel::Incremental`].
 ///
 /// # Errors
 ///
 /// Returns the offending pattern and diagnostics on the first invalid
-/// intermediate state.
+/// intermediate state (pattern `<input>` if the IR was invalid on entry).
 pub fn rewrite_greedily_checked(
     ctx: &mut Context,
     container: OpRef,
     patterns: &PatternSet,
 ) -> Result<RewriteStats, RewriteVerifyError> {
-    let mut verifier = ModuleVerifier::new();
-    drive(ctx, container, patterns, Some(&mut verifier))
+    rewrite_greedily_with(ctx, container, patterns, CheckLevel::Incremental)
+}
+
+/// The checker state for one drive, chosen by [`CheckLevel`].
+enum Checker {
+    Off,
+    Incremental(IncrementalVerifier),
+    Full(ModuleVerifier),
+}
+
+/// Greedy rewriting with a configurable verification level.
+///
+/// Both checked levels verify `container` in full before the first
+/// rewrite: [`CheckLevel::Incremental`] needs a valid starting point for
+/// its valid-before ⇒ valid-after argument, and sharing the behaviour
+/// keeps the two levels verdict-equivalent.
+///
+/// # Errors
+///
+/// Returns the offending pattern and diagnostics on the first invalid
+/// intermediate state (pattern `<input>` if the IR was invalid on entry).
+/// Never fails at [`CheckLevel::Off`].
+pub fn rewrite_greedily_with(
+    ctx: &mut Context,
+    container: OpRef,
+    patterns: &PatternSet,
+    check: CheckLevel,
+) -> Result<RewriteStats, RewriteVerifyError> {
+    let mut checker = match check {
+        CheckLevel::Off => Checker::Off,
+        CheckLevel::Incremental => Checker::Incremental(IncrementalVerifier::new()),
+        CheckLevel::Full => Checker::Full(ModuleVerifier::new()),
+    };
+    let stats = RewriteStats::default();
+    let upfront = match &mut checker {
+        Checker::Off => Ok(()),
+        Checker::Incremental(v) => v.verify_full(ctx, container),
+        Checker::Full(v) => v.verify(ctx, container),
+    };
+    if let Err(diagnostics) = upfront {
+        return Err(RewriteVerifyError { pattern: "<input>".to_string(), stats, diagnostics });
+    }
+    drive(ctx, container, patterns, checker, stats)
 }
 
 fn drive(
     ctx: &mut Context,
     container: OpRef,
     patterns: &PatternSet,
-    mut checker: Option<&mut ModuleVerifier>,
+    mut checker: Checker,
+    mut stats: RewriteStats,
 ) -> Result<RewriteStats, RewriteVerifyError> {
-    let mut stats = RewriteStats::default();
     let mut worklist: Vec<OpRef> = collect_ops(ctx, container);
     // The container itself is not rewritten.
     worklist.retain(|op| *op != container);
     let mut enqueued: HashSet<OpRef> = worklist.iter().copied().collect();
+    // One journal, recycled across applications: the driver's requeue list
+    // and the incremental verifier's dirty set are the same record, so the
+    // hot loop allocates nothing per rewrite.
+    let mut journal = ChangeJournal::new();
 
     while let Some(op) = worklist.pop() {
         enqueued.remove(&op);
@@ -100,51 +162,36 @@ fn drive(
         // ones) are tried, in the same priority order a full scan of
         // `patterns.patterns()` would visit them.
         for pattern in patterns.candidates(op_name) {
-            let mut rewriter = Rewriter::new(ctx, op);
+            journal.clear();
+            let mut rewriter = Rewriter::new(ctx, op, &mut journal);
             let changed = pattern.match_and_rewrite(&mut rewriter);
-            let added = std::mem::take(&mut rewriter.added);
-            let touched = std::mem::take(&mut rewriter.touched);
             if changed {
                 stats.rewrites += 1;
-                if let Some(verifier) = checker.as_deref_mut() {
-                    if let Err(diagnostics) = verifier.verify(ctx, container) {
-                        return Err(RewriteVerifyError {
-                            pattern: pattern.name().to_string(),
-                            stats,
-                            diagnostics,
-                        });
-                    }
+                let verdict = match &mut checker {
+                    Checker::Off => Ok(()),
+                    Checker::Incremental(v) => v.verify_changes(ctx, &journal),
+                    Checker::Full(v) => v.verify(ctx, container),
+                };
+                if let Err(diagnostics) = verdict {
+                    return Err(RewriteVerifyError {
+                        pattern: pattern.name().to_string(),
+                        stats,
+                        diagnostics,
+                    });
                 }
-                // Requeue new ops and (live) users of their results.
-                for new_op in added {
-                    if new_op.is_live(ctx) && enqueued.insert(new_op) {
+                // Requeue from the journal: new ops, and the ops whose
+                // operands were rewired (or that moved) — exactly the set
+                // whose match status can have changed. Erased ops were
+                // scrubbed out by the journal, so no tombstone checks or
+                // use-list copies are needed.
+                for &new_op in journal.created() {
+                    if enqueued.insert(new_op) {
                         worklist.push(new_op);
                     }
-                    if new_op.is_live(ctx) {
-                        for i in 0..new_op.num_results(ctx) {
-                            let result = new_op.result(ctx, i);
-                            for u in result.uses(ctx).to_vec() {
-                                if enqueued.insert(u.op) {
-                                    worklist.push(u.op);
-                                }
-                            }
-                        }
-                    }
                 }
-                // Replacements may rewire uses onto pre-existing values;
-                // their users changed operands and may now match patterns.
-                for value in touched {
-                    let live = match value {
-                        irdl_ir::Value::OpResult { op, .. } => op.is_live(ctx),
-                        irdl_ir::Value::BlockArg { block, .. } => block.is_live(ctx),
-                    };
-                    if !live {
-                        continue;
-                    }
-                    for u in value.uses(ctx).to_vec() {
-                        if enqueued.insert(u.op) {
-                            worklist.push(u.op);
-                        }
+                for &changed_op in journal.modified() {
+                    if changed_op.is_live(ctx) && enqueued.insert(changed_op) {
+                        worklist.push(changed_op);
                     }
                 }
                 break; // The root may be gone; stop trying patterns on it.
@@ -383,6 +430,70 @@ mod tests {
             "{:?}",
             err.diagnostics
         );
+    }
+
+    /// The incremental and full check levels must agree — on success and
+    /// on the exact failing pattern.
+    #[test]
+    fn incremental_and_full_check_levels_agree() {
+        for check in [CheckLevel::Full, CheckLevel::Incremental] {
+            let mut ctx = Context::new();
+            let module = ctx.create_module();
+            let block = ctx.module_block(module);
+            let i32 = ctx.i32_type();
+            let src = ctx.op_name("t", "src");
+            let add = ctx.op_name("t", "add");
+            let double = ctx.op_name("t", "double");
+            let bad = ctx.op_name("t", "bad");
+
+            let x = ctx.create_op(OperationState::new(src).add_result_types([i32]));
+            ctx.append_op(block, x);
+            let vx = x.result(&ctx, 0);
+            let a = ctx
+                .create_op(OperationState::new(add).add_operands([vx, vx]).add_result_types([i32]));
+            ctx.append_op(block, a);
+
+            let mut good = PatternSet::new();
+            good.add(Arc::new(AddToDouble { add, double }));
+            let stats = rewrite_greedily_with(&mut ctx, module, &good, check).unwrap();
+            assert_eq!(stats.rewrites, 1, "{check:?}");
+
+            let y = ctx
+                .create_op(OperationState::new(add).add_operands([vx, vx]).add_result_types([i32]));
+            ctx.append_op(block, y);
+            let mut buggy = PatternSet::new();
+            buggy.add(Arc::new(BreaksDominance { add, bad }));
+            let err = rewrite_greedily_with(&mut ctx, module, &buggy, check).unwrap_err();
+            assert_eq!(err.pattern, "breaks-dominance", "{check:?}");
+            assert!(
+                err.diagnostics.iter().any(|d| d.message().contains("dominates")),
+                "{check:?}: {:?}",
+                err.diagnostics
+            );
+        }
+    }
+
+    /// Checked levels validate the input IR before the first rewrite.
+    #[test]
+    fn checked_levels_reject_invalid_input() {
+        for check in [CheckLevel::Full, CheckLevel::Incremental] {
+            let mut ctx = Context::new();
+            let module = ctx.create_module();
+            let block = ctx.module_block(module);
+            let i32 = ctx.i32_type();
+            let src = ctx.op_name("t", "src");
+            let use_name = ctx.op_name("t", "use");
+            let def = ctx.create_op(OperationState::new(src).add_result_types([i32]));
+            let v = def.result(&ctx, 0);
+            let user = ctx.create_op(OperationState::new(use_name).add_operands([v]));
+            // Use before def: invalid from the start.
+            ctx.append_op(block, user);
+            ctx.append_op(block, def);
+            let err =
+                rewrite_greedily_with(&mut ctx, module, &PatternSet::new(), check).unwrap_err();
+            assert_eq!(err.pattern, "<input>", "{check:?}");
+            assert_eq!(err.stats.rewrites, 0);
+        }
     }
 
     #[test]

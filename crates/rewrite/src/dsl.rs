@@ -57,6 +57,8 @@ struct RewriteOp {
 #[derive(Debug, Clone)]
 pub struct DeclarativePattern {
     name: String,
+    /// Relative priority from the optional `benefit N` clause (default 1).
+    benefit: usize,
     match_ops: Vec<MatchOp>,
     rewrite_ops: Vec<RewriteOp>,
     /// `Replace <root def var> with <replacement var>`.
@@ -142,6 +144,23 @@ impl<'s, 'c> DslParser<'s, 'c> {
                 return Err(self.error(format!("expected pattern name, found {}", other.describe())))
             }
         };
+        // Optional `benefit N` clause: higher-benefit patterns are tried
+        // first by the driver.
+        let mut benefit = 1usize;
+        if matches!(self.peek(), Token::Ident(s) if *s == "benefit") {
+            self.bump();
+            benefit = match self.bump() {
+                Token::Integer { value, .. } if value >= 1 && value <= i128::from(u32::MAX) => {
+                    value as usize
+                }
+                other => {
+                    return Err(self.error(format!(
+                        "expected a positive benefit, found {}",
+                        other.describe()
+                    )))
+                }
+            };
+        }
         self.expect(&Token::LBrace)?;
         self.expect_keyword("Match")?;
         self.expect(&Token::LBrace)?;
@@ -205,7 +224,7 @@ impl<'s, 'c> DslParser<'s, 'c> {
                 "Replace uses `%{replace_with}`, which nothing binds"
             )));
         }
-        Ok(DeclarativePattern { name, match_ops, rewrite_ops, replace_with })
+        Ok(DeclarativePattern { name, benefit, match_ops, rewrite_ops, replace_with })
     }
 
     fn parse_op_head(&mut self) -> Result<(Option<String>, OpName, Vec<String>)> {
@@ -352,6 +371,10 @@ impl DeclarativePattern {
 impl RewritePattern for DeclarativePattern {
     fn root(&self) -> Option<OpName> {
         self.match_ops.last().map(|op| op.name)
+    }
+
+    fn benefit(&self) -> usize {
+        self.benefit
     }
 
     fn name(&self) -> &str {
@@ -528,6 +551,47 @@ Pattern conorm {
         let text = op_to_string(&ctx, module);
         assert!(text.contains("toy.double"), "{text}");
         assert!(text.contains("toy.add"), "{text}");
+    }
+
+    /// `benefit N` steers which of two competing patterns wins.
+    #[test]
+    fn benefit_clause_orders_competing_patterns() {
+        let mut ctx = Context::new();
+        irdl::register_dialects(
+            &mut ctx,
+            "Dialect toy {
+               Operation add { Operands (a: !i32, b: !i32) Results (r: !i32) }
+               Operation double { Operands (x: !i32) Results (r: !i32) }
+               Operation fast { Operands (x: !i32) Results (r: !i32) }
+             }",
+        )
+        .unwrap();
+        let patterns = parse_patterns(
+            &mut ctx,
+            "Pattern slow { Match { %r = toy.add(%x, %x) } Rewrite { %d = toy.double(%x) : typeof(%x) Replace %r with %d } }
+             Pattern quick benefit 10 { Match { %r = toy.add(%x, %x) } Rewrite { %d = toy.fast(%x) : typeof(%x) Replace %r with %d } }",
+        )
+        .unwrap();
+        assert_eq!(patterns.patterns()[0].name(), "quick");
+        assert_eq!(patterns.patterns()[0].benefit(), 10);
+        assert_eq!(patterns.patterns()[1].benefit(), 1);
+        let module = parse_module(
+            &mut ctx,
+            r#"
+            %a = "test.arg"() : () -> i32
+            %s = "toy.add"(%a, %a) : (i32, i32) -> i32
+            "test.keep"(%s) : (i32) -> ()
+            "#,
+        )
+        .unwrap();
+        let stats = rewrite_greedily(&mut ctx, module, &patterns);
+        assert_eq!(stats.rewrites, 1);
+        let text = op_to_string(&ctx, module);
+        assert!(text.contains("toy.fast"), "higher benefit wins: {text}");
+
+        let err = parse_patterns(&mut ctx, "Pattern p benefit 0 { Match { %r = a.b(%x) } Rewrite { Replace %r with %x } }")
+            .unwrap_err();
+        assert!(err.to_string().contains("positive benefit"), "{err}");
     }
 
     #[test]

@@ -57,7 +57,10 @@ pub mod dsl;
 pub mod pattern;
 pub mod pipeline;
 
-pub use driver::{rewrite_greedily, rewrite_greedily_checked, RewriteStats, RewriteVerifyError};
+pub use driver::{
+    rewrite_greedily, rewrite_greedily_checked, rewrite_greedily_with, CheckLevel, RewriteStats,
+    RewriteVerifyError,
+};
 pub use dsl::{parse_patterns, DeclarativePattern};
 pub use pattern::{PatternSet, RewritePattern, Rewriter};
 pub use pipeline::{run_batch, ModuleResult, PipelineOptions, PipelineReport, WorkerReport};

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use irdl_ir::{Context, OpName, OperationState, OpRef, Value};
+use irdl_ir::{BlockRef, ChangeJournal, Context, OpName, OperationState, OpRef, Type, Value};
 
 /// A rewrite pattern rooted at one operation.
 ///
@@ -141,22 +141,23 @@ impl FromIterator<Arc<dyn RewritePattern>> for PatternSet {
 }
 
 /// The mutation interface handed to patterns: all IR changes made during a
-/// rewrite go through it so the driver can maintain its worklist.
+/// rewrite go through it so they land in the [`ChangeJournal`], which the
+/// driver consumes both for worklist maintenance and for incremental
+/// re-verification. Mutating the IR behind the rewriter's back (via
+/// [`Rewriter::ctx_mut`]) is possible for interning but must not be used
+/// for structural changes — unjournaled changes are invisible to the
+/// incremental verifier.
 pub struct Rewriter<'a> {
     ctx: &'a mut Context,
     root: OpRef,
-    /// Operations created during this rewrite.
-    pub(crate) added: Vec<OpRef>,
-    /// Operations erased during this rewrite.
-    pub(crate) erased: Vec<OpRef>,
-    /// Values whose use lists changed (replacement targets), so the driver
-    /// can revisit their users even when no new op was created.
-    pub(crate) touched: Vec<Value>,
+    journal: &'a mut ChangeJournal,
 }
 
 impl<'a> Rewriter<'a> {
-    pub(crate) fn new(ctx: &'a mut Context, root: OpRef) -> Self {
-        Rewriter { ctx, root, added: Vec::new(), erased: Vec::new(), touched: Vec::new() }
+    /// Creates a rewriter anchored on `root`, recording every mutation
+    /// into `journal` (on top of whatever it already holds).
+    pub fn new(ctx: &'a mut Context, root: OpRef, journal: &'a mut ChangeJournal) -> Self {
+        Rewriter { ctx, root, journal }
     }
 
     /// The operation the pattern is anchored on.
@@ -174,12 +175,122 @@ impl<'a> Rewriter<'a> {
         self.ctx
     }
 
+    /// Read access to the journal accumulated so far.
+    pub fn journal(&self) -> &ChangeJournal {
+        self.journal
+    }
+
     /// Creates an operation and inserts it immediately before the root.
     pub fn insert_before_root(&mut self, state: OperationState) -> OpRef {
+        let root = self.root;
+        self.insert_before(root, state)
+    }
+
+    /// Creates an operation and inserts it immediately before `anchor`.
+    pub fn insert_before(&mut self, anchor: OpRef, state: OperationState) -> OpRef {
         let op = self.ctx.create_op(state);
-        self.ctx.insert_op_before(self.root, op);
-        self.added.push(op);
+        self.ctx.insert_op_before(anchor, op);
+        if let Some(block) = op.parent_block(self.ctx) {
+            self.journal.note_block(block);
+        }
+        self.journal.note_created(self.ctx, op);
         op
+    }
+
+    /// Creates an operation and inserts it immediately after `anchor`.
+    ///
+    /// `anchor` itself is journaled as modified: if it was the last op in
+    /// its block, it no longer is, which can flip the terminator-placement
+    /// rules for it.
+    pub fn insert_after(&mut self, anchor: OpRef, state: OperationState) -> OpRef {
+        let op = self.ctx.create_op(state);
+        self.ctx.insert_op_after(anchor, op);
+        if let Some(block) = op.parent_block(self.ctx) {
+            self.journal.note_block(block);
+        }
+        self.journal.note_modified(anchor);
+        self.journal.note_created(self.ctx, op);
+        op
+    }
+
+    /// Creates an operation and appends it at the end of `block`.
+    ///
+    /// The previous last op (if any) is journaled as modified — it lost
+    /// its "last in block" status.
+    pub fn append(&mut self, block: BlockRef, state: OperationState) -> OpRef {
+        if let Some(&last) = block.ops(self.ctx).last() {
+            self.journal.note_modified(last);
+        }
+        let op = self.ctx.create_op(state);
+        self.ctx.append_op(block, op);
+        self.journal.note_block(block);
+        self.journal.note_created(self.ctx, op);
+        op
+    }
+
+    /// Rewires operand `index` of `op` to `value`.
+    pub fn set_operand(&mut self, op: OpRef, index: usize, value: Value) {
+        self.ctx.set_operand(op, index, value);
+        self.journal.note_modified(op);
+    }
+
+    /// Replaces every use of `old` with `new`, journaling each rewired
+    /// user as modified.
+    pub fn replace_all_uses(&mut self, old: Value, new: Value) {
+        for u in self.ctx.value_uses(old) {
+            self.journal.note_modified(u.op);
+        }
+        self.ctx.replace_all_uses(old, new);
+    }
+
+    /// Detaches `op` from its current position and re-inserts it before
+    /// `anchor`.
+    ///
+    /// Both blocks, the op itself, and every user of its results are
+    /// journaled — a move can break the dominance of uses that were valid
+    /// at the old position.
+    pub fn move_before(&mut self, op: OpRef, anchor: OpRef) {
+        if let Some(old_block) = op.parent_block(self.ctx) {
+            if let Some(&last) = old_block.ops(self.ctx).last() {
+                if last == op {
+                    // The op below the moved one becomes the new last.
+                    let ops = old_block.ops(self.ctx);
+                    if ops.len() > 1 {
+                        self.journal.note_modified(ops[ops.len() - 2]);
+                    }
+                }
+            }
+            self.journal.note_block(old_block);
+            self.ctx.detach_op(op);
+        }
+        self.ctx.insert_op_before(anchor, op);
+        if let Some(block) = op.parent_block(self.ctx) {
+            self.journal.note_block(block);
+        }
+        self.journal.note_moved(self.ctx, op);
+        for i in 0..op.num_results(self.ctx) {
+            for u in self.ctx.value_uses(op.result(self.ctx, i)) {
+                self.journal.note_modified(u.op);
+            }
+        }
+    }
+
+    /// Creates a block with the given argument types and inserts it after
+    /// `anchor` in the same region. The region is journaled as CFG-dirty:
+    /// growing a region past one block changes which structural rules
+    /// apply to *all* of its blocks.
+    pub fn insert_block_after(
+        &mut self,
+        anchor: BlockRef,
+        arg_types: impl IntoIterator<Item = Type>,
+    ) -> BlockRef {
+        let block = self.ctx.create_block(arg_types);
+        self.ctx.insert_block_after(anchor, block);
+        if let Some(region) = block.parent_region(self.ctx) {
+            self.journal.note_region_blocks_changed(region);
+        }
+        self.journal.note_block(block);
+        block
     }
 
     /// Replaces every use of the root's results with `values` and erases
@@ -196,17 +307,17 @@ impl<'a> Rewriter<'a> {
         );
         for (i, value) in values.iter().enumerate() {
             let old = self.root.result(self.ctx, i);
-            self.ctx.replace_all_uses(old, *value);
-            self.touched.push(*value);
+            self.replace_all_uses(old, *value);
         }
         let root = self.root;
         self.erase(root);
     }
 
-    /// Erases `op` (which must be use-free).
+    /// Erases `op` (which must be use-free), journaling the whole erased
+    /// subtree first so no dangling reference survives in the journal.
     pub fn erase(&mut self, op: OpRef) {
+        self.journal.note_erase_subtree(self.ctx, op);
         self.ctx.erase_op(op);
-        self.erased.push(op);
     }
 
     /// Erases `op` if none of its results have uses; returns whether it was
@@ -254,6 +365,59 @@ mod tests {
         assert_eq!(set.len(), 2);
     }
 
+    /// A configurable pattern for ordering tests.
+    struct Named {
+        name: &'static str,
+        benefit: usize,
+        root: Option<OpName>,
+    }
+    impl RewritePattern for Named {
+        fn root(&self) -> Option<OpName> {
+            self.root
+        }
+        fn benefit(&self) -> usize {
+            self.benefit
+        }
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn match_and_rewrite(&self, _rewriter: &mut Rewriter<'_>) -> bool {
+            false
+        }
+    }
+
+    /// `candidates()` must yield descending benefit, ties in registration
+    /// order, with anchored and anchorless patterns interleaved exactly as
+    /// a full scan of `patterns()` would visit them.
+    #[test]
+    fn candidates_order_is_benefit_desc_with_stable_ties() {
+        let mut ctx = Context::new();
+        let add = ctx.op_name("t", "add");
+        let mul = ctx.op_name("t", "mul");
+        let mut set = PatternSet::new();
+        set.add(Arc::new(Named { name: "add-low-a", benefit: 1, root: Some(add) }));
+        set.add(Arc::new(Named { name: "any-high", benefit: 9, root: None }));
+        set.add(Arc::new(Named { name: "add-low-b", benefit: 1, root: Some(add) }));
+        set.add(Arc::new(Named { name: "add-high", benefit: 9, root: Some(add) }));
+        set.add(Arc::new(Named { name: "mul-mid", benefit: 5, root: Some(mul) }));
+
+        let order: Vec<&str> = set.candidates(add).map(|p| p.name()).collect();
+        // Benefit 9 ties resolve in registration order (any-high first),
+        // mul-anchored patterns never appear, benefit-1 ties keep
+        // registration order.
+        assert_eq!(order, ["any-high", "add-high", "add-low-a", "add-low-b"]);
+
+        let order: Vec<&str> = set.candidates(mul).map(|p| p.name()).collect();
+        assert_eq!(order, ["any-high", "mul-mid"]);
+
+        // The candidate stream is a filtered view of the full priority
+        // scan: relative order must match `patterns()`.
+        let full: Vec<&str> = set.patterns().iter().map(|p| p.name()).collect();
+        let filtered: Vec<&str> =
+            full.iter().copied().filter(|n| order.contains(n)).collect();
+        assert_eq!(order, filtered);
+    }
+
     #[test]
     fn rewriter_replace_root() {
         let mut ctx = Context::new();
@@ -270,9 +434,38 @@ mod tests {
         let user = ctx.create_op(OperationState::new(sink).add_operands([va]));
         ctx.append_op(block, user);
 
-        let mut rewriter = Rewriter::new(&mut ctx, a);
+        let mut journal = ChangeJournal::new();
+        let mut rewriter = Rewriter::new(&mut ctx, a, &mut journal);
         rewriter.replace_root(&[vb]);
         assert_eq!(user.operand(&ctx, 0), vb);
         assert!(!a.is_live(&ctx));
+        assert_eq!(journal.modified(), &[user], "the rewired user is journaled");
+        assert_eq!(journal.erased_ops(), 1);
+        assert_eq!(journal.dirty_blocks(), &[block], "the erasure site is dirty");
+    }
+
+    #[test]
+    fn rewriter_insertions_journal_displaced_neighbours() {
+        let mut ctx = Context::new();
+        let block = ctx.create_block([]);
+        let src = ctx.op_name("t", "src");
+        let first = ctx.create_op(OperationState::new(src));
+        ctx.append_op(block, first);
+
+        let mut journal = ChangeJournal::new();
+        let mut rewriter = Rewriter::new(&mut ctx, first, &mut journal);
+        // Appending displaces `first` from its last-in-block position.
+        let appended = rewriter.append(block, OperationState::new(src));
+        assert_eq!(rewriter.journal().created(), &[appended]);
+        assert_eq!(rewriter.journal().modified(), &[first]);
+        // insert_after displaces its anchor the same way.
+        let after = rewriter.insert_after(appended, OperationState::new(src));
+        assert_eq!(rewriter.journal().created(), &[appended, after]);
+        assert_eq!(rewriter.journal().modified(), &[first, appended]);
+        // insert_before displaces nobody.
+        let before = rewriter.insert_before(first, OperationState::new(src));
+        assert_eq!(rewriter.journal().created(), &[appended, after, before]);
+        assert_eq!(rewriter.journal().modified(), &[first, appended]);
+        assert_eq!(block.ops(&ctx), &[before, first, appended, after]);
     }
 }

@@ -22,7 +22,7 @@ use irdl_ir::print::Printer;
 use irdl_ir::verify::ModuleVerifier;
 use irdl_ir::Context;
 
-use crate::driver::rewrite_greedily;
+use crate::driver::{rewrite_greedily, rewrite_greedily_with, CheckLevel};
 use crate::pattern::PatternSet;
 
 /// Configuration for one batch run.
@@ -32,15 +32,22 @@ pub struct PipelineOptions {
     /// on the calling thread — the sequential baseline.
     pub jobs: usize,
     /// Verify each module after parsing (and again after rewriting, when
-    /// patterns are present).
+    /// patterns are present and `check` is [`CheckLevel::Off`]).
     pub verify: bool,
+    /// Interleave verification with rewriting: at
+    /// [`CheckLevel::Incremental`] or [`CheckLevel::Full`] every
+    /// intermediate state is checked and the first invalid one fails the
+    /// module (making the separate post-rewrite verify redundant — it is
+    /// skipped). [`CheckLevel::Off`] keeps the fast
+    /// rewrite-then-verify-once behaviour.
+    pub check: CheckLevel,
     /// Print results in the generic form.
     pub generic: bool,
 }
 
 impl Default for PipelineOptions {
     fn default() -> Self {
-        PipelineOptions { jobs: 1, verify: true, generic: false }
+        PipelineOptions { jobs: 1, verify: true, check: CheckLevel::Off, generic: false }
     }
 }
 
@@ -211,17 +218,35 @@ fn process_module(
 
         let mut rewrites = 0;
         if !patterns.is_empty() {
-            let start = Instant::now();
-            let stats = rewrite_greedily(ctx, module, patterns);
-            timings.rewrite = start.elapsed().as_nanos() as u64;
-            rewrites = stats.rewrites;
-            if opts.verify {
-                let start = Instant::now();
-                let checked = verifier.verify(ctx, module);
-                timings.verify += start.elapsed().as_nanos() as u64;
-                checked.map_err(|errs| {
-                    format!("IR invalid after rewriting: {}", errs[0])
-                })?;
+            match opts.check {
+                CheckLevel::Off => {
+                    let start = Instant::now();
+                    let stats = rewrite_greedily(ctx, module, patterns);
+                    timings.rewrite = start.elapsed().as_nanos() as u64;
+                    rewrites = stats.rewrites;
+                    if opts.verify {
+                        let start = Instant::now();
+                        let checked = verifier.verify(ctx, module);
+                        timings.verify += start.elapsed().as_nanos() as u64;
+                        checked.map_err(|errs| {
+                            format!("IR invalid after rewriting: {}", errs[0])
+                        })?;
+                    }
+                }
+                check => {
+                    // The checked driver verifies every intermediate
+                    // state (and the input), so no separate post-rewrite
+                    // verify pass is needed. Interleaved verification time
+                    // is indistinguishable from rewrite time here and is
+                    // reported as such.
+                    let start = Instant::now();
+                    let outcome = rewrite_greedily_with(ctx, module, patterns, check);
+                    timings.rewrite = start.elapsed().as_nanos() as u64;
+                    let stats = outcome.map_err(|err| {
+                        format!("{err}: {}", err.diagnostics[0])
+                    })?;
+                    rewrites = stats.rewrites;
+                }
             }
         }
 
@@ -319,6 +344,26 @@ Pattern add_to_double {
                 i + 2,
                 "input order lost at {i}"
             );
+        }
+    }
+
+    /// Every check level must produce the same outputs; the checked levels
+    /// merely verify more often along the way.
+    #[test]
+    fn check_levels_agree_on_outputs() {
+        let (bundle, patterns) = toy_setup();
+        let inputs = toy_inputs(5);
+        let baseline = run_batch(&bundle, &patterns, &inputs, &PipelineOptions::default());
+        for check in [CheckLevel::Incremental, CheckLevel::Full] {
+            let opts = PipelineOptions { check, ..Default::default() };
+            let checked = run_batch(&bundle, &patterns, &inputs, &opts);
+            assert_eq!(checked.errors(), 0, "{check:?}");
+            for (b, c) in baseline.results.iter().zip(&checked.results) {
+                let b = b.as_ref().unwrap();
+                let c = c.as_ref().unwrap();
+                assert_eq!(b.output, c.output, "{check:?}");
+                assert_eq!(b.rewrites, c.rewrites, "{check:?}");
+            }
         }
     }
 

@@ -14,6 +14,10 @@
 //! - `--showcase`        preregister the cmath/arith/func showcase dialects
 //! - `--corpus`          preregister the 28-dialect evaluation corpus
 //! - `--verify`          verify after parsing (and after rewriting)
+//! - `--verify-each=L`   verify every intermediate rewrite state at level
+//!   `L`: `incr` (journal-driven incremental, the default when the flag
+//!   is given bare), `full` (whole-module after every rewrite — the slow
+//!   differential oracle), or `off`
 //! - `--generic`         print in the generic form only
 //! - `--jobs <n>`        process inputs on `n` worker threads
 //! - `<file>...`         the IR inputs (defaults to stdin)
@@ -30,7 +34,9 @@ use irdl_ir::print::Printer;
 use irdl_ir::verify::verify_op;
 use irdl_ir::Context;
 use irdl_rewrite::pipeline::{run_batch, PipelineOptions};
-use irdl_rewrite::{parse_patterns, rewrite_greedily, PatternSet};
+use irdl_rewrite::{
+    parse_patterns, rewrite_greedily, rewrite_greedily_with, CheckLevel, PatternSet,
+};
 
 struct Options {
     irdl_files: Vec<String>,
@@ -39,6 +45,7 @@ struct Options {
     showcase: bool,
     corpus: bool,
     verify: bool,
+    check: CheckLevel,
     generic: bool,
     jobs: usize,
 }
@@ -51,6 +58,7 @@ fn parse_args() -> Result<Options, String> {
         showcase: false,
         corpus: false,
         verify: false,
+        check: CheckLevel::Off,
         generic: false,
         jobs: 1,
     };
@@ -75,11 +83,25 @@ fn parse_args() -> Result<Options, String> {
             "--showcase" => opts.showcase = true,
             "--corpus" => opts.corpus = true,
             "--verify" => opts.verify = true,
+            "--verify-each" => opts.check = CheckLevel::Incremental,
+            other if other.starts_with("--verify-each=") => {
+                opts.check = match &other["--verify-each=".len()..] {
+                    "full" => CheckLevel::Full,
+                    "incr" | "incremental" => CheckLevel::Incremental,
+                    "off" => CheckLevel::Off,
+                    bad => {
+                        return Err(format!(
+                            "invalid --verify-each level `{bad}` (expected full, incr, or off)"
+                        ))
+                    }
+                };
+            }
             "--generic" => opts.generic = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: irdl-opt [--irdl FILE]... [--patterns FILE]... \
-                     [--showcase] [--corpus] [--verify] [--generic] \
+                     [--showcase] [--corpus] [--verify] \
+                     [--verify-each={{full,incr,off}}] [--generic] \
                      [--jobs N] [IR-FILE]..."
                 );
                 std::process::exit(0);
@@ -136,6 +158,7 @@ fn run(opts: Options) -> Result<(), String> {
         let pipeline_opts = PipelineOptions {
             jobs: opts.jobs,
             verify: opts.verify,
+            check: opts.check,
             generic: opts.generic,
         };
         let report = run_batch(&bundle, &patterns, &sources, &pipeline_opts);
@@ -190,9 +213,13 @@ fn run(opts: Options) -> Result<(), String> {
     }
 
     if !patterns.is_empty() {
-        let stats = rewrite_greedily(&mut ctx, module, &patterns);
+        let stats = match opts.check {
+            CheckLevel::Off => rewrite_greedily(&mut ctx, module, &patterns),
+            check => rewrite_greedily_with(&mut ctx, module, &patterns, check)
+                .map_err(|err| format!("{err}: {}", err.diagnostics[0]))?,
+        };
         eprintln!("applied {} rewrite(s)", stats.rewrites);
-        if opts.verify {
+        if opts.verify && opts.check == CheckLevel::Off {
             verify_op(&ctx, module).map_err(|errs| {
                 format!("IR invalid after rewriting: {}", errs[0])
             })?;

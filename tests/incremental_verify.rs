@@ -1,0 +1,302 @@
+//! Differential testing of the incremental verifier against the full
+//! module verifier.
+//!
+//! The contract under test: starting from valid IR, after any journaled
+//! mutation the verdict of [`IncrementalVerifier::verify_changes`] (which
+//! re-checks only the dirty set named by the [`ChangeJournal`]) must agree
+//! with a from-scratch [`ModuleVerifier`] walk of the whole module — both
+//! on mutations that preserve validity and on mutations that break it.
+//!
+//! Random mutation sequences are driven by a deterministic LCG, so every
+//! failure is reproducible from its seed.
+
+use irdl_repro::dialects::showcase::{build_conorm_module, register_showcase};
+use irdl_repro::ir::print::op_to_string;
+use irdl_repro::ir::{
+    ChangeJournal, Context, IncrementalVerifier, ModuleVerifier, OpRef, OperationState,
+};
+use irdl_repro::rewrite::{
+    rewrite_greedily_with, CheckLevel, PatternSet, RewritePattern, Rewriter,
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic randomness
+// ---------------------------------------------------------------------------
+
+/// A 64-bit LCG (Knuth's MMIX constants); deterministic across platforms.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+/// A fresh showcase context holding a straight-line `cmath.mul` chain.
+fn chain_workload(n: usize) -> (Context, OpRef) {
+    let mut ctx = Context::new();
+    register_showcase(&mut ctx).expect("showcase registers");
+    let f32 = ctx.f32_type();
+    let f32a = ctx.type_attr(f32);
+    let complex = ctx
+        .parametric_type("cmath", "complex", [f32a])
+        .expect("cmath registered");
+    let module = ctx.create_module();
+    let block = ctx.module_block(module);
+    let src = ctx.op_name("test", "source");
+    let first = ctx.create_op(OperationState::new(src).add_result_types([complex]));
+    ctx.append_op(block, first);
+    let mut value = first.result(&ctx, 0);
+    let mul = ctx.op_name("cmath", "mul");
+    for _ in 0..n {
+        let op = ctx.create_op(
+            OperationState::new(mul)
+                .add_operands([value, value])
+                .add_result_types([complex]),
+        );
+        ctx.append_op(block, op);
+        value = op.result(&ctx, 0);
+    }
+    (ctx, module)
+}
+
+/// The paper's conorm showcase module (nested region, block arguments).
+fn conorm_workload() -> (Context, OpRef) {
+    let mut ctx = Context::new();
+    register_showcase(&mut ctx).expect("showcase registers");
+    let module = build_conorm_module(&mut ctx).expect("conorm builds");
+    (ctx, module)
+}
+
+// ---------------------------------------------------------------------------
+// Validity-preserving random mutations
+// ---------------------------------------------------------------------------
+
+/// Applies one random journaled mutation at a random top-level op; all
+/// variants keep valid IR valid. Returns `false` if the chosen variant was
+/// inapplicable at the chosen anchor (journal untouched or trivially so).
+fn mutate(ctx: &mut Context, module: OpRef, journal: &mut ChangeJournal, rng: &mut Lcg) -> bool {
+    let block = ctx.module_block(module);
+    let ops = block.ops(ctx).to_vec();
+    if ops.is_empty() {
+        return false;
+    }
+    let anchor = ops[rng.below(ops.len())];
+    let mul = ctx.op_name("cmath", "mul");
+    let src = ctx.op_name("t", "src");
+    match rng.below(4) {
+        // Insert a fresh unregistered source op before a random anchor: no
+        // operands, no uses, valid anywhere in the block.
+        0 => {
+            let ty = ctx.i32_type();
+            let mut rewriter = Rewriter::new(ctx, anchor, journal);
+            rewriter.insert_before(anchor, OperationState::new(src).add_result_types([ty]));
+            true
+        }
+        // Square a mul's input right before it: the new mul reuses the
+        // anchor's own operand, which by induction dominates the anchor.
+        1 => {
+            if anchor.name(ctx) != mul {
+                return false;
+            }
+            let x = anchor.operand(ctx, 0);
+            let ty = anchor.result_types(ctx)[0];
+            let mut rewriter = Rewriter::new(ctx, anchor, journal);
+            rewriter.insert_before(
+                anchor,
+                OperationState::new(mul).add_operands([x, x]).add_result_types([ty]),
+            );
+            true
+        }
+        // Fold a mul away: forward its input to every user, then erase it.
+        // The input is defined before the mul, so it dominates every use of
+        // the mul's result.
+        2 => {
+            if anchor.name(ctx) != mul {
+                return false;
+            }
+            let x = anchor.operand(ctx, 0);
+            let mut rewriter = Rewriter::new(ctx, anchor, journal);
+            rewriter.replace_root(&[x]);
+            true
+        }
+        // Append a fresh source op, then move it before a random anchor:
+        // exercises the move path (order-key refresh, displaced-neighbour
+        // journaling) with an op that has no operands and no uses.
+        _ => {
+            let ty = ctx.i32_type();
+            let mut rewriter = Rewriter::new(ctx, anchor, journal);
+            let fresh = rewriter.append(block, OperationState::new(src).add_result_types([ty]));
+            rewriter.move_before(fresh, anchor);
+            true
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+/// Random valid mutation sequences: at every step the incremental verdict
+/// must match a from-scratch full-module walk (both `Ok` here, since every
+/// mutation preserves validity — a disagreement means the dirty set missed
+/// something or the incremental checks are too strict).
+#[test]
+fn random_valid_mutations_agree_with_full_oracle() {
+    let workloads: Vec<(Context, OpRef)> =
+        vec![chain_workload(16), conorm_workload()];
+    for (w, (ctx0, module)) in workloads.into_iter().enumerate() {
+        for seed in 0..6u64 {
+            let mut ctx = ctx0.clone();
+            let mut rng = Lcg(0x9E3779B97F4A7C15 ^ (seed << 8) ^ w as u64);
+            let mut incremental = IncrementalVerifier::new();
+            incremental
+                .verify_full(&ctx, module)
+                .expect("workload starts valid");
+            let mut journal = ChangeJournal::new();
+            for step in 0..30 {
+                journal.clear();
+                mutate(&mut ctx, module, &mut journal, &mut rng);
+                let incr = incremental.verify_changes(&ctx, &journal);
+                let full = ModuleVerifier::new().verify(&ctx, module);
+                assert!(
+                    incr.is_ok() && full.is_ok(),
+                    "workload {w} seed {seed} step {step}: incremental {:?} vs full {:?}\n{}",
+                    incr.as_ref().map_err(|e| e[0].to_string()),
+                    full.as_ref().map_err(|e| e[0].to_string()),
+                    op_to_string(&ctx, module),
+                );
+            }
+        }
+    }
+}
+
+/// A seeded dominance-breaking mutation: inserting a use of a value
+/// *before* its definition must be caught by the incremental verifier
+/// (the created op is in the dirty set) exactly as the full oracle does.
+#[test]
+fn dominance_break_is_caught_by_both_verifiers() {
+    let (mut ctx, module) = chain_workload(8);
+    let mut incremental = IncrementalVerifier::new();
+    incremental.verify_full(&ctx, module).expect("chain starts valid");
+
+    let block = ctx.module_block(module);
+    // Pick a mid-block mul and insert a use of its own result before it.
+    let def = block.ops(&ctx)[4];
+    let bad_result = def.result(&ctx, 0);
+    let ty = def.result_types(&ctx)[0];
+    let use_name = ctx.op_name("t", "use");
+    let mut journal = ChangeJournal::new();
+    let mut rewriter = Rewriter::new(&mut ctx, def, &mut journal);
+    rewriter.insert_before(
+        def,
+        OperationState::new(use_name).add_operands([bad_result]).add_result_types([ty]),
+    );
+
+    let incr = incremental.verify_changes(&ctx, &journal).unwrap_err();
+    let full = ModuleVerifier::new().verify(&ctx, module).unwrap_err();
+    assert!(
+        incr.iter().any(|d| d.message().contains("dominates")),
+        "incremental must report the dominance break, got: {}",
+        incr[0]
+    );
+    assert!(
+        full.iter().any(|d| d.message().contains("dominates")),
+        "full oracle must report the dominance break, got: {}",
+        full[0]
+    );
+}
+
+/// Erasing the offending op afterwards must bring both verdicts back to
+/// `Ok` — the journal's erasure scrubbing may not leave a dangling dirty
+/// entry behind.
+#[test]
+fn erasing_the_offender_restores_agreement() {
+    let (mut ctx, module) = chain_workload(8);
+    let mut incremental = IncrementalVerifier::new();
+    incremental.verify_full(&ctx, module).expect("chain starts valid");
+
+    let block = ctx.module_block(module);
+    let def = block.ops(&ctx)[4];
+    let bad_result = def.result(&ctx, 0);
+    let ty = def.result_types(&ctx)[0];
+    let use_name = ctx.op_name("t", "use");
+    let mut journal = ChangeJournal::new();
+    let mut rewriter = Rewriter::new(&mut ctx, def, &mut journal);
+    let bad = rewriter.insert_before(
+        def,
+        OperationState::new(use_name).add_operands([bad_result]).add_result_types([ty]),
+    );
+    assert!(incremental.verify_changes(&ctx, &journal).is_err());
+
+    journal.clear();
+    let mut rewriter = Rewriter::new(&mut ctx, def, &mut journal);
+    rewriter.erase(bad);
+    let incr = incremental.verify_changes(&ctx, &journal);
+    let full = ModuleVerifier::new().verify(&ctx, module);
+    assert!(incr.is_ok(), "incremental: {}", incr.unwrap_err()[0]);
+    assert!(full.is_ok(), "full: {}", full.unwrap_err()[0]);
+}
+
+/// Driver-level equivalence: the same pattern set driven at
+/// `CheckLevel::Full` and `CheckLevel::Incremental` must apply the same
+/// rewrites and produce byte-identical output.
+#[test]
+fn checked_driver_levels_agree_end_to_end() {
+    struct MulToSqr {
+        mul: irdl_repro::ir::OpName,
+        sqr: irdl_repro::ir::OpName,
+    }
+
+    impl RewritePattern for MulToSqr {
+        fn root(&self) -> Option<irdl_repro::ir::OpName> {
+            Some(self.mul)
+        }
+        fn name(&self) -> &str {
+            "mul-to-sqr"
+        }
+        fn match_and_rewrite(&self, rewriter: &mut Rewriter<'_>) -> bool {
+            let op = rewriter.root();
+            let ctx = rewriter.ctx();
+            if op.num_operands(ctx) != 2 || op.operand(ctx, 0) != op.operand(ctx, 1) {
+                return false;
+            }
+            let x = op.operand(ctx, 0);
+            let ty = op.result_types(ctx)[0];
+            let sqr = rewriter.insert_before_root(
+                OperationState::new(self.sqr).add_operands([x]).add_result_types([ty]),
+            );
+            let replacement = sqr.result(rewriter.ctx(), 0);
+            rewriter.replace_root(&[replacement]);
+            true
+        }
+    }
+
+    let (mut ctx, module) = chain_workload(24);
+    let mut patterns = PatternSet::new();
+    let mul = ctx.op_name("cmath", "mul");
+    let sqr = ctx.op_name("t", "sqr");
+    patterns.add(std::sync::Arc::new(MulToSqr { mul, sqr }));
+
+    let mut outputs = Vec::new();
+    for check in [CheckLevel::Full, CheckLevel::Incremental] {
+        let mut ctx = ctx.clone();
+        let stats = rewrite_greedily_with(&mut ctx, module, &patterns, check)
+            .expect("the chain stays valid under rewriting");
+        assert_eq!(stats.rewrites, 24, "one rewrite per chain op at {check:?}");
+        outputs.push(op_to_string(&ctx, module));
+    }
+    assert_eq!(outputs[0], outputs[1], "Full and Incremental must produce identical IR");
+}
