@@ -1,0 +1,176 @@
+//! Golden-message tests for *verifier rejection* diagnostics.
+//!
+//! The compile-error catalog lives in `diagnostics.rs`; this file pins the
+//! other half of the error surface: well-formed specifications rejecting
+//! malformed IR. The fuzzer leans on these messages being stable — the
+//! differential oracles compare rendered diagnostics byte-for-byte across
+//! fast paths, so a message that drifts with hash order or pointer values
+//! would show up as a spurious divergence.
+
+use irdl_ir::parse::parse_module;
+use irdl_ir::verify::ModuleVerifier;
+use irdl_ir::Context;
+
+const SPEC: &str = r#"Dialect d {
+  Operation pick {
+    Operands (cond: !i1, value: !i32)
+    Results (out: !i32)
+  }
+  Operation tagged {
+    Attributes (flag: bool_attr)
+  }
+  Operation gather {
+    Operands (starts: Variadic<!index>, ends: Variadic<!index>)
+  }
+  Operation wrap {
+    Region body { }
+  }
+}"#;
+
+/// Compiles the spec, parses `text`, and returns the rendered diagnostics
+/// of the full (hook-running) verifier, which must reject.
+fn verify_err(text: &str) -> String {
+    let mut ctx = Context::new();
+    irdl::register_dialects(&mut ctx, SPEC).expect("spec compiles");
+    let module = parse_module(&mut ctx, text)
+        .unwrap_or_else(|e| panic!("parse failed: {}", e.render(text)));
+    let errors = ModuleVerifier::new()
+        .verify(&ctx, module)
+        .expect_err("verifier should reject");
+    errors.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n")
+}
+
+#[test]
+fn operand_type_mismatch_names_operand_type_and_op() {
+    let msg = verify_err(
+        r#""builtin.module"() ({
+  %0 = "fuzz.src"() : () -> f32
+  %1 = "fuzz.src"() : () -> i32
+  %2 = "d.pick"(%0, %1) : (f32, i32) -> i32
+}) : () -> ()"#,
+    );
+    assert!(msg.contains("operand `cond` is invalid"), "{msg}");
+    assert!(msg.contains("expected type i1, got f32"), "{msg}");
+    assert!(msg.contains("in operation `d.pick`"), "{msg}");
+}
+
+#[test]
+fn result_type_mismatch_names_result() {
+    let msg = verify_err(
+        r#""builtin.module"() ({
+  %0 = "fuzz.src"() : () -> i1
+  %1 = "fuzz.src"() : () -> i32
+  %2 = "d.pick"(%0, %1) : (i1, i32) -> f64
+}) : () -> ()"#,
+    );
+    assert!(msg.contains("result `out` is invalid"), "{msg}");
+    assert!(msg.contains("expected type i32, got f64"), "{msg}");
+    assert!(msg.contains("in operation `d.pick`"), "{msg}");
+}
+
+#[test]
+fn missing_attribute_is_named() {
+    let msg = verify_err(
+        r#""builtin.module"() ({
+  "d.tagged"() : () -> ()
+}) : () -> ()"#,
+    );
+    assert!(msg.contains("missing required attribute `flag`"), "{msg}");
+    assert!(msg.contains("in operation `d.tagged`"), "{msg}");
+}
+
+#[test]
+fn poisoned_attribute_is_named() {
+    let msg = verify_err(
+        r#""builtin.module"() ({
+  "d.tagged"() {flag = "yes"} : () -> ()
+}) : () -> ()"#,
+    );
+    assert!(msg.contains("attribute `flag` is invalid"), "{msg}");
+    assert!(msg.contains("in operation `d.tagged`"), "{msg}");
+}
+
+#[test]
+fn ambiguous_variadic_segments_are_rejected() {
+    // Two variadic groups and no segment-sizes attribute: the operand
+    // layout is ambiguous and must be reported as a count mismatch.
+    let msg = verify_err(
+        r#""builtin.module"() ({
+  %0 = "fuzz.src"() : () -> index
+  "d.gather"(%0) : (index) -> ()
+}) : () -> ()"#,
+    );
+    assert!(msg.contains("operand count mismatch"), "{msg}");
+    assert!(msg.contains("in operation `d.gather`"), "{msg}");
+}
+
+#[test]
+fn region_count_mismatch_is_reported() {
+    let msg = verify_err(
+        r#""builtin.module"() ({
+  "d.wrap"() : () -> ()
+}) : () -> ()"#,
+    );
+    assert!(msg.contains("expected 1 region(s), got 0"), "{msg}");
+    assert!(msg.contains("in operation `d.wrap`"), "{msg}");
+}
+
+#[test]
+fn undeclared_successors_are_rejected() {
+    // `d.pick` declares no successors; handing it one is a structural
+    // error caught before any constraint runs.
+    let mut ctx = Context::new();
+    irdl::register_dialects(&mut ctx, SPEC).expect("spec compiles");
+    let module = ctx.create_module();
+    let block = ctx.module_block(module);
+    let region = ctx.create_region();
+    let target = ctx.create_block([]);
+    ctx.append_block(region, target);
+    let i1 = ctx.i1_type();
+    let i32 = ctx.i32_type();
+    let src = ctx.op_name("fuzz", "src");
+    let a = ctx.create_op(irdl_ir::OperationState::new(src).add_result_types([i1]));
+    let b = ctx.create_op(irdl_ir::OperationState::new(src).add_result_types([i32]));
+    ctx.append_op(block, a);
+    ctx.append_op(block, b);
+    let pick = ctx.op_name("d", "pick");
+    let op = ctx.create_op(
+        irdl_ir::OperationState::new(pick)
+            .add_operands([a.result(&ctx, 0), b.result(&ctx, 0)])
+            .add_result_types([i32])
+            .add_successors([target]),
+    );
+    ctx.append_op(block, op);
+    let errors =
+        ModuleVerifier::new().verify(&ctx, module).expect_err("verifier should reject");
+    let msg = errors.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n");
+    assert!(msg.contains("non-terminator operation cannot have successors"), "{msg}");
+}
+
+#[test]
+fn unregistered_dialect_rejected_in_strict_mode() {
+    let mut ctx = Context::new();
+    irdl::register_dialects(&mut ctx, SPEC).expect("spec compiles");
+    let module = parse_module(
+        &mut ctx,
+        r#""builtin.module"() ({
+  "ghost.op"() : () -> ()
+}) : () -> ()"#,
+    )
+    .expect("parses");
+    ctx.set_allow_unregistered(false);
+    let errors =
+        ModuleVerifier::new().verify(&ctx, module).expect_err("verifier should reject");
+    let msg = errors.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("\n");
+    assert!(msg.contains("unregistered dialect"), "{msg}");
+}
+
+#[test]
+fn parse_rejections_carry_spans() {
+    let mut ctx = Context::new();
+    let bad = "\"builtin.module\"() ({\n  %0 = \"d.pick\"(%missing) : (i1) -> i32\n}) : () -> ()";
+    let err = parse_module(&mut ctx, bad).expect_err("parse should fail");
+    let rendered = err.render(bad);
+    assert!(rendered.contains("error at 2:"), "span should point at line 2: {rendered}");
+    assert!(rendered.contains("%missing"), "should quote the offending line: {rendered}");
+}

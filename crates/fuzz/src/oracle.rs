@@ -1,0 +1,321 @@
+//! The five differential oracles.
+//!
+//! Each oracle runs one input through two implementations that must agree
+//! and reports any divergence with enough context (input text, seed,
+//! step) to replay it. The pairs cross-check every fast path the repo has
+//! built so far:
+//!
+//! 1. **fixpoint** — parse → print must reach a fixpoint: printing the
+//!    reparse of printed text reproduces it byte for byte (pretty and
+//!    generic forms both).
+//! 2. **incremental** — after every journaled mutation, the verdict of
+//!    [`IncrementalVerifier::verify_changes`] must equal a from-scratch
+//!    [`ModuleVerifier`] walk.
+//! 3. **cache** — verification with a warm verdict cache, a re-verify
+//!    (pure cache hits), and a cleared cache must produce identical
+//!    verdicts and identical diagnostics.
+//! 4. **jobs** — the batch pipeline at `--jobs 1` and `--jobs 4` must
+//!    produce byte-identical per-module results.
+//! 5. **drive** — the checked rewrite driver at `CheckLevel::Full` and
+//!    `CheckLevel::Incremental` must apply the same rewrites and print
+//!    identical output (or fail identically).
+
+use std::sync::Arc;
+
+use irdl::DialectBundle;
+use irdl_ir::parse::parse_module;
+use irdl_ir::print::{op_to_string, op_to_string_generic};
+use irdl_ir::verify::{IncrementalVerifier, ModuleVerifier};
+use irdl_ir::{ChangeJournal, Context, OpRef};
+use irdl_rewrite::{
+    rewrite_greedily_with, run_batch, CheckLevel, PatternSet, PipelineOptions, RewritePattern,
+    Rewriter,
+};
+
+use crate::mutate::{mutate_structured, MutationPolicy};
+use crate::rng::SplitMix64;
+
+/// One oracle divergence: everything needed to reproduce and report it.
+#[derive(Debug, Clone)]
+pub struct OracleFailure {
+    /// Which oracle diverged (`fixpoint`, `incremental`, `cache`,
+    /// `jobs`, `drive`, or `generate`).
+    pub oracle: &'static str,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+    /// The input text that triggered it.
+    pub input: String,
+    /// Mutation-sequence seed, for oracles that draw randomness beyond
+    /// the input text (0 when the input alone reproduces the failure).
+    pub seed: u64,
+}
+
+impl OracleFailure {
+    fn new(oracle: &'static str, detail: String, input: &str) -> Self {
+        OracleFailure { oracle, detail, input: input.to_string(), seed: 0 }
+    }
+
+    fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Dead-source elimination: erases unused `fuzz.src` ops. Anchorless, so
+/// it scans every op; safe on any input; guaranteed to fire on generated
+/// modules (the generator leaves unused sources behind), which keeps the
+/// drive/jobs oracles exercising real rewrites, not empty worklists.
+struct DceSourcePattern;
+
+impl RewritePattern for DceSourcePattern {
+    fn root(&self) -> Option<irdl_ir::OpName> {
+        None
+    }
+
+    fn name(&self) -> &str {
+        "fuzz-dce-src"
+    }
+
+    fn match_and_rewrite(&self, rewriter: &mut Rewriter<'_>) -> bool {
+        let op = rewriter.root();
+        let ctx = rewriter.ctx();
+        let name = op.name(ctx);
+        let is_src = ctx.symbol_lookup("fuzz").is_some_and(|d| d == name.dialect)
+            && ctx.symbol_lookup("src").is_some_and(|n| n == name.name);
+        if !is_src || !op.regions(ctx).is_empty() {
+            return false;
+        }
+        rewriter.erase_if_unused(op)
+    }
+}
+
+/// The pattern set the drive/jobs oracles run.
+pub fn oracle_patterns() -> PatternSet {
+    let mut patterns = PatternSet::new();
+    patterns.add(Arc::new(DceSourcePattern));
+    patterns
+}
+
+fn render_errors(errors: &[irdl_ir::Diagnostic]) -> String {
+    errors.iter().map(|d| d.to_string()).collect::<Vec<_>>().join("; ")
+}
+
+fn parse_in(ctx: &mut Context, text: &str) -> Option<OpRef> {
+    parse_module(ctx, text).ok()
+}
+
+/// Oracle 1: parse → print → parse fixpoint (pretty and generic forms).
+///
+/// Inputs the parser rejects pass vacuously — rejection is a legitimate
+/// outcome for text mutants; what must never happen is accepting text
+/// whose print does not reach a fixpoint.
+pub fn check_fixpoint(bundle: &DialectBundle, text: &str) -> Result<(), OracleFailure> {
+    let mut ctx = bundle.instantiate();
+    let Some(module) = parse_in(&mut ctx, text) else { return Ok(()) };
+    let printed = op_to_string(&ctx, module);
+    let generic = op_to_string_generic(&ctx, module);
+
+    let mut ctx2 = bundle.instantiate();
+    let module2 = parse_module(&mut ctx2, &printed).map_err(|e| {
+        OracleFailure::new(
+            "fixpoint",
+            format!("printed module does not re-parse: {}\nprinted:\n{printed}", e),
+            text,
+        )
+    })?;
+    let printed2 = op_to_string(&ctx2, module2);
+    if printed2 != printed {
+        return Err(OracleFailure::new(
+            "fixpoint",
+            format!("print is not a fixpoint:\nfirst:\n{printed}\nsecond:\n{printed2}"),
+            text,
+        ));
+    }
+    let mut ctx3 = bundle.instantiate();
+    let module3 = parse_module(&mut ctx3, &generic).map_err(|e| {
+        OracleFailure::new(
+            "fixpoint",
+            format!("generic print does not re-parse: {}\nprinted:\n{generic}", e),
+            text,
+        )
+    })?;
+    let generic2 = op_to_string_generic(&ctx3, module3);
+    if generic2 != generic {
+        return Err(OracleFailure::new(
+            "fixpoint",
+            format!("generic print is not a fixpoint:\nfirst:\n{generic}\nsecond:\n{generic2}"),
+            text,
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 2: incremental ≡ full verification verdict under a random
+/// journaled mutation sequence seeded by `seed`.
+pub fn check_incremental(
+    bundle: &DialectBundle,
+    text: &str,
+    seed: u64,
+    steps: usize,
+) -> Result<(), OracleFailure> {
+    let mut ctx = bundle.instantiate();
+    let Some(module) = parse_in(&mut ctx, text) else { return Ok(()) };
+
+    let mut incremental = IncrementalVerifier::new();
+    let initial = incremental.verify_full(&ctx, module);
+    let full = ModuleVerifier::new().verify(&ctx, module);
+    if initial.is_ok() != full.is_ok() {
+        return Err(OracleFailure::new(
+            "incremental",
+            format!(
+                "initial verdicts disagree: incremental {:?} vs full {:?}",
+                initial.as_ref().map_err(|e| render_errors(e)),
+                full.as_ref().map_err(|e| render_errors(e)),
+            ),
+            text,
+        )
+        .with_seed(seed));
+    }
+    if initial.is_err() {
+        // The incremental contract starts from valid IR.
+        return Ok(());
+    }
+
+    let mut rng = SplitMix64::new(seed);
+    let mut journal = ChangeJournal::new();
+    for step in 0..steps {
+        journal.clear();
+        let Some(mutation) =
+            mutate_structured(&mut ctx, module, &mut journal, MutationPolicy::AllowInvalid, &mut rng)
+        else {
+            continue;
+        };
+        let incr = incremental.verify_changes(&ctx, &journal);
+        let full = ModuleVerifier::new().verify(&ctx, module);
+        if incr.is_ok() != full.is_ok() {
+            return Err(OracleFailure::new(
+                "incremental",
+                format!(
+                    "verdicts disagree after step {step} ({mutation}, seed {seed:#x}): \
+                     incremental {:?} vs full {:?}\nmodule:\n{}",
+                    incr.as_ref().map_err(|e| render_errors(e)),
+                    full.as_ref().map_err(|e| render_errors(e)),
+                    op_to_string(&ctx, module),
+                ),
+                text,
+            )
+            .with_seed(seed));
+        }
+        if incr.is_err() {
+            // Both agree the module is now invalid; the incremental
+            // verifier's state contract ends here.
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 3: warm-cache, pure-hit, and cleared-cache verification agree
+/// on verdict and diagnostics.
+pub fn check_cache(bundle: &DialectBundle, text: &str) -> Result<(), OracleFailure> {
+    let mut ctx = bundle.instantiate();
+    let Some(module) = parse_in(&mut ctx, text) else { return Ok(()) };
+
+    let as_key = |r: &Result<(), Vec<irdl_ir::Diagnostic>>| match r {
+        Ok(()) => "ok".to_string(),
+        Err(errors) => format!("err: {}", render_errors(errors)),
+    };
+
+    let warm = ModuleVerifier::new().verify(&ctx, module);
+    let hits = ModuleVerifier::new().verify(&ctx, module);
+    ctx.clear_verdict_cache();
+    let cold = ModuleVerifier::new().verify(&ctx, module);
+
+    let (warm, hits, cold) = (as_key(&warm), as_key(&hits), as_key(&cold));
+    if warm != hits || warm != cold {
+        return Err(OracleFailure::new(
+            "cache",
+            format!("verdicts diverge: warm [{warm}] / cache-hit [{hits}] / cold [{cold}]"),
+            text,
+        ));
+    }
+    Ok(())
+}
+
+/// Oracle 4: the batch pipeline at 1 worker and at `jobs` workers
+/// produces identical per-module results, in input order.
+pub fn check_jobs(
+    bundle: &DialectBundle,
+    inputs: &[String],
+    jobs: usize,
+) -> Result<(), OracleFailure> {
+    let patterns = oracle_patterns();
+    let run = |jobs: usize| {
+        let opts = PipelineOptions { jobs, verify: true, check: CheckLevel::Off, generic: false };
+        run_batch(bundle, &patterns, inputs, &opts)
+    };
+    let sequential = run(1);
+    let parallel = run(jobs.max(2));
+    for (i, (a, b)) in sequential.results.iter().zip(&parallel.results).enumerate() {
+        let same = match (a, b) {
+            (Ok(a), Ok(b)) => a.output == b.output && a.rewrites == b.rewrites,
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        };
+        if !same {
+            return Err(OracleFailure::new(
+                "jobs",
+                format!(
+                    "module #{i} differs between --jobs 1 and --jobs {}: {:?} vs {:?}",
+                    jobs.max(2),
+                    a.as_ref().map(|m| &m.output),
+                    b.as_ref().map(|m| &m.output),
+                ),
+                &inputs[i],
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Oracle 5: the checked driver at `Full` and `Incremental` agrees on
+/// rewrite count, success, and printed output.
+pub fn check_drive(bundle: &DialectBundle, text: &str) -> Result<(), OracleFailure> {
+    let patterns = oracle_patterns();
+    let mut outcomes: Vec<Result<(usize, String), String>> = Vec::new();
+    for check in [CheckLevel::Full, CheckLevel::Incremental] {
+        let mut ctx = bundle.instantiate();
+        let Some(module) = parse_in(&mut ctx, text) else { return Ok(()) };
+        let outcome = match rewrite_greedily_with(&mut ctx, module, &patterns, check) {
+            Ok(stats) => Ok((stats.rewrites, op_to_string(&ctx, module))),
+            Err(e) => Err(format!("pattern `{}`: {}", e.pattern, render_errors(&e.diagnostics))),
+        };
+        outcomes.push(outcome);
+    }
+    if outcomes[0] != outcomes[1] {
+        return Err(OracleFailure::new(
+            "drive",
+            format!("Full {:?} vs Incremental {:?}", outcomes[0], outcomes[1]),
+            text,
+        ));
+    }
+    Ok(())
+}
+
+/// Runs every single-input oracle on `text`, collecting all divergences
+/// (the jobs oracle needs a batch and is run separately by the harness).
+pub fn replay_all(bundle: &DialectBundle, text: &str, seed: u64) -> Vec<OracleFailure> {
+    let mut failures = Vec::new();
+    for check in [
+        check_fixpoint(bundle, text),
+        check_incremental(bundle, text, seed, 24),
+        check_cache(bundle, text),
+        check_drive(bundle, text),
+        check_jobs(bundle, std::slice::from_ref(&text.to_string()), 2),
+    ] {
+        if let Err(f) = check {
+            failures.push(f);
+        }
+    }
+    failures
+}

@@ -1,0 +1,204 @@
+//! Delta-debugging reduction of failing inputs.
+//!
+//! Raw counterexamples from a structured generator are unreadable — MLIR
+//! ships `mlir-reduce` for exactly this reason. This module implements
+//! ddmin (Zeller & Hildebrandt) over the module's operations (which
+//! subsumes blocks and regions: erasing an op erases its whole subtree),
+//! followed by a greedy attribute-removal pass. Every candidate is
+//! re-rendered from the *original* text, so op indices stay stable and
+//! the whole reduction is deterministic.
+//!
+//! Ops with still-used results are not simply erased: their uses are
+//! first forwarded to fresh `fuzz.src` stubs of the same type, the
+//! standard reduction trick that keeps the surrounding IR parseable while
+//! the suspect op disappears.
+
+use std::collections::HashSet;
+
+use irdl::DialectBundle;
+use irdl_ir::parse::parse_module;
+use irdl_ir::print::op_to_string;
+use irdl_ir::walk::collect_ops;
+use irdl_ir::{Context, OperationState, OpRef};
+
+/// All non-module ops in deterministic pre-order.
+fn module_ops(ctx: &Context, module: OpRef) -> Vec<OpRef> {
+    collect_ops(ctx, module).into_iter().filter(|&op| op != module).collect()
+}
+
+/// Renders `text` with every op whose pre-order index is *not* in `keep`
+/// removed (uses forwarded to typed stubs). `None` if `text` no longer
+/// parses (cannot happen for inputs the reducer accepted earlier).
+fn render_kept(bundle: &DialectBundle, text: &str, keep: &HashSet<usize>) -> Option<String> {
+    let mut ctx = bundle.instantiate();
+    let module = parse_module(&mut ctx, text).ok()?;
+    let ops = module_ops(&ctx, module);
+    // Erase users before defs (reverse pre-order): most erased defs lose
+    // their uses before their turn comes, so forwarding stubs are only
+    // created for values a *kept* op consumes — never orphans that sit
+    // outside ddmin's index space.
+    let mut stubs: Vec<OpRef> = Vec::new();
+    for (index, op) in ops.iter().enumerate().rev() {
+        if keep.contains(&index) || !op.is_live(&ctx) {
+            continue;
+        }
+        for result in op.results(&ctx) {
+            if result.uses(&ctx).is_empty() {
+                continue;
+            }
+            let ty = result.ty(&ctx);
+            let src = ctx.op_name("fuzz", "src");
+            let stub = ctx.create_op(OperationState::new(src).add_result_types([ty]));
+            ctx.insert_op_before(*op, stub);
+            let replacement = stub.result(&ctx, 0);
+            ctx.replace_all_uses(result, replacement);
+            stubs.push(stub);
+        }
+        ctx.erase_op(*op);
+    }
+    // Sweep any stub that still ended up unused.
+    for stub in stubs {
+        if stub.is_live(&ctx) && stub.results(&ctx).iter().all(|r| r.uses(&ctx).is_empty()) {
+            ctx.erase_op(stub);
+        }
+    }
+    Some(op_to_string(&ctx, module))
+}
+
+/// Classic ddmin over the kept-op set: returns a 1-minimal subset of
+/// `0..total` for which `test` still returns true.
+fn ddmin(total: usize, mut test: impl FnMut(&HashSet<usize>) -> bool) -> HashSet<usize> {
+    let mut kept: Vec<usize> = (0..total).collect();
+    if kept.is_empty() {
+        return HashSet::new();
+    }
+    let mut granularity = 2usize;
+    while kept.len() >= 2 {
+        let chunk = kept.len().div_ceil(granularity);
+        let chunks: Vec<Vec<usize>> = kept.chunks(chunk).map(<[usize]>::to_vec).collect();
+        let mut progressed = false;
+
+        // Try reducing to a single chunk.
+        for part in &chunks {
+            let candidate: HashSet<usize> = part.iter().copied().collect();
+            if test(&candidate) {
+                kept = part.to_vec();
+                granularity = 2;
+                progressed = true;
+                break;
+            }
+        }
+        if progressed {
+            continue;
+        }
+        // Try removing one chunk (keep the complement).
+        if chunks.len() > 2 {
+            for chunk in &chunks {
+                let candidate: HashSet<usize> = kept
+                    .iter()
+                    .copied()
+                    .filter(|x| !chunk.contains(x))
+                    .collect();
+                if !candidate.is_empty() && test(&candidate) {
+                    kept.retain(|x| candidate.contains(x));
+                    granularity = (granularity - 1).max(2);
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if progressed {
+            continue;
+        }
+        if granularity >= kept.len() {
+            break;
+        }
+        granularity = (granularity * 2).min(kept.len());
+    }
+    kept.into_iter().collect()
+}
+
+/// Greedy attribute removal on an already op-minimal module: drops every
+/// attribute whose removal keeps the failure reproducing.
+fn reduce_attrs(
+    bundle: &DialectBundle,
+    text: &str,
+    predicate: &mut dyn FnMut(&str) -> bool,
+) -> String {
+    let mut current = text.to_string();
+    loop {
+        let mut ctx = bundle.instantiate();
+        let Ok(module) = parse_module(&mut ctx, &current) else { return current };
+        let ops = module_ops(&ctx, module);
+        let mut candidates: Vec<(usize, irdl_ir::Symbol)> = Vec::new();
+        for (index, op) in ops.iter().enumerate() {
+            for (key, _) in op.attributes(&ctx) {
+                candidates.push((index, *key));
+            }
+        }
+        let mut removed_one = false;
+        for (index, key) in candidates {
+            let mut ctx = bundle.instantiate();
+            let Ok(module) = parse_module(&mut ctx, &current) else { break };
+            let ops = module_ops(&ctx, module);
+            ctx.remove_attr(ops[index], key);
+            let candidate = op_to_string(&ctx, module);
+            if predicate(&candidate) {
+                current = candidate;
+                removed_one = true;
+                break;
+            }
+        }
+        if !removed_one {
+            return current;
+        }
+    }
+}
+
+/// Reduces `text` to a smaller input for which `predicate` still returns
+/// true. `predicate(text)` must be true on entry (the caller checked the
+/// failure reproduces); the result preserves that property.
+pub fn reduce(
+    bundle: &DialectBundle,
+    text: &str,
+    predicate: &mut dyn FnMut(&str) -> bool,
+) -> String {
+    let mut ctx = bundle.instantiate();
+    let Ok(module) = parse_module(&mut ctx, text) else {
+        // Unparseable input (a text mutant): minimize by line removal.
+        return reduce_lines(text, predicate);
+    };
+    let total = module_ops(&ctx, module).len();
+    drop(ctx);
+
+    let kept = ddmin(total, |keep| {
+        render_kept(bundle, text, keep).is_some_and(|candidate| predicate(&candidate))
+    });
+    let keep: HashSet<usize> = kept;
+    let reduced = render_kept(bundle, text, &keep)
+        .filter(|candidate| predicate(candidate))
+        .unwrap_or_else(|| text.to_string());
+    reduce_attrs(bundle, &reduced, predicate)
+}
+
+/// Line-based ddmin for inputs that do not parse (lexer/parser findings).
+fn reduce_lines(text: &str, predicate: &mut dyn FnMut(&str) -> bool) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    let kept = ddmin(lines.len(), |keep| {
+        let candidate: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| keep.contains(i))
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        predicate(&candidate)
+    });
+    let mut indices: Vec<usize> = kept.into_iter().collect();
+    indices.sort_unstable();
+    let candidate: String = indices.iter().map(|i| format!("{}\n", lines[*i])).collect();
+    if predicate(&candidate) {
+        candidate
+    } else {
+        text.to_string()
+    }
+}

@@ -1,0 +1,68 @@
+//! Regression-corpus storage: minimized reproducers plus their seeds.
+//!
+//! Every case is a plain `.mlir` file whose leading `//` comment lines
+//! carry the metadata (seed, oracle, provenance). The IR parser treats
+//! `//` as line comments, so a case file replays verbatim; the metadata
+//! survives for humans and for the replay harness.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A stored regression case.
+#[derive(Debug, Clone)]
+pub struct RegressionCase {
+    /// Seed of the run that found it (hex in the file header).
+    pub seed: u64,
+    /// The oracle that diverged.
+    pub oracle: String,
+    /// The (minimized) input text, comment lines included.
+    pub text: String,
+}
+
+/// Writes a case file named `<name>.mlir` under `dir`, creating the
+/// directory if needed. Returns the path written.
+pub fn write_regression(
+    dir: &Path,
+    name: &str,
+    seed: u64,
+    oracle: &str,
+    text: &str,
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.mlir"));
+    let mut file = std::fs::File::create(&path)?;
+    writeln!(file, "// irdl-fuzz regression case")?;
+    writeln!(file, "// seed: {seed:#x}")?;
+    writeln!(file, "// oracle: {oracle}")?;
+    write!(file, "{text}")?;
+    if !text.ends_with('\n') {
+        writeln!(file)?;
+    }
+    Ok(path)
+}
+
+/// Loads a case file, parsing the header comments back out. Missing
+/// metadata defaults to seed 0 / oracle "unknown" (hand-written cases).
+pub fn load_case(path: &Path) -> std::io::Result<RegressionCase> {
+    let text = std::fs::read_to_string(path)?;
+    let mut seed = 0u64;
+    let mut oracle = "unknown".to_string();
+    for line in text.lines() {
+        if !line.starts_with("//") {
+            break;
+        }
+        if let Some(value) = line.strip_prefix("// seed:") {
+            let value = value.trim();
+            let parsed = match value.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => value.parse(),
+            };
+            if let Ok(parsed) = parsed {
+                seed = parsed;
+            }
+        } else if let Some(value) = line.strip_prefix("// oracle:") {
+            oracle = value.trim().to_string();
+        }
+    }
+    Ok(RegressionCase { seed, oracle, text })
+}

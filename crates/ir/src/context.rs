@@ -219,6 +219,15 @@ impl Context {
         self.verdict_misses.set(0);
     }
 
+    /// Drops every memoized verdict (counters are kept).
+    ///
+    /// Verification after a clear re-evaluates every constraint from
+    /// scratch, which is what differential cache oracles compare against
+    /// the memoized path.
+    pub fn clear_verdict_cache(&self) {
+        self.verdict_cache.borrow_mut().clear();
+    }
+
     // ----- Evaluation scratch ----------------------------------------------
 
     /// Takes the parked evaluation scratch, leaving the slot empty.

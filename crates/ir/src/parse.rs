@@ -695,9 +695,18 @@ impl<'s, 'c> Parser<'s, 'c> {
         let mut defs: Vec<(&'s str, usize)> = Vec::new();
         if matches!(self.peek(), Token::ValueId(_)) {
             loop {
-                let name = match self.bump() {
-                    Token::ValueId(name) => name,
-                    _ => unreachable!(),
+                // After a comma the next token need not be a value id
+                // (`%a, = ...`), so this must reject, not assume.
+                let name = match self.peek() {
+                    Token::ValueId(name) => {
+                        let name = *name;
+                        self.bump();
+                        name
+                    }
+                    other => {
+                        return Err(self
+                            .error(format!("expected result name, found {}", other.describe())))
+                    }
                 };
                 let mut count = 1usize;
                 if self.consume_if(&Token::Colon) {

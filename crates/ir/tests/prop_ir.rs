@@ -1,16 +1,40 @@
-#![cfg(feature = "proptest")]
-// Gated off by default: proptest cannot be fetched in offline builds.
-// Restore the proptest dev-dependency and run with `--features proptest`.
-
 //! Property-based tests for the IR substrate: dominance against a
-//! ground-truth definition, and structural uniquing of types/attributes.
+//! ground-truth definition, structural uniquing of types/attributes, and
+//! use-list consistency — driven by a seeded PRNG so they run in every
+//! offline `cargo test`.
+//!
+//! The PRNG is a local splitmix64 copy (`irdl-ir` sits below the fuzzing
+//! crate in the dependency graph, so it cannot borrow the shared one).
 
 use std::collections::HashSet;
 
-use proptest::prelude::*;
-
 use irdl_ir::dominance::{successors, RegionDominance};
 use irdl_ir::{BlockRef, Context, OperationState, RegionRef};
+
+/// Minimal splitmix64, matching `irdl_fuzz_lib::SplitMix64`.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// Random CFG edge lists: `n` blocks, each with up to two successors.
+fn random_edges(rng: &mut Rng, max_blocks: u64) -> Vec<Vec<usize>> {
+    let n = rng.below(max_blocks) + 1;
+    (0..n)
+        .map(|_| (0..rng.below(3)).map(|_| rng.below(8) as usize).collect())
+        .collect()
+}
 
 /// Builds a region with `n` blocks; block `i`'s terminator targets the
 /// blocks listed in `edges[i]` (indices taken modulo `n`).
@@ -74,53 +98,56 @@ fn reachable(ctx: &Context, from: BlockRef, to: BlockRef, removed: Option<BlockR
     false
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// The iterative dominator algorithm agrees with the path-based
-    /// definition on random CFGs.
-    #[test]
-    fn dominance_matches_ground_truth(
-        edges in proptest::collection::vec(
-            proptest::collection::vec(0usize..8, 0..3),
-            1..8,
-        )
-    ) {
-        let mut ctx = Context::new();
-        let (region, blocks) = build_cfg(&mut ctx, &edges);
-        let dom = RegionDominance::compute(&ctx, region);
-        for &a in &blocks {
-            for &b in &blocks {
-                let expected = dominates_ground_truth(&ctx, &blocks, a, b);
-                prop_assert_eq!(
-                    dom.dominates(a, b),
-                    expected,
-                    "dominates({:?}, {:?}) with edges {:?}",
-                    a,
-                    b,
-                    &edges
-                );
-            }
+fn check_dominance_matches(edges: &[Vec<usize>]) {
+    let mut ctx = Context::new();
+    let (region, blocks) = build_cfg(&mut ctx, edges);
+    let dom = RegionDominance::compute(&ctx, region);
+    for &a in &blocks {
+        for &b in &blocks {
+            let expected = dominates_ground_truth(&ctx, &blocks, a, b);
+            assert_eq!(
+                dom.dominates(a, b),
+                expected,
+                "dominates({a:?}, {b:?}) with edges {edges:?}"
+            );
         }
     }
+}
 
-    /// Dominance is reflexive and transitive; the entry dominates every
-    /// reachable block.
-    #[test]
-    fn dominance_laws(
-        edges in proptest::collection::vec(
-            proptest::collection::vec(0usize..6, 0..3),
-            1..7,
-        )
-    ) {
+/// The iterative dominator algorithm agrees with the path-based
+/// definition on random CFGs.
+#[test]
+fn dominance_matches_ground_truth() {
+    let mut rng = Rng(0x1a_0001);
+    for _ in 0..128 {
+        let edges = random_edges(&mut rng, 7);
+        check_dominance_matches(&edges);
+    }
+}
+
+/// Regression (found by the original property-based run): a two-block
+/// region where neither block branches anywhere — the second block is
+/// unreachable and must be dominated by everything.
+#[test]
+fn dominance_unreachable_isolated_block() {
+    check_dominance_matches(&[vec![], vec![]]);
+}
+
+/// Dominance is reflexive and transitive; the entry dominates every
+/// reachable block.
+#[test]
+fn dominance_laws() {
+    let mut rng = Rng(0x1a_0002);
+    for _ in 0..128 {
+        let edges = random_edges(&mut rng, 6);
         let mut ctx = Context::new();
         let (region, blocks) = build_cfg(&mut ctx, &edges);
         let dom = RegionDominance::compute(&ctx, region);
         let entry = blocks[0];
         for &b in &blocks {
-            prop_assert!(dom.dominates(b, b), "reflexivity");
+            assert!(dom.dominates(b, b), "reflexivity");
             if dom.is_reachable(b) {
-                prop_assert!(dom.dominates(entry, b), "entry dominates reachable");
+                assert!(dom.dominates(entry, b), "entry dominates reachable");
             }
         }
         for &a in &blocks {
@@ -131,48 +158,62 @@ proptest! {
                         && dom.dominates(a, b)
                         && dom.dominates(b, c)
                     {
-                        prop_assert!(dom.dominates(a, c), "transitivity");
+                        assert!(dom.dominates(a, c), "transitivity");
                     }
                 }
             }
         }
     }
+}
 
-    /// Structural uniquing: building the same type twice yields the same
-    /// handle; different structures yield different handles.
-    #[test]
-    fn type_uniquing(widths in proptest::collection::vec(1u32..256, 1..40)) {
+/// Structural uniquing: building the same type twice yields the same
+/// handle; different structures yield different handles.
+#[test]
+fn type_uniquing() {
+    let mut rng = Rng(0x1a_0003);
+    for _ in 0..64 {
+        let widths: Vec<u32> =
+            (0..rng.below(40) + 1).map(|_| rng.below(255) as u32 + 1).collect();
         let mut ctx = Context::new();
         let first: Vec<_> = widths.iter().map(|w| ctx.int_type(*w)).collect();
         let second: Vec<_> = widths.iter().map(|w| ctx.int_type(*w)).collect();
-        prop_assert_eq!(&first, &second);
+        assert_eq!(&first, &second);
         for (i, a) in widths.iter().enumerate() {
             for (j, b) in widths.iter().enumerate() {
-                prop_assert_eq!(first[i] == first[j], a == b);
+                assert_eq!(first[i] == first[j], a == b);
             }
         }
     }
+}
 
-    /// Attribute uniquing over integer payloads.
-    #[test]
-    fn attr_uniquing(values in proptest::collection::vec(any::<i64>(), 1..40)) {
+/// Attribute uniquing over integer payloads.
+#[test]
+fn attr_uniquing() {
+    let mut rng = Rng(0x1a_0004);
+    for _ in 0..64 {
+        let values: Vec<i64> =
+            (0..rng.below(40) + 1).map(|_| rng.next_u64() as i64).collect();
         let mut ctx = Context::new();
         let first: Vec<_> = values.iter().map(|v| ctx.i64_attr(*v)).collect();
         let second: Vec<_> = values.iter().map(|v| ctx.i64_attr(*v)).collect();
-        prop_assert_eq!(&first, &second);
+        assert_eq!(&first, &second);
         for (i, a) in values.iter().enumerate() {
             for (j, b) in values.iter().enumerate() {
-                prop_assert_eq!(first[i] == first[j], a == b);
+                assert_eq!(first[i] == first[j], a == b);
             }
         }
     }
+}
 
-    /// Use lists always reflect the actual operand edges, under a random
-    /// sequence of set_operand mutations.
-    #[test]
-    fn use_lists_consistent_under_mutation(
-        script in proptest::collection::vec((0usize..6, 0usize..6), 0..40)
-    ) {
+/// Use lists always reflect the actual operand edges, under a random
+/// sequence of set_operand mutations.
+#[test]
+fn use_lists_consistent_under_mutation() {
+    let mut rng = Rng(0x1a_0005);
+    for _ in 0..128 {
+        let script: Vec<(usize, usize)> = (0..rng.below(40))
+            .map(|_| (rng.below(6) as usize, rng.below(6) as usize))
+            .collect();
         let mut ctx = Context::new();
         let block = ctx.create_block([]);
         let f32 = ctx.f32_type();
@@ -186,9 +227,7 @@ proptest! {
             .collect();
         let sink_name = ctx.op_name("t", "sink");
         let v0 = defs[0].result(&ctx, 0);
-        let sink = ctx.create_op(
-            OperationState::new(sink_name).add_operands([v0, v0, v0]),
-        );
+        let sink = ctx.create_op(OperationState::new(sink_name).add_operands([v0, v0, v0]));
         ctx.append_op(block, sink);
         for (slot, def) in &script {
             let value = defs[*def].result(&ctx, 0);
@@ -198,9 +237,8 @@ proptest! {
         // referring to it.
         for def in &defs {
             let v = def.result(&ctx, 0);
-            let expected =
-                sink.operands(&ctx).iter().filter(|o| **o == v).count();
-            prop_assert_eq!(v.uses(&ctx).len(), expected);
+            let expected = sink.operands(&ctx).iter().filter(|o| **o == v).count();
+            assert_eq!(v.uses(&ctx).len(), expected);
         }
     }
 }

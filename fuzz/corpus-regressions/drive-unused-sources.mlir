@@ -1,0 +1,13 @@
+// irdl-fuzz regression case
+// seed: 0x1
+// oracle: drive
+// Hand-written smoke case: unused `fuzz.src` ops fire the DCE oracle
+// pattern, so the drive and jobs oracles exercise real rewrites (erasure
+// under Full and Incremental checking must agree byte-for-byte).
+"builtin.module"() ({
+  %0 = "fuzz.src"() : () -> i32
+  %1 = "fuzz.src"() : () -> f32
+  %2 = "fuzz.src"() : () -> i64
+  %3 = "fuzz.use"(%0) : (i32) -> i1
+  "fuzz.sink"(%3) : (i1) -> ()
+}) : () -> ()

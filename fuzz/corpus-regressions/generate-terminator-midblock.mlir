@@ -1,0 +1,15 @@
+// irdl-fuzz regression case
+// seed: 0xc0ffee
+// oracle: generate
+// Minimized by ddmin from a 500-iteration run: the generator's catalog
+// treated `Successors ()` ops (terminators with zero successors, like
+// scf.yield) as freely placeable and emitted one mid-block. The catalog
+// now excludes every terminator from the mid-block pool; this input is
+// kept invalid on purpose — all oracles must stay green on IR the
+// verifier rejects.
+"builtin.module"() ({
+  %0 = "fuzz.src"() : () -> i32
+  %1 = "fuzz.src"() : () -> i32
+  "scf.yield"(%1, %0) : (i32, i32) -> ()
+  %2 = "fuzz.src"() : () -> index
+}) : () -> ()

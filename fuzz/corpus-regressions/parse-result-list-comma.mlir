@@ -1,0 +1,10 @@
+// irdl-fuzz regression case
+// seed: 0xd15ea5e
+// oracle: fixpoint
+// Found by the text mutator: a trailing comma in a result list made the
+// parser hit an `unreachable!()` (it assumed every token after `,` is a
+// value id). The parser must reject this input with a diagnostic, never
+// panic; all oracles pass vacuously on rejected text.
+"builtin.module"() ({
+  %0, = "fuzz.src"() : () -> i32
+}) : () -> ()

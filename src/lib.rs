@@ -10,11 +10,14 @@
 //! - [`rewrite`] — the pattern rewriting driver,
 //! - [`dialects`] — the 28-dialect evaluation corpus,
 //! - [`analysis`] — the statistics tooling that regenerates the paper's
-//!   figures and tables.
+//!   figures and tables,
+//! - [`fuzz`] — the deterministic fuzzing harness (structured generators,
+//!   differential oracles, delta-debugging reducer).
 
 pub use irdl;
 pub use irdl_analysis as analysis;
 pub use irdl_dialects as dialects;
+pub use irdl_fuzz_lib as fuzz;
 pub use irdl_ir as ir;
 pub use irdl_rewrite as rewrite;
 pub use irdl_tools as tools;

@@ -1,17 +1,12 @@
-#![cfg(feature = "proptest")]
-// Gated off by default: proptest cannot be fetched in offline builds.
-// Restore the proptest dev-dependency and run with `--features proptest`.
-
 //! Property-based tests on the constraint algebra and variadic segment
-//! resolution.
+//! resolution, driven by the workspace's own seeded PRNG so they run in
+//! every offline `cargo test`.
 
-use proptest::prelude::*;
-use proptest::strategy::ValueTree;
-
+use irdl_repro::fuzz::SplitMix64;
+use irdl_repro::ir::Context;
 use irdl_repro::irdl::ast::{IntKind, Variadicity};
 use irdl_repro::irdl::constraint::{eval, BindingEnv, CVal, Constraint};
 use irdl_repro::irdl::variadic::resolve_segments;
-use irdl_repro::ir::Context;
 
 /// Builds a small pool of distinct values to evaluate constraints against.
 fn value_pool(ctx: &mut Context) -> Vec<CVal> {
@@ -33,29 +28,34 @@ fn value_pool(ctx: &mut Context) -> Vec<CVal> {
     ]
 }
 
-/// A variable-free constraint over the pool.
-fn constraint_strategy(ctx: &mut Context) -> impl Strategy<Value = Constraint> {
-    let f32 = ctx.f32_type();
-    let i32 = ctx.i32_type();
+/// A random variable-free constraint over the pool's value space.
+fn random_constraint(ctx: &mut Context, rng: &mut SplitMix64, depth: usize) -> Constraint {
     let kind = IntKind { width: 32, unsigned: false };
-    let leaf = prop_oneof![
-        Just(Constraint::Any),
-        Just(Constraint::AnyType),
-        Just(Constraint::AnyAttr),
-        Just(Constraint::ExactType(f32)),
-        Just(Constraint::ExactType(i32)),
-        Just(Constraint::Int(kind)),
-        Just(Constraint::IntLiteral { value: 0, kind }),
-        Just(Constraint::StringAny),
-        Just(Constraint::ArrayAny),
-    ];
-    leaf.prop_recursive(3, 32, 3, |inner| {
-        prop_oneof![
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Constraint::AnyOf),
-            proptest::collection::vec(inner.clone(), 1..3).prop_map(Constraint::And),
-            inner.prop_map(|c| Constraint::Not(Box::new(c))),
-        ]
-    })
+    if depth == 0 || rng.chance(1, 2) {
+        match rng.below(9) {
+            0 => Constraint::Any,
+            1 => Constraint::AnyType,
+            2 => Constraint::AnyAttr,
+            3 => Constraint::ExactType(ctx.f32_type()),
+            4 => Constraint::ExactType(ctx.i32_type()),
+            5 => Constraint::Int(kind),
+            6 => Constraint::IntLiteral { value: 0, kind },
+            7 => Constraint::StringAny,
+            _ => Constraint::ArrayAny,
+        }
+    } else {
+        match rng.below(3) {
+            0 => {
+                let n = rng.range(1, 3);
+                Constraint::AnyOf((0..n).map(|_| random_constraint(ctx, rng, depth - 1)).collect())
+            }
+            1 => {
+                let n = rng.range(1, 3);
+                Constraint::And((0..n).map(|_| random_constraint(ctx, rng, depth - 1)).collect())
+            }
+            _ => Constraint::Not(Box::new(random_constraint(ctx, rng, depth - 1))),
+        }
+    }
 }
 
 fn check(ctx: &Context, c: &Constraint, v: CVal) -> bool {
@@ -63,61 +63,59 @@ fn check(ctx: &Context, c: &Constraint, v: CVal) -> bool {
     eval(ctx, c, v, &mut env, &[]).is_ok()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// De Morgan-ish laws of the combinators on variable-free constraints.
-    #[test]
-    fn combinator_semantics(seed in any::<prop::sample::Index>(), idx in 0usize..7) {
+/// De Morgan-ish laws of the combinators on variable-free constraints.
+#[test]
+fn combinator_semantics() {
+    let mut base = SplitMix64::new(0xc0_0001);
+    for _ in 0..512 {
+        let mut rng = base.fork();
         let mut ctx = Context::new();
         let pool = value_pool(&mut ctx);
-        let v = pool[idx % pool.len()];
-        let strat = constraint_strategy(&mut ctx);
-        let mut runner = proptest::test_runner::TestRunner::deterministic();
-        let c = strat.new_tree(&mut runner).unwrap().current();
-        let _ = seed;
+        let v = pool[rng.below(pool.len())];
+        let c = random_constraint(&mut ctx, &mut rng, 3);
 
         // Not inverts.
         let not_c = Constraint::Not(Box::new(c.clone()));
-        prop_assert_eq!(check(&ctx, &not_c, v), !check(&ctx, &c, v));
+        assert_eq!(check(&ctx, &not_c, v), !check(&ctx, &c, v));
         // Double negation is the identity.
         let not_not_c = Constraint::Not(Box::new(not_c.clone()));
-        prop_assert_eq!(check(&ctx, &not_not_c, v), check(&ctx, &c, v));
+        assert_eq!(check(&ctx, &not_not_c, v), check(&ctx, &c, v));
         // AnyOf of one and And of one are the constraint itself.
         let one_of = Constraint::AnyOf(vec![c.clone()]);
         let all_of = Constraint::And(vec![c.clone()]);
-        prop_assert_eq!(check(&ctx, &one_of, v), check(&ctx, &c, v));
-        prop_assert_eq!(check(&ctx, &all_of, v), check(&ctx, &c, v));
+        assert_eq!(check(&ctx, &one_of, v), check(&ctx, &c, v));
+        assert_eq!(check(&ctx, &all_of, v), check(&ctx, &c, v));
         // c AnyOf Not(c) is a tautology; c And Not(c) is unsatisfiable.
         let tauto = Constraint::AnyOf(vec![c.clone(), not_c.clone()]);
         let contra = Constraint::And(vec![c.clone(), not_c]);
-        prop_assert!(check(&ctx, &tauto, v));
-        prop_assert!(!check(&ctx, &contra, v));
+        assert!(check(&ctx, &tauto, v));
+        assert!(!check(&ctx, &contra, v));
     }
+}
 
-    /// Segment resolution: sizes always sum to the total and respect each
-    /// definition's variadicity.
-    #[test]
-    fn segments_partition_total(
-        defs in proptest::collection::vec(0u8..3, 1..6),
-        total in 0usize..12,
-    ) {
-        let defs: Vec<Variadicity> = defs
-            .iter()
-            .map(|d| match d {
+/// Segment resolution: sizes always sum to the total and respect each
+/// definition's variadicity.
+#[test]
+fn segments_partition_total() {
+    let mut base = SplitMix64::new(0xc0_0002);
+    for _ in 0..512 {
+        let mut rng = base.fork();
+        let defs: Vec<Variadicity> = (0..rng.range(1, 5))
+            .map(|_| match rng.below(3) {
                 0 => Variadicity::Single,
                 1 => Variadicity::Variadic,
                 _ => Variadicity::Optional,
             })
             .collect();
+        let total = rng.below(12);
         match resolve_segments(total, &defs, None) {
             Ok(sizes) => {
-                prop_assert_eq!(sizes.len(), defs.len());
-                prop_assert_eq!(sizes.iter().sum::<usize>(), total);
+                assert_eq!(sizes.len(), defs.len());
+                assert_eq!(sizes.iter().sum::<usize>(), total);
                 for (size, def) in sizes.iter().zip(&defs) {
                     match def {
-                        Variadicity::Single => prop_assert_eq!(*size, 1),
-                        Variadicity::Optional => prop_assert!(*size <= 1),
+                        Variadicity::Single => assert_eq!(*size, 1),
+                        Variadicity::Optional => assert!(*size <= 1),
                         Variadicity::Variadic => {}
                     }
                 }
@@ -134,27 +132,50 @@ proptest! {
                 let impossible_low = total < singles;
                 let impossible_high = variadics == 0 && total > singles + optionals;
                 let ambiguous = variadics + optionals > 1;
-                prop_assert!(
+                assert!(
                     impossible_low || impossible_high || ambiguous,
-                    "rejected a satisfiable layout: {:?} with {}",
-                    defs,
-                    total
+                    "rejected a satisfiable layout: {defs:?} with {total}"
                 );
             }
         }
     }
+}
 
-    /// Explicit segment-size attributes are accepted exactly when they
-    /// partition the total and respect variadicities.
-    #[test]
-    fn explicit_segments_checked(
-        sizes in proptest::collection::vec(0i64..4, 1..5),
-    ) {
+/// Explicit segment-size attributes are accepted exactly when they
+/// partition the total and respect variadicities.
+#[test]
+fn explicit_segments_checked() {
+    let mut base = SplitMix64::new(0xc0_0003);
+    for _ in 0..512 {
+        let mut rng = base.fork();
+        let sizes: Vec<i64> = (0..rng.range(1, 4)).map(|_| rng.below(4) as i64).collect();
         let defs: Vec<Variadicity> = vec![Variadicity::Variadic; sizes.len()];
         let total: i64 = sizes.iter().sum();
         let result = resolve_segments(total as usize, &defs, Some(&sizes));
-        prop_assert!(result.is_ok(), "{:?}", result);
+        assert!(result.is_ok(), "{result:?}");
         let off_by_one = resolve_segments(total as usize + 1, &defs, Some(&sizes));
-        prop_assert!(off_by_one.is_err());
+        assert!(off_by_one.is_err());
     }
+}
+
+/// Constraint sampling is sound: every witness `genir::sample` produces
+/// for a random constraint satisfies that constraint under `eval`.
+#[test]
+fn sample_produces_satisfying_witnesses() {
+    use irdl_repro::irdl::genir::sample;
+
+    let mut base = SplitMix64::new(0xc0_0004);
+    let mut sampled = 0u32;
+    for _ in 0..512 {
+        let mut rng = base.fork();
+        let mut ctx = Context::new();
+        let c = random_constraint(&mut ctx, &mut rng, 3);
+        let mut env = BindingEnv::new(0);
+        if let Some(v) = sample(&mut ctx, &c, &mut env, &[]) {
+            sampled += 1;
+            assert!(check(&ctx, &c, v), "sample violates its constraint: {c:?}");
+        }
+    }
+    // The sampler must succeed often enough to be a useful generator.
+    assert!(sampled > 256, "sampler gave up too often: {sampled}/512");
 }
