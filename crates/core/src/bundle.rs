@@ -20,7 +20,9 @@
 //! and the cloned verdict cache arrives warm — and is sound, because the
 //! cached keys refer to interned values the clone resolves identically.
 
-use std::sync::Mutex;
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, RwLock};
 
 use irdl_ir::diag::Result;
 use irdl_ir::Context;
@@ -38,6 +40,11 @@ use crate::native::NativeRegistry;
 pub struct DialectBundle {
     template: Mutex<Context>,
     names: Vec<String>,
+    /// Typed side-artifacts derived from the bundle (compiled pattern
+    /// catalogs, matcher automata, analysis tables, ...), keyed by type.
+    /// Like the dialect artifacts themselves: built once, `Arc`-shared by
+    /// every consumer.
+    artifacts: RwLock<HashMap<TypeId, Arc<dyn Any + Send + Sync>>>,
 }
 
 impl std::fmt::Debug for DialectBundle {
@@ -75,7 +82,7 @@ impl DialectBundle {
     /// native syntaxes. The context should be treated as consumed: IR state
     /// (modules, ops) present in it will be cloned into every instance.
     pub fn capture(ctx: Context, names: Vec<String>) -> Self {
-        DialectBundle { template: Mutex::new(ctx), names }
+        DialectBundle { template: Mutex::new(ctx), names, artifacts: RwLock::new(HashMap::new()) }
     }
 
     /// Creates a private [`Context`] carrying every compiled dialect.
@@ -92,6 +99,46 @@ impl DialectBundle {
     /// The names of the dialects compiled into this bundle.
     pub fn names(&self) -> &[String] {
         &self.names
+    }
+
+    /// Attaches (or replaces) the artifact of type `T`.
+    ///
+    /// One artifact per type: wrap same-typed artifacts in distinct
+    /// newtypes to store several.
+    pub fn attach_artifact<T: Any + Send + Sync>(&self, artifact: Arc<T>) {
+        self.artifacts
+            .write()
+            .expect("bundle artifact lock poisoned")
+            .insert(TypeId::of::<T>(), artifact);
+    }
+
+    /// The attached artifact of type `T`, if any.
+    pub fn artifact<T: Any + Send + Sync>(&self) -> Option<Arc<T>> {
+        let artifacts = self.artifacts.read().expect("bundle artifact lock poisoned");
+        artifacts
+            .get(&TypeId::of::<T>())
+            .cloned()
+            .map(|a| a.downcast::<T>().expect("artifact stored under its own TypeId"))
+    }
+
+    /// The attached artifact of type `T`, building and attaching it first
+    /// if absent. `build` runs at most once per bundle under the write
+    /// lock, so concurrent callers share one construction.
+    pub fn artifact_or_insert<T: Any + Send + Sync>(
+        &self,
+        build: impl FnOnce() -> T,
+    ) -> Arc<T> {
+        if let Some(existing) = self.artifact::<T>() {
+            return existing;
+        }
+        let mut artifacts = self.artifacts.write().expect("bundle artifact lock poisoned");
+        // Double-check: another thread may have built it while we waited.
+        if let Some(existing) = artifacts.get(&TypeId::of::<T>()) {
+            return existing.clone().downcast::<T>().expect("artifact stored under its own TypeId");
+        }
+        let built = Arc::new(build());
+        artifacts.insert(TypeId::of::<T>(), built.clone());
+        built
     }
 }
 
@@ -148,5 +195,37 @@ Dialect cmath {
     fn bundle_is_send_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<DialectBundle>();
+    }
+
+    #[test]
+    fn artifact_store_builds_once_and_shares() {
+        #[derive(Debug, PartialEq)]
+        struct Table(Vec<u32>);
+        struct Other(&'static str);
+
+        let bundle = DialectBundle::capture(Context::new(), Vec::new());
+        assert!(bundle.artifact::<Table>().is_none());
+
+        let built = std::sync::atomic::AtomicUsize::new(0);
+        let first = bundle.artifact_or_insert(|| {
+            built.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Table(vec![1, 2, 3])
+        });
+        let second = bundle.artifact_or_insert(|| {
+            built.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            Table(Vec::new())
+        });
+        assert_eq!(built.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(*first, Table(vec![1, 2, 3]));
+
+        // Distinct types occupy distinct slots.
+        bundle.attach_artifact(Arc::new(Other("aux")));
+        assert_eq!(bundle.artifact::<Other>().unwrap().0, "aux");
+        assert_eq!(*bundle.artifact::<Table>().unwrap(), Table(vec![1, 2, 3]));
+
+        // Replacement swaps the artifact for later consumers.
+        bundle.attach_artifact(Arc::new(Table(vec![9])));
+        assert_eq!(*bundle.artifact::<Table>().unwrap(), Table(vec![9]));
     }
 }

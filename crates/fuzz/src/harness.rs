@@ -17,12 +17,18 @@ use irdl_ir::Context;
 
 use crate::catalog::OpCatalog;
 use crate::genmod::{generate_module, GenConfig};
+use crate::genpat::{derive_canon_catalog, pat_dialect_spec, random_catalog};
 use crate::genspec::generate_spec;
 use crate::mutate::mutate_text;
 use crate::oracle::{
-    check_cache, check_drive, check_fixpoint, check_incremental, check_jobs, OracleFailure,
+    check_cache, check_drive, check_fixpoint, check_incremental, check_jobs, check_matcher,
+    OracleFailure,
 };
 use crate::rng::SplitMix64;
+
+/// Unary-op count of the synthetic `pat` dialect the matcher oracle
+/// fuzzes over (see [`crate::genpat`]).
+const PAT_UNARY_OPS: usize = 8;
 
 /// Options for one fuzzing run.
 #[derive(Debug, Clone)]
@@ -64,6 +70,8 @@ pub struct FuzzReport {
     pub mutants: u64,
     /// Generated specs compiled.
     pub specs: u64,
+    /// Random pattern catalogs fed to the matcher oracle.
+    pub catalogs: u64,
     /// Every oracle divergence found (the run stops at the first one).
     pub failures: Vec<OracleFailure>,
     /// Deterministic, timestamp-free run log.
@@ -116,9 +124,21 @@ pub fn run_fuzz_on(target: &FuzzTarget, opts: &FuzzOptions) -> Result<FuzzReport
         modules: 0,
         mutants: 0,
         specs: 0,
+        catalogs: 0,
         failures: Vec::new(),
         log: String::new(),
     };
+
+    // Matcher-oracle fixtures, built once: the synthetic `pat` dialect
+    // random catalogs are written against, and the canonicalization
+    // catalog auto-derived from the target's own op corpus.
+    let pat_target = FuzzTarget::from_sources(
+        &[("pat".to_string(), pat_dialect_spec(PAT_UNARY_OPS))],
+        &irdl::NativeRegistry::new(),
+    )?;
+    let canon_ctx = target.bundle.instantiate();
+    let (canon_catalog, canon_patterns) = derive_canon_catalog(&canon_ctx, &target.catalog);
+    drop(canon_ctx);
     let _ = writeln!(
         report.log,
         "irdl-fuzz: seed {:#x}, {} iteration budget, batch {}",
@@ -206,6 +226,37 @@ pub fn run_fuzz_on(target: &FuzzTarget, opts: &FuzzOptions) -> Result<FuzzReport
             }
         }
 
+        // --- matcher oracle ---------------------------------------------
+        // A fresh module over the `pat` dialect driven with a random DSL
+        // catalog: automaton dispatch must agree with the per-pattern
+        // scan byte for byte. Corpus iterations additionally drive the
+        // corpus module with the auto-derived canonicalization catalog.
+        {
+            let mut pat_ctx = pat_target.bundle.instantiate();
+            let pat_module =
+                generate_module(&mut pat_ctx, &pat_target.catalog, &opts.config, &mut rng);
+            let pat_text = op_to_string(&pat_ctx, pat_module);
+            drop(pat_ctx);
+            report.modules += 1;
+            let catalog = random_catalog(PAT_UNARY_OPS, 1 + rng.below(8), &mut rng);
+            report.catalogs += 1;
+            if let Err(failure) = check_matcher(&pat_target.bundle, &catalog, &pat_text) {
+                let _ = writeln!(report.log, "iter {iter}: matcher oracle diverged");
+                report.failures.push(failure);
+                break 'iterations;
+            }
+        }
+        if iter % 8 != 7 && canon_patterns > 0 {
+            if let Err(failure) = check_matcher(&target.bundle, &canon_catalog, &text) {
+                let _ = writeln!(
+                    report.log,
+                    "iter {iter}: matcher oracle diverged on the canon catalog"
+                );
+                report.failures.push(failure);
+                break 'iterations;
+            }
+        }
+
         // --- text mutants ------------------------------------------------
         for _ in 0..2 {
             let mutant = mutate_text(&text, &mut rng);
@@ -246,11 +297,12 @@ pub fn run_fuzz_on(target: &FuzzTarget, opts: &FuzzOptions) -> Result<FuzzReport
         if (iter + 1) % 50 == 0 {
             let _ = writeln!(
                 report.log,
-                "iter {}: {} modules, {} mutants, {} specs, all oracles green",
+                "iter {}: {} modules, {} mutants, {} specs, {} catalogs, all oracles green",
                 iter + 1,
                 report.modules,
                 report.mutants,
-                report.specs
+                report.specs,
+                report.catalogs
             );
         }
     }
@@ -264,8 +316,8 @@ pub fn run_fuzz_on(target: &FuzzTarget, opts: &FuzzOptions) -> Result<FuzzReport
 
     let _ = writeln!(
         report.log,
-        "done: {} iterations, {} modules, {} mutants, {} specs, {} failure(s)",
-        report.iters, report.modules, report.mutants, report.specs,
+        "done: {} iterations, {} modules, {} mutants, {} specs, {} catalogs, {} failure(s)",
+        report.iters, report.modules, report.mutants, report.specs, report.catalogs,
         report.failures.len()
     );
     Ok(report)

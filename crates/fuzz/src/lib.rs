@@ -4,9 +4,11 @@
 //! whole stack fuzzable from one seed: op shapes are introspectable
 //! ([`catalog`]), so a structured generator ([`genmod`]) emits well-formed
 //! modules against any compiled dialect, a spec generator ([`genspec`])
-//! emits random-but-valid definitions through the real frontend, and a
-//! mutation engine ([`mutate`]) covers the reject paths. Every input runs
-//! through five differential oracles ([`oracle`]) that cross-check the
+//! emits random-but-valid definitions through the real frontend, a
+//! pattern-catalog generator ([`genpat`]) emits random declarative
+//! rewrite catalogs, and a mutation engine ([`mutate`]) covers the reject
+//! paths. Every input runs
+//! through six differential oracles ([`oracle`]) that cross-check the
 //! repo's fast paths against their reference implementations; failing
 //! inputs are shrunk by a ddmin reducer ([`reduce`]) and stored with
 //! their seed under `fuzz/corpus-regressions/`.
@@ -18,6 +20,7 @@
 
 pub mod catalog;
 pub mod genmod;
+pub mod genpat;
 pub mod genspec;
 pub mod harness;
 pub mod mutate;
@@ -28,10 +31,11 @@ pub mod rng;
 
 pub use catalog::OpCatalog;
 pub use genmod::{generate_module, GenConfig};
+pub use genpat::{derive_canon_catalog, pat_dialect_spec, random_catalog, synthetic_catalog};
 pub use genspec::generate_spec;
 pub use harness::{run_fuzz, run_fuzz_on, FuzzOptions, FuzzReport, FuzzTarget};
 pub use mutate::{mutate_structured, mutate_text, MutationPolicy};
-pub use oracle::{oracle_patterns, replay_all, OracleFailure};
+pub use oracle::{check_matcher, oracle_patterns, replay_all, OracleFailure, OraclePatterns};
 pub use reduce::reduce;
 pub use regression::{load_case, write_regression, RegressionCase};
 pub use rng::SplitMix64;

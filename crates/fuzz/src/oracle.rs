@@ -1,4 +1,4 @@
-//! The five differential oracles.
+//! The six differential oracles.
 //!
 //! Each oracle runs one input through two implementations that must agree
 //! and reports any divergence with enough context (input text, seed,
@@ -19,6 +19,10 @@
 //! 5. **drive** — the checked rewrite driver at `CheckLevel::Full` and
 //!    `CheckLevel::Incremental` must apply the same rewrites and print
 //!    identical output (or fail identically).
+//! 6. **matcher** — the greedy driver dispatching through the compiled
+//!    matcher automaton (`MatcherMode::Auto`) and through the per-pattern
+//!    scan (`MatcherMode::Scan`) must apply the same number of rewrites
+//!    and print byte-identical output, for arbitrary random DSL catalogs.
 
 use std::sync::Arc;
 
@@ -28,8 +32,8 @@ use irdl_ir::print::{op_to_string, op_to_string_generic};
 use irdl_ir::verify::{IncrementalVerifier, ModuleVerifier};
 use irdl_ir::{ChangeJournal, Context, OpRef};
 use irdl_rewrite::{
-    rewrite_greedily_with, run_batch, CheckLevel, PatternSet, PipelineOptions, RewritePattern,
-    Rewriter,
+    parse_patterns, rewrite_greedily_matched, rewrite_greedily_with, run_batch, CheckLevel,
+    MatcherMode, PatternSet, PipelineOptions, RewritePattern, Rewriter,
 };
 
 use crate::mutate::{mutate_structured, MutationPolicy};
@@ -39,7 +43,7 @@ use crate::rng::SplitMix64;
 #[derive(Debug, Clone)]
 pub struct OracleFailure {
     /// Which oracle diverged (`fixpoint`, `incremental`, `cache`,
-    /// `jobs`, `drive`, or `generate`).
+    /// `jobs`, `drive`, `matcher`, or `generate`).
     pub oracle: &'static str,
     /// Human-readable description of the divergence.
     pub detail: String,
@@ -89,11 +93,20 @@ impl RewritePattern for DceSourcePattern {
     }
 }
 
+/// The shared pattern set the drive/jobs oracles run, built (and its
+/// matcher automaton compiled) once per bundle through the bundle's typed
+/// artifact store; every oracle invocation after the first reuses the
+/// same `Arc`.
+pub struct OraclePatterns(pub PatternSet);
+
 /// The pattern set the drive/jobs oracles run.
-pub fn oracle_patterns() -> PatternSet {
-    let mut patterns = PatternSet::new();
-    patterns.add(Arc::new(DceSourcePattern));
-    patterns
+pub fn oracle_patterns(bundle: &DialectBundle) -> Arc<OraclePatterns> {
+    bundle.artifact_or_insert(|| {
+        let mut patterns = PatternSet::new();
+        patterns.add(Arc::new(DceSourcePattern));
+        patterns.seal();
+        OraclePatterns(patterns)
+    })
 }
 
 fn render_errors(errors: &[irdl_ir::Diagnostic]) -> String {
@@ -249,10 +262,16 @@ pub fn check_jobs(
     inputs: &[String],
     jobs: usize,
 ) -> Result<(), OracleFailure> {
-    let patterns = oracle_patterns();
+    let patterns = oracle_patterns(bundle);
     let run = |jobs: usize| {
-        let opts = PipelineOptions { jobs, verify: true, check: CheckLevel::Off, generic: false };
-        run_batch(bundle, &patterns, inputs, &opts)
+        let opts = PipelineOptions {
+            jobs,
+            verify: true,
+            check: CheckLevel::Off,
+            generic: false,
+            matcher: MatcherMode::Auto,
+        };
+        run_batch(bundle, &patterns.0, inputs, &opts)
     };
     let sequential = run(1);
     let parallel = run(jobs.max(2));
@@ -281,12 +300,12 @@ pub fn check_jobs(
 /// Oracle 5: the checked driver at `Full` and `Incremental` agrees on
 /// rewrite count, success, and printed output.
 pub fn check_drive(bundle: &DialectBundle, text: &str) -> Result<(), OracleFailure> {
-    let patterns = oracle_patterns();
+    let patterns = oracle_patterns(bundle);
     let mut outcomes: Vec<Result<(usize, String), String>> = Vec::new();
     for check in [CheckLevel::Full, CheckLevel::Incremental] {
         let mut ctx = bundle.instantiate();
         let Some(module) = parse_in(&mut ctx, text) else { return Ok(()) };
-        let outcome = match rewrite_greedily_with(&mut ctx, module, &patterns, check) {
+        let outcome = match rewrite_greedily_with(&mut ctx, module, &patterns.0, check) {
             Ok(stats) => Ok((stats.rewrites, op_to_string(&ctx, module))),
             Err(e) => Err(format!("pattern `{}`: {}", e.pattern, render_errors(&e.diagnostics))),
         };
@@ -302,8 +321,52 @@ pub fn check_drive(bundle: &DialectBundle, text: &str) -> Result<(), OracleFailu
     Ok(())
 }
 
+/// Oracle 6: automaton dispatch ≡ per-pattern scan.
+///
+/// Parses `catalog` (DSL pattern text) and drives `text` to a fixpoint
+/// once per [`MatcherMode`] at `CheckLevel::Off`; the two runs must apply
+/// the same number of rewrites and print byte-identical output. The
+/// catalog must parse — the harness only feeds generated catalogs, so a
+/// parse failure is itself a generator bug worth reporting.
+pub fn check_matcher(
+    bundle: &DialectBundle,
+    catalog: &str,
+    text: &str,
+) -> Result<(), OracleFailure> {
+    let mut outcomes: Vec<(usize, String)> = Vec::new();
+    for mode in [MatcherMode::Scan, MatcherMode::Auto] {
+        let mut ctx = bundle.instantiate();
+        let patterns = match parse_patterns(&mut ctx, catalog) {
+            Ok(patterns) => patterns,
+            Err(e) => {
+                return Err(OracleFailure::new(
+                    "matcher",
+                    format!("generated catalog does not parse: {e}\ncatalog:\n{catalog}"),
+                    text,
+                ));
+            }
+        };
+        let Some(module) = parse_in(&mut ctx, text) else { return Ok(()) };
+        let stats = rewrite_greedily_matched(&mut ctx, module, &patterns, CheckLevel::Off, mode)
+            .expect("unchecked drive cannot fail");
+        outcomes.push((stats.rewrites, op_to_string(&ctx, module)));
+    }
+    if outcomes[0] != outcomes[1] {
+        return Err(OracleFailure::new(
+            "matcher",
+            format!(
+                "scan vs automaton diverge:\nscan ({} rewrites):\n{}\nautomaton ({} rewrites):\n{}\ncatalog:\n{catalog}",
+                outcomes[0].0, outcomes[0].1, outcomes[1].0, outcomes[1].1,
+            ),
+            text,
+        ));
+    }
+    Ok(())
+}
+
 /// Runs every single-input oracle on `text`, collecting all divergences
-/// (the jobs oracle needs a batch and is run separately by the harness).
+/// (the jobs oracle needs a batch and is run separately by the harness;
+/// the matcher oracle additionally needs a catalog).
 pub fn replay_all(bundle: &DialectBundle, text: &str, seed: u64) -> Vec<OracleFailure> {
     let mut failures = Vec::new();
     for check in [

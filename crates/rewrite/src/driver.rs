@@ -9,6 +9,20 @@ use irdl_ir::{ChangeJournal, Context, OpRef};
 
 use crate::pattern::{PatternSet, Rewriter};
 
+/// How the driver finds the patterns applicable to an operation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum MatcherMode {
+    /// Dispatch through the compiled [`crate::matcher::PatternMatcher`]
+    /// automaton: one trie evaluation per op answers for the whole
+    /// catalog. The default.
+    #[default]
+    Auto,
+    /// Per-pattern scan via the root index, trying `match_and_rewrite` on
+    /// every candidate. The pre-automaton behaviour, kept as the
+    /// differential oracle: both modes must drive byte-identical output.
+    Scan,
+}
+
 /// How much verification the driver interleaves with rewriting.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum CheckLevel {
@@ -118,6 +132,26 @@ pub fn rewrite_greedily_with(
     patterns: &PatternSet,
     check: CheckLevel,
 ) -> Result<RewriteStats, RewriteVerifyError> {
+    rewrite_greedily_matched(ctx, container, patterns, check, MatcherMode::default())
+}
+
+/// [`rewrite_greedily_with`] with an explicit [`MatcherMode`]. The two
+/// modes are semantically interchangeable — same rewrites, same order,
+/// same output — differing only in how candidates are found; `Scan`
+/// exists as the differential oracle and escape hatch.
+///
+/// # Errors
+///
+/// Returns the offending pattern and diagnostics on the first invalid
+/// intermediate state (pattern `<input>` if the IR was invalid on entry).
+/// Never fails at [`CheckLevel::Off`].
+pub fn rewrite_greedily_matched(
+    ctx: &mut Context,
+    container: OpRef,
+    patterns: &PatternSet,
+    check: CheckLevel,
+    mode: MatcherMode,
+) -> Result<RewriteStats, RewriteVerifyError> {
     let mut checker = match check {
         CheckLevel::Off => Checker::Off,
         CheckLevel::Incremental => Checker::Incremental(IncrementalVerifier::new()),
@@ -132,13 +166,20 @@ pub fn rewrite_greedily_with(
     if let Err(diagnostics) = upfront {
         return Err(RewriteVerifyError { pattern: "<input>".to_string(), stats, diagnostics });
     }
-    drive(ctx, container, patterns, checker, stats)
+    // Fast path (after the upfront check, which callers rely on even for
+    // empty sets): with nothing to apply, skip the worklist, journal, and
+    // matcher entirely.
+    if patterns.is_empty() {
+        return Ok(stats);
+    }
+    drive(ctx, container, patterns, mode, checker, stats)
 }
 
 fn drive(
     ctx: &mut Context,
     container: OpRef,
     patterns: &PatternSet,
+    mode: MatcherMode,
     mut checker: Checker,
     mut stats: RewriteStats,
 ) -> Result<RewriteStats, RewriteVerifyError> {
@@ -150,6 +191,13 @@ fn drive(
     // and the incremental verifier's dirty set are the same record, so the
     // hot loop allocates nothing per rewrite.
     let mut journal = ChangeJournal::new();
+    let matcher = match mode {
+        MatcherMode::Auto => Some(patterns.matcher()),
+        MatcherMode::Scan => None,
+    };
+    // Candidate positions for the op in hand, ascending — which is
+    // benefit-desc/registration priority order. One buffer, reused.
+    let mut matched: Vec<u32> = Vec::new();
 
     while let Some(op) = worklist.pop() {
         enqueued.remove(&op);
@@ -157,11 +205,19 @@ fn drive(
             continue;
         }
         stats.visited += 1;
-        let op_name = op.name(ctx);
-        // Only patterns anchored on this op name (plus the anchorless
-        // ones) are tried, in the same priority order a full scan of
-        // `patterns.patterns()` would visit them.
-        for pattern in patterns.candidates(op_name) {
+        // Both modes produce candidates in the same priority order; the
+        // automaton merely prunes candidates whose predicate program
+        // already rules the op out.
+        match &matcher {
+            Some(automaton) => automaton.matches_into(ctx, op, &mut matched),
+            None => {
+                matched.clear();
+                let op_name = op.name(ctx);
+                matched.extend(patterns.candidate_positions(op_name).map(|i| i as u32));
+            }
+        }
+        for &position in &matched {
+            let pattern = &*patterns.patterns()[position as usize];
             journal.clear();
             let mut rewriter = Rewriter::new(ctx, op, &mut journal);
             let changed = pattern.match_and_rewrite(&mut rewriter);
@@ -494,6 +550,130 @@ mod tests {
             assert_eq!(err.pattern, "<input>", "{check:?}");
             assert_eq!(err.stats.rewrites, 0);
         }
+    }
+
+    /// A pattern that never fires but records that (and when) it was
+    /// tried, for observing dispatch order.
+    struct Probe {
+        name: &'static str,
+        benefit: usize,
+        root: Option<OpName>,
+        log: Arc<std::sync::Mutex<Vec<&'static str>>>,
+    }
+
+    impl RewritePattern for Probe {
+        fn root(&self) -> Option<OpName> {
+            self.root
+        }
+        fn benefit(&self) -> usize {
+            self.benefit
+        }
+        fn name(&self) -> &str {
+            self.name
+        }
+        fn match_and_rewrite(&self, _rewriter: &mut Rewriter<'_>) -> bool {
+            self.log.lock().unwrap().push(self.name);
+            false
+        }
+    }
+
+    /// Candidate order — benefit desc, registration-order ties, anchored
+    /// and anchorless interleaved — must be identical under automaton and
+    /// scan dispatch (the ordering semantics `PatternSet` pins, observed
+    /// through the driver).
+    #[test]
+    fn matcher_modes_preserve_ordering_semantics() {
+        for mode in [MatcherMode::Auto, MatcherMode::Scan] {
+            let mut ctx = Context::new();
+            let module = ctx.create_module();
+            let block = ctx.module_block(module);
+            let i32 = ctx.i32_type();
+            let src = ctx.op_name("t", "src");
+            let add = ctx.op_name("t", "add");
+            let mul = ctx.op_name("t", "mul");
+            let x = ctx.create_op(OperationState::new(src).add_result_types([i32]));
+            ctx.append_op(block, x);
+            let vx = x.result(&ctx, 0);
+            let a = ctx
+                .create_op(OperationState::new(add).add_operands([vx, vx]).add_result_types([i32]));
+            ctx.append_op(block, a);
+
+            let log = Arc::new(std::sync::Mutex::new(Vec::new()));
+            let mut patterns = PatternSet::new();
+            for (name, benefit, root) in [
+                ("add-low-a", 1, Some(add)),
+                ("any-high", 9, None),
+                ("add-low-b", 1, Some(add)),
+                ("add-high", 9, Some(add)),
+                ("mul-mid", 5, Some(mul)),
+            ] {
+                patterns.add(Arc::new(Probe { name, benefit, root, log: log.clone() }));
+            }
+            rewrite_greedily_matched(&mut ctx, module, &patterns, CheckLevel::Off, mode)
+                .unwrap();
+            let order: Vec<&str> = log.lock().unwrap().clone();
+            // Per op the probes fire in priority order; the mul-anchored
+            // pattern never fires (no mul op). The src op sees only the
+            // anchorless probe.
+            let add_order: Vec<&str> =
+                order.iter().copied().filter(|n| n.starts_with("add") || *n == "any-high").collect();
+            assert!(!order.contains(&"mul-mid"), "{mode:?}: {order:?}");
+            // The add op is visited once; its candidate sequence appears
+            // contiguously (the src op contributes a lone any-high).
+            let window: Vec<&str> = add_order
+                .windows(4)
+                .find(|w| w[0] == "any-high" && w[1] == "add-high")
+                .map(|w| w.to_vec())
+                .unwrap_or_default();
+            assert_eq!(
+                window,
+                ["any-high", "add-high", "add-low-a", "add-low-b"],
+                "{mode:?}: {order:?}"
+            );
+        }
+    }
+
+    /// Both matcher modes must drive byte-identical results through a
+    /// cascading rewrite sequence.
+    #[test]
+    fn matcher_modes_drive_identically() {
+        let mut outcomes = Vec::new();
+        for mode in [MatcherMode::Auto, MatcherMode::Scan] {
+            let mut ctx = Context::new();
+            let module = ctx.create_module();
+            let block = ctx.module_block(module);
+            let i32 = ctx.i32_type();
+            let src = ctx.op_name("t", "src");
+            let add = ctx.op_name("t", "add");
+            let double = ctx.op_name("t", "double");
+            let quad = ctx.op_name("t", "quad");
+            let x = ctx.create_op(OperationState::new(src).add_result_types([i32]));
+            ctx.append_op(block, x);
+            let vx = x.result(&ctx, 0);
+            let a = ctx
+                .create_op(OperationState::new(add).add_operands([vx, vx]).add_result_types([i32]));
+            ctx.append_op(block, a);
+            let va = a.result(&ctx, 0);
+            let b = ctx
+                .create_op(OperationState::new(add).add_operands([va, va]).add_result_types([i32]));
+            ctx.append_op(block, b);
+            let vb = b.result(&ctx, 0);
+            let sink = ctx.op_name("t", "sink");
+            let s = ctx.create_op(OperationState::new(sink).add_operands([vb]));
+            ctx.append_op(block, s);
+
+            let mut patterns = PatternSet::new();
+            patterns.add(Arc::new(AddToDouble { add, double }));
+            patterns.add(Arc::new(DoubleDoubleToQuad { double, quad }));
+            let stats =
+                rewrite_greedily_matched(&mut ctx, module, &patterns, CheckLevel::Off, mode)
+                    .unwrap();
+            let names: Vec<String> =
+                block.ops(&ctx).iter().map(|o| o.name(&ctx).display(&ctx)).collect();
+            outcomes.push((stats.rewrites, names));
+        }
+        assert_eq!(outcomes[0], outcomes[1]);
+        assert_eq!(outcomes[0].0, 3);
     }
 
     #[test]

@@ -24,13 +24,23 @@
 //! Result types of new operations are written `typeof(%v)`, referencing any
 //! matched or newly created value. Interior matched operations are erased
 //! when the rewrite leaves them without uses.
+//!
+//! Both match and rewrite ops take an optional attribute clause after the
+//! operand list — `cmath.norm(%p) {fast = true}` — requiring (or setting)
+//! exact attribute values: integer, string, or boolean literals.
+//!
+//! Because a declarative pattern's match side is fully structural, it also
+//! lowers to a [`MatchProgram`] (see [`crate::matcher`]): the driver can
+//! test the whole catalog against an op with one automaton evaluation
+//! instead of one `try_match` walk per pattern.
 
 use std::collections::HashMap;
 
 use irdl_ir::diag::{Diagnostic, Result};
 use irdl_ir::lexer::{lex, Spanned, Token};
-use irdl_ir::{Context, OpName, OperationState, OpRef, Value};
+use irdl_ir::{Attribute, Context, OpName, OperationState, OpRef, Symbol, Value};
 
+use crate::matcher::{MatchProgram, OpPath, Pred, ValuePos};
 use crate::pattern::{PatternSet, RewritePattern, Rewriter};
 
 /// One operation template in a `Match` block.
@@ -41,6 +51,8 @@ struct MatchOp {
     name: OpName,
     /// Operand variable names.
     operands: Vec<String>,
+    /// Required attribute values from the `{key = literal, ...}` clause.
+    attrs: Vec<(Symbol, Attribute)>,
 }
 
 /// One operation template in a `Rewrite` block.
@@ -49,6 +61,8 @@ struct RewriteOp {
     def: Option<String>,
     name: OpName,
     operands: Vec<String>,
+    /// Attributes to set on the materialized op.
+    attrs: Vec<(Symbol, Attribute)>,
     /// `typeof(%v)` sources for each result (one per result).
     result_types_of: Vec<String>,
 }
@@ -80,6 +94,9 @@ pub fn parse_patterns(ctx: &mut Context, source: &str) -> Result<PatternSet> {
     }
     Ok(set)
 }
+
+/// Parsed `[%def =] dialect.op(%operand, ...) [{key = value, ...}]`.
+type OpHead = (Option<String>, OpName, Vec<String>, Vec<(Symbol, Attribute)>);
 
 struct DslParser<'s, 'c> {
     ctx: &'c mut Context,
@@ -227,7 +244,51 @@ impl<'s, 'c> DslParser<'s, 'c> {
         Ok(DeclarativePattern { name, benefit, match_ops, rewrite_ops, replace_with })
     }
 
-    fn parse_op_head(&mut self) -> Result<(Option<String>, OpName, Vec<String>)> {
+    /// Parses the optional `{key = literal, ...}` attribute clause.
+    fn parse_attr_clause(&mut self) -> Result<Vec<(Symbol, Attribute)>> {
+        let mut attrs = Vec::new();
+        if self.peek() != &Token::LBrace {
+            return Ok(attrs);
+        }
+        self.bump();
+        while self.peek() != &Token::RBrace {
+            let key = match self.bump() {
+                Token::Ident(s) => self.ctx.symbol(s),
+                other => {
+                    return Err(self.error(format!(
+                        "expected attribute name, found {}",
+                        other.describe()
+                    )))
+                }
+            };
+            self.expect(&Token::Equals)?;
+            let value = match self.bump() {
+                Token::Integer { value, .. }
+                    if value >= i128::from(i64::MIN) && value <= i128::from(i64::MAX) =>
+                {
+                    self.ctx.i64_attr(value as i64)
+                }
+                Token::Str(s) => self.ctx.string_attr(s.into_owned()),
+                Token::Ident("true") => self.ctx.bool_attr(true),
+                Token::Ident("false") => self.ctx.bool_attr(false),
+                other => {
+                    return Err(self.error(format!(
+                        "expected an integer, string, or boolean attribute value, found {}",
+                        other.describe()
+                    )))
+                }
+            };
+            attrs.push((key, value));
+            if self.peek() != &Token::Comma {
+                break;
+            }
+            self.bump();
+        }
+        self.expect(&Token::RBrace)?;
+        Ok(attrs)
+    }
+
+    fn parse_op_head(&mut self) -> Result<OpHead> {
         let def = if matches!(self.peek(), Token::ValueId(_)) {
             let def = self.expect_value()?;
             self.expect(&Token::Equals)?;
@@ -258,16 +319,17 @@ impl<'s, 'c> DslParser<'s, 'c> {
             }
         }
         self.expect(&Token::RParen)?;
-        Ok((def, name, operands))
+        let attrs = self.parse_attr_clause()?;
+        Ok((def, name, operands, attrs))
     }
 
     fn parse_match_op(&mut self) -> Result<MatchOp> {
-        let (def, name, operands) = self.parse_op_head()?;
-        Ok(MatchOp { def, name, operands })
+        let (def, name, operands, attrs) = self.parse_op_head()?;
+        Ok(MatchOp { def, name, operands, attrs })
     }
 
     fn parse_rewrite_op(&mut self) -> Result<RewriteOp> {
-        let (def, name, operands) = self.parse_op_head()?;
+        let (def, name, operands, attrs) = self.parse_op_head()?;
         let mut result_types_of = Vec::new();
         if self.peek() == &Token::Colon {
             self.bump();
@@ -287,7 +349,7 @@ impl<'s, 'c> DslParser<'s, 'c> {
                 "rewrite op with a result needs a `: typeof(%v)` result type",
             ));
         }
-        Ok(RewriteOp { def, name, operands, result_types_of })
+        Ok(RewriteOp { def, name, operands, attrs, result_types_of })
     }
 }
 
@@ -331,6 +393,11 @@ impl DeclarativePattern {
         if candidate.num_results(ctx) != expected_results {
             return false;
         }
+        for (key, value) in &template.attrs {
+            if candidate.attr_sym(ctx, *key) != Some(*value) {
+                return false;
+            }
+        }
         ops[index] = Some(candidate);
         for (slot, var) in template.operands.iter().enumerate() {
             let actual = candidate.operand(ctx, slot);
@@ -366,6 +433,85 @@ impl DeclarativePattern {
         }
         true
     }
+
+    /// Symbolically executes [`DeclarativePattern::match_op_at`] over match
+    /// DAG *positions* instead of runtime ops, emitting one predicate per
+    /// check the concrete walk performs. Because every emission corresponds
+    /// to a check `try_match` makes on the same position, the resulting
+    /// program accepts exactly the ops `try_match` accepts — a complete
+    /// (not merely conservative) lowering.
+    ///
+    /// Returns `None` for shapes the position encoding cannot express
+    /// (operand slots beyond `u8`); such patterns fall back to opaque
+    /// dispatch.
+    fn lower_op(
+        &self,
+        index: usize,
+        path: OpPath,
+        preds: &mut Vec<Pred>,
+        values: &mut HashMap<String, ValuePos>,
+        op_paths: &mut HashMap<usize, OpPath>,
+    ) -> Option<()> {
+        let template = &self.match_ops[index];
+        // Mirrors the arity checks; `name` is checked by the caller (the
+        // root dispatch map or the OperandDef edge leading here).
+        preds.push(Pred::OperandCount {
+            path: path.clone(),
+            count: u8::try_from(template.operands.len()).ok()?,
+        });
+        preds.push(Pred::ResultCount {
+            path: path.clone(),
+            count: u8::from(template.def.is_some()),
+        });
+        for (key, value) in &template.attrs {
+            preds.push(Pred::AttrEq { path: path.clone(), key: *key, value: *value });
+        }
+        op_paths.insert(index, path.clone());
+        for (slot, var) in template.operands.iter().enumerate() {
+            let slot = u8::try_from(slot).ok()?;
+            let pos = ValuePos::Operand { path: path.clone(), index: slot };
+            let producer = self
+                .match_ops
+                .iter()
+                .position(|m| m.def.as_deref() == Some(var.as_str()))
+                .filter(|&p| p != index);
+            if let Some(producer_index) = producer {
+                match op_paths.get(&producer_index) {
+                    // Revisit: `bound == candidate` in the concrete walk.
+                    // The producer binds exactly one result, so op equality
+                    // is value equality of this operand with that result.
+                    Some(bound_path) => preds.push(Pred::ValueEq {
+                        a: pos.clone(),
+                        b: ValuePos::Result { path: bound_path.clone() },
+                    }),
+                    None => {
+                        preds.push(Pred::OperandDef {
+                            path: path.clone(),
+                            index: slot,
+                            name: self.match_ops[producer_index].name,
+                        });
+                        let mut child = path.clone();
+                        child.push(slot);
+                        self.lower_op(producer_index, child, preds, values, op_paths)?;
+                    }
+                }
+                values.insert(var.clone(), pos);
+            } else {
+                match values.get(var) {
+                    Some(first) => {
+                        preds.push(Pred::ValueEq { a: first.clone(), b: pos });
+                    }
+                    None => {
+                        values.insert(var.clone(), pos);
+                    }
+                }
+            }
+        }
+        if let Some(def) = &template.def {
+            values.insert(def.clone(), ValuePos::Result { path });
+        }
+        Some(())
+    }
 }
 
 impl RewritePattern for DeclarativePattern {
@@ -379,6 +525,19 @@ impl RewritePattern for DeclarativePattern {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    fn match_program(&self) -> Option<MatchProgram> {
+        let root_index = self.match_ops.len() - 1;
+        let mut preds = Vec::new();
+        self.lower_op(
+            root_index,
+            Vec::new(),
+            &mut preds,
+            &mut HashMap::new(),
+            &mut HashMap::new(),
+        )?;
+        Some(MatchProgram { root: Some(self.match_ops[root_index].name), preds })
     }
 
     fn match_and_rewrite(&self, rewriter: &mut Rewriter<'_>) -> bool {
@@ -399,11 +558,13 @@ impl RewritePattern for DeclarativePattern {
                 let value = values[source];
                 result_types.push(value.ty(rewriter.ctx()));
             }
-            let op = rewriter.insert_before_root(
-                OperationState::new(template.name)
-                    .add_operands(operands)
-                    .add_result_types(result_types),
-            );
+            let mut state = OperationState::new(template.name)
+                .add_operands(operands)
+                .add_result_types(result_types);
+            for (key, value) in &template.attrs {
+                state = state.add_attribute(*key, *value);
+            }
+            let op = rewriter.insert_before_root(state);
             if let Some(def) = &template.def {
                 let result = op.result(rewriter.ctx(), 0);
                 values.insert(def.clone(), result);
@@ -628,6 +789,137 @@ Pattern conorm {
         )
         .unwrap_err();
         assert!(err.to_string().contains("%nope"), "{err}");
+    }
+
+    /// The `{key = literal}` clause constrains matches and decorates
+    /// rewritten ops.
+    #[test]
+    fn attribute_clause_constrains_match_and_sets_on_rewrite() {
+        let mut ctx = Context::new();
+        irdl::register_dialects(
+            &mut ctx,
+            "Dialect toy {
+               Operation cst { Results (r: !i32) }
+               Operation zero { Results (r: !i32) }
+             }",
+        )
+        .unwrap();
+        let patterns = parse_patterns(
+            &mut ctx,
+            r#"Pattern zero_cst {
+                 Match { %r = toy.cst() {value = 0} }
+                 Rewrite {
+                   %z = toy.zero() {origin = "folded", checked = true} : typeof(%r)
+                   Replace %r with %z
+                 }
+               }"#,
+        )
+        .unwrap();
+        let module = parse_module(
+            &mut ctx,
+            r#"
+            %a = "toy.cst"() {value = 0 : i64} : () -> i32
+            %b = "toy.cst"() {value = 7 : i64} : () -> i32
+            "test.keep"(%a, %b) : (i32, i32) -> ()
+            "#,
+        )
+        .unwrap();
+        let stats = rewrite_greedily(&mut ctx, module, &patterns);
+        assert_eq!(stats.rewrites, 1, "only the value = 0 constant folds");
+        let text = op_to_string(&ctx, module);
+        assert!(text.contains("toy.zero"), "{text}");
+        assert!(text.contains("origin = \"folded\""), "{text}");
+        assert!(text.contains("checked = true"), "{text}");
+        assert!(text.contains("value = 7"), "{text}");
+
+        let err = parse_patterns(
+            &mut ctx,
+            "Pattern p { Match { %r = toy.cst() {value = %x} } Rewrite { Replace %r with %r } }",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("attribute value"), "{err}");
+    }
+
+    /// Every declarative pattern lowers to a predicate program whose
+    /// accepted set (over a module exercising partial matches, shared
+    /// values, and repeated variables) equals `try_match`'s.
+    #[test]
+    fn lowered_programs_agree_with_try_match() {
+        use crate::matcher::PatternMatcher;
+        use irdl_ir::walk::collect_ops;
+
+        let mut ctx = Context::new();
+        irdl::register_dialects(&mut ctx, CMATH).unwrap();
+        irdl::register_dialects(
+            &mut ctx,
+            "Dialect toy {
+               Operation add { Operands (a: !i32, b: !i32) Results (r: !i32) }
+               Operation double { Operands (x: !i32) Results (r: !i32) }
+             }",
+        )
+        .unwrap();
+        let mut source = CONORM_PATTERN.to_string();
+        source.push_str(
+            "Pattern same { Match { %r = toy.add(%x, %x) } Rewrite { %d = toy.double(%x) : typeof(%x) Replace %r with %d } }
+             Pattern dd { Match { %a = toy.double(%x) %r = toy.double(%a) } Rewrite { Replace %r with %x } }",
+        );
+        // Parse through the module-private parser to keep the concrete
+        // `DeclarativePattern` values (try_match is not on the trait).
+        let tokens = lex(&source).unwrap();
+        let mut parser = DslParser { ctx: &mut ctx, tokens, pos: 0 };
+        let mut declarative: Vec<DeclarativePattern> = Vec::new();
+        while parser.peek() != &Token::Eof {
+            declarative.push(parser.parse_pattern().unwrap());
+        }
+        // All benefit 1: the stable sort keeps declaration order, so set
+        // positions line up with `declarative` indices.
+        let patterns: PatternSet = declarative
+            .iter()
+            .map(|p| std::sync::Arc::new(p.clone()) as std::sync::Arc<dyn RewritePattern>)
+            .collect();
+        for pattern in patterns.patterns() {
+            assert!(pattern.match_program().is_some(), "{} should lower", pattern.name());
+        }
+        let module = parse_module(
+            &mut ctx,
+            r#"
+            %p = "test.arg"() : () -> !cmath.complex<f32>
+            %q = "test.arg"() : () -> !cmath.complex<f32>
+            %np = "cmath.norm"(%p) : (!cmath.complex<f32>) -> f32
+            %nq = "cmath.norm"(%q) : (!cmath.complex<f32>) -> f32
+            %good = "arith.mulf"(%np, %nq) : (f32, f32) -> f32
+            %bad = "arith.mulf"(%np, %good) : (f32, f32) -> f32
+            %a = "test.arg"() : () -> i32
+            %b = "test.arg"() : () -> i32
+            %same = "toy.add"(%a, %a) : (i32, i32) -> i32
+            %diff = "toy.add"(%a, %b) : (i32, i32) -> i32
+            %d1 = "toy.double"(%a) : (i32) -> i32
+            %d2 = "toy.double"(%d1) : (i32) -> i32
+            "test.keep"(%bad, %same, %diff, %d2) : (f32, i32, i32, i32) -> ()
+            "#,
+        )
+        .unwrap();
+        let matcher = PatternMatcher::compile(patterns.patterns());
+        let mut automaton_accepts = 0usize;
+        for op in collect_ops(&ctx, module) {
+            let accepted = matcher.matches(&ctx, op);
+            for (position, pattern) in declarative.iter().enumerate() {
+                let direct = pattern.try_match(&ctx, op).is_some();
+                let via_program = accepted.contains(&(position as u32));
+                // Lowering is complete, not just conservative: the program
+                // accepts exactly where try_match succeeds.
+                assert_eq!(
+                    direct,
+                    via_program,
+                    "pattern `{}` at {}",
+                    pattern.name,
+                    op.name(&ctx).display(&ctx),
+                );
+                automaton_accepts += usize::from(via_program);
+            }
+        }
+        // Sanity: the module was built so some patterns do accept.
+        assert!(automaton_accepts >= 3, "{automaton_accepts}");
     }
 
     #[test]

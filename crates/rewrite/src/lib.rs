@@ -54,13 +54,15 @@
 
 pub mod driver;
 pub mod dsl;
+pub mod matcher;
 pub mod pattern;
 pub mod pipeline;
 
 pub use driver::{
-    rewrite_greedily, rewrite_greedily_checked, rewrite_greedily_with, CheckLevel, RewriteStats,
-    RewriteVerifyError,
+    rewrite_greedily, rewrite_greedily_checked, rewrite_greedily_matched, rewrite_greedily_with,
+    CheckLevel, MatcherMode, RewriteStats, RewriteVerifyError,
 };
 pub use dsl::{parse_patterns, DeclarativePattern};
+pub use matcher::{matcher_compile_count, MatchProgram, PatternMatcher, Pred};
 pub use pattern::{PatternSet, RewritePattern, Rewriter};
 pub use pipeline::{run_batch, ModuleResult, PipelineOptions, PipelineReport, WorkerReport};

@@ -1,9 +1,11 @@
 //! The [`RewritePattern`] trait and the [`Rewriter`] handed to patterns.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use irdl_ir::{BlockRef, ChangeJournal, Context, OpName, OperationState, OpRef, Type, Value};
+
+use crate::matcher::{MatchProgram, PatternMatcher};
 
 /// A rewrite pattern rooted at one operation.
 ///
@@ -32,6 +34,20 @@ pub trait RewritePattern: Send + Sync {
     /// Returns `true` if the IR was changed. Patterns must perform all
     /// mutation through the [`Rewriter`] so the driver can track changes.
     fn match_and_rewrite(&self, rewriter: &mut Rewriter<'_>) -> bool;
+
+    /// Lowers this pattern's match side to a predicate program for the
+    /// shared [`PatternMatcher`] automaton, or `None` if the match logic
+    /// is opaque Rust code.
+    ///
+    /// A returned program must be a conservative approximation: it may
+    /// accept operations [`RewritePattern::match_and_rewrite`] then
+    /// declines, but must accept every operation it would rewrite —
+    /// a false negative changes driver semantics. When in doubt return
+    /// `None`; the pattern is then tried at every op matching
+    /// [`RewritePattern::root`], exactly as under a per-pattern scan.
+    fn match_program(&self) -> Option<MatchProgram> {
+        None
+    }
 }
 
 /// An ordered collection of patterns, sorted by descending benefit and
@@ -49,6 +65,10 @@ pub struct PatternSet {
     anchored: HashMap<OpName, Vec<usize>>,
     /// Positions of patterns that try every operation (ascending).
     anchorless: Vec<usize>,
+    /// Lazily-compiled shared matcher automaton; reset by [`PatternSet::add`],
+    /// so the artifact always reflects the current catalog. Cloning a set
+    /// shares the already-compiled automaton.
+    matcher: OnceLock<Arc<PatternMatcher>>,
 }
 
 impl std::fmt::Debug for PatternSet {
@@ -69,6 +89,8 @@ impl PatternSet {
         self.patterns.push(pattern);
         self.patterns.sort_by_key(|p| std::cmp::Reverse(p.benefit()));
         self.reindex();
+        // The catalog changed; any compiled automaton is stale.
+        self.matcher = OnceLock::new();
     }
 
     fn reindex(&mut self) {
@@ -94,6 +116,30 @@ impl PatternSet {
         let anchored = self.anchored.get(&name).map_or(&[][..], Vec::as_slice);
         MergeAscending { a: anchored, b: &self.anchorless }
             .map(move |i| &*self.patterns[i])
+    }
+
+    /// The positions (into [`PatternSet::patterns`]) of the patterns
+    /// applicable to an operation named `name`, ascending — the index view
+    /// behind [`PatternSet::candidates`].
+    pub fn candidate_positions(&self, name: OpName) -> impl Iterator<Item = usize> + '_ {
+        let anchored = self.anchored.get(&name).map_or(&[][..], Vec::as_slice);
+        MergeAscending { a: anchored, b: &self.anchorless }
+    }
+
+    /// The compiled matcher automaton for this catalog, building it on
+    /// first use. The artifact is cached (and shared by clones), so
+    /// repeated drives over the same set compile exactly once.
+    pub fn matcher(&self) -> Arc<PatternMatcher> {
+        self.matcher
+            .get_or_init(|| Arc::new(PatternMatcher::compile(&self.patterns)))
+            .clone()
+    }
+
+    /// Eagerly compiles the matcher automaton. Call at seal time — e.g.
+    /// before fanning a batch out to workers — so compilation happens once
+    /// up front instead of racing lazily on first use.
+    pub fn seal(&self) {
+        let _ = self.matcher();
     }
 
     /// Number of patterns.

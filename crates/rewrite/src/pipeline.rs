@@ -22,7 +22,7 @@ use irdl_ir::print::Printer;
 use irdl_ir::verify::ModuleVerifier;
 use irdl_ir::Context;
 
-use crate::driver::{rewrite_greedily, rewrite_greedily_with, CheckLevel};
+use crate::driver::{rewrite_greedily_matched, CheckLevel, MatcherMode};
 use crate::pattern::PatternSet;
 
 /// Configuration for one batch run.
@@ -41,13 +41,24 @@ pub struct PipelineOptions {
     /// skipped). [`CheckLevel::Off`] keeps the fast
     /// rewrite-then-verify-once behaviour.
     pub check: CheckLevel,
+    /// Candidate dispatch mode for the rewrite driver. [`MatcherMode::Auto`]
+    /// compiles the catalog into the shared matcher automaton (sealed once
+    /// before the workers spawn); [`MatcherMode::Scan`] keeps the
+    /// per-pattern scan.
+    pub matcher: MatcherMode,
     /// Print results in the generic form.
     pub generic: bool,
 }
 
 impl Default for PipelineOptions {
     fn default() -> Self {
-        PipelineOptions { jobs: 1, verify: true, check: CheckLevel::Off, generic: false }
+        PipelineOptions {
+            jobs: 1,
+            verify: true,
+            check: CheckLevel::Off,
+            matcher: MatcherMode::Auto,
+            generic: false,
+        }
     }
 }
 
@@ -123,6 +134,13 @@ pub fn run_batch(
 ) -> PipelineReport {
     let jobs = opts.jobs.max(1).min(inputs.len().max(1));
     let next = AtomicUsize::new(0);
+
+    // Seal the catalog before any worker starts: the matcher automaton is
+    // compiled exactly once here and Arc-shared, like every other bundle
+    // artifact, instead of racing lazily on first use in a worker.
+    if opts.matcher == MatcherMode::Auto && !patterns.is_empty() {
+        patterns.seal();
+    }
 
     if jobs == 1 {
         let (slots, report) = worker_loop(bundle, patterns, inputs, opts, &next);
@@ -221,7 +239,14 @@ fn process_module(
             match opts.check {
                 CheckLevel::Off => {
                     let start = Instant::now();
-                    let stats = rewrite_greedily(ctx, module, patterns);
+                    let stats = rewrite_greedily_matched(
+                        ctx,
+                        module,
+                        patterns,
+                        CheckLevel::Off,
+                        opts.matcher,
+                    )
+                    .expect("unchecked drive cannot fail");
                     timings.rewrite = start.elapsed().as_nanos() as u64;
                     rewrites = stats.rewrites;
                     if opts.verify {
@@ -240,7 +265,8 @@ fn process_module(
                     // is indistinguishable from rewrite time here and is
                     // reported as such.
                     let start = Instant::now();
-                    let outcome = rewrite_greedily_with(ctx, module, patterns, check);
+                    let outcome =
+                        rewrite_greedily_matched(ctx, module, patterns, check, opts.matcher);
                     timings.rewrite = start.elapsed().as_nanos() as u64;
                     let stats = outcome.map_err(|err| {
                         format!("{err}: {}", err.diagnostics[0])
@@ -364,6 +390,46 @@ Pattern add_to_double {
                 assert_eq!(b.output, c.output, "{check:?}");
                 assert_eq!(b.rewrites, c.rewrites, "{check:?}");
             }
+        }
+    }
+
+    /// Automaton and scan dispatch must agree module-for-module, and the
+    /// automaton must be compiled exactly once per batch even across
+    /// parallel workers.
+    #[test]
+    fn matcher_modes_agree_and_compile_once() {
+        let (bundle, patterns) = toy_setup();
+        let inputs = toy_inputs(9);
+        let scan = run_batch(
+            &bundle,
+            &patterns,
+            &inputs,
+            &PipelineOptions { matcher: MatcherMode::Scan, ..Default::default() },
+        );
+        let auto = run_batch(
+            &bundle,
+            &patterns,
+            &inputs,
+            &PipelineOptions { jobs: 4, matcher: MatcherMode::Auto, ..Default::default() },
+        );
+        // The batch sealed the set: the automaton in hand now is the one
+        // every worker used, and later batches reuse the same artifact
+        // (pointer identity — no recompilation).
+        let sealed = patterns.matcher();
+        let again = run_batch(
+            &bundle,
+            &patterns,
+            &inputs,
+            &PipelineOptions { matcher: MatcherMode::Auto, ..Default::default() },
+        );
+        assert!(std::sync::Arc::ptr_eq(&sealed, &patterns.matcher()));
+        for ((s, a), g) in scan.results.iter().zip(&auto.results).zip(&again.results) {
+            let s = s.as_ref().unwrap();
+            let a = a.as_ref().unwrap();
+            let g = g.as_ref().unwrap();
+            assert_eq!(s.output, a.output);
+            assert_eq!(s.rewrites, a.rewrites);
+            assert_eq!(a.output, g.output);
         }
     }
 

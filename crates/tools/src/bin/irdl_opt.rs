@@ -18,6 +18,9 @@
 //!   `L`: `incr` (journal-driven incremental, the default when the flag
 //!   is given bare), `full` (whole-module after every rewrite — the slow
 //!   differential oracle), or `off`
+//! - `--matcher=M`       pattern dispatch mode: `auto` (the compiled
+//!   shared matcher automaton, the default) or `scan` (the per-pattern
+//!   scan — the slow differential oracle)
 //! - `--generic`         print in the generic form only
 //! - `--jobs <n>`        process inputs on `n` worker threads
 //! - `<file>...`         the IR inputs (defaults to stdin)
@@ -35,7 +38,7 @@ use irdl_ir::verify::verify_op;
 use irdl_ir::Context;
 use irdl_rewrite::pipeline::{run_batch, PipelineOptions};
 use irdl_rewrite::{
-    parse_patterns, rewrite_greedily, rewrite_greedily_with, CheckLevel, PatternSet,
+    parse_patterns, rewrite_greedily_matched, CheckLevel, MatcherMode, PatternSet,
 };
 
 struct Options {
@@ -46,6 +49,7 @@ struct Options {
     corpus: bool,
     verify: bool,
     check: CheckLevel,
+    matcher: MatcherMode,
     generic: bool,
     jobs: usize,
 }
@@ -59,6 +63,7 @@ fn parse_args() -> Result<Options, String> {
         corpus: false,
         verify: false,
         check: CheckLevel::Off,
+        matcher: MatcherMode::Auto,
         generic: false,
         jobs: 1,
     };
@@ -96,13 +101,24 @@ fn parse_args() -> Result<Options, String> {
                     }
                 };
             }
+            other if other.starts_with("--matcher=") => {
+                opts.matcher = match &other["--matcher=".len()..] {
+                    "auto" => MatcherMode::Auto,
+                    "scan" => MatcherMode::Scan,
+                    bad => {
+                        return Err(format!(
+                            "invalid --matcher mode `{bad}` (expected auto or scan)"
+                        ))
+                    }
+                };
+            }
             "--generic" => opts.generic = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: irdl-opt [--irdl FILE]... [--patterns FILE]... \
                      [--showcase] [--corpus] [--verify] \
-                     [--verify-each={{full,incr,off}}] [--generic] \
-                     [--jobs N] [IR-FILE]..."
+                     [--verify-each={{full,incr,off}}] [--matcher={{auto,scan}}] \
+                     [--generic] [--jobs N] [IR-FILE]..."
                 );
                 std::process::exit(0);
             }
@@ -160,6 +176,7 @@ fn run(opts: Options) -> Result<(), String> {
             verify: opts.verify,
             check: opts.check,
             generic: opts.generic,
+            matcher: opts.matcher,
         };
         let report = run_batch(&bundle, &patterns, &sources, &pipeline_opts);
         let mut failed = false;
@@ -213,11 +230,8 @@ fn run(opts: Options) -> Result<(), String> {
     }
 
     if !patterns.is_empty() {
-        let stats = match opts.check {
-            CheckLevel::Off => rewrite_greedily(&mut ctx, module, &patterns),
-            check => rewrite_greedily_with(&mut ctx, module, &patterns, check)
-                .map_err(|err| format!("{err}: {}", err.diagnostics[0]))?,
-        };
+        let stats = rewrite_greedily_matched(&mut ctx, module, &patterns, opts.check, opts.matcher)
+            .map_err(|err| format!("{err}: {}", err.diagnostics[0]))?;
         eprintln!("applied {} rewrite(s)", stats.rewrites);
         if opts.verify && opts.check == CheckLevel::Off {
             verify_op(&ctx, module).map_err(|errs| {
