@@ -24,11 +24,13 @@ use std::any::{Any, TypeId};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, RwLock};
 
-use irdl_ir::diag::Result;
+use irdl_ir::diag::{Diagnostic, Result};
 use irdl_ir::Context;
 
-use crate::compile::register_dialects_with;
+use crate::artifact::{decode_bundle, encode_bundle, DialectRecipe};
+use crate::compile::{compile_dialect_to_recipe, register_recipe};
 use crate::native::NativeRegistry;
+use crate::parser::parse_irdl;
 
 /// An immutable, thread-shareable set of compiled dialects.
 ///
@@ -40,6 +42,11 @@ use crate::native::NativeRegistry;
 pub struct DialectBundle {
     template: Mutex<Context>,
     names: Vec<String>,
+    /// The serializable description of every compiled dialect, retained by
+    /// [`DialectBundle::compile`] and [`DialectBundle::load`] so the
+    /// bundle can be persisted with [`DialectBundle::save`]. Empty for
+    /// hand-captured bundles.
+    recipes: Vec<DialectRecipe>,
     /// Typed side-artifacts derived from the bundle (compiled pattern
     /// catalogs, matcher automata, analysis tables, ...), keyed by type.
     /// Like the dialect artifacts themselves: built once, `Arc`-shared by
@@ -67,12 +74,23 @@ impl DialectBundle {
     pub fn compile(sources: &[(String, String)], natives: &NativeRegistry) -> Result<Self> {
         let mut ctx = Context::new();
         let mut names = Vec::new();
+        let mut recipes = Vec::new();
         for (label, source) in sources {
-            let registered = register_dialects_with(&mut ctx, source, natives)
+            let file = parse_irdl(source)
                 .map_err(|d| d.with_note(format!("while compiling `{label}`")))?;
-            names.extend(registered);
+            for dialect in &file.dialects {
+                let (recipe, _) = compile_dialect_to_recipe(&mut ctx, dialect, natives)
+                    .map_err(|d| d.with_note(format!("while compiling `{label}`")))?;
+                names.push(dialect.name.clone());
+                recipes.push(recipe);
+            }
         }
-        Ok(Self::capture(ctx, names))
+        Ok(DialectBundle {
+            template: Mutex::new(ctx),
+            names,
+            recipes,
+            artifacts: RwLock::new(HashMap::new()),
+        })
     }
 
     /// Seals an already-compiled context as a bundle.
@@ -82,7 +100,91 @@ impl DialectBundle {
     /// native syntaxes. The context should be treated as consumed: IR state
     /// (modules, ops) present in it will be cloned into every instance.
     pub fn capture(ctx: Context, names: Vec<String>) -> Self {
-        DialectBundle { template: Mutex::new(ctx), names, artifacts: RwLock::new(HashMap::new()) }
+        DialectBundle {
+            template: Mutex::new(ctx),
+            names,
+            recipes: Vec::new(),
+            artifacts: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Serializes the bundle's compiled dialects into a persistable
+    /// artifact (`.irdlbc`, magic `IRDB`). [`DialectBundle::load`]
+    /// rehydrates it without the IRDL frontend.
+    ///
+    /// Native hooks are closures and travel by *name*: the loader's
+    /// [`NativeRegistry`] must register every hook the dialects use.
+    /// Likewise, rewrite-pattern artifacts attached via
+    /// [`DialectBundle::attach_artifact`] contain closures and are not
+    /// persisted — only the dialects themselves.
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic for bundles created with
+    /// [`DialectBundle::capture`]: hand-registered dialects have no
+    /// serializable recipe.
+    pub fn save(&self) -> Result<Vec<u8>> {
+        if self.recipes.is_empty() && !self.names.is_empty() {
+            return Err(Diagnostic::new(
+                "this bundle was hand-captured, not compiled from IRDL; it has no \
+                 serializable recipes (use DialectBundle::compile)",
+            ));
+        }
+        let template = self.template.lock().expect("dialect bundle lock poisoned");
+        Ok(encode_bundle(&template, &self.recipes))
+    }
+
+    /// [`DialectBundle::save`] straight to a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns serialization diagnostics and I/O failures.
+    pub fn save_to(&self, path: &std::path::Path) -> Result<()> {
+        let bytes = self.save()?;
+        std::fs::write(path, bytes)
+            .map_err(|e| Diagnostic::new(format!("cannot write `{}`: {e}", path.display())))
+    }
+
+    /// Rehydrates a bundle from a persisted artifact: decodes the recipes
+    /// and registers each on a fresh context through the same registration
+    /// path compilation uses — no IRDL parsing, no constraint resolution,
+    /// and no movement of [`crate::compile::dialect_compile_count`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a diagnostic on malformed input, or when `natives` lacks a
+    /// hook the artifact names.
+    pub fn load(bytes: &[u8], natives: &NativeRegistry) -> Result<Self> {
+        let mut ctx = Context::new();
+        let recipes = decode_bundle(&mut ctx, bytes, natives)?;
+        let mut names = Vec::with_capacity(recipes.len());
+        for recipe in &recipes {
+            register_recipe(&mut ctx, recipe, natives)?;
+            names.push(recipe.name.clone());
+        }
+        Ok(DialectBundle {
+            template: Mutex::new(ctx),
+            names,
+            recipes,
+            artifacts: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// [`DialectBundle::load`] straight from a file.
+    ///
+    /// # Errors
+    ///
+    /// Returns decode diagnostics and I/O failures.
+    pub fn load_from(path: &std::path::Path, natives: &NativeRegistry) -> Result<Self> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| Diagnostic::new(format!("cannot read `{}`: {e}", path.display())))?;
+        Self::load(&bytes, natives)
+    }
+
+    /// The serializable recipes of the compiled dialects (empty for
+    /// hand-captured bundles).
+    pub fn recipes(&self) -> &[DialectRecipe] {
+        &self.recipes
     }
 
     /// Creates a private [`Context`] carrying every compiled dialect.
@@ -189,6 +291,61 @@ Dialect cmath {
         // other.
         a.symbol("only-in-a");
         assert_eq!(b.symbol_lookup("only-in-a"), None);
+    }
+
+    #[test]
+    fn bundle_saves_and_loads_without_recompiling() {
+        let natives = NativeRegistry::with_std();
+        let sources = vec![("cmath.irdl".to_string(), SPEC.to_string())];
+        let bundle = DialectBundle::compile(&sources, &natives).unwrap();
+        let bytes = bundle.save().unwrap();
+
+        let before = crate::compile::dialect_compile_count();
+        let loaded = DialectBundle::load(&bytes, &natives).unwrap();
+        // Loading registers from recipes: no frontend compilation happens.
+        assert_eq!(crate::compile::dialect_compile_count(), before);
+        assert_eq!(loaded.names(), ["cmath"]);
+
+        let mut ctx = loaded.instantiate();
+        let f32 = ctx.f32_type();
+        let ok = ctx.type_attr(f32);
+        assert!(ctx.parametric_type("cmath", "complex", [ok]).is_ok());
+        let i32 = ctx.i32_type();
+        let bad = ctx.type_attr(i32);
+        assert!(ctx.parametric_type("cmath", "complex", [bad]).is_err());
+
+        // The rehydrated registry enforces op constraints end to end.
+        let ir = "%a = \"test.def\"() : () -> !cmath.complex<f32>\n\
+                  %m = \"cmath.mul\"(%a, %a) : (!cmath.complex<f32>, !cmath.complex<f32>) \
+                  -> !cmath.complex<f32>";
+        let module = irdl_ir::parse::parse_module(&mut ctx, ir).unwrap();
+        assert!(irdl_ir::verify::verify_op(&ctx, module).is_ok());
+    }
+
+    #[test]
+    fn captured_bundle_refuses_to_save() {
+        let mut ctx = Context::new();
+        ctx.symbol("x");
+        let bundle = DialectBundle::capture(ctx, vec!["hand".to_string()]);
+        let err = bundle.save().unwrap_err();
+        assert!(err.message().contains("hand-captured"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_bundle_bytes_are_diagnostics() {
+        let natives = NativeRegistry::with_std();
+        let sources = vec![("cmath.irdl".to_string(), SPEC.to_string())];
+        let bundle = DialectBundle::compile(&sources, &natives).unwrap();
+        let bytes = bundle.save().unwrap();
+
+        assert!(DialectBundle::load(b"IRDBx", &natives).is_err());
+        assert!(DialectBundle::load(&bytes[..bytes.len() / 2], &natives).is_err());
+        for index in 5..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[index] ^= 0xff;
+            // Either outcome is fine; panicking is not.
+            let _ = DialectBundle::load(&corrupt, &natives);
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //! # Ok::<(), irdl_ir::Diagnostic>(())
 //! ```
 
+pub mod artifact;
 pub mod ast;
 pub mod builder;
 pub mod bundle;
@@ -67,11 +68,12 @@ pub mod resolve;
 pub mod variadic;
 pub mod verifier;
 
+pub use artifact::{DialectRecipe, OpRecipe, TypeOrAttrRecipe};
 pub use ast::SourceFile;
 pub use bundle::DialectBundle;
 pub use compile::{
-    compile_dialect, compile_dialect_collecting, dialect_compile_count, register_dialects,
-    register_dialects_with,
+    compile_dialect, compile_dialect_collecting, compile_dialect_to_recipe,
+    dialect_compile_count, register_dialects, register_dialects_with, register_recipe,
 };
 pub use constraint::{BindingEnv, CVal, Constraint};
 pub use native::NativeRegistry;

@@ -21,8 +21,8 @@ use crate::genpat::{derive_canon_catalog, pat_dialect_spec, random_catalog};
 use crate::genspec::generate_spec;
 use crate::mutate::mutate_text;
 use crate::oracle::{
-    check_cache, check_drive, check_fixpoint, check_incremental, check_jobs, check_matcher,
-    OracleFailure,
+    check_bytecode, check_cache, check_drive, check_fixpoint, check_incremental, check_jobs,
+    check_matcher, OracleFailure,
 };
 use crate::rng::SplitMix64;
 
@@ -213,6 +213,7 @@ pub fn run_fuzz_on(target: &FuzzTarget, opts: &FuzzOptions) -> Result<FuzzReport
             check_incremental(&iter_target.bundle, &text, incremental_seed, 24),
             check_cache(&iter_target.bundle, &text),
             check_drive(&iter_target.bundle, &text),
+            check_bytecode(&iter_target.bundle, &text),
         ];
         for check in checks {
             if let Err(failure) = check {
@@ -274,6 +275,13 @@ pub fn run_fuzz_on(target: &FuzzTarget, opts: &FuzzOptions) -> Result<FuzzReport
             }
             if let Err(failure) = check_cache(&iter_target.bundle, &mutant) {
                 let _ = writeln!(report.log, "iter {iter}: cache oracle diverged on a mutant");
+                report.failures.push(failure);
+                break 'iterations;
+            }
+            // Accepted mutants must also round-trip through bytecode.
+            if let Err(failure) = check_bytecode(&iter_target.bundle, &mutant) {
+                let _ =
+                    writeln!(report.log, "iter {iter}: bytecode oracle diverged on a mutant");
                 report.failures.push(failure);
                 break 'iterations;
             }

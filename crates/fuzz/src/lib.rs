@@ -8,7 +8,7 @@
 //! pattern-catalog generator ([`genpat`]) emits random declarative
 //! rewrite catalogs, and a mutation engine ([`mutate`]) covers the reject
 //! paths. Every input runs
-//! through six differential oracles ([`oracle`]) that cross-check the
+//! through seven differential oracles ([`oracle`]) that cross-check the
 //! repo's fast paths against their reference implementations; failing
 //! inputs are shrunk by a ddmin reducer ([`reduce`]) and stored with
 //! their seed under `fuzz/corpus-regressions/`.

@@ -1,4 +1,4 @@
-//! The six differential oracles.
+//! The seven differential oracles.
 //!
 //! Each oracle runs one input through two implementations that must agree
 //! and reports any divergence with enough context (input text, seed,
@@ -23,10 +23,15 @@
 //!    matcher automaton (`MatcherMode::Auto`) and through the per-pattern
 //!    scan (`MatcherMode::Scan`) must apply the same number of rewrites
 //!    and print byte-identical output, for arbitrary random DSL catalogs.
+//! 7. **bytecode** — encode → decode into a fresh bundle instance must
+//!    reproduce the module: the decoded module prints byte-identically to
+//!    the original (text and bytecode are interchangeable surfaces for
+//!    the same IR).
 
 use std::sync::Arc;
 
 use irdl::DialectBundle;
+use irdl_ir::bytecode::{decode_module, encode_module};
 use irdl_ir::parse::parse_module;
 use irdl_ir::print::{op_to_string, op_to_string_generic};
 use irdl_ir::verify::{IncrementalVerifier, ModuleVerifier};
@@ -43,7 +48,7 @@ use crate::rng::SplitMix64;
 #[derive(Debug, Clone)]
 pub struct OracleFailure {
     /// Which oracle diverged (`fixpoint`, `incremental`, `cache`,
-    /// `jobs`, `drive`, `matcher`, or `generate`).
+    /// `jobs`, `drive`, `matcher`, `bytecode`, or `generate`).
     pub oracle: &'static str,
     /// Human-readable description of the divergence.
     pub detail: String,
@@ -364,6 +369,53 @@ pub fn check_matcher(
     Ok(())
 }
 
+/// Oracle 7: bytecode round-trip is print-byte-identical.
+///
+/// Inputs the parser rejects pass vacuously, like the fixpoint oracle.
+/// Accepted inputs must encode, the bytes must decode into a *fresh*
+/// bundle instance (the load path a distributed pipeline would take), and
+/// the decoded module must print exactly the original's printed form —
+/// both pretty and generic.
+pub fn check_bytecode(bundle: &DialectBundle, text: &str) -> Result<(), OracleFailure> {
+    let mut ctx = bundle.instantiate();
+    let Some(module) = parse_in(&mut ctx, text) else { return Ok(()) };
+    let printed = op_to_string(&ctx, module);
+    let generic = op_to_string_generic(&ctx, module);
+    let bytes = encode_module(&ctx, module).map_err(|e| {
+        OracleFailure::new("bytecode", format!("module does not encode: {e}"), text)
+    })?;
+
+    let mut ctx2 = bundle.instantiate();
+    let decoded = decode_module(&mut ctx2, &bytes).map_err(|e| {
+        OracleFailure::new(
+            "bytecode",
+            format!("encoded module does not decode: {e}\nprinted:\n{printed}"),
+            text,
+        )
+    })?;
+    let printed2 = op_to_string(&ctx2, decoded);
+    if printed2 != printed {
+        return Err(OracleFailure::new(
+            "bytecode",
+            format!(
+                "decoded module prints differently:\noriginal:\n{printed}\ndecoded:\n{printed2}"
+            ),
+            text,
+        ));
+    }
+    let generic2 = op_to_string_generic(&ctx2, decoded);
+    if generic2 != generic {
+        return Err(OracleFailure::new(
+            "bytecode",
+            format!(
+                "decoded module prints differently (generic):\noriginal:\n{generic}\ndecoded:\n{generic2}"
+            ),
+            text,
+        ));
+    }
+    Ok(())
+}
+
 /// Runs every single-input oracle on `text`, collecting all divergences
 /// (the jobs oracle needs a batch and is run separately by the harness;
 /// the matcher oracle additionally needs a catalog).
@@ -374,6 +426,7 @@ pub fn replay_all(bundle: &DialectBundle, text: &str, seed: u64) -> Vec<OracleFa
         check_incremental(bundle, text, seed, 24),
         check_cache(bundle, text),
         check_drive(bundle, text),
+        check_bytecode(bundle, text),
         check_jobs(bundle, std::slice::from_ref(&text.to_string()), 2),
     ] {
         if let Err(f) = check {

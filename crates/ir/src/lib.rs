@@ -44,6 +44,7 @@
 pub mod attrs;
 pub mod block;
 pub mod builder;
+pub mod bytecode;
 pub mod builtin;
 pub mod context;
 pub mod diag;

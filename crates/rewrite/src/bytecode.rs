@@ -1,0 +1,305 @@
+//! Serialization for compiled match programs.
+//!
+//! A [`MatchProgram`] is pure data — a root key and a linear predicate
+//! list over op paths, symbols, and interned attributes — so it
+//! round-trips through the `irdl-ir` bytecode primitives (string table +
+//! constant pool, same framing and versioning rules as module files).
+//! This is the persistable half of a compiled pattern catalog: the
+//! *programs* travel; the rewrite actions are closures and must be
+//! re-supplied by the host (e.g. re-parsed from the pattern DSL or
+//! re-registered native patterns), exactly as native hooks are re-resolved
+//! by name when a dialect bundle is loaded.
+//!
+//! The encoded file (magic `IRMP`) reuses the strings/pool sections and
+//! adds one `PROGRAMS` section. Decoding is corruption-safe: malformed
+//! input yields a [`Diagnostic`], never a panic.
+
+use irdl_ir::bytecode::{
+    ByteReader, ByteWriter, DecodedPool, Pool, SECTION_POOL, SECTION_STRINGS, VERSION,
+};
+use irdl_ir::diag::{Diagnostic, Result};
+use irdl_ir::{Context, OpName};
+
+use crate::matcher::{MatchProgram, OpPath, Pred, ValuePos};
+
+/// Magic bytes of a match-program catalog file.
+pub const PROGRAMS_MAGIC: [u8; 4] = *b"IRMP";
+/// Section tag of the programs payload.
+pub const SECTION_PROGRAMS: u8 = 5;
+
+const P_OPERAND_COUNT: u8 = 0;
+const P_RESULT_COUNT: u8 = 1;
+const P_OPERAND_DEF: u8 = 2;
+const P_VALUE_EQ: u8 = 3;
+const P_ATTR_EQ: u8 = 4;
+
+const V_OPERAND: u8 = 0;
+const V_RESULT: u8 = 1;
+
+fn write_path(w: &mut ByteWriter, path: &OpPath) {
+    w.varint(path.len() as u64);
+    w.bytes(path);
+}
+
+fn read_path(r: &mut ByteReader<'_>) -> Result<OpPath> {
+    let len = r.count(1)?;
+    Ok(r.take(len)?.to_vec())
+}
+
+fn write_pos(w: &mut ByteWriter, pos: &ValuePos) {
+    match pos {
+        ValuePos::Operand { path, index } => {
+            w.u8(V_OPERAND);
+            write_path(w, path);
+            w.u8(*index);
+        }
+        ValuePos::Result { path } => {
+            w.u8(V_RESULT);
+            write_path(w, path);
+        }
+    }
+}
+
+fn read_pos(r: &mut ByteReader<'_>) -> Result<ValuePos> {
+    match r.u8()? {
+        V_OPERAND => {
+            let path = read_path(r)?;
+            let index = r.u8()?;
+            Ok(ValuePos::Operand { path, index })
+        }
+        V_RESULT => Ok(ValuePos::Result { path: read_path(r)? }),
+        other => Err(r.error(format!("unknown value position tag {other}"))),
+    }
+}
+
+/// Encodes a catalog of match programs against `ctx` (the context whose
+/// symbols and attributes the programs reference — the pattern bundle's
+/// template).
+pub fn encode_match_programs(ctx: &Context, programs: &[MatchProgram]) -> Vec<u8> {
+    let mut pool = Pool::new();
+    let mut body = ByteWriter::new();
+    body.varint(programs.len() as u64);
+    for program in programs {
+        match &program.root {
+            Some(name) => {
+                body.u8(1);
+                let (d, n) = pool.op_name_ids(ctx, *name);
+                body.varint(u64::from(d));
+                body.varint(u64::from(n));
+            }
+            None => body.u8(0),
+        }
+        body.varint(program.preds.len() as u64);
+        for pred in &program.preds {
+            match pred {
+                Pred::OperandCount { path, count } => {
+                    body.u8(P_OPERAND_COUNT);
+                    write_path(&mut body, path);
+                    body.u8(*count);
+                }
+                Pred::ResultCount { path, count } => {
+                    body.u8(P_RESULT_COUNT);
+                    write_path(&mut body, path);
+                    body.u8(*count);
+                }
+                Pred::OperandDef { path, index, name } => {
+                    body.u8(P_OPERAND_DEF);
+                    write_path(&mut body, path);
+                    body.u8(*index);
+                    let (d, n) = pool.op_name_ids(ctx, *name);
+                    body.varint(u64::from(d));
+                    body.varint(u64::from(n));
+                }
+                Pred::ValueEq { a, b } => {
+                    body.u8(P_VALUE_EQ);
+                    write_pos(&mut body, a);
+                    write_pos(&mut body, b);
+                }
+                Pred::AttrEq { path, key, value } => {
+                    body.u8(P_ATTR_EQ);
+                    write_path(&mut body, path);
+                    let k = pool.symbol_id(ctx, *key);
+                    body.varint(u64::from(k));
+                    let v = pool.attr_id(ctx, *value);
+                    body.varint(u64::from(v));
+                }
+            }
+        }
+    }
+
+    let mut out = ByteWriter::new();
+    out.bytes(&PROGRAMS_MAGIC);
+    out.u8(VERSION);
+    pool.emit_sections(&mut out);
+    out.section(SECTION_PROGRAMS, &body);
+    out.into_vec()
+}
+
+/// Decodes a match-program catalog into `ctx`.
+///
+/// # Errors
+///
+/// Returns a diagnostic (never panics) on bad magic, an unsupported
+/// version, or truncated / malformed sections.
+pub fn decode_match_programs(ctx: &mut Context, bytes: &[u8]) -> Result<Vec<MatchProgram>> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.take(4).map_err(|_| Diagnostic::new("bytecode: input shorter than magic"))?;
+    if magic != PROGRAMS_MAGIC {
+        return Err(Diagnostic::new(format!(
+            "bytecode: bad magic {magic:?} (expected {PROGRAMS_MAGIC:?}; not a match-program file)"
+        )));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(Diagnostic::new(format!(
+            "bytecode: unsupported version {version} (this reader supports {VERSION})"
+        )));
+    }
+
+    let mut pool = DecodedPool::empty();
+    let mut seen_strings = false;
+    let mut seen_pool = false;
+    let mut programs = None;
+    while !r.is_empty() {
+        let tag = r.u8()?;
+        let mut section = r.sub_reader()?;
+        match tag {
+            SECTION_STRINGS => {
+                pool.read_strings(ctx, &mut section)?;
+                seen_strings = true;
+            }
+            SECTION_POOL => {
+                if !seen_strings {
+                    return Err(section.error("pool section precedes strings section"));
+                }
+                pool.read_pool(ctx, &mut section)?;
+                seen_pool = true;
+            }
+            SECTION_PROGRAMS => {
+                if !seen_pool {
+                    return Err(section.error("programs section precedes pool section"));
+                }
+                programs = Some(read_programs(ctx, &mut pool, &mut section)?);
+            }
+            _ => {}
+        }
+    }
+    programs.ok_or_else(|| Diagnostic::new("bytecode: no programs section"))
+}
+
+fn read_programs(
+    ctx: &mut Context,
+    pool: &mut DecodedPool<'_>,
+    r: &mut ByteReader<'_>,
+) -> Result<Vec<MatchProgram>> {
+    let count = r.count(1)?;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let root = match r.u8()? {
+            0 => None,
+            1 => {
+                let dialect = pool.symbol(ctx, r)?;
+                let name = pool.symbol(ctx, r)?;
+                Some(OpName { dialect, name })
+            }
+            _ => return Err(r.error("invalid option tag")),
+        };
+        let n_preds = r.count(1)?;
+        let mut preds = Vec::with_capacity(n_preds);
+        for _ in 0..n_preds {
+            preds.push(match r.u8()? {
+                P_OPERAND_COUNT => {
+                    let path = read_path(r)?;
+                    let count = r.u8()?;
+                    Pred::OperandCount { path, count }
+                }
+                P_RESULT_COUNT => {
+                    let path = read_path(r)?;
+                    let count = r.u8()?;
+                    Pred::ResultCount { path, count }
+                }
+                P_OPERAND_DEF => {
+                    let path = read_path(r)?;
+                    let index = r.u8()?;
+                    let dialect = pool.symbol(ctx, r)?;
+                    let name = pool.symbol(ctx, r)?;
+                    Pred::OperandDef { path, index, name: OpName { dialect, name } }
+                }
+                P_VALUE_EQ => {
+                    let a = read_pos(r)?;
+                    let b = read_pos(r)?;
+                    Pred::ValueEq { a, b }
+                }
+                P_ATTR_EQ => {
+                    let path = read_path(r)?;
+                    let key = pool.symbol(ctx, r)?;
+                    let value = pool.body_attr(r)?;
+                    Pred::AttrEq { path, key, value }
+                }
+                other => return Err(r.error(format!("unknown predicate tag {other}"))),
+            });
+        }
+        out.push(MatchProgram { root, preds });
+    }
+    if !r.is_empty() {
+        return Err(r.error("trailing bytes after programs"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn match_programs_roundtrip_structurally_equal() {
+        let mut ctx = Context::new();
+        let add = ctx.op_name("arith", "addi");
+        let zero_name = ctx.op_name("arith", "constant");
+        let key = ctx.symbol("value");
+        let i32 = ctx.i32_type();
+        let value = ctx.int_attr(0, i32);
+        let programs = vec![
+            MatchProgram {
+                root: Some(add),
+                preds: vec![
+                    Pred::OperandCount { path: vec![], count: 2 },
+                    Pred::OperandDef { path: vec![], index: 1, name: zero_name },
+                    Pred::AttrEq { path: vec![1], key, value },
+                    Pred::ValueEq {
+                        a: ValuePos::Operand { path: vec![], index: 0 },
+                        b: ValuePos::Result { path: vec![1] },
+                    },
+                ],
+            },
+            MatchProgram {
+                root: None,
+                preds: vec![Pred::ResultCount { path: vec![], count: 1 }],
+            },
+        ];
+        let bytes = encode_match_programs(&ctx, &programs);
+
+        // Decode into a clone (same interning prefix, as instances of one
+        // bundle are) and into the same context: both must be equal.
+        let mut clone = ctx.clone();
+        assert_eq!(decode_match_programs(&mut clone, &bytes).unwrap(), programs);
+        assert_eq!(decode_match_programs(&mut ctx, &bytes).unwrap(), programs);
+    }
+
+    #[test]
+    fn corrupt_program_bytes_are_diagnostics() {
+        let mut ctx = Context::new();
+        let programs =
+            vec![MatchProgram { root: None, preds: vec![Pred::ResultCount { path: vec![], count: 1 }] }];
+        let bytes = encode_match_programs(&ctx, &programs);
+        assert!(decode_match_programs(&mut ctx, b"nope").is_err());
+        for len in 0..bytes.len() {
+            assert!(decode_match_programs(&mut ctx, &bytes[..len]).is_err());
+        }
+        for index in 5..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[index] ^= 0xff;
+            let _ = decode_match_programs(&mut ctx, &corrupt);
+        }
+    }
+}

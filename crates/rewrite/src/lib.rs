@@ -52,6 +52,7 @@
 //! # Ok::<(), irdl_ir::Diagnostic>(())
 //! ```
 
+pub mod bytecode;
 pub mod driver;
 pub mod dsl;
 pub mod matcher;
@@ -62,7 +63,11 @@ pub use driver::{
     rewrite_greedily, rewrite_greedily_checked, rewrite_greedily_matched, rewrite_greedily_with,
     CheckLevel, MatcherMode, RewriteStats, RewriteVerifyError,
 };
+pub use bytecode::{decode_match_programs, encode_match_programs, PROGRAMS_MAGIC};
 pub use dsl::{parse_patterns, DeclarativePattern};
 pub use matcher::{matcher_compile_count, MatchProgram, PatternMatcher, Pred};
 pub use pattern::{PatternSet, RewritePattern, Rewriter};
-pub use pipeline::{run_batch, ModuleResult, PipelineOptions, PipelineReport, WorkerReport};
+pub use pipeline::{
+    run_batch, run_batch_inputs, ModuleResult, PipelineInput, PipelineOptions, PipelineReport,
+    WorkerReport,
+};

@@ -115,6 +115,28 @@ impl PipelineReport {
     }
 }
 
+/// One input to the batch pipeline.
+///
+/// The two variants are interchangeable: a bytecode input decodes to the
+/// same in-memory module its text form parses to, runs through the same
+/// rewrite driver, and prints the same output. Mixing them in one batch is
+/// fine — merge order is by input index either way.
+#[derive(Debug, Clone)]
+pub enum PipelineInput {
+    /// Textual IR, run through the module parser.
+    Text(String),
+    /// Module bytecode (magic `IRBC`), run through the bytecode decoder.
+    Bytecode(Vec<u8>),
+}
+
+/// A borrowed view of one input, so the string-slice entry point does not
+/// have to clone the corpus into [`PipelineInput`]s.
+#[derive(Clone, Copy)]
+enum InputRef<'a> {
+    Text(&'a str),
+    Bytecode(&'a [u8]),
+}
+
 /// One processed module tagged with its input index, so per-worker result
 /// lists can be merged back into input order.
 type IndexedResult = (usize, Result<ModuleResult, String>);
@@ -130,6 +152,37 @@ pub fn run_batch(
     bundle: &DialectBundle,
     patterns: &PatternSet,
     inputs: &[String],
+    opts: &PipelineOptions,
+) -> PipelineReport {
+    let refs: Vec<InputRef<'_>> = inputs.iter().map(|s| InputRef::Text(s)).collect();
+    run_refs(bundle, patterns, &refs, opts)
+}
+
+/// [`run_batch`] for mixed text/bytecode corpora.
+///
+/// A [`PipelineInput::Bytecode`] entry is decoded instead of parsed (its
+/// decode time is reported as the `parse` stage) and then verified,
+/// rewritten, and printed exactly like a text entry.
+pub fn run_batch_inputs(
+    bundle: &DialectBundle,
+    patterns: &PatternSet,
+    inputs: &[PipelineInput],
+    opts: &PipelineOptions,
+) -> PipelineReport {
+    let refs: Vec<InputRef<'_>> = inputs
+        .iter()
+        .map(|input| match input {
+            PipelineInput::Text(s) => InputRef::Text(s),
+            PipelineInput::Bytecode(b) => InputRef::Bytecode(b),
+        })
+        .collect();
+    run_refs(bundle, patterns, &refs, opts)
+}
+
+fn run_refs(
+    bundle: &DialectBundle,
+    patterns: &PatternSet,
+    inputs: &[InputRef<'_>],
     opts: &PipelineOptions,
 ) -> PipelineReport {
     let jobs = opts.jobs.max(1).min(inputs.len().max(1));
@@ -184,7 +237,7 @@ pub fn run_batch(
 fn worker_loop(
     bundle: &DialectBundle,
     patterns: &PatternSet,
-    inputs: &[String],
+    inputs: &[InputRef<'_>],
     opts: &PipelineOptions,
     next: &AtomicUsize,
 ) -> (Vec<IndexedResult>, WorkerReport) {
@@ -198,7 +251,7 @@ fn worker_loop(
         if index >= inputs.len() {
             break;
         }
-        let outcome = process_module(&mut ctx, &mut verifier, patterns, &inputs[index], opts);
+        let outcome = process_module(&mut ctx, &mut verifier, patterns, inputs[index], opts);
         results.push((index, outcome));
         report.modules += 1;
     }
@@ -208,18 +261,25 @@ fn worker_loop(
     (results, report)
 }
 
-/// Parse → verify → rewrite-to-fixpoint → print for one module.
+/// Parse (or decode) → verify → rewrite-to-fixpoint → print for one module.
 fn process_module(
     ctx: &mut Context,
     verifier: &mut ModuleVerifier,
     patterns: &PatternSet,
-    source: &str,
+    input: InputRef<'_>,
     opts: &PipelineOptions,
 ) -> Result<ModuleResult, String> {
     let mut timings = StageNanos::default();
 
     let start = Instant::now();
-    let module = irdl_ir::parse::parse_module(ctx, source).map_err(|d| d.render(source))?;
+    let module = match input {
+        InputRef::Text(source) => {
+            irdl_ir::parse::parse_module(ctx, source).map_err(|d| d.render(source))?
+        }
+        InputRef::Bytecode(bytes) => {
+            irdl_ir::bytecode::decode_module(ctx, bytes).map_err(|d| d.to_string())?
+        }
+    };
     timings.parse = start.elapsed().as_nanos() as u64;
 
     // On any failure below, the half-processed module must not leak into
@@ -431,6 +491,58 @@ Pattern add_to_double {
             assert_eq!(s.rewrites, a.rewrites);
             assert_eq!(a.output, g.output);
         }
+    }
+
+    /// A batch whose even inputs were pre-encoded to bytecode must produce
+    /// exactly the outputs of the all-text batch, in the same order.
+    #[test]
+    fn bytecode_inputs_match_text_inputs() {
+        let (bundle, patterns) = toy_setup();
+        let texts = toy_inputs(7);
+        let baseline = run_batch(&bundle, &patterns, &texts, &PipelineOptions::default());
+
+        let mut ctx = bundle.instantiate();
+        let mixed: Vec<PipelineInput> = texts
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                if i % 2 == 0 {
+                    let module = irdl_ir::parse::parse_module(&mut ctx, text).unwrap();
+                    let bytes = irdl_ir::bytecode::encode_module(&ctx, module).unwrap();
+                    ctx.erase_op(module);
+                    PipelineInput::Bytecode(bytes)
+                } else {
+                    PipelineInput::Text(text.clone())
+                }
+            })
+            .collect();
+
+        for jobs in [1, 4] {
+            let opts = PipelineOptions { jobs, ..Default::default() };
+            let report = run_batch_inputs(&bundle, &patterns, &mixed, &opts);
+            assert_eq!(report.errors(), 0);
+            for (i, (b, m)) in baseline.results.iter().zip(&report.results).enumerate() {
+                let b = b.as_ref().unwrap();
+                let m = m.as_ref().unwrap();
+                assert_eq!(b.output, m.output, "output diverged for input {i} (jobs={jobs})");
+                assert_eq!(b.rewrites, m.rewrites);
+            }
+        }
+    }
+
+    /// Corrupt bytecode fails its own slot with a diagnostic, like a text
+    /// parse error.
+    #[test]
+    fn corrupt_bytecode_input_fails_only_its_slot() {
+        let (bundle, patterns) = toy_setup();
+        let inputs = vec![
+            PipelineInput::Text(toy_inputs(1).remove(0)),
+            PipelineInput::Bytecode(b"not bytecode".to_vec()),
+        ];
+        let report = run_batch_inputs(&bundle, &patterns, &inputs, &PipelineOptions::default());
+        assert_eq!(report.errors(), 1);
+        assert!(report.results[0].is_ok());
+        assert!(report.results[1].as_ref().unwrap_err().contains("magic"));
     }
 
     #[test]

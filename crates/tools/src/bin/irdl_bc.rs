@@ -1,0 +1,268 @@
+//! `irdl-bc`: the bytecode toolbox.
+//!
+//! Converts between the textual and binary forms of the stack's three
+//! bytecode file kinds — `IRBC` modules, `IRDB` dialect bundles, and
+//! `IRMP` match-program catalogs — and inspects their section structure:
+//!
+//! ```text
+//! irdl-bc encode --corpus input.ir -o input.mlirbc
+//! irdl-bc decode input.mlirbc
+//! irdl-bc bundle cmath.irdl arith.irdl -o dialects.irdlbc
+//! irdl-bc inspect input.mlirbc
+//! ```
+//!
+//! Subcommands:
+//! - `encode`  parse a text module (file or stdin) and emit `IRBC` bytes
+//! - `decode`  decode `IRBC` bytes back to text
+//! - `bundle`  compile IRDL specs into an `IRDB` dialect artifact that
+//!   [`irdl::DialectBundle::load`] rehydrates without the frontend
+//! - `inspect` print the magic, version, and per-section byte counts of
+//!   any bytecode file (no dialects needed — purely structural)
+//!
+//! Shared options: `--irdl FILE` (repeatable), `--corpus`, `--showcase`
+//! register dialects (needed by `encode`/`decode` when modules use custom
+//! op syntax); for `bundle`, `--corpus` selects the corpus native-hook
+//! registry so corpus specs compile; `-o FILE` writes output to a file
+//! instead of stdout; `--generic` makes `decode` print the generic form.
+
+use std::io::Read;
+
+use irdl::artifact::{BUNDLE_MAGIC, SECTION_RECIPES};
+use irdl::{DialectBundle, NativeRegistry};
+use irdl_ir::bytecode::{
+    decode_module, encode_module, is_module_bytecode, ByteReader, MODULE_MAGIC, SECTION_OPS,
+    SECTION_POOL, SECTION_STRINGS,
+};
+use irdl_ir::print::Printer;
+use irdl_ir::Context;
+use irdl_rewrite::bytecode::{PROGRAMS_MAGIC, SECTION_PROGRAMS};
+
+struct Options {
+    command: String,
+    irdl_files: Vec<String>,
+    inputs: Vec<String>,
+    output: Option<String>,
+    showcase: bool,
+    corpus: bool,
+    generic: bool,
+}
+
+const USAGE: &str = "usage: irdl-bc {encode,decode,bundle,inspect} \
+                     [--irdl FILE]... [--corpus] [--showcase] [--generic] \
+                     [-o FILE] [INPUT]...";
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let command = match args.next() {
+        Some(cmd) if ["encode", "decode", "bundle", "inspect"].contains(&cmd.as_str()) => cmd,
+        Some(flag) if flag == "--help" || flag == "-h" => {
+            eprintln!("{USAGE}");
+            std::process::exit(0);
+        }
+        Some(other) => return Err(format!("unknown command `{other}`\n{USAGE}")),
+        None => return Err(format!("missing command\n{USAGE}")),
+    };
+    let mut opts = Options {
+        command,
+        irdl_files: Vec::new(),
+        inputs: Vec::new(),
+        output: None,
+        showcase: false,
+        corpus: false,
+        generic: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--irdl" => {
+                let file = args.next().ok_or("--irdl needs a file argument")?;
+                opts.irdl_files.push(file);
+            }
+            "-o" | "--output" => {
+                let file = args.next().ok_or("-o needs a file argument")?;
+                opts.output = Some(file);
+            }
+            "--showcase" => opts.showcase = true,
+            "--corpus" => opts.corpus = true,
+            "--generic" => opts.generic = true,
+            "--help" | "-h" => {
+                eprintln!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => opts.inputs.push(other.to_string()),
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Reads the single input (file or stdin) as raw bytes.
+fn read_input(opts: &Options) -> Result<Vec<u8>, String> {
+    match opts.inputs.first() {
+        Some(file) => std::fs::read(file).map_err(|e| format!("cannot read `{file}`: {e}")),
+        None => {
+            let mut buffer = Vec::new();
+            std::io::stdin()
+                .read_to_end(&mut buffer)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            Ok(buffer)
+        }
+    }
+}
+
+/// Writes `bytes` to `-o FILE`, or to stdout.
+fn write_output(opts: &Options, bytes: &[u8]) -> Result<(), String> {
+    match &opts.output {
+        Some(file) => {
+            std::fs::write(file, bytes).map_err(|e| format!("cannot write `{file}`: {e}"))
+        }
+        None => {
+            use std::io::Write;
+            let mut out = std::io::stdout().lock();
+            if out.write_all(bytes).is_err() {
+                std::process::exit(0);
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Builds a context with the requested dialect registrations.
+fn make_context(opts: &Options) -> Result<Context, String> {
+    let mut ctx = Context::new();
+    if opts.showcase {
+        irdl_dialects::showcase::register_showcase(&mut ctx).map_err(|d| d.to_string())?;
+    }
+    if opts.corpus {
+        irdl_dialects::register_corpus(&mut ctx).map(|_| ()).map_err(|d| d.to_string())?;
+    }
+    let natives = irdl_dialects::corpus_natives();
+    for file in &opts.irdl_files {
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read `{file}`: {e}"))?;
+        irdl::register_dialects_with(&mut ctx, &source, &natives)
+            .map_err(|d| format!("{file}:\n{}", d.render(&source)))?;
+    }
+    Ok(ctx)
+}
+
+fn cmd_encode(opts: &Options) -> Result<(), String> {
+    let mut ctx = make_context(opts)?;
+    let raw = read_input(opts)?;
+    if is_module_bytecode(&raw) {
+        return write_output(opts, &raw); // already bytecode: pass through
+    }
+    let ir = String::from_utf8(raw).map_err(|_| "input is not UTF-8 text".to_string())?;
+    let module = irdl_ir::parse::parse_module(&mut ctx, &ir).map_err(|d| d.render(&ir))?;
+    let bytes = encode_module(&ctx, module).map_err(|d| d.to_string())?;
+    write_output(opts, &bytes)
+}
+
+fn cmd_decode(opts: &Options) -> Result<(), String> {
+    let mut ctx = make_context(opts)?;
+    let raw = read_input(opts)?;
+    if !is_module_bytecode(&raw) {
+        return Err(if raw.starts_with(&BUNDLE_MAGIC) || raw.starts_with(&PROGRAMS_MAGIC) {
+            "input is not a module file (try `irdl-bc inspect`)".to_string()
+        } else {
+            "input does not start with the IRBC module magic".to_string()
+        });
+    }
+    let module = decode_module(&mut ctx, &raw).map_err(|d| d.to_string())?;
+    let mut out = String::new();
+    let mut printer = Printer::new(&mut out);
+    printer.set_generic(opts.generic);
+    printer.print_op(&ctx, module);
+    out.push('\n');
+    write_output(opts, out.as_bytes())
+}
+
+fn cmd_bundle(opts: &Options) -> Result<(), String> {
+    if opts.irdl_files.is_empty() && opts.inputs.is_empty() {
+        return Err("bundle needs at least one IRDL file".to_string());
+    }
+    // `--corpus` selects the corpus native-hook registry (a superset of
+    // the std hooks) so corpus specs like builtin.irdl bundle directly.
+    let natives =
+        if opts.corpus { irdl_dialects::corpus_natives() } else { NativeRegistry::with_std() };
+    // Positional arguments to `bundle` are IRDL specs, same as --irdl.
+    let mut sources = Vec::new();
+    for file in opts.irdl_files.iter().chain(&opts.inputs) {
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read `{file}`: {e}"))?;
+        sources.push((file.clone(), source));
+    }
+    let bundle = DialectBundle::compile(&sources, &natives).map_err(|d| d.to_string())?;
+    let bytes = bundle.save().map_err(|d| d.to_string())?;
+    // Round-trip what we just wrote: a bundle that cannot be loaded back
+    // must never be shipped.
+    DialectBundle::load(&bytes, &natives)
+        .map_err(|d| format!("self-check failed to reload the artifact: {d}"))?;
+    write_output(opts, &bytes)
+}
+
+fn section_name(magic: &[u8; 4], tag: u8) -> &'static str {
+    match tag {
+        SECTION_STRINGS => "strings",
+        SECTION_POOL => "pool",
+        SECTION_OPS if *magic == MODULE_MAGIC => "ops",
+        SECTION_RECIPES if *magic == BUNDLE_MAGIC => "recipes",
+        SECTION_PROGRAMS if *magic == PROGRAMS_MAGIC => "programs",
+        _ => "unknown",
+    }
+}
+
+fn cmd_inspect(opts: &Options) -> Result<(), String> {
+    let raw = read_input(opts)?;
+    let mut r = ByteReader::new(&raw);
+    let magic: [u8; 4] = r
+        .take(4)
+        .map_err(|_| "input shorter than a bytecode magic".to_string())?
+        .try_into()
+        .expect("take(4) returns 4 bytes");
+    let kind = match magic {
+        MODULE_MAGIC => "module",
+        BUNDLE_MAGIC => "dialect bundle",
+        PROGRAMS_MAGIC => "match-program catalog",
+        other => {
+            return Err(format!("unrecognized magic {other:?} (not an IRDL bytecode file)"))
+        }
+    };
+    let version = r.u8().map_err(|d| d.to_string())?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "magic:    {} ({kind})\nversion:  {version}\nfile:     {} bytes\n",
+        String::from_utf8_lossy(&magic),
+        raw.len(),
+    ));
+    while !r.is_empty() {
+        let tag = r.u8().map_err(|d| d.to_string())?;
+        let section = r.sub_reader().map_err(|d| d.to_string())?;
+        out.push_str(&format!(
+            "section:  {:<8} (tag {tag}) {} bytes\n",
+            section_name(&magic, tag),
+            section.remaining(),
+        ));
+    }
+    write_output(opts, out.as_bytes())
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    let result = match opts.command.as_str() {
+        "encode" => cmd_encode(&opts),
+        "decode" => cmd_decode(&opts),
+        "bundle" => cmd_bundle(&opts),
+        "inspect" => cmd_inspect(&opts),
+        _ => unreachable!("parse_args validated the command"),
+    };
+    if let Err(message) = result {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

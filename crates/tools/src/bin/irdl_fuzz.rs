@@ -30,7 +30,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use irdl_fuzz_lib::oracle::{
-    check_cache, check_drive, check_fixpoint, check_incremental, check_jobs,
+    check_bytecode, check_cache, check_drive, check_fixpoint, check_incremental, check_jobs,
 };
 use irdl_fuzz_lib::{
     load_case, reduce, replay_all, run_fuzz_on, write_regression, FuzzOptions, FuzzTarget,
@@ -142,6 +142,7 @@ fn oracle_fails(target: &FuzzTarget, oracle: &str, seed: u64, text: &str) -> boo
         "incremental" => check_incremental(bundle, text, seed, 24).is_err(),
         "cache" => check_cache(bundle, text).is_err(),
         "drive" => check_drive(bundle, text).is_err(),
+        "bytecode" => check_bytecode(bundle, text).is_err(),
         "jobs" => check_jobs(bundle, std::slice::from_ref(&text.to_string()), 4).is_err(),
         "generate" => {
             // A generated module failed full verification: minimal = the

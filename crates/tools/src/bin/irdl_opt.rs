@@ -22,8 +22,14 @@
 //!   shared matcher automaton, the default) or `scan` (the per-pattern
 //!   scan — the slow differential oracle)
 //! - `--generic`         print in the generic form only
+//! - `--emit=F`          output format: `text` (the default) or
+//!   `bytecode` (the `IRBC` binary module format, single input only)
 //! - `--jobs <n>`        process inputs on `n` worker threads
 //! - `<file>...`         the IR inputs (defaults to stdin)
+//!
+//! Inputs are sniffed: a file (or stdin) starting with the `IRBC` magic is
+//! decoded as module bytecode, anything else is parsed as text. Text and
+//! bytecode inputs can be mixed freely in one batch.
 //!
 //! With several input files (or `--jobs > 1`), dialects and patterns are
 //! compiled once into a shared bundle and the files are fanned out across
@@ -33,13 +39,20 @@
 use std::io::Read;
 
 use irdl::DialectBundle;
+use irdl_ir::bytecode::{decode_module, encode_module, is_module_bytecode};
 use irdl_ir::print::Printer;
 use irdl_ir::verify::verify_op;
 use irdl_ir::Context;
-use irdl_rewrite::pipeline::{run_batch, PipelineOptions};
+use irdl_rewrite::pipeline::{run_batch_inputs, PipelineInput, PipelineOptions};
 use irdl_rewrite::{
     parse_patterns, rewrite_greedily_matched, CheckLevel, MatcherMode, PatternSet,
 };
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Emit {
+    Text,
+    Bytecode,
+}
 
 struct Options {
     irdl_files: Vec<String>,
@@ -51,6 +64,7 @@ struct Options {
     check: CheckLevel,
     matcher: MatcherMode,
     generic: bool,
+    emit: Emit,
     jobs: usize,
 }
 
@@ -65,6 +79,7 @@ fn parse_args() -> Result<Options, String> {
         check: CheckLevel::Off,
         matcher: MatcherMode::Auto,
         generic: false,
+        emit: Emit::Text,
         jobs: 1,
     };
     let mut args = std::env::args().skip(1);
@@ -112,13 +127,24 @@ fn parse_args() -> Result<Options, String> {
                     }
                 };
             }
+            other if other.starts_with("--emit=") => {
+                opts.emit = match &other["--emit=".len()..] {
+                    "text" => Emit::Text,
+                    "bytecode" | "bc" => Emit::Bytecode,
+                    bad => {
+                        return Err(format!(
+                            "invalid --emit format `{bad}` (expected text or bytecode)"
+                        ))
+                    }
+                };
+            }
             "--generic" => opts.generic = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: irdl-opt [--irdl FILE]... [--patterns FILE]... \
                      [--showcase] [--corpus] [--verify] \
                      [--verify-each={{full,incr,off}}] [--matcher={{auto,scan}}] \
-                     [--generic] [--jobs N] [IR-FILE]..."
+                     [--generic] [--emit={{text,bytecode}}] [--jobs N] [IR-FILE]..."
                 );
                 std::process::exit(0);
             }
@@ -163,12 +189,20 @@ fn run(opts: Options) -> Result<(), String> {
     // and patterns were compiled once above; seal them into a shared
     // bundle and fan the files out.
     if opts.inputs.len() > 1 || opts.jobs > 1 {
+        if opts.emit == Emit::Bytecode {
+            return Err("--emit=bytecode supports a single input (got a batch)".to_string());
+        }
         let mut sources = Vec::with_capacity(opts.inputs.len());
         for file in &opts.inputs {
-            sources.push(
-                std::fs::read_to_string(file)
-                    .map_err(|e| format!("cannot read `{file}`: {e}"))?,
-            );
+            let bytes =
+                std::fs::read(file).map_err(|e| format!("cannot read `{file}`: {e}"))?;
+            sources.push(if is_module_bytecode(&bytes) {
+                PipelineInput::Bytecode(bytes)
+            } else {
+                PipelineInput::Text(String::from_utf8(bytes).map_err(|_| {
+                    format!("`{file}` is neither module bytecode nor UTF-8 text")
+                })?)
+            });
         }
         let bundle = DialectBundle::capture(ctx, Vec::new());
         let pipeline_opts = PipelineOptions {
@@ -178,7 +212,7 @@ fn run(opts: Options) -> Result<(), String> {
             generic: opts.generic,
             matcher: opts.matcher,
         };
-        let report = run_batch(&bundle, &patterns, &sources, &pipeline_opts);
+        let report = run_batch_inputs(&bundle, &patterns, &sources, &pipeline_opts);
         let mut failed = false;
         let total_rewrites: usize = report
             .results
@@ -209,20 +243,26 @@ fn run(opts: Options) -> Result<(), String> {
         return Ok(());
     }
 
-    let ir = match opts.inputs.first() {
-        Some(file) => std::fs::read_to_string(file)
-            .map_err(|e| format!("cannot read `{file}`: {e}"))?,
+    let raw = match opts.inputs.first() {
+        Some(file) => {
+            std::fs::read(file).map_err(|e| format!("cannot read `{file}`: {e}"))?
+        }
         None => {
-            let mut buffer = String::new();
+            let mut buffer = Vec::new();
             std::io::stdin()
-                .read_to_string(&mut buffer)
+                .read_to_end(&mut buffer)
                 .map_err(|e| format!("cannot read stdin: {e}"))?;
             buffer
         }
     };
 
-    let module = irdl_ir::parse::parse_module(&mut ctx, &ir)
-        .map_err(|d| d.render(&ir))?;
+    let module = if is_module_bytecode(&raw) {
+        decode_module(&mut ctx, &raw).map_err(|d| d.to_string())?
+    } else {
+        let ir = String::from_utf8(raw)
+            .map_err(|_| "input is neither module bytecode nor UTF-8 text".to_string())?;
+        irdl_ir::parse::parse_module(&mut ctx, &ir).map_err(|d| d.render(&ir))?
+    };
     if opts.verify {
         verify_op(&ctx, module).map_err(|errs| {
             errs.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
@@ -240,12 +280,20 @@ fn run(opts: Options) -> Result<(), String> {
         }
     }
 
-    let mut out = String::new();
-    let mut printer = Printer::new(&mut out);
-    printer.set_generic(opts.generic);
-    printer.print_op(&ctx, module);
-    write_stdout(&out);
-    write_stdout("\n");
+    match opts.emit {
+        Emit::Text => {
+            let mut out = String::new();
+            let mut printer = Printer::new(&mut out);
+            printer.set_generic(opts.generic);
+            printer.print_op(&ctx, module);
+            write_stdout(&out);
+            write_stdout("\n");
+        }
+        Emit::Bytecode => {
+            let bytes = encode_module(&ctx, module).map_err(|d| d.to_string())?;
+            write_stdout_bytes(&bytes);
+        }
+    }
     Ok(())
 }
 
@@ -253,9 +301,15 @@ fn run(opts: Options) -> Result<(), String> {
 /// Writes `text` to stdout, exiting quietly if the reader closed the pipe
 /// (e.g. `irdl-doc --corpus | head`).
 fn write_stdout(text: &str) {
+    write_stdout_bytes(text.as_bytes());
+}
+
+/// Writes raw bytes to stdout (bytecode emission), exiting quietly if the
+/// reader closed the pipe.
+fn write_stdout_bytes(bytes: &[u8]) {
     use std::io::Write;
     let mut out = std::io::stdout().lock();
-    if out.write_all(text.as_bytes()).is_err() {
+    if out.write_all(bytes).is_err() {
         std::process::exit(0);
     }
 }

@@ -1,0 +1,4 @@
+"builtin.module"() ({
+  %0 = "test.const"() {value = 41 : i64, name = "w"} : () -> i32
+  "test.use"(%0, %0) : (i32, i32) -> ()
+}) : () -> ()
