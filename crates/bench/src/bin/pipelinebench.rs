@@ -162,8 +162,9 @@ fn report_json(s: &Summary, last_parallel: &PipelineReport) -> String {
     out.push_str(&format!("  \"cores\": {cores},\n"));
     out.push_str(&format!(
         "  \"required_speedup\": {required:.2},\n  \"required_speedup_note\": \
-         \"2.5 with >= 4 cores; scaled down where a 4-worker pool cannot \
-         physically reach it (1.3 on 2-3 cores, 0.7 overhead bound on 1)\",\n"
+         \"2.5 with >= 4 cores, 1.3 on 2-3 cores; on 1 core no speedup is \
+         physically possible, so the gate is an overhead bound: the 4-worker \
+         pool may cost at most ~1.4x sequential time (paired speedup >= 0.7)\",\n"
     ));
     out.push_str(&format!("  \"modules\": {modules},\n"));
     out.push_str(&format!("  \"speedup\": {speedup:.2},\n"));
@@ -199,7 +200,7 @@ fn report_json(s: &Summary, last_parallel: &PipelineReport) -> String {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let rounds = if quick { 3 } else { 5 };
+    let rounds = if quick { 2 } else { 5 };
 
     let natives = irdl_dialects::corpus_natives();
     let sources = irdl_dialects::corpus_sources();

@@ -22,7 +22,7 @@
 
 use std::any::{Any, TypeId};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 
 use irdl_ir::diag::{Diagnostic, Result};
 use irdl_ir::Context;
@@ -35,12 +35,11 @@ use crate::parser::parse_irdl;
 /// An immutable, thread-shareable set of compiled dialects.
 ///
 /// Internally this is a sealed template [`Context`] holding the compiled
-/// registry. A `Mutex` guards it only because `Context` uses interior
-/// mutability (`Cell`/`RefCell` counters and caches) and so is `Send` but
-/// not `Sync`; the lock is held for the duration of one clone, never during
-/// verification or rewriting.
+/// registry. `Context` is `Sync` (its verdict cache is sharded and its
+/// counters atomic), so the template is held bare and [`instantiate`]
+/// (`DialectBundle::instantiate`) clones it without taking any lock.
 pub struct DialectBundle {
-    template: Mutex<Context>,
+    template: Context,
     names: Vec<String>,
     /// The serializable description of every compiled dialect, retained by
     /// [`DialectBundle::compile`] and [`DialectBundle::load`] so the
@@ -86,7 +85,7 @@ impl DialectBundle {
             }
         }
         Ok(DialectBundle {
-            template: Mutex::new(ctx),
+            template: ctx,
             names,
             recipes,
             artifacts: RwLock::new(HashMap::new()),
@@ -101,7 +100,7 @@ impl DialectBundle {
     /// (modules, ops) present in it will be cloned into every instance.
     pub fn capture(ctx: Context, names: Vec<String>) -> Self {
         DialectBundle {
-            template: Mutex::new(ctx),
+            template: ctx,
             names,
             recipes: Vec::new(),
             artifacts: RwLock::new(HashMap::new()),
@@ -130,8 +129,7 @@ impl DialectBundle {
                  serializable recipes (use DialectBundle::compile)",
             ));
         }
-        let template = self.template.lock().expect("dialect bundle lock poisoned");
-        Ok(encode_bundle(&template, &self.recipes))
+        Ok(encode_bundle(&self.template, &self.recipes))
     }
 
     /// [`DialectBundle::save`] straight to a file.
@@ -163,7 +161,7 @@ impl DialectBundle {
             names.push(recipe.name.clone());
         }
         Ok(DialectBundle {
-            template: Mutex::new(ctx),
+            template: ctx,
             names,
             recipes,
             artifacts: RwLock::new(HashMap::new()),
@@ -195,7 +193,7 @@ impl DialectBundle {
     /// verdict cache arrives warm. The instance is fully independent
     /// afterwards — interning, IR building, and cache growth are private.
     pub fn instantiate(&self) -> Context {
-        self.template.lock().expect("dialect bundle lock poisoned").clone()
+        self.template.clone()
     }
 
     /// The names of the dialects compiled into this bundle.

@@ -8,7 +8,7 @@
 //! pattern-catalog generator ([`genpat`]) emits random declarative
 //! rewrite catalogs, and a mutation engine ([`mutate`]) covers the reject
 //! paths. Every input runs
-//! through seven differential oracles ([`oracle`]) that cross-check the
+//! through eight differential oracles ([`oracle`]) that cross-check the
 //! repo's fast paths against their reference implementations; failing
 //! inputs are shrunk by a ddmin reducer ([`reduce`]) and stored with
 //! their seed under `fuzz/corpus-regressions/`.
@@ -21,6 +21,7 @@
 pub mod catalog;
 pub mod genmod;
 pub mod genpat;
+pub mod genscale;
 pub mod genspec;
 pub mod harness;
 pub mod mutate;
@@ -32,10 +33,14 @@ pub mod rng;
 pub use catalog::OpCatalog;
 pub use genmod::{generate_module, GenConfig};
 pub use genpat::{derive_canon_catalog, pat_dialect_spec, random_catalog, synthetic_catalog};
+pub use genscale::{generate_scale_module, scale_bundle, ScaleConfig, ScaleShape};
 pub use genspec::generate_spec;
 pub use harness::{run_fuzz, run_fuzz_on, FuzzOptions, FuzzReport, FuzzTarget};
 pub use mutate::{mutate_structured, mutate_text, MutationPolicy};
-pub use oracle::{check_matcher, oracle_patterns, replay_all, OracleFailure, OraclePatterns};
+pub use oracle::{
+    check_matcher, check_parallel_verify, oracle_patterns, replay_all, OracleFailure,
+    OraclePatterns,
+};
 pub use reduce::reduce;
 pub use regression::{load_case, write_regression, RegressionCase};
 pub use rng::SplitMix64;

@@ -1,4 +1,4 @@
-//! The seven differential oracles.
+//! The eight differential oracles.
 //!
 //! Each oracle runs one input through two implementations that must agree
 //! and reports any divergence with enough context (input text, seed,
@@ -27,6 +27,10 @@
 //!    reproduce the module: the decoded module prints byte-identically to
 //!    the original (text and bytecode are interchangeable surfaces for
 //!    the same IR).
+//! 8. **parallel-verify** — [`ModuleVerifier::verify_parallel`] (forced
+//!    past its small-module fallback) must produce the same verdict and
+//!    an identical diagnostic list as the sequential walk, at several
+//!    worker counts.
 
 use std::sync::Arc;
 
@@ -48,7 +52,8 @@ use crate::rng::SplitMix64;
 #[derive(Debug, Clone)]
 pub struct OracleFailure {
     /// Which oracle diverged (`fixpoint`, `incremental`, `cache`,
-    /// `jobs`, `drive`, `matcher`, `bytecode`, or `generate`).
+    /// `jobs`, `drive`, `matcher`, `bytecode`, `parallel-verify`, or
+    /// `generate`).
     pub oracle: &'static str,
     /// Human-readable description of the divergence.
     pub detail: String,
@@ -260,6 +265,38 @@ pub fn check_cache(bundle: &DialectBundle, text: &str) -> Result<(), OracleFailu
     Ok(())
 }
 
+/// Oracle 8: parallel verification must agree with the sequential
+/// [`ModuleVerifier`] — same accept/reject verdict *and* an identical
+/// diagnostic list — at several worker counts. Uses
+/// [`verify_parallel_force`](ModuleVerifier::verify_parallel_force) so
+/// the planner, chunking, and worker pool are exercised even on the
+/// small modules the generator emits.
+pub fn check_parallel_verify(bundle: &DialectBundle, text: &str) -> Result<(), OracleFailure> {
+    let mut ctx = bundle.instantiate();
+    let Some(module) = parse_in(&mut ctx, text) else { return Ok(()) };
+
+    let as_key = |r: &Result<(), Vec<irdl_ir::Diagnostic>>| match r {
+        Ok(()) => "ok".to_string(),
+        Err(errors) => format!("err: {}", render_errors(errors)),
+    };
+
+    let sequential = as_key(&ModuleVerifier::new().verify(&ctx, module));
+    for workers in [2, 8] {
+        let parallel =
+            as_key(&ModuleVerifier::new().verify_parallel_force(&ctx, module, workers));
+        if parallel != sequential {
+            return Err(OracleFailure::new(
+                "parallel-verify",
+                format!(
+                    "workers={workers}: sequential [{sequential}] vs parallel [{parallel}]"
+                ),
+                text,
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Oracle 4: the batch pipeline at 1 worker and at `jobs` workers
 /// produces identical per-module results, in input order.
 pub fn check_jobs(
@@ -275,6 +312,7 @@ pub fn check_jobs(
             check: CheckLevel::Off,
             generic: false,
             matcher: MatcherMode::Auto,
+            intra_jobs: 1,
         };
         run_batch(bundle, &patterns.0, inputs, &opts)
     };
@@ -427,6 +465,7 @@ pub fn replay_all(bundle: &DialectBundle, text: &str, seed: u64) -> Vec<OracleFa
         check_cache(bundle, text),
         check_drive(bundle, text),
         check_bytecode(bundle, text),
+        check_parallel_verify(bundle, text),
         check_jobs(bundle, std::slice::from_ref(&text.to_string()), 2),
     ] {
         if let Err(f) = check {

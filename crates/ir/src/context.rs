@@ -1,8 +1,9 @@
 //! The [`Context`]: owner of all IR state.
 
 use std::any::Any;
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::attrs::{AttrData, Attribute};
 use crate::block::{BlockData, BlockRef};
@@ -33,16 +34,72 @@ pub struct Context {
     /// [`Context::reserve_verdict_domains`]) and a uniqued type/attribute
     /// index. Sound because interned values are immutable and append-only:
     /// a verdict computed once holds for the lifetime of the context.
-    /// Interior-mutable so verifier hooks (which only see `&Context`) can
-    /// fill it.
-    verdict_cache: RefCell<HashMap<u64, bool>>,
-    verdict_hits: Cell<u64>,
-    verdict_misses: Cell<u64>,
+    /// Interior-mutable (and sharded, see [`VerdictCache`]) so verifier
+    /// hooks — which only see `&Context`, possibly from several worker
+    /// threads at once — can fill it.
+    verdict_cache: VerdictCache,
+    verdict_hits: AtomicU64,
+    verdict_misses: AtomicU64,
     next_verdict_domain: u32,
     /// Per-context evaluation scratch parked here between verifier runs so
     /// shared (`Arc`'d, stateless) verifier objects stay `Sync`. Type-erased
-    /// because the scratch type lives in a downstream crate.
-    eval_scratch: RefCell<Option<Box<dyn Any + Send>>>,
+    /// because the scratch type lives in a downstream crate; a pool (not a
+    /// single slot) so N parallel verification workers each get a reusable
+    /// scratch instead of allocating fresh ones on every op.
+    eval_scratch: Mutex<Vec<Box<dyn Any + Send>>>,
+}
+
+/// Number of independent verdict-cache shards. A power of two; 16 keeps
+/// lock contention negligible for any realistic worker count while the
+/// per-shard maps stay dense.
+const VERDICT_SHARDS: usize = 16;
+
+/// The memoized-verdict store, sharded by key so concurrent verification
+/// workers sharing one `&Context` never serialize on a single lock.
+///
+/// Every shard is an independent `Mutex<HashMap>`; a key's shard is a
+/// multiplicative hash of the key, so the (domain, uniqued-index) keys the
+/// verifier compiler composes spread evenly. Uncontended mutex acquisition
+/// is a single atomic op, so the sequential fast path stays fast.
+#[derive(Debug, Default)]
+struct VerdictCache {
+    shards: [Mutex<HashMap<u64, bool>>; VERDICT_SHARDS],
+}
+
+impl VerdictCache {
+    #[inline]
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, bool>> {
+        // Fibonacci hashing: the top bits of a multiplicative hash are
+        // well-mixed even for sequential keys.
+        let index = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 60) as usize;
+        &self.shards[index & (VERDICT_SHARDS - 1)]
+    }
+
+    fn get(&self, key: u64) -> Option<bool> {
+        self.shard(key).lock().unwrap().get(&key).copied()
+    }
+
+    fn insert(&self, key: u64, verdict: bool) {
+        self.shard(key).lock().unwrap().insert(key, verdict);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().unwrap().clear();
+        }
+    }
+}
+
+impl Clone for VerdictCache {
+    fn clone(&self) -> Self {
+        VerdictCache {
+            shards: std::array::from_fn(|i| Mutex::new(self.shards[i].lock().unwrap().clone())),
+        }
+    }
 }
 
 impl Clone for Context {
@@ -63,11 +120,11 @@ impl Clone for Context {
             regions: self.regions.clone(),
             registry: self.registry.clone(),
             allow_unregistered: self.allow_unregistered,
-            verdict_cache: RefCell::new(self.verdict_cache.borrow().clone()),
-            verdict_hits: Cell::new(0),
-            verdict_misses: Cell::new(0),
+            verdict_cache: self.verdict_cache.clone(),
+            verdict_hits: AtomicU64::new(0),
+            verdict_misses: AtomicU64::new(0),
             next_verdict_domain: self.next_verdict_domain,
-            eval_scratch: RefCell::new(None),
+            eval_scratch: Mutex::new(Vec::new()),
         }
     }
 }
@@ -105,11 +162,11 @@ impl Context {
             regions: EntityArena::new(),
             registry: DialectRegistry::new(),
             allow_unregistered: true,
-            verdict_cache: RefCell::new(HashMap::new()),
-            verdict_hits: Cell::new(0),
-            verdict_misses: Cell::new(0),
+            verdict_cache: VerdictCache::default(),
+            verdict_hits: AtomicU64::new(0),
+            verdict_misses: AtomicU64::new(0),
             next_verdict_domain: 0,
-            eval_scratch: RefCell::new(None),
+            eval_scratch: Mutex::new(Vec::new()),
         };
         crate::builtin::register_builtin_dialect(&mut ctx);
         ctx
@@ -187,27 +244,30 @@ impl Context {
 
     /// Looks up a memoized verdict, counting the hit or miss.
     pub fn cached_verdict(&self, key: u64) -> Option<bool> {
-        let hit = self.verdict_cache.borrow().get(&key).copied();
+        let hit = self.verdict_cache.get(key);
         match hit {
-            Some(_) => self.verdict_hits.set(self.verdict_hits.get() + 1),
-            None => self.verdict_misses.set(self.verdict_misses.get() + 1),
-        }
+            Some(_) => self.verdict_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.verdict_misses.fetch_add(1, Ordering::Relaxed),
+        };
         hit
     }
 
     /// Records a verdict for `key`.
     pub fn cache_verdict(&self, key: u64, verdict: bool) {
-        self.verdict_cache.borrow_mut().insert(key, verdict);
+        self.verdict_cache.insert(key, verdict);
     }
 
     /// Number of memoized verdicts (observability / tests).
     pub fn verdict_cache_len(&self) -> usize {
-        self.verdict_cache.borrow().len()
+        self.verdict_cache.len()
     }
 
     /// `(hits, misses)` counters for the verdict cache.
     pub fn verdict_cache_stats(&self) -> (u64, u64) {
-        (self.verdict_hits.get(), self.verdict_misses.get())
+        (
+            self.verdict_hits.load(Ordering::Relaxed),
+            self.verdict_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Zeroes the verdict hit/miss counters (the cache itself is kept).
@@ -215,8 +275,8 @@ impl Context {
     /// Lets callers measure hit rates over a window — e.g. per worker in
     /// the batch pipeline — instead of since context creation.
     pub fn reset_verdict_stats(&self) {
-        self.verdict_hits.set(0);
-        self.verdict_misses.set(0);
+        self.verdict_hits.store(0, Ordering::Relaxed);
+        self.verdict_misses.store(0, Ordering::Relaxed);
     }
 
     /// Drops every memoized verdict (counters are kept).
@@ -225,25 +285,32 @@ impl Context {
     /// scratch, which is what differential cache oracles compare against
     /// the memoized path.
     pub fn clear_verdict_cache(&self) {
-        self.verdict_cache.borrow_mut().clear();
+        self.verdict_cache.clear();
     }
 
     // ----- Evaluation scratch ----------------------------------------------
 
-    /// Takes the parked evaluation scratch, leaving the slot empty.
+    /// Takes one parked evaluation scratch from the pool, if any.
     ///
     /// Verifier implementations park reusable evaluation buffers here so
     /// the verifier objects themselves can be shared across threads. The
-    /// slot is type-erased; callers downcast to their own scratch type and
-    /// fall back to a fresh value on mismatch or when the slot is empty
-    /// (which also makes nested verification re-entrant).
+    /// pool is type-erased; callers downcast to their own scratch type and
+    /// fall back to a fresh value on mismatch or when the pool is empty
+    /// (which also makes nested verification re-entrant). Holding a pool
+    /// rather than a single slot means each of N parallel verification
+    /// workers acquires its own reusable scratch.
     pub fn take_eval_scratch(&self) -> Option<Box<dyn Any + Send>> {
-        self.eval_scratch.borrow_mut().take()
+        self.eval_scratch.lock().unwrap().pop()
     }
 
     /// Parks evaluation scratch for the next verifier run.
     pub fn put_eval_scratch(&self, scratch: Box<dyn Any + Send>) {
-        *self.eval_scratch.borrow_mut() = Some(scratch);
+        let mut pool = self.eval_scratch.lock().unwrap();
+        // Bound the pool: steady state needs one entry per concurrent
+        // verification worker; anything beyond a generous cap is churn.
+        if pool.len() < 64 {
+            pool.push(scratch);
+        }
     }
 
     // ----- Entity arenas ---------------------------------------------------
@@ -418,6 +485,34 @@ mod tests {
         let block = ctx.module_block(module);
         assert_eq!(block.ops(&ctx).len(), 0);
         assert_eq!(module.name(&ctx).display(&ctx), "builtin.module");
+    }
+
+    /// Parallel verification shares one `&Context` across worker threads;
+    /// this pin makes losing `Sync` (e.g. by reintroducing a `RefCell`
+    /// field) a compile error rather than a runtime surprise.
+    #[test]
+    fn context_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Context>();
+    }
+
+    #[test]
+    fn verdict_cache_is_shared_across_threads() {
+        let ctx = Context::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let ctx = &ctx;
+                scope.spawn(move || {
+                    for i in 0..64u64 {
+                        ctx.cache_verdict(t * 64 + i, i % 2 == 0);
+                    }
+                });
+            }
+        });
+        assert_eq!(ctx.verdict_cache_len(), 256);
+        for key in 0..256u64 {
+            assert_eq!(ctx.cached_verdict(key), Some(key % 64 % 2 == 0));
+        }
     }
 
     #[test]

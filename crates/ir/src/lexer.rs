@@ -235,6 +235,121 @@ pub fn lex(source: &str) -> Result<Vec<Spanned<'_>>> {
     Ok(tokens)
 }
 
+/// Sources shorter than this are lexed sequentially even when a chunked
+/// lex was requested: thread spawn would dominate the work.
+const CHUNK_MIN_SOURCE: usize = 4096;
+
+/// Tokenizes `source` like [`lex`], splitting the input at safe top-level
+/// boundaries and lexing the chunks on up to `jobs` threads.
+///
+/// A split point is a newline at brace depth 0, outside string literals
+/// and comments — the only token that can span a newline is a string
+/// literal, so cutting there can never divide a token. The scanner picks
+/// the first such newline at or past each `i * len / jobs` target. Chunk
+/// tokens are spliced back by rebasing their spans (payloads are already
+/// sub-slices of `source`, so only offsets move), per-chunk `Eof` markers
+/// are dropped, and one final `Eof` at `source.len()` is appended — the
+/// result is byte-identical to what [`lex`] returns, spans included.
+///
+/// Falls back to the sequential lexer when `jobs <= 1`, the source is
+/// small, or no safe split point exists.
+///
+/// # Errors
+///
+/// Returns a diagnostic on malformed literals or unexpected characters,
+/// with the offset rebased to the absolute source position.
+pub fn lex_chunked(source: &str, jobs: usize) -> Result<Vec<Spanned<'_>>> {
+    if jobs <= 1 || source.len() < CHUNK_MIN_SOURCE {
+        return lex(source);
+    }
+    let bounds = chunk_boundaries(source, jobs);
+    if bounds.len() < 3 {
+        return lex(source);
+    }
+    let results: Vec<Result<Vec<Spanned<'_>>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .windows(2)
+            .map(|window| {
+                let base = window[0];
+                let chunk = &source[base..window[1]];
+                scope.spawn(move || {
+                    let mut tokens = lex(chunk).map_err(|diag| diag.rebase_offset(base))?;
+                    // A successful lex always ends with exactly one Eof; drop
+                    // it and rebase here, on the worker, so the merge below is
+                    // a plain bulk append instead of a per-token pass.
+                    debug_assert!(matches!(tokens.last().map(|s| &s.token), Some(Token::Eof)));
+                    tokens.pop();
+                    if base != 0 {
+                        for spanned in &mut tokens {
+                            spanned.span.start += base;
+                            spanned.span.end += base;
+                        }
+                    }
+                    Ok(tokens)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("lexer worker panicked")).collect()
+    });
+    let extra: usize = results.iter().skip(1).map(|r| r.as_ref().map_or(0, Vec::len)).sum();
+    let mut results = results.into_iter();
+    let mut tokens = results.next().expect("bounds yield at least two chunks")?;
+    tokens.reserve(extra + 1);
+    for chunk_tokens in results {
+        tokens.append(&mut chunk_tokens?);
+    }
+    let end = source.len();
+    tokens.push(Spanned { token: Token::Eof, span: Span { start: end, end } });
+    Ok(tokens)
+}
+
+/// Scans `source` once and returns `[0, split..., len]` where each split
+/// is the byte offset just past a newline at brace depth 0 (outside
+/// strings and comments), the first such newline at or beyond each
+/// `i * len / jobs` target.
+fn chunk_boundaries(source: &str, jobs: usize) -> Vec<usize> {
+    let bytes = source.as_bytes();
+    let step = source.len() / jobs;
+    let mut bounds = vec![0usize];
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut in_comment = false;
+    let mut target = step.max(1);
+    let mut i = 0;
+    while i < bytes.len() && bounds.len() < jobs {
+        let b = bytes[i];
+        if in_string {
+            match b {
+                // Skip the escaped byte so `\"` stays inside the string.
+                b'\\' => i += 1,
+                b'"' => in_string = false,
+                _ => {}
+            }
+        } else if in_comment {
+            if b == b'\n' {
+                in_comment = false;
+            }
+        } else {
+            match b {
+                b'"' => in_string = true,
+                b'/' if bytes.get(i + 1) == Some(&b'/') => in_comment = true,
+                b'{' => depth += 1,
+                // Saturate: the lexer itself never tracks depth, so a stray
+                // `}` must not poison boundary detection.
+                b'}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if b == b'\n' && !in_string && depth == 0 && i + 1 >= target && i + 1 < bytes.len() {
+            bounds.push(i + 1);
+            target = (bounds.len() * step).max(i + 2);
+        }
+        i += 1;
+    }
+    bounds.push(source.len());
+    bounds
+}
+
 fn push_simple<'s>(
     tokens: &mut Vec<Spanned<'s>>,
     token: Token<'s>,
@@ -746,6 +861,74 @@ mod tests {
         let toks = lex(source).unwrap();
         assert_eq!(toks[1].span.text(source), r#""a\nb""#);
         assert_eq!(toks[1].token, Token::Str("a\nb".into()));
+    }
+
+    // ----- Chunked lexing ---------------------------------------------------
+
+    /// A source big enough to clear the chunked-lex threshold, full of
+    /// boundary hazards: strings containing newlines, braces, and `//`;
+    /// comments containing braces and quotes; nested brace regions.
+    fn tricky_source() -> String {
+        let mut src = String::new();
+        for i in 0..300 {
+            src.push_str(&format!(
+                "%v{i} = \"d.op\"() {{ s = \"br{{ace \\\" // not a comment\n}}quote\" }} : () -> f32\n"
+            ));
+            src.push_str("// comment with { braces } and \"quotes\"\n");
+            src.push_str(&format!("block{i} {{\n  inner {{ %x{i} = foo() : () -> f32 }}\n}}\n"));
+        }
+        src
+    }
+
+    #[test]
+    fn chunked_lex_matches_whole_lex() {
+        let src = tricky_source();
+        assert!(src.len() >= CHUNK_MIN_SOURCE);
+        let whole = lex(&src).unwrap();
+        for jobs in [2, 3, 8] {
+            let chunked = lex_chunked(&src, jobs).unwrap();
+            assert_eq!(chunked, whole, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn chunked_lex_falls_back_on_small_input() {
+        let src = "%a = foo() : () -> f32";
+        assert_eq!(lex_chunked(src, 8).unwrap(), lex(src).unwrap());
+    }
+
+    #[test]
+    fn chunked_lex_rebases_error_offsets() {
+        // Put a lex error (stray backtick) far past the first chunk target.
+        let mut src = String::new();
+        for _ in 0..600 {
+            src.push_str("%v = foo() : () -> f32\n");
+        }
+        let bad_at = src.len();
+        src.push('`');
+        let whole_err = lex(&src).unwrap_err();
+        let chunked_err = lex_chunked(&src, 4).unwrap_err();
+        assert_eq!(whole_err.offset(), Some(bad_at));
+        assert_eq!(chunked_err.offset(), whole_err.offset());
+        assert_eq!(chunked_err.message(), whole_err.message());
+    }
+
+    #[test]
+    fn chunk_boundaries_respect_strings_and_braces() {
+        let src = tricky_source();
+        let bounds = chunk_boundaries(&src, 4);
+        assert!(bounds.len() > 2, "expected splits, got {bounds:?}");
+        for &b in &bounds[1..bounds.len() - 1] {
+            // Every split lands just past a newline...
+            assert_eq!(src.as_bytes()[b - 1], b'\n', "split {b} not after newline");
+            // ...and the prefix up to it has balanced braces (depth 0).
+            let prefix = &src[..b];
+            let depth = prefix.matches('{').count() as isize - prefix.matches('}').count() as isize;
+            // Braces inside strings/comments don't count for the lexer, but
+            // the tricky source keeps them paired inside each line, so raw
+            // counting is a valid cross-check here.
+            assert_eq!(depth, 0, "split {b} at nonzero depth");
+        }
     }
 
     // ----- TokenBuf ---------------------------------------------------------

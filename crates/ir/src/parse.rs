@@ -34,7 +34,24 @@ use crate::value::Value;
 /// Returns a diagnostic with a byte offset into `source` on malformed
 /// input.
 pub fn parse_module(ctx: &mut Context, source: &str) -> Result<OpRef> {
-    let tokens = lex(source)?;
+    parse_module_tokens(ctx, lex(source)?)
+}
+
+/// Like [`parse_module`], but the source is lexed in up to `lex_jobs`
+/// concurrent chunks (split at brace-depth-0 newlines, spans spliced back
+/// to absolute offsets — see [`crate::lexer::lex_chunked`]). The parse
+/// itself stays sequential; the resulting IR, and any diagnostic, are
+/// identical to [`parse_module`].
+///
+/// # Errors
+///
+/// Returns a diagnostic with a byte offset into `source` on malformed
+/// input.
+pub fn parse_module_chunked(ctx: &mut Context, source: &str, lex_jobs: usize) -> Result<OpRef> {
+    parse_module_tokens(ctx, crate::lexer::lex_chunked(source, lex_jobs)?)
+}
+
+fn parse_module_tokens<'s>(ctx: &mut Context, tokens: Vec<Spanned<'s>>) -> Result<OpRef> {
     let mut parser = Parser::new(ctx, tokens);
     parser.push_scopes();
     let mut ops = Vec::new();

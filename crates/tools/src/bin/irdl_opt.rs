@@ -25,6 +25,11 @@
 //! - `--emit=F`          output format: `text` (the default) or
 //!   `bytecode` (the `IRBC` binary module format, single input only)
 //! - `--jobs <n>`        process inputs on `n` worker threads
+//! - `--intra-jobs <n>`  threads *inside* each module: chunked lexing and
+//!   parallel verification (byte-identical to sequential; orthogonal to
+//!   `--jobs`, which fans out across modules)
+//! - `--timings`         report per-stage wall-clock times
+//!   (parse/verify/rewrite/print) on stderr, per input
 //! - `<file>...`         the IR inputs (defaults to stdin)
 //!
 //! Inputs are sniffed: a file (or stdin) starting with the `IRBC` magic is
@@ -41,9 +46,9 @@ use std::io::Read;
 use irdl::DialectBundle;
 use irdl_ir::bytecode::{decode_module, encode_module, is_module_bytecode};
 use irdl_ir::print::Printer;
-use irdl_ir::verify::verify_op;
+use irdl_ir::verify::ModuleVerifier;
 use irdl_ir::Context;
-use irdl_rewrite::pipeline::{run_batch_inputs, PipelineInput, PipelineOptions};
+use irdl_rewrite::pipeline::{run_batch_inputs, PipelineInput, PipelineOptions, StageNanos};
 use irdl_rewrite::{
     parse_patterns, rewrite_greedily_matched, CheckLevel, MatcherMode, PatternSet,
 };
@@ -66,6 +71,8 @@ struct Options {
     generic: bool,
     emit: Emit,
     jobs: usize,
+    intra_jobs: usize,
+    timings: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -81,6 +88,8 @@ fn parse_args() -> Result<Options, String> {
         generic: false,
         emit: Emit::Text,
         jobs: 1,
+        intra_jobs: 1,
+        timings: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -100,6 +109,14 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| format!("invalid --jobs value `{n}`"))?
                     .max(1);
             }
+            "--intra-jobs" => {
+                let n = args.next().ok_or("--intra-jobs needs a number argument")?;
+                opts.intra_jobs = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --intra-jobs value `{n}`"))?
+                    .max(1);
+            }
+            "--timings" => opts.timings = true,
             "--showcase" => opts.showcase = true,
             "--corpus" => opts.corpus = true,
             "--verify" => opts.verify = true,
@@ -144,7 +161,8 @@ fn parse_args() -> Result<Options, String> {
                     "usage: irdl-opt [--irdl FILE]... [--patterns FILE]... \
                      [--showcase] [--corpus] [--verify] \
                      [--verify-each={{full,incr,off}}] [--matcher={{auto,scan}}] \
-                     [--generic] [--emit={{text,bytecode}}] [--jobs N] [IR-FILE]..."
+                     [--generic] [--emit={{text,bytecode}}] [--jobs N] \
+                     [--intra-jobs N] [--timings] [IR-FILE]..."
                 );
                 std::process::exit(0);
             }
@@ -211,8 +229,16 @@ fn run(opts: Options) -> Result<(), String> {
             check: opts.check,
             generic: opts.generic,
             matcher: opts.matcher,
+            intra_jobs: opts.intra_jobs,
         };
         let report = run_batch_inputs(&bundle, &patterns, &sources, &pipeline_opts);
+        if opts.timings {
+            for (file, result) in opts.inputs.iter().zip(&report.results) {
+                if let Ok(module) = result {
+                    eprintln!("timings: {file}: {}", format_timings(&module.timings));
+                }
+            }
+        }
         let mut failed = false;
         let total_rewrites: usize = report
             .results
@@ -256,45 +282,78 @@ fn run(opts: Options) -> Result<(), String> {
         }
     };
 
+    let mut timings = StageNanos::default();
+    let start = std::time::Instant::now();
     let module = if is_module_bytecode(&raw) {
         decode_module(&mut ctx, &raw).map_err(|d| d.to_string())?
     } else {
         let ir = String::from_utf8(raw)
             .map_err(|_| "input is neither module bytecode nor UTF-8 text".to_string())?;
-        irdl_ir::parse::parse_module(&mut ctx, &ir).map_err(|d| d.render(&ir))?
+        irdl_ir::parse::parse_module_chunked(&mut ctx, &ir, opts.intra_jobs)
+            .map_err(|d| d.render(&ir))?
     };
+    timings.parse = start.elapsed().as_nanos() as u64;
+
+    let mut verifier = ModuleVerifier::new();
     if opts.verify {
-        verify_op(&ctx, module).map_err(|errs| {
+        let start = std::time::Instant::now();
+        let checked = verifier.verify_parallel(&ctx, module, opts.intra_jobs);
+        timings.verify += start.elapsed().as_nanos() as u64;
+        checked.map_err(|errs| {
             errs.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
         })?;
     }
 
     if !patterns.is_empty() {
-        let stats = rewrite_greedily_matched(&mut ctx, module, &patterns, opts.check, opts.matcher)
-            .map_err(|err| format!("{err}: {}", err.diagnostics[0]))?;
+        let start = std::time::Instant::now();
+        let outcome =
+            rewrite_greedily_matched(&mut ctx, module, &patterns, opts.check, opts.matcher);
+        timings.rewrite = start.elapsed().as_nanos() as u64;
+        let stats = outcome.map_err(|err| format!("{err}: {}", err.diagnostics[0]))?;
         eprintln!("applied {} rewrite(s)", stats.rewrites);
         if opts.verify && opts.check == CheckLevel::Off {
-            verify_op(&ctx, module).map_err(|errs| {
-                format!("IR invalid after rewriting: {}", errs[0])
-            })?;
+            let start = std::time::Instant::now();
+            let checked = verifier.verify_parallel(&ctx, module, opts.intra_jobs);
+            timings.verify += start.elapsed().as_nanos() as u64;
+            checked
+                .map_err(|errs| format!("IR invalid after rewriting: {}", errs[0]))?;
         }
     }
 
+    let start = std::time::Instant::now();
     match opts.emit {
         Emit::Text => {
             let mut out = String::new();
             let mut printer = Printer::new(&mut out);
             printer.set_generic(opts.generic);
             printer.print_op(&ctx, module);
+            timings.print = start.elapsed().as_nanos() as u64;
             write_stdout(&out);
             write_stdout("\n");
         }
         Emit::Bytecode => {
             let bytes = encode_module(&ctx, module).map_err(|d| d.to_string())?;
+            timings.print = start.elapsed().as_nanos() as u64;
             write_stdout_bytes(&bytes);
         }
     }
+    if opts.timings {
+        let label = opts.inputs.first().map(String::as_str).unwrap_or("<stdin>");
+        eprintln!("timings: {label}: {}", format_timings(&timings));
+    }
     Ok(())
+}
+
+/// Renders one module's per-stage timings in milliseconds.
+fn format_timings(timings: &StageNanos) -> String {
+    let ms = |nanos: u64| nanos as f64 / 1.0e6;
+    format!(
+        "parse {:.3} ms, verify {:.3} ms, rewrite {:.3} ms, print {:.3} ms",
+        ms(timings.parse),
+        ms(timings.verify),
+        ms(timings.rewrite),
+        ms(timings.print)
+    )
 }
 
 
