@@ -267,13 +267,19 @@ impl std::fmt::Debug for Constraint {
 /// (paper §4.6).
 #[derive(Debug, Clone, Default)]
 pub struct BindingEnv {
-    bindings: Vec<Option<CVal>>,
+    /// Inline up to 8 variables: specs rarely declare more, so building an
+    /// environment per parsed/verified op stays allocation-free.
+    bindings: irdl_ir::InlineVec<Option<CVal>, 8>,
 }
 
 impl BindingEnv {
     /// An environment for `n` variables, all unbound.
     pub fn new(n: usize) -> Self {
-        BindingEnv { bindings: vec![None; n] }
+        let mut env = BindingEnv::default();
+        for _ in 0..n {
+            env.bindings.push(None);
+        }
+        env
     }
 
     /// The current binding of variable `i`, if any.
@@ -285,8 +291,8 @@ impl BindingEnv {
     /// environment grows as needed, so out-of-range indices are never a
     /// panic.
     pub fn bind(&mut self, i: u32, val: CVal) {
-        if i as usize >= self.bindings.len() {
-            self.bindings.resize(i as usize + 1, None);
+        while i as usize >= self.bindings.len() {
+            self.bindings.push(None);
         }
         self.bindings[i as usize] = Some(val);
     }

@@ -313,9 +313,12 @@ impl irdl_ir::OpSyntax for FormatSpec {
 
     fn parse(&self, parser: &mut OpParser<'_, '_, '_>) -> Result<OperationState> {
         let name = parser.op_name();
-        let mut operands: Vec<Option<irdl_ir::Value>> = vec![None; self.op.operands.len()];
-        let mut attrs: Vec<(Symbol, irdl_ir::Attribute)> = Vec::new();
-        let mut direct: Vec<(u32, CVal)> = Vec::new();
+        // Inline buffers: parsing a typical declarative-format op performs
+        // no heap allocation on this path.
+        let mut operands: irdl_ir::InlineVec<Option<irdl_ir::Value>, 4> =
+            (0..self.op.operands.len()).map(|_| None).collect();
+        let mut attrs: irdl_ir::AttrList = irdl_ir::AttrList::new();
+        let mut direct: irdl_ir::InlineVec<(u32, CVal), 4> = irdl_ir::InlineVec::new();
         let mut paths: Vec<(u32, Vec<String>, CVal)> = Vec::new();
 
         for elem in &self.elems {
@@ -362,11 +365,11 @@ impl irdl_ir::OpSyntax for FormatSpec {
             env.bind(*var, *val);
         }
         // Bind through the operand constraints (operand types are known).
-        let operands: Vec<irdl_ir::Value> = operands
-            .into_iter()
-            .map(|v| v.expect("format compile guarantees operand coverage"))
-            .collect();
-        for (def, value) in self.op.operands.iter().zip(&operands) {
+        for operand in operands.iter() {
+            let value = operand.expect("format compile guarantees operand coverage");
+            state.operands.push(value);
+        }
+        for (def, value) in self.op.operands.iter().zip(state.operands.iter()) {
             let ty = value.ty(parser.ctx_ref());
             eval(
                 parser.ctx_ref(),
@@ -384,10 +387,9 @@ impl irdl_ir::OpSyntax for FormatSpec {
         }
 
         // --- infer result types ----------------------------------------------
-        let mut result_types = Vec::with_capacity(self.op.results.len());
         for def in &self.op.results {
             match concretize(parser.ctx(), &def.constraint, &env) {
-                Some(CVal::Type(ty)) => result_types.push(ty),
+                Some(CVal::Type(ty)) => state.result_types.push(ty),
                 _ => {
                     return Err(parser.error(format!(
                         "cannot infer the type of result `{}` from the format",
@@ -397,9 +399,7 @@ impl irdl_ir::OpSyntax for FormatSpec {
             }
         }
 
-        state.operands = operands;
-        state.result_types = result_types;
-        for (key, value) in attrs {
+        for &(key, value) in attrs.iter() {
             state.attributes.push((key, value));
         }
         Ok(state)

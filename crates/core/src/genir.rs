@@ -382,11 +382,11 @@ pub fn instantiate_op(
     }
     let state = OperationState {
         name: compiled.name,
-        operands,
-        result_types,
-        attributes,
-        successors: Vec::new(),
-        regions,
+        operands: operands.into(),
+        result_types: result_types.into(),
+        attributes: attributes.into(),
+        successors: irdl_ir::SuccessorList::new(),
+        regions: regions.into(),
     };
     let op = ctx.create_op(state);
     ctx.append_op(block, op);

@@ -662,7 +662,7 @@ impl ConstraintRaiser {
                     op.attr(ctx, "var").and_then(|a| a.as_str(ctx).map(str::to_string))
                 {
                     var_defs.push((name, value));
-                } else if value.uses(ctx).len() > 1 {
+                } else if value.uses(ctx).nth(1).is_some() {
                     loop {
                         next += 1;
                         let candidate = format!("T{next}");

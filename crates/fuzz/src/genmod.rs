@@ -219,11 +219,11 @@ fn instantiate_random(
         operand_types.iter().map(|ty| operand_of_type(ctx, config, rng, block, *ty)).collect();
     let state = OperationState {
         name: compiled.name,
-        operands,
-        result_types,
-        attributes,
-        successors: Vec::new(),
-        regions,
+        operands: operands.into(),
+        result_types: result_types.into(),
+        attributes: attributes.into(),
+        successors: irdl_ir::SuccessorList::new(),
+        regions: regions.into(),
     };
     let op = ctx.create_op(state);
     ctx.append_op(block, op);

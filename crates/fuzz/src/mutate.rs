@@ -193,11 +193,10 @@ pub fn mutate_structured(
         // (every use of the result sits after the anchor, hence after the
         // earlier definition too).
         4 => {
-            let results = anchor.results(ctx);
-            if results.is_empty() {
+            if anchor.num_results(ctx) == 0 {
                 return None;
             }
-            let result = results[rng.below(results.len())];
+            let result = anchor.result(ctx, rng.below(anchor.num_results(ctx)));
             let ty = result.ty(ctx);
             let candidates: Vec<Value> = earlier_values(ctx, anchor)
                 .into_iter()
@@ -215,11 +214,10 @@ pub fn mutate_structured(
         // Insert a use of the anchor's own result before the anchor:
         // textbook dominance break.
         5 => {
-            let results = anchor.results(ctx);
-            if results.is_empty() {
+            if anchor.num_results(ctx) == 0 {
                 return None;
             }
-            let bad = results[0];
+            let bad = anchor.result(ctx, 0);
             let user = ctx.op_name("fuzz", "use");
             let mut rewriter = Rewriter::new(ctx, anchor, journal);
             rewriter.insert_before(anchor, OperationState::new(user).add_operands([bad]));

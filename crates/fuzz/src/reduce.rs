@@ -43,7 +43,7 @@ fn render_kept(bundle: &DialectBundle, text: &str, keep: &HashSet<usize>) -> Opt
             continue;
         }
         for result in op.results(&ctx) {
-            if result.uses(&ctx).is_empty() {
+            if result.is_unused(&ctx) {
                 continue;
             }
             let ty = result.ty(&ctx);
@@ -58,7 +58,7 @@ fn render_kept(bundle: &DialectBundle, text: &str, keep: &HashSet<usize>) -> Opt
     }
     // Sweep any stub that still ended up unused.
     for stub in stubs {
-        if stub.is_live(&ctx) && stub.results(&ctx).iter().all(|r| r.uses(&ctx).is_empty()) {
+        if stub.is_live(&ctx) && stub.results(&ctx).all(|r| r.is_unused(&ctx)) {
             ctx.erase_op(stub);
         }
     }

@@ -16,7 +16,9 @@ entity_handle! {
 #[derive(Debug, Clone, Default)]
 pub struct BlockData {
     pub(crate) arg_types: Vec<Type>,
-    pub(crate) arg_uses: Vec<Vec<Use>>,
+    /// Head of each block argument's use-chain (parallel to `arg_types`);
+    /// the chain itself is threaded through user operand slots.
+    pub(crate) arg_first_use: Vec<Option<Use>>,
     pub(crate) ops: Vec<OpRef>,
     pub(crate) parent: Option<RegionRef>,
 }
@@ -90,10 +92,10 @@ impl Context {
     /// Creates a detached block with the given argument types.
     pub fn create_block(&mut self, arg_types: impl IntoIterator<Item = Type>) -> BlockRef {
         let arg_types: Vec<Type> = arg_types.into_iter().collect();
-        let arg_uses = vec![Vec::new(); arg_types.len()];
+        let arg_first_use = vec![None; arg_types.len()];
         BlockRef(self.blocks_mut().alloc(BlockData {
             arg_types,
-            arg_uses,
+            arg_first_use,
             ops: Vec::new(),
             parent: None,
         }))
@@ -103,7 +105,7 @@ impl Context {
     pub fn add_block_arg(&mut self, block: BlockRef, ty: Type) -> Value {
         let data = self.block_data_mut(block);
         data.arg_types.push(ty);
-        data.arg_uses.push(Vec::new());
+        data.arg_first_use.push(None);
         Value::BlockArg { block, index: (data.arg_types.len() - 1) as u32 }
     }
 

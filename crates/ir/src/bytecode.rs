@@ -1005,8 +1005,11 @@ impl<'c, 'a> ModuleDecoder<'c, 'a> {
         let name = self.pool.symbol(self.ctx, r)?;
         let op_name = OpName { dialect, name };
 
+        // Decode straight into the state's inline lists: small ops (the
+        // common case) build without a single heap allocation here.
+        let mut state = OperationState::new(op_name);
+
         let n_operands = r.count(1)?;
-        let mut operands = Vec::with_capacity(n_operands);
         for _ in 0..n_operands {
             let id = r.varint()? as usize;
             let Some(&value) = self.values.get(id) else {
@@ -1015,25 +1018,22 @@ impl<'c, 'a> ModuleDecoder<'c, 'a> {
                     self.values.len()
                 )));
             };
-            operands.push(value);
+            state.operands.push(value);
         }
 
         let n_results = r.count(1)?;
-        let mut result_types = Vec::with_capacity(n_results);
         for _ in 0..n_results {
-            result_types.push(self.pool.body_type(r)?);
+            state.result_types.push(self.pool.body_type(r)?);
         }
 
         let n_attrs = r.count(1)?;
-        let mut attributes = Vec::with_capacity(n_attrs);
         for _ in 0..n_attrs {
             let key = self.pool.symbol(self.ctx, r)?;
             let value = self.pool.body_attr(r)?;
-            attributes.push((key, value));
+            state.attributes.push((key, value));
         }
 
         let n_successors = r.count(1)?;
-        let mut successors = Vec::with_capacity(n_successors);
         for _ in 0..n_successors {
             let index = r.varint()? as usize;
             let Some(&block) = blocks.get(index) else {
@@ -1042,27 +1042,19 @@ impl<'c, 'a> ModuleDecoder<'c, 'a> {
                     blocks.len()
                 )));
             };
-            successors.push(block);
+            state.successors.push(block);
         }
 
         let n_regions = r.count(1)?;
-        let mut regions = Vec::with_capacity(n_regions);
         for _ in 0..n_regions {
             let mut body = r.sub_reader()?;
-            regions.push(self.decode_region(&mut body)?);
+            let region = self.decode_region(&mut body)?;
+            state.regions.push(region);
             if !body.is_empty() {
                 return Err(body.error("trailing bytes after region payload"));
             }
         }
 
-        let mut state = OperationState::new(op_name)
-            .add_operands(operands)
-            .add_result_types(result_types)
-            .add_successors(successors)
-            .add_regions(regions);
-        for (key, value) in attributes {
-            state = state.add_attribute(key, value);
-        }
         let op = self.ctx.create_op(state);
         for value in op.results(self.ctx) {
             self.values.push(value);

@@ -9,7 +9,7 @@ use crate::attrs::{AttrData, Attribute};
 use crate::block::{BlockData, BlockRef};
 use crate::dialect::DialectRegistry;
 use crate::entity::{EntityArena, UniqueArena};
-use crate::op::{OpRef, OperationData, OperationState};
+use crate::op::{OpRef, OperationData, OperationState, UseLink};
 use crate::region::{RegionData, RegionRef};
 use crate::symbol::Symbol;
 use crate::types::{Type, TypeData};
@@ -47,6 +47,104 @@ pub struct Context {
     /// single slot) so N parallel verification workers each get a reusable
     /// scratch instead of allocating fresh ones on every op.
     eval_scratch: Mutex<Vec<Box<dyn Any + Send>>>,
+    /// Recycled spill buffers for oversized [`OperationData`] lists.
+    /// `erase_op` harvests spilled buffers here instead of freeing them;
+    /// `create_op` draws from here instead of allocating — so steady-state
+    /// create/erase churn (the rewrite driver's workload) never touches the
+    /// allocator. Plain fields, not `Mutex`ed: both ends take `&mut self`.
+    spill_pool: SpillPool,
+    /// Reusable traversal buffers for `erase_op`'s subtree walk.
+    erase_scratch: EraseScratch,
+}
+
+/// Capacity cap per spill-pool bucket: enough to absorb any realistic
+/// create/erase burst, small enough that a pathological module can't pin
+/// unbounded memory after it is erased.
+const SPILL_POOL_CAP: usize = 32;
+
+/// Buckets of recycled spill buffers, one per `OperationData` list type.
+#[derive(Debug, Default)]
+pub(crate) struct SpillPool {
+    pub(crate) operands: Vec<Vec<Value>>,
+    pub(crate) links: Vec<Vec<UseLink>>,
+    pub(crate) types: Vec<Vec<Type>>,
+    pub(crate) heads: Vec<Vec<Option<Use>>>,
+    pub(crate) attrs: Vec<Vec<(Symbol, Attribute)>>,
+    pub(crate) successors: Vec<Vec<BlockRef>>,
+    pub(crate) regions: Vec<Vec<RegionRef>>,
+}
+
+impl SpillPool {
+    /// Parks a harvested spill buffer in `bucket` (drops it past the cap).
+    fn stash<T>(bucket: &mut Vec<Vec<T>>, buf: Option<Vec<T>>) {
+        if let Some(mut buf) = buf {
+            if bucket.len() < SPILL_POOL_CAP {
+                buf.clear();
+                bucket.push(buf);
+            }
+        }
+    }
+}
+
+/// Reusable buffers for `erase_op`'s subtree collection.
+#[derive(Debug, Default)]
+pub(crate) struct EraseScratch {
+    pub(crate) ops: Vec<OpRef>,
+    pub(crate) blocks: Vec<BlockRef>,
+    pub(crate) regions: Vec<RegionRef>,
+    /// Generation-stamped subtree membership, indexed by op arena slot:
+    /// slot `i` is in the current subtree iff `marks[i] == generation`.
+    /// Bumping the generation invalidates every mark in O(1), so the
+    /// buffer is never cleared and membership tests never hash.
+    pub(crate) marks: Vec<u64>,
+    pub(crate) generation: u64,
+}
+
+impl EraseScratch {
+    pub(crate) fn clear(&mut self) {
+        self.ops.clear();
+        self.blocks.clear();
+        self.regions.clear();
+    }
+
+    /// Starts a new subtree: stamps `ops` under a fresh generation.
+    pub(crate) fn mark_ops(&mut self) {
+        self.generation += 1;
+        if let Some(max) = self.ops.iter().map(|o| o.index()).max() {
+            if max >= self.marks.len() {
+                self.marks.resize(max + 1, 0);
+            }
+        }
+        for op in &self.ops {
+            self.marks[op.index()] = self.generation;
+        }
+    }
+
+    /// Whether `op` was stamped by the most recent [`Self::mark_ops`].
+    pub(crate) fn is_marked(&self, op: OpRef) -> bool {
+        self.marks.get(op.index()).copied() == Some(self.generation)
+    }
+}
+
+/// Iterator over the uses of a value (see [`Context::value_uses`]).
+///
+/// Walks the intrusive use-chain; most-recently-linked uses come first.
+/// Allocation-free. The chain must not be mutated while iterating (the
+/// borrow on the context enforces this).
+#[derive(Clone)]
+pub struct UseIter<'c> {
+    ctx: &'c Context,
+    next: Option<Use>,
+}
+
+impl Iterator for UseIter<'_> {
+    type Item = Use;
+
+    fn next(&mut self) -> Option<Use> {
+        let u = self.next?;
+        self.next = self.ctx.op_data(u.op).operand_links[u.operand_index as usize].next;
+        Some(u)
+    }
 }
 
 /// Number of independent verdict-cache shards. A power of two; 16 keeps
@@ -125,6 +223,8 @@ impl Clone for Context {
             verdict_misses: AtomicU64::new(0),
             next_verdict_domain: self.next_verdict_domain,
             eval_scratch: Mutex::new(Vec::new()),
+            spill_pool: SpillPool::default(),
+            erase_scratch: EraseScratch::default(),
         }
     }
 }
@@ -167,6 +267,8 @@ impl Context {
             verdict_misses: AtomicU64::new(0),
             next_verdict_domain: 0,
             eval_scratch: Mutex::new(Vec::new()),
+            spill_pool: SpillPool::default(),
+            erase_scratch: EraseScratch::default(),
         };
         crate::builtin::register_builtin_dialect(&mut ctx);
         ctx
@@ -384,38 +486,95 @@ impl Context {
     }
 
     // ----- Def-use chains --------------------------------------------------
+    //
+    // Uses are stored as an intrusive doubly-linked chain threaded through
+    // the operand slots: each value's defining entity holds the head
+    // (`first_use`), and every operand slot carries `prev`/`next` links for
+    // the use it currently represents. Links are index-based (`Use`
+    // handles), so cloning the context clones valid chains, and linking/
+    // unlinking is O(1) with zero allocation. New uses are pushed at the
+    // front, so iteration order is most-recently-linked first.
 
-    /// The current uses of `value`.
-    pub fn value_uses(&self, value: Value) -> &[Use] {
+    /// The current uses of `value`, walking the intrusive use-chain.
+    pub fn value_uses(&self, value: Value) -> UseIter<'_> {
+        UseIter { ctx: self, next: self.first_use(value) }
+    }
+
+    /// The head of `value`'s use-chain, if it has any uses.
+    pub fn first_use(&self, value: Value) -> Option<Use> {
         match value {
-            Value::OpResult { op, index } => &self.op_data(op).result_uses[index as usize],
-            Value::BlockArg { block, index } => &self.block_data(block).arg_uses[index as usize],
+            Value::OpResult { op, index } => self.op_data(op).result_first_use[index as usize],
+            Value::BlockArg { block, index } => {
+                self.block_data(block).arg_first_use[index as usize]
+            }
         }
     }
 
-    pub(crate) fn add_use(&mut self, value: Value, u: Use) {
+    fn set_first_use(&mut self, value: Value, u: Option<Use>) {
         match value {
             Value::OpResult { op, index } => {
-                self.op_data_mut(op).result_uses[index as usize].push(u)
+                self.op_data_mut(op).result_first_use[index as usize] = u;
             }
             Value::BlockArg { block, index } => {
-                self.block_data_mut(block).arg_uses[index as usize].push(u)
+                self.block_data_mut(block).arg_first_use[index as usize] = u;
             }
         }
     }
 
-    pub(crate) fn remove_use(&mut self, value: Value, u: Use) {
-        let uses = match value {
-            Value::OpResult { op, index } => {
-                &mut self.op_data_mut(op).result_uses[index as usize]
-            }
-            Value::BlockArg { block, index } => {
-                &mut self.block_data_mut(block).arg_uses[index as usize]
-            }
-        };
-        if let Some(pos) = uses.iter().position(|x| *x == u) {
-            uses.swap_remove(pos);
+    /// Pushes `u` onto the front of `value`'s use-chain.
+    ///
+    /// `u`'s operand slot must already hold `value` and must not currently
+    /// be linked into any chain.
+    pub(crate) fn link_use(&mut self, value: Value, u: Use) {
+        let head = self.first_use(value);
+        if let Some(h) = head {
+            self.op_data_mut(h.op).operand_links[h.operand_index as usize].prev = Some(u);
         }
+        let link = &mut self.op_data_mut(u.op).operand_links[u.operand_index as usize];
+        link.prev = None;
+        link.next = head;
+        self.set_first_use(value, Some(u));
+    }
+
+    /// Removes `u` from `value`'s use-chain; `u` must be linked into it.
+    pub(crate) fn unlink_use(&mut self, value: Value, u: Use) {
+        let UseLink { prev, next } =
+            self.op_data(u.op).operand_links[u.operand_index as usize];
+        match prev {
+            Some(p) => {
+                self.op_data_mut(p.op).operand_links[p.operand_index as usize].next = next;
+            }
+            None => self.set_first_use(value, next),
+        }
+        if let Some(n) = next {
+            self.op_data_mut(n.op).operand_links[n.operand_index as usize].prev = prev;
+        }
+        let link = &mut self.op_data_mut(u.op).operand_links[u.operand_index as usize];
+        link.prev = None;
+        link.next = None;
+    }
+
+    // ----- Storage recycling -----------------------------------------------
+
+    pub(crate) fn spill_pool_mut(&mut self) -> &mut SpillPool {
+        &mut self.spill_pool
+    }
+
+    pub(crate) fn erase_scratch_mut(&mut self) -> &mut EraseScratch {
+        &mut self.erase_scratch
+    }
+
+    /// Harvests the spill buffers of an erased operation's payload into
+    /// the pool, so the next oversized `create_op` allocates nothing.
+    pub(crate) fn recycle_op_data(&mut self, mut data: OperationData) {
+        let pool = &mut self.spill_pool;
+        SpillPool::stash(&mut pool.operands, data.operands.take_spill());
+        SpillPool::stash(&mut pool.links, data.operand_links.take_spill());
+        SpillPool::stash(&mut pool.types, data.result_types.take_spill());
+        SpillPool::stash(&mut pool.heads, data.result_first_use.take_spill());
+        SpillPool::stash(&mut pool.attrs, data.attributes.take_spill());
+        SpillPool::stash(&mut pool.successors, data.successors.take_spill());
+        SpillPool::stash(&mut pool.regions, data.regions.take_spill());
     }
 
     // ----- Registry --------------------------------------------------------

@@ -7,7 +7,7 @@
 //! dialects at runtime without any Rust code generation, exactly as the
 //! paper registers dialects in MLIR from an IRDL file.
 
-use std::collections::HashMap;
+use crate::fasthash::FastMap;
 use std::sync::Arc;
 
 use crate::attrs::Attribute;
@@ -245,10 +245,10 @@ pub struct DialectInfo {
     pub name: Option<Symbol>,
     /// Documentation summary.
     pub summary: String,
-    ops: HashMap<Symbol, OpInfo>,
-    types: HashMap<Symbol, TypeDefInfo>,
-    attrs: HashMap<Symbol, AttrDefInfo>,
-    enums: HashMap<Symbol, EnumInfo>,
+    ops: FastMap<Symbol, OpInfo>,
+    types: FastMap<Symbol, TypeDefInfo>,
+    attrs: FastMap<Symbol, AttrDefInfo>,
+    enums: FastMap<Symbol, EnumInfo>,
 }
 
 impl DialectInfo {
@@ -352,8 +352,8 @@ impl DialectInfo {
 /// parameter handlers shared across dialects.
 #[derive(Clone, Default)]
 pub struct DialectRegistry {
-    dialects: HashMap<Symbol, DialectInfo>,
-    native_params: HashMap<Symbol, Arc<dyn NativeParamHandler>>,
+    dialects: FastMap<Symbol, DialectInfo>,
+    native_params: FastMap<Symbol, Arc<dyn NativeParamHandler>>,
 }
 
 impl std::fmt::Debug for DialectRegistry {

@@ -11,7 +11,6 @@
 //!
 //! [`Context`]: crate::Context
 
-use std::collections::HashMap;
 use std::hash::Hash;
 
 /// Defines a `Copy` newtype handle over a `u32` arena index.
@@ -144,13 +143,13 @@ impl<T> EntityArena<T> {
 #[derive(Debug, Clone, Default)]
 pub struct UniqueArena<T> {
     values: Vec<T>,
-    index: HashMap<T, u32>,
+    index: crate::fasthash::FastMap<T, u32>,
 }
 
 impl<T: Clone + Eq + Hash> UniqueArena<T> {
     /// Creates an empty table.
     pub fn new() -> Self {
-        UniqueArena { values: Vec::new(), index: HashMap::new() }
+        UniqueArena { values: Vec::new(), index: crate::fasthash::FastMap::default() }
     }
 
     /// Interns `value`, returning the index of its unique copy.

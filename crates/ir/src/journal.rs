@@ -49,6 +49,15 @@ pub struct ChangeJournal {
     cfg_dirty_regions: Vec<RegionRef>,
     erased_regions: Vec<RegionRef>,
     erased_ops: usize,
+    /// Reusable traversal buffers for [`note_erase_subtree`]
+    /// (always left empty between calls, so `clear`/`is_empty` need not
+    /// consider them); kept so steady-state erasure records allocate
+    /// nothing.
+    ///
+    /// [`note_erase_subtree`]: ChangeJournal::note_erase_subtree
+    scratch_ops: Vec<OpRef>,
+    scratch_blocks: Vec<BlockRef>,
+    scratch_stack: Vec<OpRef>,
 }
 
 impl ChangeJournal {
@@ -163,9 +172,12 @@ impl ChangeJournal {
         }
 
         // Collect the subtree: ops and blocks to scrub, regions to evict.
-        let mut doomed_ops: Vec<OpRef> = Vec::new();
-        let mut doomed_blocks: Vec<BlockRef> = Vec::new();
-        let mut stack: Vec<OpRef> = vec![root];
+        // The buffers are journal-owned scratch, reused across erasures so
+        // steady-state rewriting records erasures without allocating.
+        let mut doomed_ops = std::mem::take(&mut self.scratch_ops);
+        let mut doomed_blocks = std::mem::take(&mut self.scratch_blocks);
+        let mut stack = std::mem::take(&mut self.scratch_stack);
+        stack.push(root);
         while let Some(op) = stack.pop() {
             doomed_ops.push(op);
             for &region in op.regions(ctx) {
@@ -181,17 +193,25 @@ impl ChangeJournal {
         // Created-then-erased ops were never observed live; they must not
         // inflate the erased count the driver uses for bookkeeping.
         // (Scrubbing below removes them from `created` either way.)
+        let mut created_and_erased = 0;
         self.created.retain(|op| {
             let keep = !doomed_ops.contains(op);
             if !keep {
-                self.erased_ops -= 1;
+                created_and_erased += 1;
             }
             keep
         });
+        self.erased_ops -= created_and_erased;
         self.modified.retain(|op| !doomed_ops.contains(op));
         self.blocks.retain(|block| !doomed_blocks.contains(block));
         let erased = &self.erased_regions;
         self.cfg_dirty_regions.retain(|region| !erased.contains(region));
+
+        doomed_ops.clear();
+        doomed_blocks.clear();
+        self.scratch_ops = doomed_ops;
+        self.scratch_blocks = doomed_blocks;
+        self.scratch_stack = stack;
     }
 
     fn note_cfg_effects(&mut self, ctx: &Context, op: OpRef) {

@@ -51,6 +51,8 @@ pub mod diag;
 pub mod dialect;
 pub mod dominance;
 pub mod entity;
+pub mod fasthash;
+pub mod inline_vec;
 pub mod journal;
 pub mod lexer;
 pub mod op;
@@ -66,17 +68,21 @@ pub mod walk;
 pub use attrs::{AttrData, Attribute};
 pub use block::{BlockData, BlockRef};
 pub use builder::OpBuilder;
-pub use context::Context;
+pub use context::{Context, UseIter};
 pub use diag::{Diagnostic, Result};
+pub use inline_vec::InlineVec;
 pub use dialect::{
     AttrDefInfo, DialectInfo, DialectRegistry, EnumInfo, OpInfo, OpSyntax, OpVerifier, ParamKind,
     ParamsVerifier, TypeDefInfo,
 };
 pub use dominance::DominanceCache;
 pub use journal::ChangeJournal;
-pub use op::{OpName, OpRef, OperationData, OperationState};
+pub use op::{
+    AttrList, OpName, OpRef, OperandList, OperationData, OperationState, RegionList, ResultValues,
+    SuccessorList, TypeList,
+};
 pub use verify::{IncrementalVerifier, ModuleVerifier};
 pub use region::{RegionData, RegionRef};
 pub use symbol::Symbol;
 pub use types::{FloatKind, Signedness, Type, TypeData};
-pub use value::Value;
+pub use value::{Use, Value};

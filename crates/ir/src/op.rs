@@ -10,10 +10,43 @@ use crate::attrs::Attribute;
 use crate::block::BlockRef;
 use crate::context::Context;
 use crate::entity::entity_handle;
+use crate::inline_vec::InlineVec;
 use crate::region::RegionRef;
 use crate::symbol::Symbol;
 use crate::types::Type;
 use crate::value::{Use, Value};
+
+/// Operand list storage: two operands inline covers the overwhelming
+/// majority of corpus ops (binary arithmetic); wider ops spill to a pooled
+/// buffer.
+pub type OperandList = InlineVec<Value, 2>;
+/// Result-type list storage: almost every op has zero or one result.
+pub type TypeList = InlineVec<Type, 1>;
+/// Attribute dictionary storage: ops carry at most a couple of attributes
+/// (constants carry one).
+pub type AttrList = InlineVec<(Symbol, Attribute), 2>;
+/// Successor list storage: only terminators have successors, and nearly
+/// all have one.
+pub type SuccessorList = InlineVec<BlockRef, 1>;
+/// Region list storage: region-holding ops (modules, funcs) carry one.
+pub type RegionList = InlineVec<RegionRef, 1>;
+/// Per-operand use-chain links, parallel to the operand list.
+pub(crate) type LinkList = InlineVec<UseLink, 2>;
+/// Per-result use-chain heads, parallel to the result-type list.
+pub(crate) type FirstUseList = InlineVec<Option<Use>, 1>;
+
+/// One node of the intrusive use-chain, stored per operand slot.
+///
+/// The uses of a value form a doubly-linked list threaded through the
+/// operand slots that reference it: the value's defining entity holds the
+/// head (`first_use`), and each use's operand slot holds `prev`/`next`
+/// links to its neighbors in the chain. Linking and unlinking are O(1) and
+/// allocation-free; see `Context::link_use`/`unlink_use`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct UseLink {
+    pub(crate) prev: Option<Use>,
+    pub(crate) next: Option<Use>,
+}
 
 entity_handle! {
     /// A handle to an operation stored in a [`Context`].
@@ -37,17 +70,30 @@ impl OpName {
 }
 
 /// The payload of an operation.
+///
+/// Every per-op list is an [`InlineVec`] sized so that typical operations
+/// (≤2 operands, ≤1 result/attribute/successor/region) are stored fully
+/// inline — constructing them performs no heap allocation. Oversized lists
+/// spill to buffers drawn from (and recycled into) the context's spill
+/// pool.
 #[derive(Debug, Clone)]
 pub struct OperationData {
     pub(crate) name: OpName,
-    pub(crate) operands: Vec<Value>,
-    pub(crate) result_types: Vec<Type>,
-    pub(crate) result_uses: Vec<Vec<Use>>,
+    pub(crate) operands: OperandList,
+    /// Use-chain links, one per operand slot (`operand_links.len() ==
+    /// operands.len()` always). `operand_links[i]` is the list node for
+    /// the use `(this op, operand i)` within the chain of whatever value
+    /// `operands[i]` currently holds.
+    pub(crate) operand_links: LinkList,
+    pub(crate) result_types: TypeList,
+    /// Head of each result's use-chain (`result_first_use.len() ==
+    /// result_types.len()` always).
+    pub(crate) result_first_use: FirstUseList,
     /// Attribute dictionary, kept sorted by key symbol index for
     /// deterministic printing.
-    pub(crate) attributes: Vec<(Symbol, Attribute)>,
-    pub(crate) successors: Vec<BlockRef>,
-    pub(crate) regions: Vec<RegionRef>,
+    pub(crate) attributes: AttrList,
+    pub(crate) successors: SuccessorList,
+    pub(crate) regions: RegionList,
     pub(crate) parent: Option<BlockRef>,
     /// Position key within the parent block: strictly increasing along the
     /// block's op list, so "does `a` come before `b`?" is one integer
@@ -85,15 +131,15 @@ pub struct OperationState {
     /// The operation name.
     pub name: OpName,
     /// SSA operands.
-    pub operands: Vec<Value>,
+    pub operands: OperandList,
     /// Result types.
-    pub result_types: Vec<Type>,
+    pub result_types: TypeList,
     /// Attribute dictionary entries (deduplicated on creation, last wins).
-    pub attributes: Vec<(Symbol, Attribute)>,
+    pub attributes: AttrList,
     /// Successor blocks.
-    pub successors: Vec<BlockRef>,
+    pub successors: SuccessorList,
     /// Regions to attach; each must be detached (no parent op).
-    pub regions: Vec<RegionRef>,
+    pub regions: RegionList,
 }
 
 impl OperationState {
@@ -101,11 +147,11 @@ impl OperationState {
     pub fn new(name: OpName) -> Self {
         OperationState {
             name,
-            operands: Vec::new(),
-            result_types: Vec::new(),
-            attributes: Vec::new(),
-            successors: Vec::new(),
-            regions: Vec::new(),
+            operands: OperandList::new(),
+            result_types: TypeList::new(),
+            attributes: AttrList::new(),
+            successors: SuccessorList::new(),
+            regions: RegionList::new(),
         }
     }
 
@@ -180,11 +226,12 @@ impl OpRef {
         Value::OpResult { op: self, index: i as u32 }
     }
 
-    /// All result values, in order.
-    pub fn results(self, ctx: &Context) -> Vec<Value> {
-        (0..self.num_results(ctx))
-            .map(|i| Value::OpResult { op: self, index: i as u32 })
-            .collect()
+    /// All result values, in order, as an exact-size iterator.
+    ///
+    /// The iterator captures the result count up front (it does not borrow
+    /// the context), so it can be held across context mutations.
+    pub fn results(self, ctx: &Context) -> ResultValues {
+        ResultValues { op: self, range: 0..self.num_results(ctx) as u32 }
     }
 
     /// Number of results.
@@ -270,6 +317,36 @@ impl OpRef {
     }
 }
 
+/// Exact-size iterator over an operation's result values (see
+/// [`OpRef::results`]).
+#[derive(Debug, Clone)]
+pub struct ResultValues {
+    op: OpRef,
+    range: std::ops::Range<u32>,
+}
+
+impl Iterator for ResultValues {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        let index = self.range.next()?;
+        Some(Value::OpResult { op: self.op, index })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.range.size_hint()
+    }
+}
+
+impl DoubleEndedIterator for ResultValues {
+    fn next_back(&mut self) -> Option<Value> {
+        let index = self.range.next_back()?;
+        Some(Value::OpResult { op: self.op, index })
+    }
+}
+
+impl ExactSizeIterator for ResultValues {}
+
 impl Context {
     /// Builds an [`OpName`] from dialect and operation strings.
     pub fn op_name(&mut self, dialect: &str, name: &str) -> OpName {
@@ -285,33 +362,56 @@ impl Context {
     ///
     /// Panics if a supplied region is already attached to another operation.
     pub fn create_op(&mut self, state: OperationState) -> OpRef {
-        let OperationState { name, operands, result_types, attributes, successors, regions } =
+        let OperationState { name, operands, result_types, mut attributes, successors, regions } =
             state;
-        let mut dict: Vec<(Symbol, Attribute)> = Vec::with_capacity(attributes.len());
-        for (key, value) in attributes {
-            match dict.iter_mut().find(|(k, _)| *k == key) {
-                Some(entry) => entry.1 = value,
-                None => dict.push((key, value)),
+        // Deduplicate attributes in place (last write to a key wins, stored
+        // at the key's first position), then key-sort. O(n²) over a dict
+        // that is almost always ≤2 entries, and allocation-free —
+        // `sort_unstable` because keys are unique after the dedup.
+        let mut kept = 0usize;
+        for i in 0..attributes.len() {
+            let (key, value) = attributes[i];
+            match attributes[..kept].iter().position(|(k, _)| *k == key) {
+                Some(j) => attributes[j].1 = value,
+                None => {
+                    attributes[kept] = (key, value);
+                    kept += 1;
+                }
             }
         }
-        dict.sort_by_key(|(k, _)| k.0);
+        attributes.truncate(kept);
+        attributes.sort_unstable_by_key(|(k, _)| k.0);
+
+        // The state's lists move into the payload unchanged; only the two
+        // bookkeeping lists (use links and chain heads) are built here,
+        // drawing spill buffers from the pool when they don't fit inline.
+        let num_operands = operands.len();
         let num_results = result_types.len();
+        let mut pool = std::mem::take(self.spill_pool_mut());
+        let operand_links =
+            LinkList::with_len_pooled(num_operands, UseLink::default(), &mut pool.links);
+        let result_first_use = FirstUseList::with_len_pooled(num_results, None, &mut pool.heads);
+        *self.spill_pool_mut() = pool;
         let data = OperationData {
             name,
-            operands: operands.clone(),
+            operands,
+            operand_links,
             result_types,
-            result_uses: vec![Vec::new(); num_results],
-            attributes: dict,
+            result_first_use,
+            attributes,
             successors,
-            regions: regions.clone(),
+            regions,
             parent: None,
             order: 0,
         };
         let op = OpRef(self.ops_mut().alloc(data));
-        for (index, operand) in operands.iter().enumerate() {
-            self.add_use(*operand, Use { op, operand_index: index as u32 });
+        for index in 0..num_operands {
+            let operand = self.op_data(op).operands[index];
+            self.link_use(operand, Use { op, operand_index: index as u32 });
         }
-        for region in regions {
+        let num_regions = self.op_data(op).regions.len();
+        for i in 0..num_regions {
+            let region = self.op_data(op).regions[i];
             let slot = self.region_data_mut(region);
             assert!(slot.parent_op.is_none(), "region already attached to an operation");
             slot.parent_op = Some(op);
@@ -329,20 +429,22 @@ impl Context {
         if old == value {
             return;
         }
-        self.remove_use(old, Use { op, operand_index: index as u32 });
+        let u = Use { op, operand_index: index as u32 };
+        self.unlink_use(old, u);
         self.op_data_mut(op).operands[index] = value;
-        self.add_use(value, Use { op, operand_index: index as u32 });
+        self.link_use(value, u);
     }
 
     /// Replaces every use of `old` with `new`.
     ///
-    /// Replacing a value with itself is a no-op.
+    /// Replacing a value with itself is a no-op. O(uses) and
+    /// allocation-free: each step pops the head of `old`'s use-chain and
+    /// relinks that operand slot onto `new`'s chain.
     pub fn replace_all_uses(&mut self, old: Value, new: Value) {
         if old == new {
             return;
         }
-        let uses: Vec<Use> = self.value_uses(old).to_vec();
-        for u in uses {
+        while let Some(u) = self.first_use(old) {
             self.set_operand(u.op, u.operand_index as usize, new);
         }
     }
@@ -354,7 +456,7 @@ impl Context {
             Some(entry) => entry.1 = value,
             None => {
                 dict.push((key, value));
-                dict.sort_by_key(|(k, _)| k.0);
+                dict.sort_unstable_by_key(|(k, _)| k.0);
             }
         }
     }
@@ -442,11 +544,13 @@ impl Context {
             self.op_data_mut(op).order = lo + (hi - lo) / 2;
         } else {
             // Gap exhausted: respace the whole block. Amortized across the
-            // ~log(ORDER_STRIDE) insertions that consumed the gap.
-            let ops = self.block_data(block).ops.clone();
-            for (i, o) in ops.into_iter().enumerate() {
+            // ~log(ORDER_STRIDE) insertions that consumed the gap. The op
+            // list is taken, not cloned, so respacing never allocates.
+            let ops = std::mem::take(&mut self.block_data_mut(block).ops);
+            for (i, &o) in ops.iter().enumerate() {
                 self.op_data_mut(o).order = (i as u64 + 1) * ORDER_STRIDE;
             }
+            self.block_data_mut(block).ops = ops;
         }
     }
 
@@ -457,42 +561,74 @@ impl Context {
     /// Panics if any result of any operation in the erased subtree still
     /// has uses outside the subtree.
     pub fn erase_op(&mut self, op: OpRef) {
-        // Collect the whole subtree first.
-        let mut ops = Vec::new();
-        let mut blocks = Vec::new();
-        let mut regions = Vec::new();
-        self.collect_subtree(op, &mut ops, &mut blocks, &mut regions);
-        let subtree: std::collections::HashSet<OpRef> = ops.iter().copied().collect();
+        // Fast path: no nested regions, so the subtree is the op itself.
+        // Walks the use-chains (self-uses are part of the "subtree"),
+        // unlinks the operands, and recycles the payload's spill buffers —
+        // all without touching the allocator.
+        if self.op_data(op).regions.is_empty() {
+            let num_results = self.op_data(op).result_first_use.len();
+            for i in 0..num_results {
+                let mut next = self.op_data(op).result_first_use[i];
+                while let Some(u) = next {
+                    assert!(u.op == op, "erasing operation whose results still have uses");
+                    next = self.op_data(u.op).operand_links[u.operand_index as usize].next;
+                }
+            }
+            self.unlink_all_operands(op);
+            self.detach_op(op);
+            let data = self.ops_mut().erase(op.0);
+            self.recycle_op_data(data);
+            return;
+        }
+
+        // General path: collect the whole subtree first, into scratch
+        // buffers reused across erasures.
+        let mut scratch = std::mem::take(self.erase_scratch_mut());
+        scratch.clear();
+        self.collect_subtree(op, &mut scratch.ops, &mut scratch.blocks, &mut scratch.regions);
+        scratch.mark_ops();
         // No result anywhere in the subtree may be used outside it. (Uses
         // from outside a region are invalid IR, but the guard keeps a
         // mis-built context from leaving dangling references.)
-        for &o in &ops {
-            for uses in &self.op_data(o).result_uses {
-                for u in uses {
+        for &o in &scratch.ops {
+            let num_results = self.op_data(o).result_first_use.len();
+            for i in 0..num_results {
+                let mut next = self.op_data(o).result_first_use[i];
+                while let Some(u) = next {
                     assert!(
-                        subtree.contains(&u.op),
+                        scratch.is_marked(u.op),
                         "erasing operation whose results still have uses"
                     );
+                    next = self.op_data(u.op).operand_links[u.operand_index as usize].next;
                 }
             }
         }
         // Drop operand uses originating from the subtree, so that internal
         // def-use edges do not block destruction.
-        for &o in &ops {
-            let operands = self.op_data(o).operands.clone();
-            for (index, operand) in operands.iter().enumerate() {
-                self.remove_use(*operand, Use { op: o, operand_index: index as u32 });
-            }
+        for i in 0..scratch.ops.len() {
+            self.unlink_all_operands(scratch.ops[i]);
         }
         self.detach_op(op);
-        for o in ops {
-            self.ops_mut().erase(o.0);
+        for &o in &scratch.ops {
+            let data = self.ops_mut().erase(o.0);
+            self.recycle_op_data(data);
         }
-        for b in blocks {
+        for &b in &scratch.blocks {
             self.blocks_mut().erase(b.0);
         }
-        for r in regions {
+        for &r in &scratch.regions {
             self.regions_mut().erase(r.0);
+        }
+        scratch.clear();
+        *self.erase_scratch_mut() = scratch;
+    }
+
+    /// Unlinks every operand use of `op` from its value's use-chain.
+    fn unlink_all_operands(&mut self, op: OpRef) {
+        let num_operands = self.op_data(op).operands.len();
+        for index in 0..num_operands {
+            let operand = self.op_data(op).operands[index];
+            self.unlink_use(operand, Use { op, operand_index: index as u32 });
         }
     }
 
@@ -536,8 +672,8 @@ mod tests {
         let a = test_op(&mut ctx, "a", &[], 1);
         let va = a.result(&ctx, 0);
         let b = test_op(&mut ctx, "b", &[va, va], 1);
-        assert_eq!(va.uses(&ctx).len(), 2);
-        assert!(va.uses(&ctx).iter().all(|u| u.op == b));
+        assert_eq!(va.uses(&ctx).count(), 2);
+        assert!(va.uses(&ctx).all(|u| u.op == b));
     }
 
     #[test]
@@ -550,7 +686,7 @@ mod tests {
         let b = test_op(&mut ctx, "b", &[va], 1);
         ctx.replace_all_uses(va, vc);
         assert!(va.is_unused(&ctx));
-        assert_eq!(vc.uses(&ctx).len(), 1);
+        assert_eq!(vc.uses(&ctx).count(), 1);
         assert_eq!(b.operand(&ctx, 0), vc);
     }
 
@@ -602,7 +738,7 @@ mod tests {
         let a = test_op(&mut ctx, "a", &[], 1);
         let va = a.result(&ctx, 0);
         let b = test_op(&mut ctx, "b", &[va], 0);
-        assert_eq!(va.uses(&ctx).len(), 1);
+        assert_eq!(va.uses(&ctx).count(), 1);
         ctx.erase_op(b);
         assert!(va.is_unused(&ctx));
         assert!(!b.is_live(&ctx));

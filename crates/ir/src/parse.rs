@@ -11,7 +11,7 @@
 //! [`Symbol`]s with a single hash lookup, and value/block scopes are keyed
 //! by `Symbol` so resolution never materializes an owned `String`.
 
-use std::collections::HashMap;
+use crate::fasthash::FastMap;
 
 use crate::attrs::{AttrData, Attribute};
 use crate::block::BlockRef;
@@ -97,10 +97,11 @@ pub fn parse_attr_str(ctx: &mut Context, source: &str) -> Result<Attribute> {
     Ok(attr)
 }
 
-/// A named group of result values (`%x:2` defines a group of two).
+/// A named group of result values (`%x:2` defines a group of two). The
+/// single-result common case stays inline in the scope map entry.
 #[derive(Debug, Clone)]
 struct ValueGroup {
-    values: Vec<Value>,
+    values: crate::inline_vec::InlineVec<Value, 1>,
 }
 
 pub(crate) struct Parser<'s, 'c> {
@@ -109,11 +110,11 @@ pub(crate) struct Parser<'s, 'c> {
     pos: usize,
     /// Scopes keyed by interned name symbol; the textual name only exists
     /// as a source slice.
-    value_scopes: Vec<HashMap<Symbol, ValueGroup>>,
-    block_scopes: Vec<HashMap<Symbol, BlockRef>>,
+    value_scopes: Vec<FastMap<Symbol, ValueGroup>>,
+    block_scopes: Vec<FastMap<Symbol, BlockRef>>,
     /// Retired scope maps, kept to reuse their capacity across regions.
-    value_pool: Vec<HashMap<Symbol, ValueGroup>>,
-    block_pool: Vec<HashMap<Symbol, BlockRef>>,
+    value_pool: Vec<FastMap<Symbol, ValueGroup>>,
+    block_pool: Vec<FastMap<Symbol, BlockRef>>,
 }
 
 impl<'s, 'c> Parser<'s, 'c> {
@@ -218,10 +219,7 @@ impl<'s, 'c> Parser<'s, 'c> {
     }
 
     /// Parses an optional `{key = attr, ...}` dictionary into `out`.
-    fn parse_optional_attr_entries(
-        &mut self,
-        out: &mut Vec<(Symbol, Attribute)>,
-    ) -> Result<()> {
+    fn parse_optional_attr_entries(&mut self, out: &mut crate::op::AttrList) -> Result<()> {
         if self.consume_if(&Token::LBrace) && !self.consume_if(&Token::RBrace) {
             loop {
                 let key = self.expect_attr_key()?;
@@ -275,7 +273,11 @@ impl<'s, 'c> Parser<'s, 'c> {
         self.block_pool.push(blocks);
     }
 
-    fn define_value_group(&mut self, name: &str, values: Vec<Value>) -> Result<()> {
+    fn define_value_group(
+        &mut self,
+        name: &str,
+        values: crate::inline_vec::InlineVec<Value, 1>,
+    ) -> Result<()> {
         let sym = self.ctx.symbol(name);
         let scope = self.value_scopes.last_mut().expect("no value scope");
         if scope.contains_key(&sym) {
@@ -708,8 +710,10 @@ impl<'s, 'c> Parser<'s, 'c> {
     // ----- operations ----------------------------------------------------------
 
     fn parse_op(&mut self) -> Result<OpRef> {
-        // Result definitions: `%a:2, %b = ...`
-        let mut defs: Vec<(&'s str, usize)> = Vec::new();
+        // Result definitions: `%a:2, %b = ...` (inline up to two defs —
+        // the overwhelmingly common shapes are zero or one).
+        let mut defs: crate::inline_vec::InlineVec<(&'s str, usize), 2> =
+            crate::inline_vec::InlineVec::new();
         if matches!(self.peek(), Token::ValueId(_)) {
             loop {
                 // After a comma the next token need not be a value id
@@ -768,8 +772,9 @@ impl<'s, 'c> Parser<'s, 'c> {
             )));
         }
         let mut next = 0usize;
-        for (name, count) in defs {
-            let values: Vec<Value> =
+        for i in 0..defs.len() {
+            let (name, count) = defs[i];
+            let values: crate::inline_vec::InlineVec<Value, 1> =
                 (next..next + count).map(|i| op.result(self.ctx, i)).collect();
             next += count;
             self.define_value_group(name, values)?;
@@ -788,12 +793,17 @@ impl<'s, 'c> Parser<'s, 'c> {
 
     fn parse_generic_op_body(&mut self, full_name: &str) -> Result<OpRef> {
         let name = self.split_op_name(full_name)?;
+        // The parsed lists accumulate directly into the operation state's
+        // inline storage: a typical op never allocates on this path.
+        let mut state = OperationState::new(name);
         self.expect(&Token::LParen)?;
-        let mut operands = Vec::new();
         if !self.consume_if(&Token::RParen) {
             loop {
                 match self.bump() {
-                    Token::ValueId(vname) => operands.push(self.resolve_value(vname)?),
+                    Token::ValueId(vname) => {
+                        let value = self.resolve_value(vname)?;
+                        state.operands.push(value);
+                    }
                     other => {
                         return Err(self
                             .error(format!("expected operand `%name`, found {}", other.describe())))
@@ -806,12 +816,14 @@ impl<'s, 'c> Parser<'s, 'c> {
             self.expect(&Token::RParen)?;
         }
 
-        let mut successors = Vec::new();
         if self.consume_if(&Token::LBracket)
             && !self.consume_if(&Token::RBracket) {
                 loop {
                     match self.bump() {
-                        Token::BlockId(bname) => successors.push(self.get_or_create_block(bname)),
+                        Token::BlockId(bname) => {
+                            let block = self.get_or_create_block(bname);
+                            state.successors.push(block);
+                        }
                         other => {
                             return Err(self.error(format!(
                                 "expected successor `^name`, found {}",
@@ -826,12 +838,12 @@ impl<'s, 'c> Parser<'s, 'c> {
                 self.expect(&Token::RBracket)?;
             }
 
-        let mut regions = Vec::new();
         if self.peek() == &Token::LParen {
             self.bump();
             if !self.consume_if(&Token::RParen) {
                 loop {
-                    regions.push(self.parse_region(&[])?);
+                    let region = self.parse_region(&[])?;
+                    state.regions.push(region);
                     if !self.consume_if(&Token::Comma) {
                         break;
                     }
@@ -840,16 +852,35 @@ impl<'s, 'c> Parser<'s, 'c> {
             }
         }
 
-        let mut attributes = Vec::new();
-        self.parse_optional_attr_entries(&mut attributes)?;
+        self.parse_optional_attr_entries(&mut state.attributes)?;
 
         self.expect(&Token::Colon)?;
         let sig_offset = self.offset();
         self.expect(&Token::LParen)?;
-        let mut operand_types = Vec::new();
+        // Operand types are checked against the operands as they stream
+        // past instead of being buffered. The first mismatch is deferred:
+        // an arity error (checked after the list is consumed) takes
+        // precedence, matching the historical diagnostic order.
+        let mut num_operand_types = 0usize;
+        let mut type_mismatch: Option<Diagnostic> = None;
         if !self.consume_if(&Token::RParen) {
             loop {
-                operand_types.push(self.parse_type()?);
+                let expected = self.parse_type()?;
+                if num_operand_types < state.operands.len() && type_mismatch.is_none() {
+                    let actual = state.operands[num_operand_types].ty(self.ctx);
+                    if actual != expected {
+                        type_mismatch = Some(Diagnostic::at(
+                            sig_offset,
+                            format!(
+                                "operand #{} has type {} but the signature expects {}",
+                                num_operand_types,
+                                actual.display(self.ctx),
+                                expected.display(self.ctx)
+                            ),
+                        ));
+                    }
+                }
+                num_operand_types += 1;
                 if !self.consume_if(&Token::Comma) {
                     break;
                 }
@@ -857,67 +888,62 @@ impl<'s, 'c> Parser<'s, 'c> {
             self.expect(&Token::RParen)?;
         }
         self.expect(&Token::Arrow)?;
-        let result_types = self.parse_type_list_grouped_or_empty()?;
+        self.parse_result_types_grouped_or_empty_into(&mut state)?;
 
-        if operand_types.len() != operands.len() {
+        if num_operand_types != state.operands.len() {
             return Err(Diagnostic::at(
                 sig_offset,
                 format!(
                     "signature lists {} operand type(s) but {} operand(s) were given",
-                    operand_types.len(),
-                    operands.len()
+                    num_operand_types,
+                    state.operands.len()
                 ),
             ));
         }
-        for (i, (operand, expected)) in operands.iter().zip(&operand_types).enumerate() {
-            let actual = operand.ty(self.ctx);
-            if actual != *expected {
-                return Err(Diagnostic::at(
-                    sig_offset,
-                    format!(
-                        "operand #{i} has type {} but the signature expects {}",
-                        actual.display(self.ctx),
-                        expected.display(self.ctx)
-                    ),
-                ));
-            }
+        if let Some(diag) = type_mismatch {
+            return Err(diag);
         }
 
-        let state = OperationState {
-            name,
-            operands,
-            result_types,
-            attributes,
-            successors,
-            regions,
-        };
         Ok(self.ctx.create_op(state))
     }
 
     /// `() -> ()`-style empty lists are common in result position.
-    fn parse_type_list_grouped_or_empty(&mut self) -> Result<Vec<Type>> {
+    fn parse_result_types_grouped_or_empty_into(
+        &mut self,
+        state: &mut OperationState,
+    ) -> Result<()> {
         if self.peek() == &Token::LParen && self.peek2() == &Token::RParen {
             self.bump();
             self.bump();
             // A trailing `-> (...)` after `()` would mean a function type
             // result; the generic form never prints that without parens.
-            return Ok(Vec::new());
+            return Ok(());
         }
-        self.parse_type_list_grouped()
+        if self.consume_if(&Token::LParen) {
+            loop {
+                let ty = self.parse_type()?;
+                state.result_types.push(ty);
+                if !self.consume_if(&Token::Comma) {
+                    break;
+                }
+            }
+            self.expect(&Token::RParen)?;
+        } else {
+            let ty = self.parse_type()?;
+            state.result_types.push(ty);
+        }
+        Ok(())
     }
 
     fn parse_custom_op_body(&mut self, full_name: &str) -> Result<OpRef> {
         let name = self.split_op_name(full_name)?;
-        let info = self
-            .ctx
-            .registry()
-            .op_info(name.dialect, name.name)
-            .cloned()
-            .ok_or_else(|| {
-                self.error(format!(
-                    "operation `{full_name}` is not registered; use the quoted generic form"
-                ))
-            })?;
+        // Clone only the syntax handle (an `Arc` bump), not the whole
+        // `OpInfo`: this runs once per custom-syntax op.
+        let Some(info) = self.ctx.registry().op_info(name.dialect, name.name) else {
+            return Err(self.error(format!(
+                "operation `{full_name}` is not registered; use the quoted generic form"
+            )));
+        };
         let syntax = info.syntax.clone().ok_or_else(|| {
             self.error(format!(
                 "operation `{full_name}` has no custom syntax; use the quoted generic form"
@@ -954,7 +980,7 @@ impl<'s, 'c> Parser<'s, 'c> {
             self.ctx.append_block(region, entry);
             for (name, ty) in entry_args {
                 let value = self.ctx.add_block_arg(entry, *ty);
-                self.define_value_group(name, vec![value])?;
+                self.define_value_group(name, std::iter::once(value).collect())?;
             }
             while !matches!(self.peek(), Token::RBrace | Token::BlockId(_)) {
                 let op = self.parse_op()?;
@@ -985,7 +1011,7 @@ impl<'s, 'c> Parser<'s, 'c> {
                         self.expect(&Token::Colon)?;
                         let ty = self.parse_type()?;
                         let value = self.ctx.add_block_arg(block, ty);
-                        self.define_value_group(vname, vec![value])?;
+                        self.define_value_group(vname, std::iter::once(value).collect())?;
                         if !self.consume_if(&Token::Comma) {
                             break;
                         }

@@ -61,14 +61,21 @@ impl Value {
         }
     }
 
-    /// All current uses of this value.
-    pub fn uses(self, ctx: &Context) -> &[Use] {
+    /// All current uses of this value, as a chain-walking iterator
+    /// (allocation-free; most-recently-linked use first).
+    pub fn uses(self, ctx: &Context) -> crate::context::UseIter<'_> {
         ctx.value_uses(self)
     }
 
-    /// Returns `true` if the value has no uses.
+    /// Returns `true` if the value has no uses. O(1).
     pub fn is_unused(self, ctx: &Context) -> bool {
-        self.uses(ctx).is_empty()
+        ctx.first_use(self).is_none()
+    }
+
+    /// Returns `true` if the value has exactly one use. O(1).
+    pub fn has_one_use(self, ctx: &Context) -> bool {
+        let mut uses = self.uses(ctx);
+        uses.next().is_some() && uses.next().is_none()
     }
 }
 

@@ -238,7 +238,7 @@ fn use_lists_consistent_under_mutation() {
         for def in &defs {
             let v = def.result(&ctx, 0);
             let expected = sink.operands(&ctx).iter().filter(|o| **o == v).count();
-            assert_eq!(v.uses(&ctx).len(), expected);
+            assert_eq!(v.uses(&ctx).count(), expected);
         }
     }
 }

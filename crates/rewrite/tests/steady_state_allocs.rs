@@ -1,0 +1,83 @@
+//! Regression gate: a warmed journaled rewrite step — insert a
+//! replacement, forward uses, erase the original — performs **zero** heap
+//! allocations. This is the steady state of greedy driver loops; the
+//! compact op storage layer (inline payloads, spill pool, recycled
+//! journal and erase scratch; see DESIGN.md "Op storage layout") exists
+//! to make it allocation-free.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use irdl_ir::{ChangeJournal, Context, OpRef, OperationState};
+use irdl_rewrite::Rewriter;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_rewrite_step_is_allocation_free() {
+    let mut ctx = Context::new();
+    let f32t = ctx.f32_type();
+    let name = ctx.op_name("t", "node");
+
+    let module = ctx.create_module();
+    let block = ctx.module_block(module);
+    let src = ctx.create_op(OperationState::new(name).add_result_types([f32t]));
+    ctx.append_op(block, src);
+    let feed = src.result(&ctx, 0);
+    let mut current =
+        ctx.create_op(OperationState::new(name).add_operands([feed]).add_result_types([f32t]));
+    ctx.append_op(block, current);
+    let sink =
+        ctx.create_op(OperationState::new(name).add_operands([current.result(&ctx, 0)]));
+    ctx.append_op(block, sink);
+
+    let mut journal = ChangeJournal::new();
+    let step = |ctx: &mut Context, journal: &mut ChangeJournal, current: OpRef| {
+        journal.clear();
+        let mut rw = Rewriter::new(ctx, current, journal);
+        let fresh = rw.insert_before(
+            current,
+            OperationState::new(name).add_operands([feed]).add_result_types([f32t]),
+        );
+        let old = current.result(rw.ctx(), 0);
+        let new = fresh.result(rw.ctx(), 0);
+        rw.replace_all_uses(old, new);
+        rw.erase(current);
+        fresh
+    };
+
+    // Warm past every buffer growth, including an order-key respace of the
+    // block (orders are respaced every ~2^12 prepends at ORDER_STRIDE).
+    for _ in 0..8192 {
+        current = step(&mut ctx, &mut journal, current);
+    }
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..10_000 {
+        current = step(&mut ctx, &mut journal, current);
+    }
+    let used = ALLOCS.load(Ordering::Relaxed) - before;
+    assert_eq!(used, 0, "steady-state rewrite steps must not allocate");
+    assert_eq!(current.num_operands(&ctx), 1);
+}
