@@ -33,11 +33,13 @@
 //! ```
 
 pub mod corpus;
+pub mod eval;
 pub mod generator;
 pub mod metadata;
 pub mod showcase;
 pub mod timeline;
 
 pub use corpus::{corpus_natives, corpus_sources, register_corpus};
+pub use eval::{corpus_semantics, showcase_semantics};
 pub use metadata::{dialects, totals, DialectMeta};
 pub use timeline::{snapshots, Snapshot};

@@ -1,0 +1,319 @@
+//! Golden tests for the registered execution semantics.
+//!
+//! Every eval hook family (builtin containers, scf control flow, complex
+//! arithmetic, the showcase `cmath`/`arith` ops, and the fuzzer's scalar
+//! arithmetic) gets table-driven cases pinning *exact* results and trap
+//! diagnostics: overflow wraps two's-complement, division by zero traps
+//! with a pinned message, zero-trip loops return their inits, and a
+//! diverging loop exhausts fuel instead of hanging.
+
+use irdl_dialects::{corpus_semantics, showcase_semantics};
+use irdl_interp::{run_module, EvalOptions, EvalRegistry, EvalValue, Execution, TrapKind};
+use irdl_ir::parse::parse_module;
+use irdl_ir::types::FloatKind;
+use irdl_ir::Context;
+
+/// Parses `text` with the corpus registered and runs it under `registry`.
+fn run_corpus(text: &str, registry: &EvalRegistry, opts: EvalOptions) -> Execution {
+    let mut ctx = Context::new();
+    irdl_dialects::register_corpus(&mut ctx).expect("corpus registers");
+    let module = parse_module(&mut ctx, text).expect("test module parses");
+    run_module(&ctx, registry, module, opts)
+}
+
+/// Runs `text` under the showcase semantics (cmath/arith/func).
+fn run_showcase(text: &str, opts: EvalOptions) -> Execution {
+    let mut ctx = Context::new();
+    irdl_dialects::showcase::register_showcase(&mut ctx).expect("showcase registers");
+    let module = parse_module(&mut ctx, text).expect("test module parses");
+    run_module(&ctx, &showcase_semantics(), module, opts)
+}
+
+/// The operand values of the single observed sink named `name` in an
+/// execution that must not trap. (Region terminators like `scf.yield` are
+/// themselves observable sinks, so executions often record more than one
+/// observation; tests select the one they pinned.)
+fn sink_values(run: &Execution, name: &str) -> Vec<EvalValue> {
+    assert!(run.trap.is_none(), "unexpected trap: {:?}", run.trap);
+    let mut hits = run.observed.iter().filter(|(n, _)| n == name);
+    let hit = hits.next().unwrap_or_else(|| panic!("no `{name}` observed: {:?}", run.observed));
+    assert!(hits.next().is_none(), "more than one `{name}` observed: {:?}", run.observed);
+    hit.1.clone()
+}
+
+#[test]
+fn fuzz_arith_golden_table() {
+    // (lhs, rhs, op, expected value at i32)
+    let cases: &[(i64, i64, &str, i128)] = &[
+        (7, 5, "addi", 12),
+        (2147483647, 1, "addi", -2147483648), // wraps at the i32 boundary
+        (5, 7, "subi", -2),
+        (-2147483648, 1, "subi", 2147483647),
+        (100000, 100000, "muli", 1410065408), // 10^10 mod 2^32, signed
+        (-7, 2, "divi", -3),                  // truncating division
+    ];
+    let registry = corpus_semantics();
+    for &(lhs, rhs, op, expected) in cases {
+        let text = format!(
+            r#""builtin.module"() ({{
+  %a = "fuzz.const"() {{value = {lhs} : i32}} : () -> i32
+  %b = "fuzz.const"() {{value = {rhs} : i32}} : () -> i32
+  %r = "fuzz.{op}"(%a, %b) : (i32, i32) -> i32
+  "fuzz.sink"(%r) : (i32) -> ()
+}}) : () -> ()"#
+        );
+        let run = run_corpus(&text, &registry, EvalOptions::default());
+        let values = sink_values(&run, "fuzz.sink");
+        assert_eq!(
+            values[0],
+            EvalValue::int(expected, 32),
+            "{lhs} {op} {rhs} must give {expected}"
+        );
+    }
+}
+
+#[test]
+fn division_by_zero_traps_with_pinned_diagnostic() {
+    let text = r#""builtin.module"() ({
+  %a = "fuzz.const"() {value = 9 : i32} : () -> i32
+  %z = "fuzz.const"() {value = 0 : i32} : () -> i32
+  %r = "fuzz.divi"(%a, %z) : (i32, i32) -> i32
+  "fuzz.sink"(%r) : (i32) -> ()
+}) : () -> ()"#;
+    let run = run_corpus(text, &corpus_semantics(), EvalOptions::default());
+    let trap = run.trap.expect("division by zero must trap");
+    assert_eq!(trap.kind, TrapKind::DivByZero);
+    assert_eq!(trap.to_string(), "trap [div-by-zero] at `fuzz.divi`: divisor is zero");
+    // The trap aborts before the sink executes.
+    assert!(run.observed.is_empty());
+}
+
+#[test]
+fn for_loop_golden_zero_trip_counted_and_fuel_capped() {
+    let loop_text = |lb: i64, ub: i64| {
+        format!(
+            r#""builtin.module"() ({{
+  %lb = "fuzz.const"() {{value = {lb} : index}} : () -> index
+  %ub = "fuzz.const"() {{value = {ub} : index}} : () -> index
+  %st = "fuzz.const"() {{value = 1 : index}} : () -> index
+  %init = "fuzz.const"() {{value = 42 : index}} : () -> index
+  %r = "scf.for_op"(%lb, %ub, %st, %init) ({{
+  ^bb0(%iv: index):
+    "scf.yield"(%iv) : (index) -> ()
+  }}) : (index, index, index, index) -> index
+  "fuzz.sink"(%r) : (index) -> ()
+}}) : () -> ()"#
+        )
+    };
+    let registry = corpus_semantics();
+
+    // Zero-trip (lb == ub): the loop-carried init flows through untouched.
+    let run = run_corpus(&loop_text(5, 5), &registry, EvalOptions::default());
+    assert_eq!(sink_values(&run, "fuzz.sink")[0], EvalValue::int(42, 64));
+
+    // Three iterations: the final yield sees the last induction value.
+    let run = run_corpus(&loop_text(0, 3), &registry, EvalOptions::default());
+    assert_eq!(sink_values(&run, "fuzz.sink")[0], EvalValue::int(2, 64));
+
+    // A long loop under a tiny fuel budget traps instead of spinning.
+    let run = run_corpus(
+        &loop_text(0, 1_000_000),
+        &registry,
+        EvalOptions { fuel: 8, ..EvalOptions::default() },
+    );
+    let trap = run.trap.expect("fuel must run out");
+    assert_eq!(trap.kind, TrapKind::FuelExhausted);
+    assert_eq!(trap.op, "scf.for_op");
+    assert_eq!(trap.detail, "control-transfer budget of 8 exhausted");
+}
+
+#[test]
+fn for_loop_with_nonpositive_step_is_malformed() {
+    let text = r#""builtin.module"() ({
+  %lb = "fuzz.const"() {value = 0 : index} : () -> index
+  %ub = "fuzz.const"() {value = 4 : index} : () -> index
+  %st = "fuzz.const"() {value = 0 : index} : () -> index
+  %r = "scf.for_op"(%lb, %ub, %st) ({
+  ^bb0(%iv: index):
+    "scf.yield"(%iv) : (index) -> ()
+  }) : (index, index, index) -> index
+  "fuzz.sink"(%r) : (index) -> ()
+}) : () -> ()"#;
+    let run = run_corpus(text, &corpus_semantics(), EvalOptions::default());
+    let trap = run.trap.expect("zero step over a non-empty range must trap");
+    assert_eq!(trap.kind, TrapKind::MalformedOp);
+    assert_eq!(trap.detail, "non-positive step 0 with lower bound 0 < upper bound 4");
+}
+
+#[test]
+fn if_op_selects_then_or_else() {
+    let branch_text = |cond: i64| {
+        format!(
+            r#""builtin.module"() ({{
+  %c = "fuzz.const"() {{value = {cond} : i1}} : () -> i1
+  %r = "scf.if_op"(%c) ({{
+    %t = "fuzz.const"() {{value = 7 : i32}} : () -> i32
+    "scf.yield"(%t) : (i32) -> ()
+  }}, {{
+    %e = "fuzz.const"() {{value = 9 : i32}} : () -> i32
+    "scf.yield"(%e) : (i32) -> ()
+  }}) : (i1) -> i32
+  "fuzz.sink"(%r) : (i32) -> ()
+}}) : () -> ()"#
+        )
+    };
+    let registry = corpus_semantics();
+    let then_run = run_corpus(&branch_text(1), &registry, EvalOptions::default());
+    assert_eq!(sink_values(&then_run, "fuzz.sink")[0], EvalValue::int(7, 32));
+    let else_run = run_corpus(&branch_text(0), &registry, EvalOptions::default());
+    assert_eq!(sink_values(&else_run, "fuzz.sink")[0], EvalValue::int(9, 32));
+}
+
+#[test]
+fn while_loop_runs_before_and_after_regions() {
+    // The before-region condition is a constant false: the loop must pass
+    // its condition args straight through as results, never running
+    // `after` (whose yield would supply 5).
+    let text = r#""builtin.module"() ({
+  %init = "fuzz.const"() {value = 3 : i32} : () -> i32
+  %tok = "fuzz.const"() {value = 1 : i1} : () -> i1
+  %r = "scf.while_op"(%init, %tok) ({
+  ^bb0(%arg: i32):
+    %stop = "fuzz.const"() {value = 0 : i1} : () -> i1
+    "scf.condition"(%stop, %arg) : (i1, i32) -> ()
+  }, {
+  ^bb0(%arg: i32):
+    %n = "fuzz.const"() {value = 5 : i32} : () -> i32
+    "scf.yield"(%n) : (i32) -> ()
+  }) : (i32, i1) -> i32
+  "fuzz.sink"(%r) : (i32) -> ()
+}) : () -> ()"#;
+    let run = run_corpus(text, &corpus_semantics(), EvalOptions::default());
+    assert_eq!(sink_values(&run, "fuzz.sink")[0], EvalValue::int(3, 32));
+}
+
+#[test]
+fn complex_arithmetic_golden() {
+    let registry = corpus_semantics();
+    // |3 + 4i| = 5, observed at f32.
+    let text = r#""builtin.module"() ({
+  %re = "fuzz.const"() {value = 3.0 : f32} : () -> f32
+  %im = "fuzz.const"() {value = 4.0 : f32} : () -> f32
+  %z = "complex.create"(%re, %im) : (f32, f32) -> !builtin.complex<f32>
+  %n = "complex.abs"(%z) : (!builtin.complex<f32>) -> f32
+  "fuzz.sink"(%n) : (f32) -> ()
+}) : () -> ()"#;
+    let run = run_corpus(text, &registry, EvalOptions::default());
+    assert_eq!(sink_values(&run, "fuzz.sink")[0], EvalValue::float(5.0, FloatKind::F32));
+
+    // (1 + 2i) * conj(1 + 2i) = |z|^2 = 5 (+ 0i).
+    let text = r#""builtin.module"() ({
+  %re = "fuzz.const"() {value = 1.0 : f32} : () -> f32
+  %im = "fuzz.const"() {value = 2.0 : f32} : () -> f32
+  %z = "complex.create"(%re, %im) : (f32, f32) -> !builtin.complex<f32>
+  %c = "complex.conj"(%z) : (!builtin.complex<f32>) -> !builtin.complex<f32>
+  %p = "complex.mul"(%z, %c) : (!builtin.complex<f32>, !builtin.complex<f32>) -> !builtin.complex<f32>
+  "fuzz.sink"(%p) : (!builtin.complex<f32>) -> ()
+}) : () -> ()"#;
+    let run = run_corpus(text, &registry, EvalOptions::default());
+    assert_eq!(sink_values(&run, "fuzz.sink")[0], EvalValue::complex(5.0, 0.0, FloatKind::F32));
+
+    // `complex.constant` denotes zero; dividing by it traps.
+    let text = r#""builtin.module"() ({
+  %re = "fuzz.const"() {value = 1.0 : f32} : () -> f32
+  %z = "complex.create"(%re, %re) : (f32, f32) -> !builtin.complex<f32>
+  %zero = "complex.constant"() : () -> !builtin.complex<f32>
+  %q = "complex.div"(%z, %zero) : (!builtin.complex<f32>, !builtin.complex<f32>) -> !builtin.complex<f32>
+  "fuzz.sink"(%q) : (!builtin.complex<f32>) -> ()
+}) : () -> ()"#;
+    let run = run_corpus(text, &registry, EvalOptions::default());
+    let trap = run.trap.expect("dividing by the zero constant must trap");
+    assert_eq!(trap.kind, TrapKind::DivByZero);
+    assert_eq!(
+        trap.to_string(),
+        "trap [div-by-zero] at `complex.div`: complex divisor is exactly zero"
+    );
+}
+
+#[test]
+fn unrealized_conversion_cast_forwards_operands() {
+    let text = r#""builtin.module"() ({
+  %a = "fuzz.const"() {value = 11 : i32} : () -> i32
+  %b = "fuzz.const"() {value = 2.5 : f64} : () -> f64
+  %c:2 = "builtin.unrealized_conversion_cast"(%a, %b) : (i32, f64) -> (i64, f64)
+  "fuzz.sink"(%c#0, %c#1) : (i64, f64) -> ()
+}) : () -> ()"#;
+    let run = run_corpus(text, &corpus_semantics(), EvalOptions::default());
+    let values = sink_values(&run, "fuzz.sink");
+    // Values forward bit-for-bit; the cast does not re-encode them.
+    assert_eq!(values[0], EvalValue::int(11, 32));
+    assert_eq!(values[1], EvalValue::float(2.5, FloatKind::F64));
+}
+
+#[test]
+fn showcase_cmath_and_arith_golden() {
+    // norm(3 + 4i) * 2.5 = 12.5 at f32.
+    let text = r#""builtin.module"() ({
+  %z = "cmath.create_constant"() {re = 3.0 : f32, im = 4.0 : f32} : () -> !cmath.complex<f32>
+  %n = "cmath.norm"(%z) : (!cmath.complex<f32>) -> f32
+  %k = "arith.constant"() {value = 2.5 : f32} : () -> f32
+  %r = "arith.mulf"(%n, %k) : (f32, f32) -> f32
+  "func.return_op"(%r) : (f32) -> ()
+}) : () -> ()"#;
+    let run = run_showcase(text, EvalOptions::default());
+    let values = sink_values(&run, "func.return_op");
+    assert_eq!(values[0], EvalValue::float(12.5, FloatKind::F32));
+
+    // cmath.mul matches the conorm identity: norm(p*q) == norm(p)*norm(q)
+    // on exact inputs.
+    let text = r#""builtin.module"() ({
+  %p = "cmath.create_constant"() {re = 3.0 : f32, im = 4.0 : f32} : () -> !cmath.complex<f32>
+  %q = "cmath.create_constant"() {re = 1.0 : f32, im = 0.0 : f32} : () -> !cmath.complex<f32>
+  %m = "cmath.mul"(%p, %q) : (!cmath.complex<f32>, !cmath.complex<f32>) -> !cmath.complex<f32>
+  %n = "cmath.norm"(%m) : (!cmath.complex<f32>) -> f32
+  "func.return_op"(%n) : (f32) -> ()
+}) : () -> ()"#;
+    let run = run_showcase(text, EvalOptions::default());
+    assert_eq!(sink_values(&run, "func.return_op")[0], EvalValue::float(5.0, FloatKind::F32));
+}
+
+#[test]
+fn function_bodies_run_once_with_derived_inputs() {
+    // The func body observes its argument: running twice with the same
+    // seed gives identical digests, a different seed changes the input.
+    let text = r#""builtin.module"() ({
+  "builtin.func"() ({
+  ^bb0(%arg: i32):
+    "fuzz.sink"(%arg) : (i32) -> ()
+  }) {sym_name = "f"} : () -> ()
+}) : () -> ()"#;
+    let registry = corpus_semantics();
+    let a = run_corpus(text, &registry, EvalOptions::default());
+    let b = run_corpus(text, &registry, EvalOptions::default());
+    assert!(a.trap.is_none());
+    assert_eq!(a.digest(), b.digest());
+    let c = run_corpus(
+        text,
+        &registry,
+        EvalOptions { input_seed: 1, ..EvalOptions::default() },
+    );
+    assert_ne!(a.observed, c.observed);
+}
+
+#[test]
+fn strict_mode_pins_missing_semantics_diagnostic() {
+    let text = r#""builtin.module"() ({
+  %x = "fuzz.src"() : () -> i32
+}) : () -> ()"#;
+    let run = run_corpus(
+        text,
+        &corpus_semantics(),
+        EvalOptions { strict: true, ..EvalOptions::default() },
+    );
+    let trap = run.trap.expect("strict mode must trap on fuzz.src");
+    assert_eq!(trap.kind, TrapKind::MissingSemantics);
+    assert_eq!(
+        trap.to_string(),
+        "trap [missing-semantics] at `fuzz.src`: no evaluator registered for this operation"
+    );
+}

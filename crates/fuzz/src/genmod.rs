@@ -90,7 +90,11 @@ fn fill_block(
         let use_misc = catalog.num_generatable() == 0
             || rng.chance(config.misc_chance.0, config.misc_chance.1);
         if use_misc {
-            generate_misc_op(ctx, config, rng, block);
+            if rng.chance(1, 2) {
+                generate_arith_op(ctx, config, rng, block);
+            } else {
+                generate_misc_op(ctx, config, rng, block);
+            }
             continue;
         }
         let pick = rng.below(catalog.num_generatable());
@@ -255,9 +259,70 @@ fn operand_of_type(
         }
     }
     let src = ctx.op_name("fuzz", "src");
-    let op = ctx.create_op(OperationState::new(src).add_result_types([ty]));
+    // The entropy attribute distinguishes same-typed sources under the
+    // interpreter's uninterpreted-input model: it feeds the op's identity
+    // hash, so two `fuzz.src : i32` ops produce *different* input values,
+    // and the assignment survives DCE of unrelated ops (unlike any
+    // stream-order scheme would).
+    let key = ctx.symbol("entropy");
+    let attr = ctx.i64_attr(rng.below(1 << 31) as i64);
+    let op = ctx
+        .create_op(OperationState::new(src).add_result_types([ty]).add_attribute(key, attr));
     ctx.append_op(block, op);
     op.result(ctx, 0)
+}
+
+/// Integer types the generated arithmetic ops compute in.
+fn random_int_type(ctx: &mut Context, rng: &mut SplitMix64) -> Type {
+    match rng.below(3) {
+        0 => ctx.i32_type(),
+        1 => ctx.i64_type(),
+        _ => ctx.index_type(),
+    }
+}
+
+/// Appends one `fuzz.const` holding a small integer literal.
+fn generate_const_op(ctx: &mut Context, rng: &mut SplitMix64, block: BlockRef, ty: Type) -> OpRef {
+    let name = ctx.op_name("fuzz", "const");
+    let key = ctx.symbol("value");
+    // Small signed literals, zero included: `fuzz.divi` by a constant
+    // zero exercises trap preservation through constant folding.
+    let attr_value = rng.below(21) as i128 - 10;
+    let attr = ctx.int_attr(attr_value, ty);
+    let op =
+        ctx.create_op(OperationState::new(name).add_result_types([ty]).add_attribute(key, attr));
+    ctx.append_op(block, op);
+    op
+}
+
+/// Appends one interpreted arithmetic op (`fuzz.addi`/`subi`/`muli`/`divi`)
+/// or a bare `fuzz.const`. Operands lean constant-heavy so the constant
+/// folder has real work in generated modules.
+fn generate_arith_op(
+    ctx: &mut Context,
+    config: &GenConfig,
+    rng: &mut SplitMix64,
+    block: BlockRef,
+) -> OpRef {
+    let ty = random_int_type(ctx, rng);
+    if rng.chance(1, 3) {
+        return generate_const_op(ctx, rng, block, ty);
+    }
+    const OPS: [&str; 4] = ["addi", "subi", "muli", "divi"];
+    let name = ctx.op_name("fuzz", OPS[rng.below(OPS.len())]);
+    let operands: Vec<Value> = (0..2)
+        .map(|_| {
+            if rng.chance(1, 2) {
+                generate_const_op(ctx, rng, block, ty).result(ctx, 0)
+            } else {
+                operand_of_type(ctx, config, rng, block, ty)
+            }
+        })
+        .collect();
+    let op = ctx
+        .create_op(OperationState::new(name).add_operands(operands).add_result_types([ty]));
+    ctx.append_op(block, op);
+    op
 }
 
 /// Builtin types the unregistered filler ops draw from.

@@ -22,7 +22,7 @@ use crate::genspec::generate_spec;
 use crate::mutate::mutate_text;
 use crate::oracle::{
     check_bytecode, check_cache, check_drive, check_fixpoint, check_incremental, check_jobs,
-    check_matcher, check_parallel_verify, OracleFailure,
+    check_matcher, check_parallel_verify, check_translation_validation, OracleFailure,
 };
 use crate::rng::SplitMix64;
 
@@ -100,9 +100,20 @@ impl FuzzTarget {
         Ok(FuzzTarget { bundle: DialectBundle::capture(ctx, names), catalog })
     }
 
-    /// The 28-dialect evaluation corpus.
+    /// The 28-dialect evaluation corpus, with the corpus execution
+    /// semantics attached as the bundle's
+    /// [`Semantics`](irdl_interp::Semantics) artifact so the
+    /// translation-validation oracle interprets `builtin`/`scf`/`complex`
+    /// ops for real (everything else runs uninterpreted).
     pub fn corpus() -> Result<FuzzTarget, String> {
-        FuzzTarget::from_sources(&irdl_dialects::corpus_sources(), &irdl_dialects::corpus_natives())
+        let target = FuzzTarget::from_sources(
+            &irdl_dialects::corpus_sources(),
+            &irdl_dialects::corpus_natives(),
+        )?;
+        target
+            .bundle
+            .artifact_or_insert(|| irdl_interp::Semantics(irdl_dialects::corpus_semantics()));
+        Ok(target)
     }
 }
 
@@ -208,6 +219,7 @@ pub fn run_fuzz_on(target: &FuzzTarget, opts: &FuzzOptions) -> Result<FuzzReport
         drop(ctx);
 
         let incremental_seed = rng.next_u64();
+        let input_seed = rng.next_u64();
         let checks = [
             check_fixpoint(&iter_target.bundle, &text),
             check_incremental(&iter_target.bundle, &text, incremental_seed, 24),
@@ -215,6 +227,7 @@ pub fn run_fuzz_on(target: &FuzzTarget, opts: &FuzzOptions) -> Result<FuzzReport
             check_drive(&iter_target.bundle, &text),
             check_bytecode(&iter_target.bundle, &text),
             check_parallel_verify(&iter_target.bundle, &text),
+            check_translation_validation(&iter_target.bundle, &text, input_seed),
         ];
         for check in checks {
             if let Err(failure) = check {
@@ -293,6 +306,19 @@ pub fn run_fuzz_on(target: &FuzzTarget, opts: &FuzzOptions) -> Result<FuzzReport
                 let _ = writeln!(
                     report.log,
                     "iter {iter}: parallel-verify oracle diverged on a mutant"
+                );
+                report.failures.push(failure);
+                break 'iterations;
+            }
+            // Accepted mutants must also survive translation validation:
+            // mutated attribute payloads and operand rewires are where
+            // fold/DCE preconditions actually get stressed.
+            if let Err(failure) =
+                check_translation_validation(&iter_target.bundle, &mutant, input_seed)
+            {
+                let _ = writeln!(
+                    report.log,
+                    "iter {iter}: translation-validation oracle diverged on a mutant"
                 );
                 report.failures.push(failure);
                 break 'iterations;

@@ -1,4 +1,4 @@
-//! The eight differential oracles.
+//! The nine differential oracles.
 //!
 //! Each oracle runs one input through two implementations that must agree
 //! and reports any divergence with enough context (input text, seed,
@@ -31,6 +31,14 @@
 //!    past its small-module fallback) must produce the same verdict and
 //!    an identical diagnostic list as the sequential walk, at several
 //!    worker counts.
+//! 9. **translation-validation** — the module is *executed* (the
+//!    `irdl-interp` register machine, seeded random well-typed inputs)
+//!    before and after a greedy drive of the semantics-preserving TV
+//!    catalog (constant folding + source DCE), in both matcher modes; the
+//!    observable outcome — values flowing into sinks plus the trap kind —
+//!    must be byte-identical. Unlike oracles 5/6, which check that two
+//!    *drivers* agree, this one checks the rewrites themselves preserve
+//!    behavior.
 
 use std::sync::Arc;
 
@@ -40,9 +48,10 @@ use irdl_ir::parse::parse_module;
 use irdl_ir::print::{op_to_string, op_to_string_generic};
 use irdl_ir::verify::{IncrementalVerifier, ModuleVerifier};
 use irdl_ir::{ChangeJournal, Context, OpRef};
+use irdl_interp::{run_module, EvalOptions};
 use irdl_rewrite::{
     parse_patterns, rewrite_greedily_matched, rewrite_greedily_with, run_batch, CheckLevel,
-    MatcherMode, PatternSet, PipelineOptions, RewritePattern, Rewriter,
+    FoldConstants, MatcherMode, PatternSet, PipelineOptions, RewritePattern, Rewriter,
 };
 
 use crate::mutate::{mutate_structured, MutationPolicy};
@@ -52,8 +61,8 @@ use crate::rng::SplitMix64;
 #[derive(Debug, Clone)]
 pub struct OracleFailure {
     /// Which oracle diverged (`fixpoint`, `incremental`, `cache`,
-    /// `jobs`, `drive`, `matcher`, `bytecode`, `parallel-verify`, or
-    /// `generate`).
+    /// `jobs`, `drive`, `matcher`, `bytecode`, `parallel-verify`,
+    /// `translation-validation`, or `generate`).
     pub oracle: &'static str,
     /// Human-readable description of the divergence.
     pub detail: String,
@@ -454,6 +463,77 @@ pub fn check_bytecode(bundle: &DialectBundle, text: &str) -> Result<(), OracleFa
     Ok(())
 }
 
+/// The translation-validation pattern catalog: constant folding over the
+/// bundle's semantics artifact plus source DCE. Both patterns are
+/// semantics-preserving by design, so the oracle can demand bit-identical
+/// observable behavior. (The random `pat`-dialect catalogs and the
+/// derived canonicalization catalog are deliberately *not* validated this
+/// way — operand-forwarding rewrites change behavior by construction.)
+pub struct TvPatterns(pub PatternSet);
+
+/// The TV catalog for `bundle`, built once through the typed artifact
+/// store (alongside the bundle's [`Semantics`](irdl_interp::Semantics)).
+pub fn tv_patterns(bundle: &DialectBundle) -> Arc<TvPatterns> {
+    // Resolve the semantics artifact *before* entering `artifact_or_insert`:
+    // the builder closure runs under the bundle's artifact write lock, and
+    // `bundle_semantics` takes that same lock.
+    let semantics = irdl_interp::bundle_semantics(bundle);
+    bundle.artifact_or_insert(|| {
+        let mut patterns = PatternSet::new();
+        patterns.add(Arc::new(FoldConstants::new(Arc::new(semantics.0.clone()))));
+        patterns.add(Arc::new(DceSourcePattern));
+        patterns.seal();
+        TvPatterns(patterns)
+    })
+}
+
+/// Oracle 9: rewrites preserve observable behavior.
+///
+/// Executes `text` on the interpreter with inputs derived from `seed`,
+/// then drives the TV catalog to a fixpoint (both matcher modes, checks
+/// off — the *execution* is the check here) and executes again with the
+/// same inputs. The observation digests — every value flowing into a sink
+/// op, in order, plus the trap kind — must match exactly. Inputs the
+/// parser rejects pass vacuously.
+pub fn check_translation_validation(
+    bundle: &DialectBundle,
+    text: &str,
+    seed: u64,
+) -> Result<(), OracleFailure> {
+    let semantics = irdl_interp::bundle_semantics(bundle);
+    let opts = EvalOptions { input_seed: seed, ..EvalOptions::default() };
+
+    let mut ctx = bundle.instantiate();
+    let Some(module) = parse_in(&mut ctx, text) else { return Ok(()) };
+    let baseline = run_module(&ctx, &semantics.0, module, opts);
+    drop(ctx);
+
+    let patterns = tv_patterns(bundle);
+    for mode in [MatcherMode::Scan, MatcherMode::Auto] {
+        let mut ctx = bundle.instantiate();
+        let Some(module) = parse_in(&mut ctx, text) else { return Ok(()) };
+        let stats = rewrite_greedily_matched(&mut ctx, module, &patterns.0, CheckLevel::Off, mode)
+            .expect("unchecked drive cannot fail");
+        let after = run_module(&ctx, &semantics.0, module, opts);
+        if after.digest() != baseline.digest() {
+            return Err(OracleFailure::new(
+                "translation-validation",
+                format!(
+                    "observable behavior diverges after {} rewrites ({mode:?}, input seed \
+                     {seed:#x}):\nbefore:\n{}after:\n{}rewritten module:\n{}",
+                    stats.rewrites,
+                    baseline.digest(),
+                    after.digest(),
+                    op_to_string(&ctx, module),
+                ),
+                text,
+            )
+            .with_seed(seed));
+        }
+    }
+    Ok(())
+}
+
 /// Runs every single-input oracle on `text`, collecting all divergences
 /// (the jobs oracle needs a batch and is run separately by the harness;
 /// the matcher oracle additionally needs a catalog).
@@ -467,6 +547,7 @@ pub fn replay_all(bundle: &DialectBundle, text: &str, seed: u64) -> Vec<OracleFa
         check_bytecode(bundle, text),
         check_parallel_verify(bundle, text),
         check_jobs(bundle, std::slice::from_ref(&text.to_string()), 2),
+        check_translation_validation(bundle, text, seed),
     ] {
         if let Err(f) = check {
             failures.push(f);

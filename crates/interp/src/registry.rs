@@ -1,0 +1,189 @@
+//! The evaluator registry: executable semantics registered per op name.
+//!
+//! Semantics follow the same registration model as the verifier's
+//! [`NativeRegistry`](irdl::NativeRegistry) hooks: a dialect's operations
+//! gain behavior by registering an [`OpEvaluator`] under the op's
+//! *qualified name* (`"cmath.mul"`). Names — not context-relative symbols —
+//! key the table, so one registry serves every [`Context`] instantiated
+//! from a bundle, hand-built test contexts, and rehydrated bytecode
+//! bundles alike. A compiled [`DialectBundle`](irdl::DialectBundle) carries
+//! its semantics as a typed bundle artifact (see [`crate::Semantics`]),
+//! mirroring how native verifier hooks travel by name.
+//!
+//! The registry also owns the *constant model* used by constant folding:
+//! which ops denote compile-time constants ([`OpEvaluator::constant`]) and
+//! how to materialize a computed value back into IR as a constant op
+//! ([`EvalRegistry::register_materializer`]) — the two hooks MLIR folds
+//! are built from.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use irdl_ir::{Context, OperationState, OpRef, Type};
+
+use crate::machine::Machine;
+use crate::trap::Trap;
+use crate::value::EvalValue;
+
+/// Executable semantics for one operation.
+pub trait OpEvaluator: Send + Sync {
+    /// Evaluates `op`, whose operand values are available through
+    /// `machine`. Returns one value per result (the machine pads or
+    /// truncates deterministically on a mismatch) or a structured trap.
+    ///
+    /// # Errors
+    ///
+    /// Returns the trap that aborts execution.
+    fn eval(&self, machine: &mut Machine<'_>, op: OpRef) -> Result<Vec<EvalValue>, Trap>;
+
+    /// If `op` denotes a compile-time constant, its result values. This is
+    /// what the folder uses to read operands — only ops answering `Some`
+    /// here count as constant inputs to a fold.
+    fn constant(&self, ctx: &Context, op: OpRef) -> Option<Vec<EvalValue>> {
+        let _ = (ctx, op);
+        None
+    }
+}
+
+/// An [`OpEvaluator`] built from a plain closure (no constant model).
+struct FnEvaluator<F>(F);
+
+impl<F> OpEvaluator for FnEvaluator<F>
+where
+    F: Fn(&mut Machine<'_>, OpRef) -> Result<Vec<EvalValue>, Trap> + Send + Sync,
+{
+    fn eval(&self, machine: &mut Machine<'_>, op: OpRef) -> Result<Vec<EvalValue>, Trap> {
+        (self.0)(machine, op)
+    }
+}
+
+/// An [`OpEvaluator`] for constant ops: a reader maps the op's attributes
+/// to its values; evaluation returns the same values.
+struct ConstEvaluator<R>(R);
+
+impl<R> OpEvaluator for ConstEvaluator<R>
+where
+    R: Fn(&Context, OpRef) -> Option<Vec<EvalValue>> + Send + Sync,
+{
+    fn eval(&self, machine: &mut Machine<'_>, op: OpRef) -> Result<Vec<EvalValue>, Trap> {
+        match (self.0)(machine.ctx(), op) {
+            Some(values) => Ok(values),
+            // A constant whose payload does not decode falls back to the
+            // uninterpreted model — deterministic, never a panic.
+            None => machine.uninterpreted(op),
+        }
+    }
+
+    fn constant(&self, ctx: &Context, op: OpRef) -> Option<Vec<EvalValue>> {
+        (self.0)(ctx, op)
+    }
+}
+
+/// Materializes `value` as a new constant op of result type `ty`, or
+/// `None` when the dialect has no constant op able to carry the value.
+pub type ConstMaterializer =
+    Arc<dyn Fn(&mut Context, &EvalValue, Type) -> Option<OperationState> + Send + Sync>;
+
+/// The table of registered semantics, keyed by qualified op name.
+#[derive(Default, Clone)]
+pub struct EvalRegistry {
+    evaluators: HashMap<String, Arc<dyn OpEvaluator>>,
+    materializers: Vec<ConstMaterializer>,
+}
+
+impl std::fmt::Debug for EvalRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut names: Vec<&String> = self.evaluators.keys().collect();
+        names.sort();
+        f.debug_struct("EvalRegistry")
+            .field("evaluators", &names)
+            .field("materializers", &self.materializers.len())
+            .finish()
+    }
+}
+
+impl EvalRegistry {
+    /// An empty registry: every op is uninterpreted.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers semantics for the qualified op name `name` (`"scf.if_op"`).
+    pub fn register(&mut self, name: impl Into<String>, evaluator: Arc<dyn OpEvaluator>) {
+        self.evaluators.insert(name.into(), evaluator);
+    }
+
+    /// Registers closure semantics for `name`.
+    pub fn register_fn(
+        &mut self,
+        name: impl Into<String>,
+        eval: impl Fn(&mut Machine<'_>, OpRef) -> Result<Vec<EvalValue>, Trap> + Send + Sync + 'static,
+    ) {
+        self.register(name, Arc::new(FnEvaluator(eval)));
+    }
+
+    /// Registers a constant op: `read` maps the op (its attributes) to its
+    /// values; evaluation returns the same values, and the folder treats
+    /// the op as a constant input.
+    pub fn register_const(
+        &mut self,
+        name: impl Into<String>,
+        read: impl Fn(&Context, OpRef) -> Option<Vec<EvalValue>> + Send + Sync + 'static,
+    ) {
+        self.register(name, Arc::new(ConstEvaluator(read)));
+    }
+
+    /// Registers a constant materializer. Materializers are tried in
+    /// registration order; the first `Some` wins.
+    pub fn register_materializer(&mut self, materializer: ConstMaterializer) {
+        self.materializers.push(materializer);
+    }
+
+    /// The evaluator registered under `name`, if any.
+    pub fn evaluator(&self, name: &str) -> Option<Arc<dyn OpEvaluator>> {
+        self.evaluators.get(name).cloned()
+    }
+
+    /// The evaluator for `op`, resolved through its qualified name.
+    pub fn evaluator_for(&self, ctx: &Context, op: OpRef) -> Option<Arc<dyn OpEvaluator>> {
+        self.evaluators.get(&op.name(ctx).display(ctx)).cloned()
+    }
+
+    /// `op`'s compile-time values, if its registered semantics declare it
+    /// a constant.
+    pub fn constant_values(&self, ctx: &Context, op: OpRef) -> Option<Vec<EvalValue>> {
+        self.evaluator_for(ctx, op)?.constant(ctx, op)
+    }
+
+    /// Builds a constant op carrying `value` with result type `ty`, or
+    /// `None` when no registered materializer covers the pair.
+    pub fn materialize(
+        &self,
+        ctx: &mut Context,
+        value: &EvalValue,
+        ty: Type,
+    ) -> Option<OperationState> {
+        self.materializers.iter().find_map(|m| m(ctx, value, ty))
+    }
+
+    /// The number of registered evaluators.
+    pub fn len(&self) -> usize {
+        self.evaluators.len()
+    }
+
+    /// Whether no semantics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.evaluators.is_empty()
+    }
+}
+
+/// The bundle-artifact wrapper carrying a registry on a
+/// [`DialectBundle`](irdl::DialectBundle): compiled dialects and their
+/// executable semantics travel together, the way native verifier hooks do.
+pub struct Semantics(pub EvalRegistry);
+
+/// The semantics artifact attached to `bundle`, defaulting to an empty
+/// registry (every op uninterpreted) when none was attached.
+pub fn bundle_semantics(bundle: &irdl::DialectBundle) -> Arc<Semantics> {
+    bundle.artifact_or_insert(|| Semantics(EvalRegistry::new()))
+}

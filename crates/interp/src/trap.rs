@@ -1,0 +1,70 @@
+//! Structured traps: every abnormal outcome is data, never a panic.
+//!
+//! The machine is driven by fuzzers over arbitrary (sometimes invalid)
+//! modules, so "the program did something undefined" must be an ordinary
+//! return value. A [`Trap`] records what went wrong and where; executions
+//! that trap are still comparable — the translation-validation oracle
+//! treats "traps with kind K" as an observable outcome that rewrites must
+//! preserve.
+
+/// The category of a trap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrapKind {
+    /// Integer or complex division by zero.
+    DivByZero,
+    /// The loop/branch fuel budget ran out (the program may diverge).
+    FuelExhausted,
+    /// Strict mode hit an operation with no registered semantics.
+    MissingSemantics,
+    /// An operation's runtime shape made its semantics inapplicable
+    /// (e.g. a counted loop with a non-positive step).
+    MalformedOp,
+}
+
+impl TrapKind {
+    /// A stable keyword for logs and digests.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            TrapKind::DivByZero => "div-by-zero",
+            TrapKind::FuelExhausted => "fuel-exhausted",
+            TrapKind::MissingSemantics => "missing-semantics",
+            TrapKind::MalformedOp => "malformed-op",
+        }
+    }
+}
+
+/// One trap: the kind, the qualified name of the operation that trapped,
+/// and a human-readable detail line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trap {
+    /// What went wrong.
+    pub kind: TrapKind,
+    /// Qualified name (`dialect.op`) of the trapping operation.
+    pub op: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+impl Trap {
+    /// Builds a trap at `op`.
+    pub fn new(kind: TrapKind, op: impl Into<String>, detail: impl Into<String>) -> Trap {
+        Trap { kind, op: op.into(), detail: detail.into() }
+    }
+}
+
+impl std::fmt::Display for Trap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trap [{}] at `{}`: {}", self.kind.keyword(), self.op, self.detail)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_renders_kind_op_and_detail() {
+        let t = Trap::new(TrapKind::DivByZero, "fuzz.divi", "divisor is zero");
+        assert_eq!(t.to_string(), "trap [div-by-zero] at `fuzz.divi`: divisor is zero");
+    }
+}

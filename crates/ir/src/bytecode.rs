@@ -933,7 +933,7 @@ impl<'c> ModuleEncoder<'c> {
         // Results are numbered after the regions, mirroring the text
         // parser (a region body cannot reference its enclosing op's
         // results).
-        for (index, value) in op.results(ctx).into_iter().enumerate() {
+        for (index, value) in op.results(ctx).enumerate() {
             let id = self.value_ids.len() as u32;
             debug_assert!(matches!(value, Value::OpResult { index: i, .. } if i as usize == index));
             self.value_ids.insert(value, id);

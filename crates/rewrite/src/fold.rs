@@ -1,0 +1,125 @@
+//! Constant folding built on the interpreter's registered semantics.
+//!
+//! [`FoldConstants`] is an anchorless [`RewritePattern`] that replaces an
+//! operation whose operands are all compile-time constants (per the
+//! [`EvalRegistry`]'s constant model) with materialized constant ops
+//! carrying its evaluated results — MLIR's `fold` hook, driven by the
+//! same evaluator the execution machine uses, so "fold then interpret"
+//! and "interpret" are bit-identical by construction.
+//!
+//! The pattern is deliberately conservative; it folds only when
+//!
+//! - the op has results and at least one of them is used (folding a sink
+//!   would erase an execution observable),
+//! - it has no regions or successors and is not itself a constant,
+//! - every operand is a result of a constant-model op,
+//! - evaluation completes without trapping (a folded `div-by-zero` would
+//!   erase the runtime trap) and without consulting the seed-dependent
+//!   uninterpreted model, and
+//! - every result value has a registered materializer.
+//!
+//! Each successful fold strictly decreases the number of non-constant ops
+//! with used results, so greedy application terminates.
+
+use std::sync::Arc;
+
+use irdl_interp::{EvalOptions, EvalRegistry, EvalValue, Machine};
+use irdl_ir::{OpRef, Value};
+
+use crate::pattern::{PatternSet, RewritePattern, Rewriter};
+
+/// The constant-folding pattern. One instance serves every op name: it is
+/// anchorless, and the registry decides per op whether semantics exist.
+pub struct FoldConstants {
+    semantics: Arc<EvalRegistry>,
+}
+
+impl FoldConstants {
+    /// A folder over `semantics`.
+    pub fn new(semantics: Arc<EvalRegistry>) -> FoldConstants {
+        FoldConstants { semantics }
+    }
+
+    /// The constant operand values of `op`, if every operand is a result
+    /// of a constant-model op.
+    fn constant_operands(&self, rewriter: &Rewriter<'_>, op: OpRef) -> Option<Vec<EvalValue>> {
+        let ctx = rewriter.ctx();
+        op.operands(ctx)
+            .iter()
+            .map(|&operand| {
+                let Value::OpResult { op: def, index } = operand else { return None };
+                self.semantics.constant_values(ctx, def)?.get(index as usize).copied()
+            })
+            .collect()
+    }
+}
+
+impl RewritePattern for FoldConstants {
+    fn name(&self) -> &str {
+        "fold-constants"
+    }
+
+    /// Folds run before same-benefit cleanup patterns (e.g. source DCE),
+    /// so a fold's newly orphaned constants are swept in the same drive.
+    fn benefit(&self) -> usize {
+        2
+    }
+
+    fn match_and_rewrite(&self, rewriter: &mut Rewriter<'_>) -> bool {
+        let op = rewriter.root();
+        let ctx = rewriter.ctx();
+        let num_results = op.num_results(ctx);
+        if num_results == 0
+            || !op.regions(ctx).is_empty()
+            || !op.successors(ctx).is_empty()
+            || (0..num_results).all(|i| op.result(ctx, i).is_unused(ctx))
+            || self.semantics.constant_values(ctx, op).is_some()
+        {
+            return false;
+        }
+        let Some(evaluator) = self.semantics.evaluator_for(ctx, op) else { return false };
+        let Some(operand_values) = self.constant_operands(rewriter, op) else { return false };
+
+        // Evaluate in a throwaway machine with just the operand registers
+        // set. A trap (the fold would erase a runtime trap) or any visit
+        // to the uninterpreted model (the result would depend on the input
+        // seed) vetoes the fold.
+        let values = {
+            let ctx = rewriter.ctx();
+            let mut machine = Machine::new(ctx, &self.semantics, EvalOptions::default());
+            for (&operand, &value) in op.operands(ctx).iter().zip(&operand_values) {
+                machine.set(operand, value);
+            }
+            match evaluator.eval(&mut machine, op) {
+                Ok(values) if machine.uninterpreted_hits() == 0 => values,
+                _ => return false,
+            }
+        };
+        if values.len() != num_results {
+            return false;
+        }
+
+        // Materialize every result before touching the IR: all-or-nothing.
+        let result_types: Vec<_> = op.result_types(rewriter.ctx()).to_vec();
+        let mut states = Vec::with_capacity(values.len());
+        for (value, ty) in values.iter().zip(result_types) {
+            match self.semantics.materialize(rewriter.ctx_mut(), value, ty) {
+                Some(state) => states.push(state),
+                None => return false,
+            }
+        }
+        let replacements: Vec<Value> = states
+            .into_iter()
+            .map(|state| rewriter.insert_before_root(state).result(rewriter.ctx(), 0))
+            .collect();
+        rewriter.replace_root(&replacements);
+        true
+    }
+}
+
+/// A pattern set holding just the constant folder over `semantics`.
+pub fn fold_patterns(semantics: Arc<EvalRegistry>) -> PatternSet {
+    let mut set = PatternSet::new();
+    set.add(Arc::new(FoldConstants::new(semantics)));
+    set
+}

@@ -55,6 +55,7 @@
 pub mod bytecode;
 pub mod driver;
 pub mod dsl;
+pub mod fold;
 pub mod matcher;
 pub mod pattern;
 pub mod pipeline;
@@ -65,6 +66,7 @@ pub use driver::{
 };
 pub use bytecode::{decode_match_programs, encode_match_programs, PROGRAMS_MAGIC};
 pub use dsl::{parse_patterns, DeclarativePattern};
+pub use fold::{fold_patterns, FoldConstants};
 pub use matcher::{matcher_compile_count, MatchProgram, PatternMatcher, Pred};
 pub use pattern::{PatternSet, RewritePattern, Rewriter};
 pub use pipeline::{

@@ -21,6 +21,12 @@
 //! - `--matcher=M`       pattern dispatch mode: `auto` (the compiled
 //!   shared matcher automaton, the default) or `scan` (the per-pattern
 //!   scan — the slow differential oracle)
+//! - `--fold`            add the constant-folding catalog (over the
+//!   showcase/corpus evaluation semantics) to the pattern set
+//! - `--interp`          after rewriting, execute the module on the
+//!   `irdl-interp` register machine and print its observations instead
+//!   of the IR (single input; `--seed` picks the input seed)
+//! - `--seed <n>`        input seed for `--interp` (default 0)
 //! - `--generic`         print in the generic form only
 //! - `--emit=F`          output format: `text` (the default) or
 //!   `bytecode` (the `IRBC` binary module format, single input only)
@@ -73,6 +79,9 @@ struct Options {
     jobs: usize,
     intra_jobs: usize,
     timings: bool,
+    fold: bool,
+    interp: bool,
+    seed: u64,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -90,6 +99,9 @@ fn parse_args() -> Result<Options, String> {
         jobs: 1,
         intra_jobs: 1,
         timings: false,
+        fold: false,
+        interp: false,
+        seed: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -117,6 +129,13 @@ fn parse_args() -> Result<Options, String> {
                     .max(1);
             }
             "--timings" => opts.timings = true,
+            "--fold" => opts.fold = true,
+            "--interp" => opts.interp = true,
+            "--seed" => {
+                let n = args.next().ok_or("--seed needs a number argument")?;
+                opts.seed =
+                    n.parse::<u64>().map_err(|_| format!("invalid --seed value `{n}`"))?;
+            }
             "--showcase" => opts.showcase = true,
             "--corpus" => opts.corpus = true,
             "--verify" => opts.verify = true,
@@ -161,6 +180,7 @@ fn parse_args() -> Result<Options, String> {
                     "usage: irdl-opt [--irdl FILE]... [--patterns FILE]... \
                      [--showcase] [--corpus] [--verify] \
                      [--verify-each={{full,incr,off}}] [--matcher={{auto,scan}}] \
+                     [--fold] [--interp] [--seed N] \
                      [--generic] [--emit={{text,bytecode}}] [--jobs N] \
                      [--intra-jobs N] [--timings] [IR-FILE]..."
                 );
@@ -203,12 +223,30 @@ fn run(opts: Options) -> Result<(), String> {
         }
     }
 
+    if opts.fold {
+        // Fold over whichever evaluation semantics are registered:
+        // corpus > showcase > empty (folds nothing, still a valid drive).
+        let semantics = if opts.corpus {
+            irdl_dialects::corpus_semantics()
+        } else if opts.showcase {
+            irdl_dialects::showcase_semantics()
+        } else {
+            irdl_interp::EvalRegistry::new()
+        };
+        patterns.add(std::sync::Arc::new(irdl_rewrite::FoldConstants::new(
+            std::sync::Arc::new(semantics),
+        )));
+    }
+
     // Batch mode: several inputs, or an explicit worker count. Dialects
     // and patterns were compiled once above; seal them into a shared
     // bundle and fan the files out.
     if opts.inputs.len() > 1 || opts.jobs > 1 {
         if opts.emit == Emit::Bytecode {
             return Err("--emit=bytecode supports a single input (got a batch)".to_string());
+        }
+        if opts.interp {
+            return Err("--interp supports a single input (got a batch)".to_string());
         }
         let mut sources = Vec::with_capacity(opts.inputs.len());
         for file in &opts.inputs {
@@ -318,6 +356,25 @@ fn run(opts: Options) -> Result<(), String> {
             checked
                 .map_err(|errs| format!("IR invalid after rewriting: {}", errs[0]))?;
         }
+    }
+
+    if opts.interp {
+        let registry = if opts.corpus {
+            irdl_dialects::corpus_semantics()
+        } else if opts.showcase {
+            irdl_dialects::showcase_semantics()
+        } else {
+            irdl_interp::EvalRegistry::new()
+        };
+        let eval_opts =
+            irdl_interp::EvalOptions { input_seed: opts.seed, ..Default::default() };
+        let exec = irdl_interp::run_module(&ctx, &registry, module, eval_opts);
+        let trapped = exec.trap.is_some();
+        write_stdout(&irdl_tools::report::render_execution(&exec));
+        if trapped {
+            std::process::exit(1);
+        }
+        return Ok(());
     }
 
     let start = std::time::Instant::now();

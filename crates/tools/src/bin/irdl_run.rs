@@ -1,0 +1,160 @@
+//! `irdl-run`: execute a module on the register-based interpreter.
+//!
+//! ```text
+//! irdl-run --corpus input.ir
+//! irdl-run --showcase --seed 7 input.ir
+//! echo '...ir...' | irdl-run --corpus --strict
+//! ```
+//!
+//! Options:
+//! - `--irdl <file>`  register dialects from an IRDL file (repeatable;
+//!   their ops execute as deterministic uninterpreted functions)
+//! - `--showcase`     preregister the cmath/arith/func showcase dialects
+//!   with their evaluation semantics
+//! - `--corpus`       preregister the evaluation corpus with the
+//!   builtin/scf/complex/fuzz evaluation semantics
+//! - `--seed <n>`     seed for derived inputs and uninterpreted ops
+//!   (default 0)
+//! - `--fuel <n>`     control-transfer budget before the machine traps
+//!   with fuel exhaustion (default 4096)
+//! - `--strict`       trap on the first op without registered semantics
+//!   instead of modelling it as an uninterpreted function
+//! - `--digest`       print the canonical execution digest (the exact
+//!   form the translation-validation oracle compares) instead of the
+//!   human-oriented report
+//! - `<file>`         the IR input (defaults to stdin)
+//!
+//! Prints one line per observed sink (`name(values...)`) followed by a
+//! status line; exits 1 on a trap so scripts can branch on the outcome.
+
+use std::io::Read;
+
+use irdl_interp::{run_module, EvalOptions, EvalRegistry};
+use irdl_ir::Context;
+use irdl_tools::report::render_execution;
+
+struct Options {
+    irdl_files: Vec<String>,
+    input: Option<String>,
+    showcase: bool,
+    corpus: bool,
+    seed: u64,
+    fuel: u64,
+    strict: bool,
+    digest: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        irdl_files: Vec::new(),
+        input: None,
+        showcase: false,
+        corpus: false,
+        seed: 0,
+        fuel: EvalOptions::default().fuel,
+        strict: false,
+        digest: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--irdl" => {
+                let file = args.next().ok_or("--irdl needs a file argument")?;
+                opts.irdl_files.push(file);
+            }
+            "--seed" => {
+                let n = args.next().ok_or("--seed needs a number argument")?;
+                opts.seed =
+                    n.parse::<u64>().map_err(|_| format!("invalid --seed value `{n}`"))?;
+            }
+            "--fuel" => {
+                let n = args.next().ok_or("--fuel needs a number argument")?;
+                opts.fuel =
+                    n.parse::<u64>().map_err(|_| format!("invalid --fuel value `{n}`"))?;
+            }
+            "--showcase" => opts.showcase = true,
+            "--corpus" => opts.corpus = true,
+            "--strict" => opts.strict = true,
+            "--digest" => opts.digest = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: irdl-run [--irdl FILE]... [--showcase] [--corpus] \
+                     [--seed N] [--fuel N] [--strict] [--digest] [IR-FILE]"
+                );
+                std::process::exit(0);
+            }
+            other if !other.starts_with('-') => {
+                if opts.input.is_some() {
+                    return Err("irdl-run takes a single IR input".to_string());
+                }
+                opts.input = Some(other.to_string());
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run(opts: Options) -> Result<bool, String> {
+    let mut ctx = Context::new();
+    let mut registry = EvalRegistry::new();
+    if opts.showcase {
+        irdl_dialects::showcase::register_showcase(&mut ctx).map_err(|d| d.to_string())?;
+        registry = irdl_dialects::showcase_semantics();
+    }
+    if opts.corpus {
+        irdl_dialects::register_corpus(&mut ctx).map_err(|d| d.to_string())?;
+        registry = irdl_dialects::corpus_semantics();
+    }
+    let natives = irdl_dialects::corpus_natives();
+    for file in &opts.irdl_files {
+        let source = std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read `{file}`: {e}"))?;
+        irdl::register_dialects_with(&mut ctx, &source, &natives)
+            .map_err(|d| format!("{file}:\n{}", d.render(&source)))?;
+    }
+
+    let ir = match &opts.input {
+        Some(file) => std::fs::read_to_string(file)
+            .map_err(|e| format!("cannot read `{file}`: {e}"))?,
+        None => {
+            let mut buffer = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buffer)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buffer
+        }
+    };
+    let module = irdl_ir::parse::parse_module(&mut ctx, &ir).map_err(|d| d.render(&ir))?;
+
+    let eval_opts = EvalOptions {
+        fuel: opts.fuel,
+        input_seed: opts.seed,
+        strict: opts.strict,
+    };
+    let exec = run_module(&ctx, &registry, module, eval_opts);
+    if opts.digest {
+        print!("{}", exec.digest());
+    } else {
+        print!("{}", render_execution(&exec));
+    }
+    Ok(exec.trap.is_none())
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+    match run(opts) {
+        Ok(true) => {}
+        Ok(false) => std::process::exit(1),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+}

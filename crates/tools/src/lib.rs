@@ -8,9 +8,12 @@
 //!   the core queries an LSP server would serve;
 //! - `irdl-opt` (binary): an `mlir-opt`-style parse/verify/rewrite driver,
 //!   fully runtime-configured;
+//! - [`report`] / `irdl-run` (binary): execute modules on the
+//!   `irdl-interp` register machine and report observations and traps;
 //! - `irdl-fmt` (binary): a canonical formatter for IRDL specifications;
 //! - [`docgen`] / `irdl-doc` (binary): Markdown reference documentation
 //!   generated from the registry.
 
 pub mod completion;
 pub mod docgen;
+pub mod report;

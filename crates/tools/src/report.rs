@@ -1,0 +1,70 @@
+//! Rendering interpreter executions for command-line output.
+//!
+//! Shared by `irdl-run` and `irdl-opt --interp`: one observation per
+//! line, a trailing status line, and the trap (when any) rendered with
+//! its full diagnostic detail.
+
+use irdl_interp::Execution;
+
+/// Renders an execution as the tools print it: each observed sink as
+/// `name(v, ...)`, then either `// trap ...` (full detail) or
+/// `// return (N steps)`.
+pub fn render_execution(exec: &Execution) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (name, operands) in &exec.observed {
+        let rendered: Vec<String> = operands.iter().map(ToString::to_string).collect();
+        let _ = writeln!(out, "{name}({})", rendered.join(", "));
+    }
+    match &exec.trap {
+        Some(trap) => {
+            let _ = writeln!(out, "// {trap}");
+        }
+        None => {
+            let _ = writeln!(out, "// return ({} step(s))", exec.steps);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irdl_interp::{EvalValue, FloatKind, Trap, TrapKind};
+
+    #[test]
+    fn renders_observations_and_return() {
+        let exec = Execution {
+            observed: vec![
+                ("fuzz.sink".to_string(), vec![EvalValue::int(42, 32)]),
+                (
+                    "func.return_op".to_string(),
+                    vec![EvalValue::float(2.5, FloatKind::F64), EvalValue::int(-1, 8)],
+                ),
+            ],
+            trap: None,
+            steps: 7,
+        };
+        let text = render_execution(&exec);
+        assert_eq!(
+            text,
+            "fuzz.sink(42 : i32)\nfunc.return_op(2.5 : f64, -1 : i8)\n// return (7 step(s))\n"
+        );
+    }
+
+    #[test]
+    fn renders_trap_with_full_detail() {
+        let exec = Execution {
+            observed: Vec::new(),
+            trap: Some(Trap {
+                kind: TrapKind::DivByZero,
+                op: "\"fuzz.divi\"(%a, %z) : (i32, i32) -> i32".to_string(),
+                detail: "divisor is zero".to_string(),
+            }),
+            steps: 3,
+        };
+        let text = render_execution(&exec);
+        assert!(text.contains("// trap [div-by-zero]"), "{text}");
+        assert!(text.contains("divisor is zero"), "{text}");
+    }
+}

@@ -1,0 +1,117 @@
+//! Golden tests for the completion / signature-help queries over the
+//! evaluation corpus: exact rendered outputs, pinned.
+//!
+//! The inline unit tests in `completion.rs` cover the showcase registry;
+//! these pin the corpus-facing behavior an IR language server would rely
+//! on — full item lists in sorted order, sigil prefixes for types and
+//! attributes, and byte-exact signature renderings.
+
+use irdl_ir::Context;
+use irdl_tools::completion::{
+    complete, signature_help, type_signature_help, CompletionKind,
+};
+
+fn corpus() -> Context {
+    let mut ctx = Context::new();
+    irdl_dialects::register_corpus(&mut ctx).expect("corpus registers");
+    ctx
+}
+
+/// Renders completions the way an LSP client would list them.
+fn rendered(ctx: &Context, prefix: &str) -> Vec<String> {
+    complete(ctx, prefix)
+        .into_iter()
+        .map(|item| format!("{} — {}", item.name, item.summary))
+        .collect()
+}
+
+#[test]
+fn complex_dialect_completes_all_fifteen_ops_in_order() {
+    let ctx = corpus();
+    let golden = [
+        "complex.abs — Absolute value (magnitude)",
+        "complex.add — Addition",
+        "complex.conj — Complex conjugate",
+        "complex.constant — A complex constant",
+        "complex.create — Create a complex number from real and imaginary parts",
+        "complex.div — Division",
+        "complex.exp — Exponential",
+        "complex.im — Imaginary part",
+        "complex.log — Natural logarithm",
+        "complex.mul — Multiplication",
+        "complex.neg — Negation",
+        "complex.pow — Power",
+        "complex.re — Real part",
+        "complex.sqrt — Square root",
+        "complex.sub — Subtraction",
+    ];
+    assert_eq!(rendered(&ctx, "complex."), golden);
+}
+
+#[test]
+fn member_prefix_narrows_and_keeps_kinds() {
+    let ctx = corpus();
+    let items = complete(&ctx, "complex.c");
+    let names: Vec<&str> = items.iter().map(|i| i.name.as_str()).collect();
+    assert_eq!(names, ["complex.conj", "complex.constant", "complex.create"]);
+    assert!(items.iter().all(|i| i.kind == CompletionKind::Operation));
+}
+
+#[test]
+fn dialect_prefix_completes_namespaces() {
+    let ctx = corpus();
+    assert_eq!(
+        rendered(&ctx, "sc"),
+        ["scf — Structured control flow, e.g. 'for' and 'if'"]
+    );
+    // The empty prefix lists every corpus dialect exactly once.
+    let all = complete(&ctx, "");
+    assert_eq!(all.len(), 28);
+    assert!(all.iter().all(|i| i.kind == CompletionKind::Dialect));
+}
+
+#[test]
+fn types_and_attributes_complete_with_sigils_before_ops() {
+    let ctx = corpus();
+    let names: Vec<String> =
+        complete(&ctx, "builtin.").into_iter().map(|i| i.name).collect();
+    // Sorted order puts `!type` and `#attr` sigils ahead of bare op names.
+    assert_eq!(names[0], "!builtin.complex");
+    assert!(names.contains(&"#builtin.dictionary".to_string()));
+    assert!(names.contains(&"builtin.unrealized_conversion_cast".to_string()));
+    let first_op = names.iter().position(|n| n == "builtin.func").unwrap();
+    let last_attr = names.iter().rposition(|n| n.starts_with('#')).unwrap();
+    assert!(last_attr < first_op, "sigiled entries must sort first: {names:?}");
+}
+
+#[test]
+fn op_signature_help_is_byte_exact() {
+    let ctx = corpus();
+    assert_eq!(
+        signature_help(&ctx, "scf.for_op").unwrap(),
+        "scf.for_op — A counted loop with loop-carried values\n\
+         \x20 operands: 4 (1 variadic)\n\
+         \x20 results:  1 (1 variadic)\n\
+         \x20 regions: 1\n\
+         \x20 has a native (IRDL-Rust) verifier\n"
+    );
+    assert_eq!(
+        signature_help(&ctx, "complex.constant").unwrap(),
+        "complex.constant — A complex constant\n\
+         \x20 operands: 0\n\
+         \x20 results:  1\n\
+         \x20 has a native (IRDL-Rust) verifier\n"
+    );
+    assert!(signature_help(&ctx, "complex.no_such_op").is_none());
+    assert!(signature_help(&ctx, "unqualified").is_none());
+}
+
+#[test]
+fn type_signature_help_is_byte_exact() {
+    let ctx = corpus();
+    let golden = "!builtin.complex — A complex number type\n  elementType: Type\n";
+    assert_eq!(type_signature_help(&ctx, "!builtin.complex").unwrap(), golden);
+    // The sigil is optional on lookup.
+    assert_eq!(type_signature_help(&ctx, "builtin.complex").unwrap(), golden);
+    assert!(type_signature_help(&ctx, "!builtin.no_such_type").is_none());
+}

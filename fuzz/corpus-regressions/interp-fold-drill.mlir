@@ -1,0 +1,14 @@
+// irdl-fuzz regression case
+// seed: 0xd11a
+// oracle: translation-validation
+// Planted-bug drill (tests/fold_equivalence.rs): with an off-by-one
+// constant materializer, folding this multiply miscompiles 42 into 43
+// and the translation-validation oracle reports the digest divergence.
+// Stored after ddmin reduction; replays green against the real
+// semantics, and the drill pins that reduction converges to this form.
+"builtin.module"() ({
+  %0 = "fuzz.const"() {value = 6 : i32} : () -> i32
+  %1 = "fuzz.const"() {value = 7 : i32} : () -> i32
+  %2 = "fuzz.muli"(%0, %1) : (i32, i32) -> i32
+  "fuzz.sink"(%2) : (i32) -> ()
+}) : () -> ()

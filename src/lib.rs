@@ -12,12 +12,15 @@
 //! - [`analysis`] — the statistics tooling that regenerates the paper's
 //!   figures and tables,
 //! - [`fuzz`] — the deterministic fuzzing harness (structured generators,
-//!   differential oracles, delta-debugging reducer).
+//!   differential oracles, delta-debugging reducer),
+//! - [`interp`] — the register-based IR interpreter (executable semantics,
+//!   structured traps, the translation-validation substrate).
 
 pub use irdl;
 pub use irdl_analysis as analysis;
 pub use irdl_dialects as dialects;
 pub use irdl_fuzz_lib as fuzz;
+pub use irdl_interp as interp;
 pub use irdl_ir as ir;
 pub use irdl_rewrite as rewrite;
 pub use irdl_tools as tools;
